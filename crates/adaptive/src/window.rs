@@ -1,0 +1,176 @@
+//! The per-item window table.
+//!
+//! Windows are integer multiples of `L` ("For simplicity assume that
+//! α = jL" — §7 uses the same convention; §8's evaluation periods are
+//! "multiples of the invalidation report latencies L"). The table
+//! stores only *exceptions* from the default `w_0 = k_0·L`; the
+//! exception list is what the adaptive report broadcasts so that every
+//! awake client always has the current windows (see
+//! [`crate::server::AdaptiveReport`]).
+
+use std::collections::HashMap;
+
+use sw_server::ItemId;
+
+/// Wire width of one window value in the exception list (intervals,
+/// saturating at 2^16−1 ≈ "infinite"). Implementation choice documented
+/// in DESIGN.md: the paper does not specify how clients learn the
+/// current windows.
+pub const WINDOW_FIELD_BITS: u32 = 16;
+
+/// Sentinel for an effectively infinite window.
+pub const INFINITE_WINDOW: u32 = u16::MAX as u32;
+
+/// Per-item windows in units of intervals, defaulting to `k0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowTable {
+    default_k: u32,
+    exceptions: HashMap<ItemId, u32>,
+}
+
+impl WindowTable {
+    /// Creates a table where every item starts at `k0` intervals
+    /// ("We always start with the same window size w_0(i) for all
+    /// items").
+    pub fn new(default_k: u32) -> Self {
+        assert!(default_k >= 1, "default window must be at least one interval");
+        WindowTable {
+            default_k,
+            exceptions: HashMap::new(),
+        }
+    }
+
+    /// The default window multiple `k0`.
+    pub fn default_k(&self) -> u32 {
+        self.default_k
+    }
+
+    /// Current window of `item`, in intervals.
+    pub fn get(&self, item: ItemId) -> u32 {
+        self.exceptions.get(&item).copied().unwrap_or(self.default_k)
+    }
+
+    /// Sets `item`'s window explicitly (clamped to the wire range).
+    pub fn set(&mut self, item: ItemId, k: u32) {
+        let k = k.min(INFINITE_WINDOW);
+        if k == self.default_k {
+            self.exceptions.remove(&item);
+        } else {
+            self.exceptions.insert(item, k);
+        }
+    }
+
+    /// Adjusts `item`'s window by `±step` intervals (Eq. 31), flooring
+    /// at zero. Returns the new value.
+    pub fn adjust(&mut self, item: ItemId, grow: bool, step: u32) -> u32 {
+        let cur = self.get(item);
+        let next = if grow {
+            cur.saturating_add(step).min(INFINITE_WINDOW)
+        } else {
+            cur.saturating_sub(step)
+        };
+        self.set(item, next);
+        next
+    }
+
+    /// The exception list broadcast in every adaptive report, sorted by
+    /// item id for determinism.
+    pub fn exceptions(&self) -> Vec<(ItemId, u32)> {
+        let mut v: Vec<(ItemId, u32)> = self.exceptions.iter().map(|(&k, &v)| (k, v)).collect();
+        v.sort_unstable_by_key(|&(item, _)| item);
+        v
+    }
+
+    /// Number of exception entries.
+    pub fn exception_count(&self) -> usize {
+        self.exceptions.len()
+    }
+
+    /// Replaces the exception list wholesale (client side, from the
+    /// broadcast).
+    pub fn load_exceptions(&mut self, exceptions: &[(ItemId, u32)]) {
+        self.exceptions = exceptions.iter().copied().collect();
+    }
+
+    /// Extra report bits the exception list costs:
+    /// `|exceptions|·(⌈log₂ n⌉ + 16)`.
+    pub fn exception_bits(&self, n_items: u64) -> u64 {
+        let id_bits = if n_items <= 1 {
+            1
+        } else {
+            (64 - (n_items - 1).leading_zeros()) as u64
+        };
+        self.exceptions.len() as u64 * (id_bits + WINDOW_FIELD_BITS as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_everywhere() {
+        let t = WindowTable::new(10);
+        assert_eq!(t.get(0), 10);
+        assert_eq!(t.get(999), 10);
+        assert_eq!(t.exception_count(), 0);
+    }
+
+    #[test]
+    fn adjust_grows_and_shrinks() {
+        let mut t = WindowTable::new(10);
+        assert_eq!(t.adjust(5, true, 2), 12);
+        assert_eq!(t.adjust(5, true, 2), 14);
+        assert_eq!(t.adjust(5, false, 4), 10);
+        // Back at the default: exception evaporates.
+        assert_eq!(t.exception_count(), 0);
+    }
+
+    #[test]
+    fn window_floors_at_zero() {
+        let mut t = WindowTable::new(2);
+        t.adjust(1, false, 5);
+        assert_eq!(t.get(1), 0);
+        t.adjust(1, false, 5);
+        assert_eq!(t.get(1), 0);
+    }
+
+    #[test]
+    fn window_saturates_at_infinite() {
+        let mut t = WindowTable::new(2);
+        t.set(1, u32::MAX);
+        assert_eq!(t.get(1), INFINITE_WINDOW);
+    }
+
+    #[test]
+    fn exceptions_roundtrip_through_broadcast() {
+        let mut server = WindowTable::new(10);
+        server.set(3, 50);
+        server.set(7, 0);
+        let mut client = WindowTable::new(10);
+        client.load_exceptions(&server.exceptions());
+        assert_eq!(client.get(3), 50);
+        assert_eq!(client.get(7), 0);
+        assert_eq!(client.get(4), 10);
+    }
+
+    #[test]
+    fn exception_bits_scale_with_count() {
+        let mut t = WindowTable::new(10);
+        assert_eq!(t.exception_bits(1000), 0);
+        t.set(1, 20);
+        t.set(2, 30);
+        // 2 entries × (10-bit id + 16-bit window).
+        assert_eq!(t.exception_bits(1000), 2 * 26);
+    }
+
+    #[test]
+    fn exceptions_are_sorted() {
+        let mut t = WindowTable::new(1);
+        t.set(9, 5);
+        t.set(2, 5);
+        t.set(5, 5);
+        let items: Vec<u64> = t.exceptions().iter().map(|&(i, _)| i).collect();
+        assert_eq!(items, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,292 @@
+//! The asymptotic tables of §5.
+//!
+//! Two tables are reproduced:
+//!
+//! 1. Limits as `s → 0` (workaholics) and `s → 1` (sleepers):
+//!
+//!    | parameter | s → 0                         | s → 1 |
+//!    |-----------|-------------------------------|-------|
+//!    | q₀        | e^{−λL}                       | 0     |
+//!    | p₀        | e^{−λL}                       | 1     |
+//!    | h_TS      | (1−e^{−λL})e^{−μL}/(1−e^{−λL}e^{−μL}) | 0 |
+//!    | h_AT      | same                          | 0     |
+//!    | h_SIG     | same × P_nf                   | 0     |
+//!
+//! 2. Limits as `u₀ → 1` (infrequent updates):
+//!
+//!    | parameter | u₀ → 1 |
+//!    |-----------|--------|
+//!    | h_TS      | ≈ 1 − s^k (between the Appendix-1 bounds) |
+//!    | h_AT      | (1−p₀)/(1−q₀) |
+//!    | h_SIG     | (1−p₀)/(1−p₀)·P_nf = P_nf |
+//!
+//! Each limit is provided symbolically (closed form at the limit) and
+//! checked numerically against the general formulas evaluated near the
+//! limit — that agreement *is* the table's reproduction test.
+
+use serde::{Deserialize, Serialize};
+use sw_workload::ScenarioParams;
+
+use crate::hit_ratio::{h_at, h_sig, h_ts_bounds};
+use crate::throughput::sig_p_nf;
+
+/// One row of an asymptotic table: the symbolic limit and the numeric
+/// evaluation of the general formula near the limit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LimitRow {
+    /// Parameter name as the paper's table lists it.
+    pub parameter: String,
+    /// Closed-form value at the limit.
+    pub symbolic: f64,
+    /// General formula evaluated near the limit.
+    pub numeric: f64,
+}
+
+impl LimitRow {
+    /// Absolute disagreement between the symbolic limit and the numeric
+    /// approach value.
+    pub fn error(&self) -> f64 {
+        (self.symbolic - self.numeric).abs()
+    }
+}
+
+/// The `s → 0` / `s → 1` table (§5, first table), evaluated for a given
+/// base scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SleepLimitTable {
+    /// Rows for `s → 0`.
+    pub workaholic: Vec<LimitRow>,
+    /// Rows for `s → 1`.
+    pub sleeper: Vec<LimitRow>,
+}
+
+/// Builds the §5 sleep-limit table for `base` (s is overridden).
+pub fn sleep_limit_table(base: &ScenarioParams) -> SleepLimitTable {
+    let eps = 1e-9;
+    let p_nf = sig_p_nf(base);
+
+    let lam_l = (-base.lambda * base.latency_secs).exp(); // e^{−λL}
+    let u0 = (-base.mu * base.latency_secs).exp();
+
+    // s → 0 symbolic limits.
+    let common = (1.0 - lam_l) * u0 / (1.0 - lam_l * u0);
+    let near0 = base.with_s(eps);
+    let workaholic = vec![
+        LimitRow {
+            parameter: "q0".into(),
+            symbolic: lam_l,
+            numeric: near0.derived().q0,
+        },
+        LimitRow {
+            parameter: "p0".into(),
+            symbolic: lam_l,
+            numeric: near0.derived().p0,
+        },
+        LimitRow {
+            parameter: "h_ts".into(),
+            symbolic: common,
+            numeric: h_ts_bounds(&near0).midpoint(),
+        },
+        LimitRow {
+            parameter: "h_at".into(),
+            symbolic: common,
+            numeric: h_at(&near0),
+        },
+        LimitRow {
+            parameter: "h_sig".into(),
+            symbolic: common * p_nf,
+            numeric: h_sig(&near0, p_nf),
+        },
+    ];
+
+    // s → 1 symbolic limits: everything collapses.
+    let near1 = base.with_s(1.0 - eps);
+    let sleeper = vec![
+        LimitRow {
+            parameter: "q0".into(),
+            symbolic: 0.0,
+            numeric: near1.derived().q0,
+        },
+        LimitRow {
+            parameter: "p0".into(),
+            symbolic: 1.0,
+            numeric: near1.derived().p0,
+        },
+        LimitRow {
+            parameter: "h_ts".into(),
+            symbolic: 0.0,
+            numeric: h_ts_bounds(&near1).midpoint(),
+        },
+        LimitRow {
+            parameter: "h_at".into(),
+            symbolic: 0.0,
+            numeric: h_at(&near1),
+        },
+        LimitRow {
+            parameter: "h_sig".into(),
+            symbolic: 0.0,
+            numeric: h_sig(&near1, p_nf),
+        },
+    ];
+
+    SleepLimitTable {
+        workaholic,
+        sleeper,
+    }
+}
+
+/// The `u₀ → 1` table (§5, second table), evaluated for a given base
+/// scenario (μ is overridden toward 0).
+pub fn update_limit_table(base: &ScenarioParams) -> Vec<LimitRow> {
+    let p_nf = sig_p_nf(base);
+    let near = base.with_mu(1e-12);
+    let d = near.derived();
+    let sk = base.s.powi(base.k as i32);
+    vec![
+        LimitRow {
+            parameter: "h_ts (≈ 1 − s^k)".into(),
+            symbolic: 1.0 - sk,
+            numeric: h_ts_bounds(&near).midpoint(),
+        },
+        LimitRow {
+            parameter: "h_at ((1−p0)/(1−q0))".into(),
+            symbolic: (1.0 - d.p0) / (1.0 - d.q0),
+            numeric: h_at(&near),
+        },
+        LimitRow {
+            parameter: "h_sig (P_nf)".into(),
+            symbolic: p_nf,
+            numeric: h_sig(&near, p_nf),
+        },
+    ]
+}
+
+/// §5's qualitative conclusions, checked programmatically. Returns a
+/// list of `(claim, holds)` pairs so the experiment harness can print a
+/// verdict table.
+pub fn section5_conclusions(base: &ScenarioParams) -> Vec<(String, bool)> {
+    let mut out = Vec::new();
+
+    // "For workaholics, the strategy AT will be the winner in throughput."
+    let w = base.with_s(0.0);
+    let t = crate::throughput::Throughputs::compute(&w);
+    let at_wins = match (t.t_at, t.t_ts, t.t_sig) {
+        (Some(at), Some(ts), Some(sig)) => at >= ts && at >= sig,
+        (Some(at), None, Some(sig)) => at >= sig,
+        _ => false,
+    };
+    out.push(("workaholics: AT wins throughput".to_string(), at_wins));
+
+    // "h_at goes to 0 faster than h_ts and h_sig" as s → 1.
+    let s9 = base.with_s(0.9);
+    let p_nf = sig_p_nf(base);
+    let at_fastest =
+        h_at(&s9) <= h_ts_bounds(&s9).midpoint() && h_at(&s9) <= h_sig(&s9, p_nf);
+    out.push((
+        "sleepers: h_at decays fastest".to_string(),
+        at_fastest,
+    ));
+
+    // "At high rates of updating, the no caching strategy will be a
+    // winner."
+    let hot = base.with_mu(1.0);
+    let t_hot = crate::throughput::Throughputs::compute(&hot);
+    let nc_wins = t_hot
+        .t_at
+        .map(|at| t_hot.t_nc >= at * 0.999)
+        .unwrap_or(true);
+    out.push((
+        "update-intensive: no-caching wins".to_string(),
+        nc_wins,
+    ));
+
+    // "TS will outperform AT when the update rate is small" (sleepers).
+    let sleepy = base.with_s(0.5).with_mu(base.mu.min(1e-4));
+    let ts_beats_at = match (
+        crate::throughput::throughput_ts(&sleepy),
+        crate::throughput::throughput_at(&sleepy),
+    ) {
+        (Some(ts), Some(at)) => ts >= at,
+        _ => false,
+    };
+    out.push((
+        "sleepers + low updates: TS beats AT".to_string(),
+        ts_beats_at,
+    ));
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workaholic_limits_converge() {
+        let table = sleep_limit_table(&ScenarioParams::scenario1());
+        for row in &table.workaholic {
+            assert!(
+                row.error() < 1e-6,
+                "{}: symbolic {} vs numeric {}",
+                row.parameter,
+                row.symbolic,
+                row.numeric
+            );
+        }
+    }
+
+    #[test]
+    fn sleeper_limits_converge() {
+        let table = sleep_limit_table(&ScenarioParams::scenario1());
+        for row in &table.sleeper {
+            assert!(
+                row.error() < 1e-6,
+                "{}: symbolic {} vs numeric {}",
+                row.parameter,
+                row.symbolic,
+                row.numeric
+            );
+        }
+    }
+
+    #[test]
+    fn update_limits_converge() {
+        // h_ts's "≈ 1 − s^k" row is an approximation the paper itself
+        // flags; allow a loose tolerance there and tight elsewhere.
+        for s in [0.0, 0.3, 0.7] {
+            let table = update_limit_table(&ScenarioParams::scenario1().with_s(s));
+            for row in &table {
+                let tol = if row.parameter.starts_with("h_ts") {
+                    0.15
+                } else {
+                    1e-6
+                };
+                assert!(
+                    row.error() < tol,
+                    "s={s} {}: symbolic {} vs numeric {}",
+                    row.parameter,
+                    row.symbolic,
+                    row.numeric
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_section5_conclusions_hold_on_scenario1() {
+        for (claim, holds) in section5_conclusions(&ScenarioParams::scenario1()) {
+            assert!(holds, "§5 claim failed: {claim}");
+        }
+    }
+
+    #[test]
+    fn hsig_limit_is_pnf_when_updates_vanish() {
+        // §5 table: u0 → 1 ⇒ h_sig → P_nf for s < 1 … with p0 < 1 the
+        // ratio (1−p0)/(1−p0) = 1.
+        let base = ScenarioParams::scenario1().with_s(0.5);
+        let rows = update_limit_table(&base);
+        let hsig = rows.iter().find(|r| r.parameter.starts_with("h_sig")).unwrap();
+        assert!(hsig.error() < 1e-6);
+        assert!(hsig.symbolic > 0.99, "P_nf should be ≈ 1");
+    }
+}

@@ -1,0 +1,33 @@
+//! # sw-analysis — the paper's analytical model, in closed form
+//!
+//! Every formula of §4, §5 and the appendices, so the experiment harness
+//! can regenerate Figures 3–8 and the asymptotic tables exactly as the
+//! authors computed them, and so the integration tests can validate the
+//! discrete-event simulator against the model.
+//!
+//! * [`hit_ratio`] — `MHR` (Eq. 13), `h_AT` (Eq. 20/41), `h_SIG`
+//!   (Eq. 26/43), and the `h_TS` bounds (Appendix 1, Eqs. 33–39;
+//!   re-derived here because the scanned source is ambiguous — each step
+//!   is spelled out in the function docs);
+//! * [`throughput`] — report sizes `n_c`/`n_L` (Eqs. 15/18), SIG's `m`
+//!   and `B_c` (Eqs. 24/25), and the throughputs `T_max`, `T_nc`,
+//!   `T_TS`, `T_AT`, `T_SIG` (Eqs. 9–19, 25);
+//! * [`effectiveness`] — `e = T/T_max` (Eq. 10) per strategy, plus the
+//!   sweep helpers that produce each figure's series;
+//! * [`asymptotics`] — the two limit tables of §5 (s → 0/1, u₀ → 1)
+//!   evaluated both symbolically and numerically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asymptotics;
+pub mod effectiveness;
+pub mod hit_ratio;
+pub mod throughput;
+
+pub use effectiveness::{effectiveness_at, EffectivenessPoint, StrategyCurve, Sweep};
+pub use hit_ratio::{h_at, h_sig, h_ts_bounds, h_ts_estimate, mhr, TsHitRatioBounds};
+pub use throughput::{
+    at_report_bits, sig_report_bits, throughput_at, throughput_max, throughput_nc, throughput_sig,
+    throughput_ts, ts_report_bits, Throughputs,
+};

@@ -1,0 +1,270 @@
+//! Report sizes and throughput formulas (§4).
+//!
+//! The master equation is Eq. 9: with `B_c` broadcast bits per interval
+//! and hit ratio `h`,
+//!
+//! `T = (L·W − B_c) / ((b_q + b_a)·(1 − h))`
+//!
+//! queries per interval. Strategies differ in `B_c` and `h`. A strategy
+//! whose report alone exceeds `L·W` is *unusable* (the paper drops TS
+//! from Scenarios 3/4 on these grounds); we encode that as `None`.
+
+use sw_workload::ScenarioParams;
+
+use crate::hit_ratio::{h_at, h_sig, h_ts_estimate, mhr};
+
+/// Bits to name one item: `⌈log₂ n⌉` (see DESIGN.md §4 on resolving the
+/// paper's `log(n)`).
+fn id_bits(n: u64) -> f64 {
+    if n <= 1 {
+        1.0
+    } else {
+        (64 - (n - 1).leading_zeros()) as f64
+    }
+}
+
+/// Expected TS report size in bits (Eqs. 15–16):
+/// `n_c·(⌈log₂ n⌉ + b_T)` with `n_c = n·(1 − e^{−μw})`.
+pub fn ts_report_bits(params: &ScenarioParams) -> f64 {
+    let w = params.window_secs();
+    let n_c = params.n_items as f64 * (1.0 - (-params.mu * w).exp());
+    n_c * (id_bits(params.n_items) + params.timestamp_bits as f64)
+}
+
+/// Expected AT report size in bits (Eqs. 18–19):
+/// `n_L·⌈log₂ n⌉` with `n_L = n·(1 − e^{−μL})`.
+pub fn at_report_bits(params: &ScenarioParams) -> f64 {
+    let n_l = params.n_items as f64 * (1.0 - (-params.mu * params.latency_secs).exp());
+    n_l * id_bits(params.n_items)
+}
+
+/// Number of combined signatures (Eq. 24):
+/// `m = ⌈6·(f+1)·(ln(1/δ) + ln n)⌉`.
+pub fn sig_m(params: &ScenarioParams) -> u32 {
+    sw_signature::required_signatures(params.f, params.n_items, params.sig_delta)
+}
+
+/// SIG report size in bits (Eq. 25): `m·g = 6·g·(f+1)(ln(1/δ) + ln n)`.
+pub fn sig_report_bits(params: &ScenarioParams) -> f64 {
+    sig_m(params) as f64 * params.g as f64
+}
+
+/// The probability of no false diagnosis `P_nf` as the paper's analysis
+/// uses it: `1 − exp(−(K−1)²·m·p/3)` evaluated at the bound-derivation
+/// point `K = 2` (Eq. 22 with the Eq. 24 choice of `m`).
+///
+/// Note: the *operational* threshold must use `K < 1/(1−1/e) ≈ 1.58`
+/// to actually detect invalid items (see `sw_signature::SigPlan`); at
+/// that K the realized false-alarm rate is higher than this analytical
+/// value. EXPERIMENTS.md quantifies the gap.
+pub fn sig_p_nf(params: &ScenarioParams) -> f64 {
+    let p = sw_signature::p_valid_in_unmatched(params.f, params.g);
+    let m = sig_m(params);
+    1.0 - sw_signature::chernoff_false_alarm_bound(2.0, m, p)
+}
+
+/// Interval capacity `L·W` in bits.
+pub fn interval_bits(params: &ScenarioParams) -> f64 {
+    params.latency_secs * params.bandwidth_bps as f64
+}
+
+/// Eq. 9, shared by every strategy. Returns `None` when the report does
+/// not fit the interval.
+fn eq9(params: &ScenarioParams, report_bits: f64, hit_ratio: f64) -> Option<f64> {
+    let lw = interval_bits(params);
+    if report_bits >= lw {
+        return None;
+    }
+    let per_query = (params.query_bits + params.answer_bits) as f64;
+    let miss = (1.0 - hit_ratio).max(1e-15);
+    Some((lw - report_bits) / (per_query * miss))
+}
+
+/// Maximal throughput `T_max` (Eq. 11): the idealized stateful server
+/// with `B_c = 0` and hit ratio `MHR`.
+pub fn throughput_max(params: &ScenarioParams) -> f64 {
+    eq9(params, 0.0, mhr(params.lambda, params.mu)).expect("B_c = 0 always fits")
+}
+
+/// No-caching throughput `T_nc` (Eq. 14): `L·W/(b_q + b_a)`.
+pub fn throughput_nc(params: &ScenarioParams) -> f64 {
+    eq9(params, 0.0, 0.0).expect("B_c = 0 always fits")
+}
+
+/// TS throughput (Eq. 16), `None` when the report exceeds `L·W`.
+pub fn throughput_ts(params: &ScenarioParams) -> Option<f64> {
+    eq9(params, ts_report_bits(params), h_ts_estimate(params))
+}
+
+/// AT throughput (Eq. 19), `None` when the report exceeds `L·W`.
+pub fn throughput_at(params: &ScenarioParams) -> Option<f64> {
+    eq9(params, at_report_bits(params), h_at(params))
+}
+
+/// SIG throughput (Eq. 25), `None` when the report exceeds `L·W`.
+pub fn throughput_sig(params: &ScenarioParams) -> Option<f64> {
+    let p_nf = sig_p_nf(params);
+    eq9(params, sig_report_bits(params), h_sig(params, p_nf))
+}
+
+/// All throughputs at one parameter point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Throughputs {
+    /// `T_max` (Eq. 11).
+    pub t_max: f64,
+    /// `T_nc` (Eq. 14).
+    pub t_nc: f64,
+    /// `T_TS` (Eq. 16); `None` = report does not fit.
+    pub t_ts: Option<f64>,
+    /// `T_AT` (Eq. 19).
+    pub t_at: Option<f64>,
+    /// `T_SIG` (Eq. 25).
+    pub t_sig: Option<f64>,
+}
+
+impl Throughputs {
+    /// Computes every strategy's throughput at `params`.
+    pub fn compute(params: &ScenarioParams) -> Self {
+        Throughputs {
+            t_max: throughput_max(params),
+            t_nc: throughput_nc(params),
+            t_ts: throughput_ts(params),
+            t_at: throughput_at(params),
+            t_sig: throughput_sig(params),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tnc_is_lw_over_query_cost() {
+        let p = ScenarioParams::scenario1();
+        // L·W = 10·10^4 = 10^5; b_q + b_a = 1024.
+        assert!((throughput_nc(&p) - 1e5 / 1024.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tmax_dwarfs_tnc_when_updates_rare() {
+        // Scenario 1: MHR = 0.1/(0.1001) ⇒ 1/(1−MHR) ≈ 1001.
+        let p = ScenarioParams::scenario1();
+        let ratio = throughput_max(&p) / throughput_nc(&p);
+        assert!(
+            (ratio - (0.1f64 + 1e-4) / 1e-4).abs() / ratio < 1e-9,
+            "T_max/T_nc should be 1/(1−MHR) = (λ+μ)/μ, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn at_report_small_in_scenario1() {
+        // n_L = 1000·(1 − e^{−0.001}) ≈ 1 item → ~10 bits.
+        let p = ScenarioParams::scenario1();
+        let bits = at_report_bits(&p);
+        assert!((bits - 9.995).abs() < 0.1, "AT report = {bits} bits");
+    }
+
+    #[test]
+    fn ts_report_scenario1() {
+        // n_c = 1000·(1 − e^{−0.0001·1000}) = 1000·0.0952 ≈ 95.2 items,
+        // 522 bits each ≈ 49.7 kbit — half the interval!
+        let p = ScenarioParams::scenario1();
+        let bits = ts_report_bits(&p);
+        assert!((bits - 95.16 * 522.0).abs() / bits < 0.01, "TS report = {bits}");
+    }
+
+    #[test]
+    fn ts_unusable_in_scenario3() {
+        // §6: "TS is not included in this plot, since the size of the
+        // report for this scenario would exceed L" — the defining check.
+        let p = ScenarioParams::scenario3();
+        assert!(ts_report_bits(&p) > interval_bits(&p));
+        assert_eq!(throughput_ts(&p), None);
+    }
+
+    #[test]
+    fn ts_unusable_in_scenario4() {
+        let p = ScenarioParams::scenario4();
+        assert_eq!(throughput_ts(&p), None);
+    }
+
+    #[test]
+    fn ts_usable_in_scenarios_1_2_5_6() {
+        for p in [
+            ScenarioParams::scenario1(),
+            ScenarioParams::scenario2(),
+            ScenarioParams::scenario5(),
+            ScenarioParams::scenario6(),
+        ] {
+            assert!(throughput_ts(&p).is_some(), "TS must fit in {p:?}");
+        }
+    }
+
+    #[test]
+    fn sig_m_scenario1_matches_eq24() {
+        let p = ScenarioParams::scenario1();
+        assert_eq!(sig_m(&p), 654);
+        assert!((sig_report_bits(&p) - 654.0 * 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sig_pnf_is_essentially_one_at_paper_points() {
+        for p in [
+            ScenarioParams::scenario1(),
+            ScenarioParams::scenario2(),
+            ScenarioParams::scenario3(),
+        ] {
+            let pnf = sig_p_nf(&p);
+            assert!(pnf > 0.99, "P_nf = {pnf} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn all_reports_fit_scenario1() {
+        let p = ScenarioParams::scenario1();
+        let t = Throughputs::compute(&p);
+        assert!(t.t_ts.is_some());
+        assert!(t.t_at.is_some());
+        assert!(t.t_sig.is_some());
+    }
+
+    #[test]
+    fn at_wins_for_workaholics_scenario1() {
+        // §5: "For 'workaholics', the strategy AT will be the winner in
+        // throughput" (shortest report, same hit ratio).
+        let p = ScenarioParams::scenario1().with_s(0.0);
+        let t = Throughputs::compute(&p);
+        let at = t.t_at.unwrap();
+        assert!(at >= t.t_ts.unwrap(), "AT {at} vs TS {:?}", t.t_ts);
+    }
+
+    #[test]
+    fn no_cache_wins_for_heavy_sleepers_when_reports_cost() {
+        // §5: "At some point, for large values of s (heavy sleepers),
+        // no-caching will be the best choice." The crossover requires a
+        // non-negligible report: in Scenario 1 the AT report is ~10 bits
+        // so AT merely converges to NC from above; in update-intensive
+        // Scenario 3 NC strictly wins (the paper puts the crossover at
+        // s ≈ 0.8).
+        let p3 = ScenarioParams::scenario3().with_s(0.95);
+        let t3 = Throughputs::compute(&p3);
+        assert!(t3.t_nc > t3.t_at.unwrap(), "NC must win in Scenario 3 at s=0.95");
+        // Scenario 1: convergence, not crossover.
+        let p1 = ScenarioParams::scenario1().with_s(0.999);
+        let t1 = Throughputs::compute(&p1);
+        let ratio = t1.t_at.unwrap() / t1.t_nc;
+        assert!((0.99..=1.01).contains(&ratio), "AT→NC convergence, got {ratio}");
+    }
+
+    #[test]
+    fn throughput_monotone_decreasing_in_s_for_at() {
+        let base = ScenarioParams::scenario1();
+        let mut prev = f64::INFINITY;
+        for i in 0..=10 {
+            let t = throughput_at(&base.with_s(i as f64 / 10.0)).unwrap();
+            assert!(t <= prev + 1e-9);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Benches for the §7/§8 extension experiments: `quasi_report_reduction`
+//! (E12), `adaptive_vs_static` (E13), and `sig_bounds` (E14) — reduced-
+//! scale versions of the experiment binaries, so regressions in the
+//! extension code paths show up in `cargo bench` output.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sleepers::prelude::*;
+use sleepers::quasi::EpsilonFilter;
+use sleepers::signature::{chernoff_false_alarm_bound, p_valid_in_unmatched, required_signatures};
+use std::hint::black_box;
+
+fn sleepy() -> ScenarioParams {
+    let mut p = ScenarioParams::scenario1();
+    p.n_items = 500;
+    p.mu = 1e-3;
+    p.k = 5;
+    p.with_s(0.5)
+}
+
+fn run_cell(strategy: Strategy, intervals: u64) -> SimulationReport {
+    let mut sim = CellSimulation::new(
+        CellConfig::new(sleepy())
+            .with_clients(8)
+            .with_hotspot_size(20)
+            .with_seed(21),
+        strategy,
+    )
+    .expect("valid");
+    sim.run(intervals).expect("fits")
+}
+
+fn bench_quasi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quasi_report_reduction");
+    group.sample_size(10);
+    group.bench_function("plain_ts_60_intervals", |b| {
+        b.iter(|| black_box(run_cell(Strategy::BroadcastTimestamps, 60).report_bits_total))
+    });
+    group.bench_function("quasi_delay_60_intervals", |b| {
+        b.iter(|| {
+            black_box(run_cell(Strategy::QuasiDelay { alpha_intervals: 5 }, 60).report_bits_total)
+        })
+    });
+    group.bench_function("epsilon_filter_10k_updates", |b| {
+        b.iter_batched(
+            || {
+                let mut f = EpsilonFilter::new(10);
+                for i in 0..100u64 {
+                    f.seed(i, 10_000);
+                }
+                f
+            },
+            |mut f| {
+                let mut v = 10_000u64;
+                for i in 0..10_000u64 {
+                    v = v.wrapping_add(i % 7).wrapping_sub(i % 5);
+                    black_box(f.should_report(i % 100, v));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_vs_static");
+    group.sample_size(10);
+    group.bench_function("static_ts_60_intervals", |b| {
+        b.iter(|| black_box(run_cell(Strategy::BroadcastTimestamps, 60).hit_ratio()))
+    });
+    for (label, method) in [
+        ("method1", FeedbackMethod::Method1),
+        ("method2", FeedbackMethod::Method2),
+    ] {
+        group.bench_function(format!("adaptive_{label}_60_intervals"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_cell(
+                        Strategy::AdaptiveTs {
+                            method,
+                            eval_period: 10,
+                            step: 2,
+                        },
+                        60,
+                    )
+                    .hit_ratio(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_sig_bounds(c: &mut Criterion) {
+    // E14's analytical side: p (Eq. 21), m (Eq. 24), Chernoff (Eq. 22)
+    // across the paper's f values.
+    c.bench_function("sig_bounds", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for f in [1u32, 10, 20, 200] {
+                let p = p_valid_in_unmatched(black_box(f), 16);
+                let m = required_signatures(f, 1_000_000, 0.05);
+                acc += chernoff_false_alarm_bound(2.0, m, p);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_quasi, bench_adaptive, bench_sig_bounds);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! One Criterion group per paper figure (Figures 3–8): each benchmark
+//! regenerates the figure's analytic effectiveness sweep (the exact
+//! computation behind the published curves) and, separately, one
+//! simulated validation point, so `cargo bench` exercises the same code
+//! paths the experiment binaries use to reproduce the evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sleepers::prelude::*;
+use std::hint::black_box;
+
+fn figure_params(figure: u8) -> (ScenarioParams, SweepAxis) {
+    let base = match figure {
+        3 => ScenarioParams::scenario1(),
+        4 => ScenarioParams::scenario2(),
+        5 => ScenarioParams::scenario3(),
+        6 => ScenarioParams::scenario4(),
+        7 => ScenarioParams::scenario5(),
+        _ => ScenarioParams::scenario6(),
+    };
+    let axis = if figure <= 6 {
+        SweepAxis::sleep_default()
+    } else {
+        SweepAxis::update_default()
+    };
+    (base, axis)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    for figure in 3u8..=8 {
+        let (base, axis) = figure_params(figure);
+        let mut group = c.benchmark_group(format!("fig{figure}"));
+        group.bench_function("analytic_sweep", |b| {
+            b.iter(|| {
+                let sweep = Sweep::run("bench", black_box(base), black_box(axis));
+                black_box(sweep.points.len())
+            })
+        });
+        group.bench_function("simulated_point", |b| {
+            // One AT cell at the middle of the sweep, small scale.
+            let mut params = axis.apply(base, axis.points()[axis.points().len() / 2]);
+            if params.n_items > 2_000 {
+                params.n_items = 2_000;
+            }
+            b.iter_batched(
+                || {
+                    CellSimulation::new(
+                        CellConfig::new(params)
+                            .with_clients(4)
+                            .with_hotspot_size(10)
+                            .with_seed(1),
+                        Strategy::AmnesicTerminals,
+                    )
+                    .expect("valid")
+                },
+                |mut sim| {
+                    let r = sim.run(20).expect("fits");
+                    black_box(r.hit_ratio())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! End-to-end simulation benches: cost of one broadcast interval per
+//! strategy, and the E11 hit-ratio validation computation (simulated
+//! `h` vs the closed forms) at a reduced scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sleepers::prelude::*;
+use std::hint::black_box;
+
+fn params() -> ScenarioParams {
+    let mut p = ScenarioParams::scenario1();
+    p.n_items = 1_000;
+    p.k = 10;
+    p.with_s(0.3)
+}
+
+fn bench_interval_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_step");
+    group.throughput(Throughput::Elements(1));
+    for strategy in [
+        Strategy::BroadcastTimestamps,
+        Strategy::AmnesicTerminals,
+        Strategy::Signatures,
+        Strategy::NoCache,
+        Strategy::AdaptiveTs {
+            method: FeedbackMethod::Method1,
+            eval_period: 10,
+            step: 2,
+        },
+        Strategy::QuasiDelay { alpha_intervals: 10 },
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = CellSimulation::new(
+                        CellConfig::new(params())
+                            .with_clients(10)
+                            .with_hotspot_size(30)
+                            .with_seed(5),
+                        strategy,
+                    )
+                    .expect("valid");
+                    sim.run(20).expect("warm-up fits");
+                    sim
+                },
+                |mut sim| {
+                    for _ in 0..10 {
+                        black_box(sim.step().expect("fits"));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_hit_ratio_validation(c: &mut Criterion) {
+    // E11 as a benchmark: simulate + compare to Eq. 41 in one shot.
+    c.bench_function("hit_ratio_validation/at", |b| {
+        b.iter_batched(
+            || {
+                CellSimulation::new(
+                    CellConfig::new(params())
+                        .with_clients(6)
+                        .with_hotspot_size(15)
+                        .with_seed(11),
+                    Strategy::AmnesicTerminals,
+                )
+                .expect("valid")
+            },
+            |mut sim| {
+                let report = sim.run(60).expect("fits");
+                let model = h_at(&params());
+                black_box((report.hit_ratio() - model).abs())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_safety_checker(c: &mut Criterion) {
+    // The full-history invariant checker (used heavily by the test
+    // suite) — worth tracking since it shadows every update.
+    c.bench_function("safety_checked_interval", |b| {
+        b.iter_batched(
+            || {
+                CellSimulation::new(
+                    CellConfig::new(params())
+                        .with_clients(6)
+                        .with_hotspot_size(15)
+                        .with_seed(13)
+                        .with_safety_checking(),
+                    Strategy::BroadcastTimestamps,
+                )
+                .expect("valid")
+            },
+            |mut sim| {
+                for _ in 0..10 {
+                    black_box(sim.step().expect("fits"));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_interval_step,
+    bench_hit_ratio_validation,
+    bench_safety_checker
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! The §5 asymptotic tables as benchmarks: `table_s_limits` regenerates
+//! the s → 0 / s → 1 table, `table_u0_limits` the u₀ → 1 table, and
+//! `section5_conclusions` the programmatic claim checks — the same
+//! computations the `asymptotics` experiment binary prints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sleepers::analysis::asymptotics::{
+    section5_conclusions, sleep_limit_table, update_limit_table,
+};
+use sleepers::prelude::ScenarioParams;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let base = ScenarioParams::scenario1();
+
+    c.bench_function("table_s_limits", |b| {
+        b.iter(|| {
+            let t = sleep_limit_table(black_box(&base));
+            black_box(t.workaholic.len() + t.sleeper.len())
+        })
+    });
+
+    c.bench_function("table_u0_limits", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for s in [0.0, 0.3, 0.7] {
+                rows += update_limit_table(black_box(&base.with_s(s))).len();
+            }
+            black_box(rows)
+        })
+    });
+
+    c.bench_function("section5_conclusions", |b| {
+        b.iter(|| {
+            let verdicts = section5_conclusions(black_box(&base));
+            assert!(verdicts.iter().all(|(_, ok)| *ok));
+            black_box(verdicts.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,283 @@
+//! The mobile unit's cache.
+//!
+//! Each entry pairs the item's value with its validity timestamp `t_x`:
+//! "if a client determines that a particular item's cache is valid after
+//! listening to the report, this cache gets timestamped with the value
+//! T_i ... If the client has to submit an uplink request ... the
+//! obtained copy has the timestamp equal to the timestamp of the
+//! request" (§2). Timestamps in one cache need *not* all be equal
+//! (§3.1 notes this explicitly), which is why they live per entry.
+//!
+//! The paper assumes cache storage survives power-off ("on a disk ...
+//! or any storage system that survives power disconnections, such as
+//! flash memories", §1) — sleeping does *not* clear the cache; only the
+//! strategy algorithms do. An optional LRU capacity bound models small
+//! devices; the paper's scenarios are capacity-unbounded.
+
+use std::collections::HashMap;
+
+use sw_server::ItemId;
+use sw_sim::SimTime;
+
+/// One cached item.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEntry {
+    /// The cached value.
+    pub value: u64,
+    /// Validity timestamp `t_x`: the latest server-clock instant at
+    /// which this value is known to have been current.
+    pub timestamp: SimTime,
+    /// LRU tick of the last access (insert or read).
+    last_used: u64,
+}
+
+/// The MU cache: item → entry, with optional LRU capacity.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    entries: HashMap<ItemId, CacheEntry>,
+    capacity: Option<usize>,
+    clock: u64,
+    evictions: u64,
+}
+
+impl Cache {
+    /// Creates an unbounded cache (the paper's model).
+    pub fn unbounded() -> Self {
+        Cache {
+            entries: HashMap::new(),
+            capacity: None,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a cache holding at most `capacity` items, evicting the
+    /// least recently used on overflow.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Cache {
+            entries: HashMap::with_capacity(capacity),
+            capacity: Some(capacity),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of LRU evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// True if `item` is cached.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.entries.contains_key(&item)
+    }
+
+    /// Reads `item` (bumping LRU recency).
+    pub fn get(&mut self, item: ItemId) -> Option<CacheEntry> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&item).map(|e| {
+            e.last_used = clock;
+            *e
+        })
+    }
+
+    /// Reads `item` without touching recency (for invariant checks).
+    pub fn peek(&self, item: ItemId) -> Option<&CacheEntry> {
+        self.entries.get(&item)
+    }
+
+    /// Inserts or replaces `item`, evicting LRU if over capacity.
+    pub fn insert(&mut self, item: ItemId, value: u64, timestamp: SimTime) {
+        self.clock += 1;
+        self.entries.insert(
+            item,
+            CacheEntry {
+                value,
+                timestamp,
+                last_used: self.clock,
+            },
+        );
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap {
+                let lru = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(&k, _)| k)
+                    .expect("cache over capacity cannot be empty");
+                self.entries.remove(&lru);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    /// Removes `item`, returning its entry if present.
+    pub fn remove(&mut self, item: ItemId) -> Option<CacheEntry> {
+        self.entries.remove(&item)
+    }
+
+    /// Drops the entire cache (the `T_i − T_l > w` / `> L` path of the
+    /// §3 algorithms).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Sets the validity timestamp of `item` (report processing).
+    ///
+    /// # Panics
+    /// Panics if the item is not cached — strategies only restamp items
+    /// they just verified.
+    pub fn restamp(&mut self, item: ItemId, timestamp: SimTime) {
+        let e = self
+            .entries
+            .get_mut(&item)
+            .expect("cannot restamp an item that is not cached");
+        e.timestamp = timestamp;
+    }
+
+    /// Iterates over cached item ids (arbitrary order).
+    pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Cached ids as a sorted vector (deterministic iteration for the
+    /// strategy algorithms and tests).
+    pub fn sorted_items(&self) -> Vec<ItemId> {
+        let mut v: Vec<ItemId> = self.entries.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Removes every item for which `predicate` returns true, returning
+    /// how many were dropped.
+    pub fn drop_where<F: FnMut(ItemId, &CacheEntry) -> bool>(&mut self, mut predicate: F) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&k, e| !predicate(k, e));
+        before - self.entries.len()
+    }
+}
+
+impl Default for Cache {
+    fn default() -> Self {
+        Cache::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut c = Cache::unbounded();
+        c.insert(5, 42, SimTime::from_secs(1.0));
+        let e = c.get(5).unwrap();
+        assert_eq!(e.value, 42);
+        assert_eq!(e.timestamp, SimTime::from_secs(1.0));
+        assert!(c.contains(5));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn timestamps_can_differ_between_entries() {
+        // §3.1: "the timestamps in the cache need not be all the same".
+        let mut c = Cache::unbounded();
+        c.insert(1, 10, SimTime::from_secs(10.0));
+        c.insert(2, 20, SimTime::from_secs(17.3));
+        assert_ne!(
+            c.peek(1).unwrap().timestamp,
+            c.peek(2).unwrap().timestamp
+        );
+    }
+
+    #[test]
+    fn restamp_updates_validity() {
+        let mut c = Cache::unbounded();
+        c.insert(1, 10, SimTime::from_secs(10.0));
+        c.restamp(1, SimTime::from_secs(20.0));
+        assert_eq!(c.peek(1).unwrap().timestamp, SimTime::from_secs(20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not cached")]
+    fn restamp_missing_panics() {
+        let mut c = Cache::unbounded();
+        c.restamp(1, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn clear_drops_everything() {
+        let mut c = Cache::unbounded();
+        for i in 0..10 {
+            c.insert(i, i, SimTime::from_secs(1.0));
+        }
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = Cache::with_capacity(2);
+        c.insert(1, 1, SimTime::ZERO);
+        c.insert(2, 2, SimTime::ZERO);
+        let _ = c.get(1); // 1 is now more recent than 2
+        c.insert(3, 3, SimTime::ZERO);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_bump_recency() {
+        let mut c = Cache::with_capacity(2);
+        c.insert(1, 1, SimTime::ZERO);
+        c.insert(2, 2, SimTime::ZERO);
+        let _ = c.peek(1); // no recency bump: 1 remains LRU
+        c.insert(3, 3, SimTime::ZERO);
+        assert!(!c.contains(1));
+    }
+
+    #[test]
+    fn drop_where_filters() {
+        let mut c = Cache::unbounded();
+        for i in 0..10 {
+            c.insert(i, i, SimTime::from_secs(i as f64));
+        }
+        let dropped = c.drop_where(|i, _| i % 2 == 0);
+        assert_eq!(dropped, 5);
+        assert_eq!(c.len(), 5);
+        assert!(!c.contains(0));
+        assert!(c.contains(1));
+    }
+
+    #[test]
+    fn sorted_items_is_sorted() {
+        let mut c = Cache::unbounded();
+        for i in [9u64, 3, 7, 1] {
+            c.insert(i, 0, SimTime::ZERO);
+        }
+        assert_eq!(c.sorted_items(), vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn reinsert_replaces_value() {
+        let mut c = Cache::unbounded();
+        c.insert(1, 10, SimTime::from_secs(1.0));
+        c.insert(1, 20, SimTime::from_secs(2.0));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.peek(1).unwrap().value, 20);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sw-client — the mobile unit (MU side)
+//!
+//! Everything that runs on the palmtop:
+//!
+//! * [`cache`] — the MU cache: item → (value, validity timestamp `t_x`),
+//!   with optional capacity-bounded LRU eviction;
+//! * [`handler`] — the per-strategy report-processing algorithms,
+//!   transcribed from §3 of the paper: [`handler::TsHandler`] (window
+//!   check, per-item timestamp comparison), [`handler::AtHandler`]
+//!   (gap check, drop reported ids), [`handler::SigHandler`] (syndrome
+//!   decoding over cached combined signatures);
+//! * [`mu`] — the [`mu::MobileUnit`] driver that ties the sleep process,
+//!   the query stream, the pending-query list `Q_i`, and the handler
+//!   together, implementing the interval semantics of Figure 2: queries
+//!   posed during `(T_{i−1}, T_i]` are answered only after the report at
+//!   `T_i` is processed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod handler;
+pub mod mu;
+
+pub use cache::{Cache, CacheEntry};
+pub use handler::{
+    AtHandler, GroupHandler, HybridHandler, NoCacheHandler, ProcessOutcome, ReportHandler,
+    SigHandler, TsHandler,
+};
+pub use mu::{IntervalReport, MobileUnit, MuConfig, MuStats, PendingQuery};

@@ -1,0 +1,500 @@
+//! The mobile unit driver.
+//!
+//! Ties together the sleep process, the query stream, the cache, and the
+//! strategy handler, implementing the interval semantics of Figure 2:
+//!
+//! * the unit "keeps a list of items queried during an interval and
+//!   answers them after receiving the next report";
+//! * "if two or more queries of the same item are posed in an interval,
+//!   they will all be answered at the same time in the next interval" —
+//!   so hit/miss accounting is per *query event* (item × interval), the
+//!   granularity the paper's hit-ratio analysis uses;
+//! * an asleep interval produces no queries and hears no report (the
+//!   combined probability `p_0 = s + (1−s)e^{−λL}` of Eq. 5);
+//! * a unit that posed queries stays up to hear the closing report and
+//!   answer them, then may sleep again (§4's stated simplification).
+
+use std::collections::HashMap;
+
+use sw_server::{ItemId, PiggybackInfo, QueryAnswer};
+use sw_sim::{BernoulliIntervalProcess, PoissonProcess, RngStream, SimTime};
+use sw_wireless::FramePayload;
+
+use crate::cache::Cache;
+use crate::handler::{ProcessOutcome, ReportHandler};
+
+/// A query waiting for the next report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingQuery {
+    /// The queried item.
+    pub item: ItemId,
+    /// When the query was posed (within the current interval).
+    pub posed_at: SimTime,
+}
+
+/// Static configuration of one mobile unit.
+#[derive(Debug, Clone)]
+pub struct MuConfig {
+    /// Client id within the cell.
+    pub id: u64,
+    /// The unit's hotspot: the subset of the database it queries
+    /// repeatedly (§2: "The MUs exhibit a large degree of data locality,
+    /// repeatedly querying a particular subset of the database").
+    pub hotspot: Vec<ItemId>,
+    /// Per-item query rate λ (queries/second).
+    pub query_rate_per_item: f64,
+    /// Per-interval disconnection probability `s`.
+    pub sleep_probability: f64,
+    /// Optional cache capacity (None = unbounded, the paper's model).
+    pub cache_capacity: Option<usize>,
+    /// Whether to collect local-hit timestamps for uplink piggybacking
+    /// (adaptive Method 1, §8.1).
+    pub piggyback_hits: bool,
+}
+
+/// Counters the experiments read out.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MuStats {
+    /// Raw queries posed (each arrival counts).
+    pub queries_posed: u64,
+    /// Query events (item × interval) answered from cache.
+    pub hit_events: u64,
+    /// Query events that had to go uplink.
+    pub miss_events: u64,
+    /// Intervals spent awake.
+    pub intervals_awake: u64,
+    /// Intervals spent asleep.
+    pub intervals_asleep: u64,
+    /// Whole-cache drops forced by disconnection gaps.
+    pub cache_drops: u64,
+    /// Individual items invalidated by reports.
+    pub items_invalidated: u64,
+    /// Sum of query answer latencies in seconds (posed → answered at
+    /// the next report; §2's guaranteed-latency property of synchronous
+    /// methods).
+    pub latency_sum_secs: f64,
+    /// Largest single query latency observed, in seconds.
+    pub latency_max_secs: f64,
+}
+
+impl MuStats {
+    /// Measured hit ratio over query events.
+    pub fn hit_ratio(&self) -> f64 {
+        let events = self.hit_events + self.miss_events;
+        if events == 0 {
+            0.0
+        } else {
+            self.hit_events as f64 / events as f64
+        }
+    }
+
+    /// Total query events.
+    pub fn query_events(&self) -> u64 {
+        self.hit_events + self.miss_events
+    }
+
+    /// Mean query latency in seconds (0 when no queries were posed).
+    /// Synchronous methods bound this by `L` (§2): a query waits at
+    /// most one full interval for the next report.
+    pub fn latency_mean_secs(&self) -> f64 {
+        if self.queries_posed == 0 {
+            0.0
+        } else {
+            self.latency_sum_secs / self.queries_posed as f64
+        }
+    }
+}
+
+/// What one interval did at this unit (for the cell driver's log).
+#[derive(Debug, Clone)]
+pub struct IntervalReport {
+    /// Whether the unit was awake this interval.
+    pub awake: bool,
+    /// Outcome of report processing (None when asleep).
+    pub outcome: Option<ProcessOutcome>,
+    /// Query events that missed and must go uplink, deduplicated.
+    pub uplink_requests: Vec<(ItemId, Option<PiggybackInfo>)>,
+}
+
+/// One mobile unit.
+pub struct MobileUnit {
+    config: MuConfig,
+    cache: Cache,
+    handler: Box<dyn ReportHandler + Send>,
+    sleep: BernoulliIntervalProcess,
+    queries: PoissonProcess,
+    t_l: Option<SimTime>,
+    pending: Vec<PendingQuery>,
+    awake: bool,
+    local_hits: HashMap<ItemId, Vec<SimTime>>,
+    stats: MuStats,
+}
+
+impl std::fmt::Debug for MobileUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MobileUnit")
+            .field("id", &self.config.id)
+            .field("strategy", &self.handler.name())
+            .field("cache_len", &self.cache.len())
+            .field("t_l", &self.t_l)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MobileUnit {
+    /// Creates the unit with its strategy handler, drawing the query
+    /// process's first arrival from `rng`.
+    pub fn new(
+        config: MuConfig,
+        handler: Box<dyn ReportHandler + Send>,
+        rng: &mut RngStream,
+    ) -> Self {
+        assert!(!config.hotspot.is_empty(), "hotspot cannot be empty");
+        assert!(
+            config.query_rate_per_item.is_finite() && config.query_rate_per_item >= 0.0,
+            "query rate must be non-negative"
+        );
+        let total_rate = config.query_rate_per_item * config.hotspot.len() as f64;
+        let cache = match config.cache_capacity {
+            Some(cap) => Cache::with_capacity(cap),
+            None => Cache::unbounded(),
+        };
+        MobileUnit {
+            sleep: BernoulliIntervalProcess::new(config.sleep_probability),
+            queries: PoissonProcess::new(total_rate, rng),
+            cache,
+            handler,
+            t_l: None,
+            pending: Vec::new(),
+            awake: true,
+            local_hits: HashMap::new(),
+            stats: MuStats::default(),
+            config,
+        }
+    }
+
+    /// Unit id.
+    pub fn id(&self) -> u64 {
+        self.config.id
+    }
+
+    /// Strategy name.
+    pub fn strategy(&self) -> &'static str {
+        self.handler.name()
+    }
+
+    /// The unit's hotspot.
+    pub fn hotspot(&self) -> &[ItemId] {
+        &self.config.hotspot
+    }
+
+    /// Read access to the cache (tests and invariant checks).
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MuStats {
+        self.stats
+    }
+
+    /// Zeroes the statistics (cache and protocol state untouched) —
+    /// used to discard warm-up intervals before measuring.
+    pub fn reset_stats(&mut self) {
+        self.stats = MuStats::default();
+    }
+
+    /// Time the unit last heard a report.
+    pub fn last_report_heard(&self) -> Option<SimTime> {
+        self.t_l
+    }
+
+    /// Whether the unit is awake in the current interval.
+    pub fn is_awake(&self) -> bool {
+        self.awake
+    }
+
+    /// Starts interval `(from, to]`: draws the sleep state and, if
+    /// awake, generates this interval's query arrivals into the pending
+    /// list.
+    pub fn begin_interval(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        sleep_rng: &mut RngStream,
+        query_rng: &mut RngStream,
+    ) {
+        self.awake = !self.sleep.draw_asleep(sleep_rng);
+        if !self.awake {
+            self.stats.intervals_asleep += 1;
+            return;
+        }
+        self.stats.intervals_awake += 1;
+        for at in self.queries.arrivals_in(from, to, query_rng) {
+            let idx = query_rng.uniform_index(self.config.hotspot.len() as u64) as usize;
+            let item = self.config.hotspot[idx];
+            self.pending.push(PendingQuery { item, posed_at: at });
+            self.stats.queries_posed += 1;
+        }
+    }
+
+    /// Hears the report closing the current interval (awake units only)
+    /// and answers the pending queries: returns the deduplicated uplink
+    /// requests for the misses.
+    ///
+    /// # Panics
+    /// Panics if called while asleep — the cell driver must not deliver
+    /// reports to sleeping units.
+    pub fn hear_report_and_answer(&mut self, payload: &FramePayload) -> IntervalReport {
+        assert!(self.awake, "a sleeping unit cannot hear a report");
+        let outcome = self.handler.process(&mut self.cache, payload, self.t_l);
+        let t_i = outcome.report_time;
+        // Latency accounting: every pending query is answered now.
+        for q in &self.pending {
+            let lat = t_i.saturating_duration_since(q.posed_at).as_secs();
+            self.stats.latency_sum_secs += lat;
+            if lat > self.stats.latency_max_secs {
+                self.stats.latency_max_secs = lat;
+            }
+        }
+        self.t_l = Some(t_i);
+        if outcome.dropped_all {
+            self.stats.cache_drops += 1;
+        }
+        self.stats.items_invalidated += outcome.invalidated.len() as u64;
+        // Note: the piggyback history survives invalidation on purpose —
+        // §8.1 defines it as "all the timestamps of requests ... satisfied
+        // locally from the time of the previous uplink request", a query
+        // history, not a property of the current cache incarnation.
+
+        // Answer Q_i: one event per distinct pending item.
+        let mut seen: Vec<ItemId> = self.pending.iter().map(|q| q.item).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        let mut uplink = Vec::new();
+        for item in seen {
+            if self.cache.get(item).is_some() {
+                self.stats.hit_events += 1;
+                if self.config.piggyback_hits {
+                    self.local_hits.entry(item).or_default().push(t_i);
+                }
+            } else {
+                self.stats.miss_events += 1;
+                let piggyback = if self.config.piggyback_hits {
+                    Some(PiggybackInfo {
+                        local_hit_times: self.local_hits.remove(&item).unwrap_or_default(),
+                    })
+                } else {
+                    None
+                };
+                uplink.push((item, piggyback));
+            }
+        }
+        self.pending.clear();
+        IntervalReport {
+            awake: true,
+            outcome: Some(outcome),
+            uplink_requests: uplink,
+        }
+    }
+
+    /// Skips the interval-closing report (asleep units). Pending queries
+    /// cannot exist (no queries are posed while asleep).
+    pub fn skip_report(&mut self) -> IntervalReport {
+        assert!(!self.awake, "an awake unit must hear the report");
+        debug_assert!(self.pending.is_empty());
+        IntervalReport {
+            awake: false,
+            outcome: None,
+            uplink_requests: Vec::new(),
+        }
+    }
+
+    /// Installs the answer to an uplink request: caches the fresh copy
+    /// with the request's server timestamp and notifies the strategy
+    /// handler (SIG starts tracking the item's subsets immediately).
+    pub fn install_answer(&mut self, answer: QueryAnswer) {
+        self.cache
+            .insert(answer.item, answer.value, answer.timestamp);
+        self.handler.on_fetch(answer.item);
+    }
+
+    /// Number of queries waiting for the next report (test hook).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handler::AtHandler;
+    use sw_sim::{MasterSeed, SimDuration, StreamId};
+
+    fn at_report(t_i: f64, ids: Vec<u64>) -> FramePayload {
+        FramePayload::AmnesicReport {
+            report_ts_micros: (t_i * 1e6) as u64,
+            ids,
+        }
+    }
+
+    fn unit(s: f64, lambda: f64) -> (MobileUnit, RngStream, RngStream) {
+        let cfg = MuConfig {
+            id: 0,
+            hotspot: (0..10).collect(),
+            query_rate_per_item: lambda,
+            sleep_probability: s,
+            cache_capacity: None,
+            piggyback_hits: true,
+        };
+        let mut qrng = MasterSeed::TEST.stream(StreamId::Queries { index: 0 });
+        let srng = MasterSeed::TEST.stream(StreamId::Sleep { index: 0 });
+        let handler = Box::new(AtHandler::new(SimDuration::from_secs(10.0)));
+        let mu = MobileUnit::new(cfg, handler, &mut qrng);
+        (mu, qrng, srng)
+    }
+
+    #[test]
+    fn awake_unit_generates_queries() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        assert!(mu.is_awake());
+        assert!(mu.pending_len() > 0, "λ·|hotspot|·L = 100 expected arrivals");
+    }
+
+    #[test]
+    fn asleep_unit_generates_nothing() {
+        let (mut mu, mut qrng, mut srng) = unit(1.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        assert!(!mu.is_awake());
+        assert_eq!(mu.pending_len(), 0);
+        let rep = mu.skip_report();
+        assert!(!rep.awake);
+        assert_eq!(mu.stats().intervals_asleep, 1);
+    }
+
+    #[test]
+    fn misses_become_uplink_requests_and_hits_after_install() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 1.0);
+        // Interval 1: all queries miss (cold cache).
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        assert!(!rep.uplink_requests.is_empty());
+        assert_eq!(mu.stats().hit_events, 0);
+        let misses = rep.uplink_requests.len() as u64;
+        assert_eq!(mu.stats().miss_events, misses);
+        // Install answers.
+        for (item, _) in &rep.uplink_requests {
+            mu.install_answer(QueryAnswer {
+                item: *item,
+                value: 1,
+                timestamp: SimTime::from_secs(10.5),
+            });
+        }
+        // Interval 2: no updates — queried items that repeat are hits.
+        mu.begin_interval(SimTime::from_secs(10.0), SimTime::from_secs(20.0), &mut srng, &mut qrng);
+        let _ = mu.hear_report_and_answer(&at_report(20.0, vec![]));
+        assert!(mu.stats().hit_events > 0, "repeat queries should hit");
+    }
+
+    #[test]
+    fn duplicate_queries_in_interval_are_one_event() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 10.0);
+        // Very high λ: many arrivals, only ≤10 distinct hotspot items.
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        assert!(mu.pending_len() > 100);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        assert!(rep.uplink_requests.len() <= 10);
+        assert_eq!(mu.stats().query_events(), rep.uplink_requests.len() as u64);
+    }
+
+    #[test]
+    fn invalidated_item_misses_next_time() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 5.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        for (item, _) in &rep.uplink_requests {
+            mu.install_answer(QueryAnswer {
+                item: *item,
+                value: 1,
+                timestamp: SimTime::from_secs(10.5),
+            });
+        }
+        // Interval 2: the report invalidates item 3.
+        mu.begin_interval(SimTime::from_secs(10.0), SimTime::from_secs(20.0), &mut srng, &mut qrng);
+        let rep2 = mu.hear_report_and_answer(&at_report(20.0, vec![3]));
+        // If item 3 was queried this interval it must be among the misses.
+        let missed: Vec<ItemId> = rep2.uplink_requests.iter().map(|(i, _)| *i).collect();
+        assert!(!mu.cache().contains(3));
+        if mu.stats().queries_posed > 0 && missed.contains(&3) {
+            assert!(missed.contains(&3));
+        }
+    }
+
+    #[test]
+    fn piggyback_carries_local_hit_history() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 5.0);
+        // Warm the cache.
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        for (item, _) in &rep.uplink_requests {
+            mu.install_answer(QueryAnswer {
+                item: *item,
+                value: 1,
+                timestamp: SimTime::from_secs(10.5),
+            });
+        }
+        // Several hit intervals.
+        for i in 2..6u64 {
+            let t0 = (i - 1) as f64 * 10.0;
+            mu.begin_interval(
+                SimTime::from_secs(t0),
+                SimTime::from_secs(t0 + 10.0),
+                &mut srng,
+                &mut qrng,
+            );
+            let _ = mu.hear_report_and_answer(&at_report(t0 + 10.0, vec![]));
+        }
+        assert!(mu.stats().hit_events > 0);
+        // Now invalidate everything; the next miss must carry history.
+        let all: Vec<ItemId> = (0..10).collect();
+        mu.begin_interval(SimTime::from_secs(50.0), SimTime::from_secs(60.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(60.0, all));
+        let with_history = rep
+            .uplink_requests
+            .iter()
+            .filter(|(_, pb)| pb.as_ref().is_some_and(|p| !p.local_hit_times.is_empty()))
+            .count();
+        assert!(
+            with_history > 0,
+            "at least one uplink request should piggyback hit history"
+        );
+    }
+
+    #[test]
+    fn gap_drop_counts_once() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        for (item, _) in &rep.uplink_requests {
+            mu.install_answer(QueryAnswer {
+                item: *item,
+                value: 1,
+                timestamp: SimTime::from_secs(10.5),
+            });
+        }
+        // Simulate a missed report: next heard report is at 30 (gap 20 > L).
+        mu.begin_interval(SimTime::from_secs(20.0), SimTime::from_secs(30.0), &mut srng, &mut qrng);
+        let _ = mu.hear_report_and_answer(&at_report(30.0, vec![]));
+        assert_eq!(mu.stats().cache_drops, 1);
+        assert!(mu.cache().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sleeping unit cannot hear")]
+    fn sleeping_unit_rejects_report() {
+        let (mut mu, mut qrng, mut srng) = unit(1.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let _ = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+    }
+}

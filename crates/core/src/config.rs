@@ -1,0 +1,226 @@
+//! Cell-level configuration.
+//!
+//! [`CellConfig`] combines the paper's model parameters
+//! ([`ScenarioParams`]) with the simulation-level knobs the analysis
+//! abstracts away: how many clients to actually instantiate, their
+//! hotspot sizes and popularity skew, the random seed, the report
+//! delivery mode (§9), and whether expensive safety checking is on.
+
+use sw_sim::MasterSeed;
+use sw_wireless::{DeliveryMode, EnergyModel};
+use sw_workload::{Popularity, ScenarioParams};
+
+/// Full configuration of one simulated cell.
+#[derive(Debug, Clone)]
+pub struct CellConfig {
+    /// The paper's model parameters.
+    pub params: ScenarioParams,
+    /// Number of mobile units in the cell.
+    pub n_clients: usize,
+    /// Hotspot size per client.
+    pub hotspot_size: usize,
+    /// Popularity skew across clients' hotspots.
+    pub popularity: Popularity,
+    /// Master seed for all random streams.
+    pub seed: MasterSeed,
+    /// Report delivery mode (§9). Timing only; defaults to exact timer
+    /// synchronization.
+    pub delivery: DeliveryMode,
+    /// Collect local-hit timestamps for uplink piggybacking (§8.1).
+    pub piggyback_hits: bool,
+    /// Optional per-client cache capacity (None = unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Record full value history and verify the no-stale-reads
+    /// invariant after every interval (O(updates) memory; test use).
+    pub check_safety: bool,
+    /// Per-second energy weights for the client radio states (§9/§10
+    /// listening-cost accounting).
+    pub energy_model: EnergyModel,
+    /// Optional per-client sleep probabilities, assigned cyclically —
+    /// a *mixed population* of sleepers and workaholics in one cell
+    /// (the paper analyzes homogeneous populations; the title's two
+    /// species rarely live apart in practice). `None` = every client
+    /// uses `params.s`.
+    pub sleep_profile: Option<Vec<f64>>,
+}
+
+impl CellConfig {
+    /// Creates a config with sensible defaults: 10 clients, hotspots of
+    /// 50 items (clamped to `n`), uniform popularity, the test seed,
+    /// timer-synchronized delivery, no piggybacking, safety checks off.
+    pub fn new(params: ScenarioParams) -> Self {
+        let hotspot = 50.min(params.n_items as usize);
+        CellConfig {
+            params,
+            n_clients: 10,
+            hotspot_size: hotspot,
+            popularity: Popularity::Uniform,
+            seed: MasterSeed::TEST,
+            delivery: DeliveryMode::TimerSynchronized {
+                clock_skew_bound: 0.0,
+            },
+            piggyback_hits: false,
+            cache_capacity: None,
+            check_safety: false,
+            energy_model: EnergyModel::default(),
+            sleep_profile: None,
+        }
+    }
+
+    /// Sets the number of clients.
+    pub fn with_clients(mut self, n: usize) -> Self {
+        assert!(n > 0, "a cell needs at least one client");
+        self.n_clients = n;
+        self
+    }
+
+    /// Sets the per-client hotspot size.
+    pub fn with_hotspot_size(mut self, size: usize) -> Self {
+        assert!(
+            size > 0 && size as u64 <= self.params.n_items,
+            "hotspot size must be in 1..=n"
+        );
+        self.hotspot_size = size;
+        self
+    }
+
+    /// Sets the popularity model.
+    pub fn with_popularity(mut self, p: Popularity) -> Self {
+        self.popularity = p;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = MasterSeed(seed);
+        self
+    }
+
+    /// Sets the delivery mode.
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        self.delivery = delivery;
+        self
+    }
+
+    /// Enables uplink piggybacking of local-hit histories.
+    pub fn with_piggybacking(mut self) -> Self {
+        self.piggyback_hits = true;
+        self
+    }
+
+    /// Bounds each client's cache.
+    pub fn with_cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = Some(cap);
+        self
+    }
+
+    /// Enables the per-interval no-stale-reads invariant checker.
+    pub fn with_safety_checking(mut self) -> Self {
+        self.check_safety = true;
+        self
+    }
+
+    /// Sets the client energy model.
+    pub fn with_energy_model(mut self, model: EnergyModel) -> Self {
+        self.energy_model = model;
+        self
+    }
+
+    /// Gives each client its own sleep probability (assigned
+    /// cyclically), overriding the homogeneous `params.s`.
+    pub fn with_sleep_profile(mut self, profile: Vec<f64>) -> Self {
+        assert!(!profile.is_empty(), "sleep profile cannot be empty");
+        assert!(
+            profile.iter().all(|s| (0.0..=1.0).contains(s)),
+            "sleep probabilities must be in [0,1]"
+        );
+        self.sleep_profile = Some(profile);
+        self
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        self.params.validate()?;
+        if self.n_clients == 0 {
+            return Err("a cell needs at least one client".into());
+        }
+        if self.hotspot_size == 0 || self.hotspot_size as u64 > self.params.n_items {
+            return Err(format!(
+                "hotspot size {} must be in 1..=n ({})",
+                self.hotspot_size, self.params.n_items
+            ));
+        }
+        if let Some(cap) = self.cache_capacity {
+            if cap == 0 {
+                return Err("cache capacity must be positive".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_for_all_scenarios() {
+        for (_, name, p) in ScenarioParams::all_scenarios() {
+            CellConfig::new(p)
+                .validate()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn builder_chain_applies() {
+        let c = CellConfig::new(ScenarioParams::scenario1())
+            .with_clients(5)
+            .with_hotspot_size(20)
+            .with_seed(99)
+            .with_piggybacking()
+            .with_cache_capacity(10)
+            .with_safety_checking();
+        assert_eq!(c.n_clients, 5);
+        assert_eq!(c.hotspot_size, 20);
+        assert_eq!(c.seed, MasterSeed(99));
+        assert!(c.piggyback_hits);
+        assert_eq!(c.cache_capacity, Some(10));
+        assert!(c.check_safety);
+    }
+
+    #[test]
+    fn hotspot_clamped_to_database() {
+        let mut p = ScenarioParams::scenario1();
+        p.n_items = 10;
+        let c = CellConfig::new(p);
+        assert_eq!(c.hotspot_size, 10);
+    }
+
+    #[test]
+    fn sleep_profile_applies() {
+        let c = CellConfig::new(ScenarioParams::scenario1())
+            .with_sleep_profile(vec![0.0, 0.8]);
+        assert_eq!(c.sleep_profile, Some(vec![0.0, 0.8]));
+    }
+
+    #[test]
+    #[should_panic(expected = "sleep probabilities")]
+    fn bad_sleep_profile_rejected() {
+        let _ = CellConfig::new(ScenarioParams::scenario1()).with_sleep_profile(vec![0.5, 1.2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_sleep_profile_rejected() {
+        let _ = CellConfig::new(ScenarioParams::scenario1()).with_sleep_profile(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot size")]
+    fn oversized_hotspot_rejected() {
+        let mut p = ScenarioParams::scenario1();
+        p.n_items = 10;
+        let _ = CellConfig::new(p).with_hotspot_size(11);
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulation output metrics.
+//!
+//! The analysis speaks in hit ratios, report bits, and Eq. 9
+//! throughput; [`SimulationReport`] exposes the *measured* counterparts
+//! so the validation tests and the experiment harness can put the
+//! simulator and the model side by side.
+
+use sw_wireless::{EnergyTotals, TrafficTotals};
+
+use crate::safety::SafetyStats;
+
+/// Everything one simulation run measured.
+#[derive(Debug, Clone)]
+pub struct SimulationReport {
+    /// Strategy name ("TS", "AT", "SIG", "NC", "ATS", "QD").
+    pub strategy: &'static str,
+    /// Broadcast intervals simulated.
+    pub intervals: u64,
+    /// Clients in the cell.
+    pub n_clients: usize,
+    /// Query events (item × interval) answered from cache.
+    pub hit_events: u64,
+    /// Query events that went uplink.
+    pub miss_events: u64,
+    /// Raw query arrivals.
+    pub queries_posed: u64,
+    /// Whole-cache drops across all clients.
+    pub cache_drops: u64,
+    /// Individual invalidations across all clients.
+    pub items_invalidated: u64,
+    /// Sum of report sizes over all intervals (analytical bits).
+    pub report_bits_total: u64,
+    /// Channel traffic totals.
+    pub traffic: TrafficTotals,
+    /// Query exchanges that did not fit their interval's bit budget and
+    /// overflowed into accounting-only overage (the simulated fleet is
+    /// normally far below channel capacity; a non-zero value flags an
+    /// overloaded configuration).
+    pub overflow_exchanges: u64,
+    /// Connect/disconnect control messages (stateful baseline only).
+    pub registration_messages: u64,
+    /// Aggregate client energy by radio state (§9/§10 accounting).
+    pub energy: EnergyTotals,
+    /// Safety-checker counters (all zeros unless enabled).
+    pub safety: SafetyStats,
+    /// Interval capacity `L·W` in bits.
+    pub interval_bits: f64,
+    /// `b_q + b_a` in bits.
+    pub per_query_bits: f64,
+    /// Analytical `T_max` at the run's parameters (Eq. 11).
+    pub t_max_analytic: f64,
+}
+
+impl SimulationReport {
+    /// Measured hit ratio over query events.
+    pub fn hit_ratio(&self) -> f64 {
+        let events = self.hit_events + self.miss_events;
+        if events == 0 {
+            0.0
+        } else {
+            self.hit_events as f64 / events as f64
+        }
+    }
+
+    /// Total query events.
+    pub fn query_events(&self) -> u64 {
+        self.hit_events + self.miss_events
+    }
+
+    /// Mean report size in bits.
+    pub fn report_bits_mean(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.report_bits_total as f64 / self.intervals as f64
+        }
+    }
+
+    /// Eq. 9 evaluated with the *measured* hit ratio and mean report
+    /// size: the throughput this cell could sustain at saturation.
+    pub fn throughput(&self) -> f64 {
+        let bc = self.report_bits_mean();
+        if bc >= self.interval_bits {
+            return 0.0;
+        }
+        let miss = (1.0 - self.hit_ratio()).max(1e-15);
+        (self.interval_bits - bc) / (self.per_query_bits * miss)
+    }
+
+    /// Measured effectiveness `e = T/T_max` (Eq. 10), capped at 1.
+    pub fn effectiveness(&self) -> f64 {
+        if self.t_max_analytic <= 0.0 {
+            return 0.0;
+        }
+        (self.throughput() / self.t_max_analytic).min(1.0)
+    }
+
+    /// Mean client energy per interval (all radio states).
+    pub fn energy_per_client_interval(&self) -> f64 {
+        let denom = (self.intervals * self.n_clients as u64).max(1) as f64;
+        self.energy.total() / denom
+    }
+
+    /// Uplink query events per interval actually simulated.
+    pub fn misses_per_interval(&self) -> f64 {
+        if self.intervals == 0 {
+            0.0
+        } else {
+            self.miss_events as f64 / self.intervals as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> SimulationReport {
+        SimulationReport {
+            strategy: "AT",
+            intervals: 100,
+            n_clients: 10,
+            hit_events: 900,
+            miss_events: 100,
+            queries_posed: 2000,
+            cache_drops: 5,
+            items_invalidated: 50,
+            report_bits_total: 100 * 1000,
+            traffic: TrafficTotals::default(),
+            overflow_exchanges: 0,
+            registration_messages: 0,
+            energy: EnergyTotals::default(),
+            safety: SafetyStats::default(),
+            interval_bits: 100_000.0,
+            per_query_bits: 1024.0,
+            t_max_analytic: 10_000.0,
+        }
+    }
+
+    #[test]
+    fn hit_ratio_and_events() {
+        let r = report();
+        assert!((r.hit_ratio() - 0.9).abs() < 1e-12);
+        assert_eq!(r.query_events(), 1000);
+    }
+
+    #[test]
+    fn throughput_matches_eq9_by_hand() {
+        let r = report();
+        // B_c = 1000 bits/interval; (1e5 − 1e3)/(1024 · 0.1).
+        let expected = 99_000.0 / 102.4;
+        assert!((r.throughput() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn effectiveness_normalizes_and_caps() {
+        let mut r = report();
+        let e = r.effectiveness();
+        assert!((e - r.throughput() / 10_000.0).abs() < 1e-12);
+        r.t_max_analytic = 1.0;
+        assert_eq!(r.effectiveness(), 1.0, "capped at 1");
+    }
+
+    #[test]
+    fn oversized_report_means_zero_throughput() {
+        let mut r = report();
+        r.report_bits_total = 200_000 * 100;
+        assert_eq!(r.throughput(), 0.0);
+    }
+
+    #[test]
+    fn energy_per_client_interval_normalizes() {
+        let mut r = report();
+        r.energy = sw_wireless::EnergyTotals {
+            rx: 500.0,
+            tx: 300.0,
+            doze: 200.0,
+            sleep: 0.0,
+        };
+        // 100 intervals × 10 clients.
+        assert!((r.energy_per_client_interval() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_all_zeros() {
+        let mut r = report();
+        r.intervals = 0;
+        r.hit_events = 0;
+        r.miss_events = 0;
+        assert_eq!(r.hit_ratio(), 0.0);
+        assert_eq!(r.report_bits_mean(), 0.0);
+        assert_eq!(r.misses_per_interval(), 0.0);
+    }
+}

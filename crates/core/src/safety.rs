@@ -1,0 +1,145 @@
+//! The no-stale-reads invariant checker.
+//!
+//! §2's safety contract: "our schemes will only allow false alarm
+//! errors and will always correctly inform the client if his copy is
+//! invalid. The validity of the client's copy is only guaranteed as of
+//! the last invalidation report."
+//!
+//! [`ValueHistory`] shadows the database with the full update history
+//! so the simulation can ask, after every report, whether each cached
+//! entry's value really was the item's value at the entry's validity
+//! timestamp. TS and AT must never violate this; SIG may, with small
+//! probability (signature collision or the documented fetch-window
+//! blind spot), and the checker *counts* violations instead of
+//! asserting so the tests can bound the rate.
+
+use std::collections::HashMap;
+
+use sw_server::{ItemId, UpdateRecord};
+use sw_sim::SimTime;
+
+/// Full value history of every item, for invariant checking only.
+#[derive(Debug, Clone, Default)]
+pub struct ValueHistory {
+    /// Per item: (update time, new value), in time order; the implicit
+    /// first entry is the initial value at `t = 0`.
+    histories: HashMap<ItemId, Vec<(SimTime, u64)>>,
+    initial: HashMap<ItemId, u64>,
+}
+
+impl ValueHistory {
+    /// Creates the history with the database's initial values.
+    pub fn new<F: FnMut(ItemId) -> u64>(n: u64, mut initial: F) -> Self {
+        ValueHistory {
+            histories: HashMap::new(),
+            initial: (0..n).map(|i| (i, initial(i))).collect(),
+        }
+    }
+
+    /// Records one applied update.
+    pub fn record(&mut self, rec: &UpdateRecord) {
+        self.histories
+            .entry(rec.item)
+            .or_default()
+            .push((rec.at, rec.value));
+    }
+
+    /// The item's value as of time `t` (the last update at or before
+    /// `t`, else the initial value).
+    pub fn value_at(&self, item: ItemId, t: SimTime) -> u64 {
+        let initial = *self
+            .initial
+            .get(&item)
+            .expect("item must exist in the initial snapshot");
+        match self.histories.get(&item) {
+            None => initial,
+            Some(h) => {
+                // Binary search for the last update ≤ t.
+                let idx = h.partition_point(|&(at, _)| at <= t);
+                if idx == 0 {
+                    initial
+                } else {
+                    h[idx - 1].1
+                }
+            }
+        }
+    }
+
+    /// Checks one cached entry: is `value` what the item held at
+    /// `valid_as_of`?
+    pub fn is_consistent(&self, item: ItemId, value: u64, valid_as_of: SimTime) -> bool {
+        self.value_at(item, valid_as_of) == value
+    }
+}
+
+/// Violation counters kept by the simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SafetyStats {
+    /// Cache entries checked.
+    pub entries_checked: u64,
+    /// Entries whose value did not match the history (stale reads
+    /// waiting to happen).
+    pub violations: u64,
+}
+
+impl SafetyStats {
+    /// Violation rate over checked entries.
+    pub fn violation_rate(&self) -> f64 {
+        if self.entries_checked == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.entries_checked as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(item: ItemId, at: f64, value: u64) -> UpdateRecord {
+        UpdateRecord {
+            item,
+            at: SimTime::from_secs(at),
+            value,
+            previous: 0,
+        }
+    }
+
+    #[test]
+    fn initial_value_before_any_update() {
+        let h = ValueHistory::new(3, |i| i * 100);
+        assert_eq!(h.value_at(2, SimTime::from_secs(5.0)), 200);
+    }
+
+    #[test]
+    fn value_at_steps_through_updates() {
+        let mut h = ValueHistory::new(1, |_| 0);
+        h.record(&rec(0, 10.0, 1));
+        h.record(&rec(0, 20.0, 2));
+        assert_eq!(h.value_at(0, SimTime::from_secs(9.9)), 0);
+        assert_eq!(h.value_at(0, SimTime::from_secs(10.0)), 1);
+        assert_eq!(h.value_at(0, SimTime::from_secs(19.9)), 1);
+        assert_eq!(h.value_at(0, SimTime::from_secs(20.0)), 2);
+        assert_eq!(h.value_at(0, SimTime::from_secs(1e6)), 2);
+    }
+
+    #[test]
+    fn consistency_check() {
+        let mut h = ValueHistory::new(1, |_| 7);
+        h.record(&rec(0, 10.0, 9));
+        assert!(h.is_consistent(0, 7, SimTime::from_secs(5.0)));
+        assert!(h.is_consistent(0, 9, SimTime::from_secs(15.0)));
+        assert!(!h.is_consistent(0, 7, SimTime::from_secs(15.0)));
+    }
+
+    #[test]
+    fn stats_rate() {
+        let s = SafetyStats {
+            entries_checked: 100,
+            violations: 3,
+        };
+        assert!((s.violation_rate() - 0.03).abs() < 1e-12);
+        assert_eq!(SafetyStats::default().violation_rate(), 0.0);
+    }
+}

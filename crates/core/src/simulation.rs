@@ -1,0 +1,991 @@
+//! The discrete-event cell simulation.
+//!
+//! One [`CellSimulation`] drives a single cell: the stationary server
+//! (database + update process + report builder), the broadcast channel,
+//! and a fleet of mobile units. Time advances interval by interval
+//! (everything in the paper synchronizes on the report at `T_i = i·L`);
+//! within an interval, updates and query arrivals occur at exact
+//! exponential arrival times.
+//!
+//! Per interval `i` (covering `(T_{i−1}, T_i]`):
+//!
+//! 1. the update engine applies this interval's updates to the database
+//!    (report builders observe each via `on_update`);
+//! 2. the builder produces the report broadcast at `T_i`, which is
+//!    charged `B_c` bits against the interval budget `L·W`;
+//! 3. every client draws its sleep state; awake clients generate query
+//!    arrivals, hear the report (running their strategy's §3
+//!    algorithm), answer pending queries from cache, and send misses
+//!    uplink — each costing `b_q + b_a` bits;
+//! 4. optionally, the safety checker verifies every cache entry against
+//!    the full value history;
+//! 5. adaptive/quasi bookkeeping (evaluation periods, obligation lists)
+//!    runs at the boundary.
+
+use std::collections::HashMap;
+
+use sw_adaptive::{
+    AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
+};
+use sw_client::{MobileUnit, MuConfig};
+use sw_quasi::ObligationTracker;
+use sw_server::{
+    Database, ItemId, ReportBuilder, StatefulServer, TsBuilder, UpdateEngine, UplinkProcessor,
+};
+use sw_sim::{IntervalClock, RngStream, SimDuration, SimTime, StreamId};
+use sw_wireless::{
+    BroadcastChannel, ChannelError, EnergyTotals, FramePayload, ReportDelivery, WireEncode,
+};
+use sw_workload::HotspotSpec;
+
+use crate::config::CellConfig;
+use crate::metrics::SimulationReport;
+use crate::safety::{SafetyStats, ValueHistory};
+use crate::strategy::Strategy;
+
+/// Errors a simulation can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimulationError {
+    /// The configuration failed validation.
+    InvalidConfig(String),
+    /// The invalidation report exceeds the interval capacity `L·W` —
+    /// the strategy is unusable at these parameters (§6 drops TS from
+    /// Scenarios 3/4 for exactly this).
+    ReportTooLarge {
+        /// Bits the report needed.
+        bits: u64,
+        /// Bits available per interval.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for SimulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimulationError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimulationError::ReportTooLarge { bits, capacity } => write!(
+                f,
+                "invalidation report of {bits} bits exceeds interval capacity of {capacity} bits; \
+                 the strategy is unusable at these parameters"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimulationError {}
+
+/// Server-side machinery; adaptive and quasi strategies carry extra
+/// state beyond the plain report builder.
+// One ServerSide exists per simulation; the variant size spread is
+// irrelevant next to the database it sits beside.
+#[allow(clippy::large_enum_variant)]
+enum ServerSide {
+    Static(Box<dyn ReportBuilder + Send>),
+    Adaptive {
+        builder: AdaptiveTsBuilder,
+        controller: AdaptiveController,
+        eval_period: u32,
+        method: FeedbackMethod,
+        /// Per-item query timestamps this period (uplink + piggybacked).
+        query_times: HashMap<ItemId, Vec<SimTime>>,
+        /// Per-item update timestamps this period.
+        update_times: HashMap<ItemId, Vec<SimTime>>,
+    },
+    QuasiDelay {
+        builder: TsBuilder,
+        tracker: ObligationTracker,
+    },
+    /// §2's stateful baseline: directed invalidation messages to
+    /// registered holders instead of a broadcast report. `pending_ids`
+    /// collects this interval's updated ids so the AT-style client
+    /// algorithm can apply them; `directed` counts the per-recipient
+    /// messages already charged to the channel.
+    Stateful {
+        registry: StatefulServer,
+        pending_ids: Vec<ItemId>,
+    },
+}
+
+impl ServerSide {
+    fn on_update(&mut self, rec: &sw_server::UpdateRecord) {
+        match self {
+            ServerSide::Static(b) => b.on_update(rec),
+            ServerSide::Adaptive {
+                builder,
+                update_times,
+                ..
+            } => {
+                builder.on_update(rec);
+                update_times.entry(rec.item).or_default().push(rec.at);
+            }
+            ServerSide::QuasiDelay { .. } => {}
+            // Stateful invalidations are charged in the step() update
+            // phase, which owns the channel; here we only remember the
+            // ids for the client-side framing.
+            ServerSide::Stateful { pending_ids, .. } => pending_ids.push(rec.item),
+        }
+    }
+
+    fn build(&mut self, i: u64, t_i: SimTime, db: &Database) -> FramePayload {
+        match self {
+            ServerSide::Static(b) => b.build(i, t_i, db),
+            ServerSide::Adaptive { builder, .. } => builder.build(i, t_i, db),
+            ServerSide::QuasiDelay { builder, tracker } => {
+                // Build the full TS report over window α, then thin it to
+                // the *due* items (§7: an item "can be considered for
+                // reporting" only when an outstanding copy reaches its
+                // allowed lag).
+                let payload = builder.build(i, t_i, db);
+                let entries = match payload {
+                    FramePayload::TimestampReport { entries, .. } => entries,
+                    other => unreachable!("TS builder produced {other:?}"),
+                };
+                let mut kept = Vec::new();
+                for (item, ts) in entries {
+                    if tracker.due(item, i) {
+                        kept.push((item, ts));
+                        // Reported: outstanding copies will be dropped
+                        // and re-fetched (fresh obligations arrive via
+                        // the uplink path).
+                        tracker.consume(item, i, false);
+                    }
+                }
+                // Due items that did NOT change within α are implicitly
+                // re-validated by their absence; their obligation clock
+                // restarts.
+                let due_unchanged: Vec<ItemId> = (0..db.len())
+                    .filter(|&item| tracker.due(item, i))
+                    .collect();
+                for item in due_unchanged {
+                    tracker.consume(item, i, true);
+                }
+                FramePayload::TimestampReport {
+                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
+                    entries: kept,
+                }
+            }
+            ServerSide::Stateful { pending_ids, .. } => {
+                let mut ids = std::mem::take(pending_ids);
+                ids.sort_unstable();
+                ids.dedup();
+                FramePayload::AmnesicReport {
+                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
+                    ids,
+                }
+            }
+        }
+    }
+}
+
+/// One simulated cell.
+pub struct CellSimulation {
+    config: CellConfig,
+    strategy: Strategy,
+    db: Database,
+    history: Option<ValueHistory>,
+    server: ServerSide,
+    uplink: UplinkProcessor,
+    channel: BroadcastChannel,
+    clock: IntervalClock,
+    clients: Vec<MobileUnit>,
+    sleep_rngs: Vec<RngStream>,
+    query_rngs: Vec<RngStream>,
+    update_rng: RngStream,
+    update_engine: UpdateEngine,
+    report_bits_total: u64,
+    overflow_exchanges: u64,
+    registration_messages: u64,
+    safety: SafetyStats,
+    delivery: ReportDelivery,
+    delivery_rng: RngStream,
+    energy: EnergyTotals,
+}
+
+impl CellSimulation {
+    /// Builds the cell: database, server, channel, and client fleet.
+    pub fn new(config: CellConfig, strategy: Strategy) -> Result<Self, SimulationError> {
+        config
+            .validate()
+            .map_err(SimulationError::InvalidConfig)?;
+        let params = config.params;
+        let latency = SimDuration::from_secs(params.latency_secs);
+        // The update log must cover the largest lookback any strategy
+        // performs: w = kL for TS (also the quasi α and the adaptive
+        // starting window), one L for AT.
+        let retention = latency.scaled((params.k as f64 + 2.0).max(4.0));
+
+        let mut db_rng = config.seed.stream(StreamId::Database);
+        let db = Database::new(params.n_items, |_| db_rng.next_u64(), retention);
+        let history = config
+            .check_safety
+            .then(|| ValueHistory::new(params.n_items, |i| db.value(i)));
+
+        let server = match strategy {
+            Strategy::AdaptiveTs {
+                method,
+                eval_period,
+                step,
+            } => ServerSide::Adaptive {
+                builder: AdaptiveTsBuilder::new(latency, params.k),
+                controller: AdaptiveController::new(
+                    method,
+                    step,
+                    0.0,
+                    params.query_bits,
+                    params.timestamp_bits,
+                    params.n_items,
+                ),
+                eval_period,
+                method,
+                query_times: HashMap::new(),
+                update_times: HashMap::new(),
+            },
+            Strategy::QuasiDelay { alpha_intervals } => ServerSide::QuasiDelay {
+                builder: TsBuilder::with_window(latency.scaled(alpha_intervals as f64)),
+                tracker: ObligationTracker::new(alpha_intervals),
+            },
+            Strategy::Stateful => {
+                let mut registry = StatefulServer::new();
+                for idx in 0..config.n_clients as u64 {
+                    registry.connect(idx);
+                }
+                ServerSide::Stateful {
+                    registry,
+                    pending_ids: Vec::new(),
+                }
+            }
+            other => ServerSide::Static(other.make_builder(&params, config.seed, &db)),
+        };
+
+        let encode = WireEncode::new(
+            params.n_items,
+            params.timestamp_bits,
+            params.query_bits,
+            params.answer_bits,
+        );
+        let channel = BroadcastChannel::new(params.bandwidth_bps, params.latency_secs, encode);
+
+        let spec = HotspotSpec::new(params.n_items, config.hotspot_size, config.popularity);
+        let piggyback = config.piggyback_hits
+            || matches!(
+                strategy,
+                Strategy::AdaptiveTs {
+                    method: FeedbackMethod::Method1,
+                    ..
+                }
+            );
+        let mut clients = Vec::with_capacity(config.n_clients);
+        let mut sleep_rngs = Vec::with_capacity(config.n_clients);
+        let mut query_rngs = Vec::with_capacity(config.n_clients);
+        for idx in 0..config.n_clients as u64 {
+            let mut hotspot_rng = config.seed.stream(StreamId::Hotspot { index: idx });
+            let hotspot = spec.draw(&mut hotspot_rng);
+            let mut query_rng = config.seed.stream(StreamId::Queries { index: idx });
+            let sleep_probability = match &config.sleep_profile {
+                Some(profile) => profile[idx as usize % profile.len()],
+                None => params.s,
+            };
+            let mu_config = MuConfig {
+                id: idx,
+                hotspot,
+                query_rate_per_item: params.lambda,
+                sleep_probability,
+                cache_capacity: config.cache_capacity,
+                piggyback_hits: piggyback,
+            };
+            let handler = strategy.make_handler(&params, config.seed, &db);
+            clients.push(MobileUnit::new(mu_config, handler, &mut query_rng));
+            query_rngs.push(query_rng);
+            sleep_rngs.push(config.seed.stream(StreamId::Sleep { index: idx }));
+        }
+
+        let mut update_rng = config.seed.stream(StreamId::Updates);
+        let update_engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
+
+        let delivery = ReportDelivery::new(config.delivery);
+        let delivery_rng = config.seed.stream(StreamId::Custom { tag: 0xDE11 });
+        Ok(CellSimulation {
+            strategy,
+            db,
+            history,
+            server,
+            uplink: UplinkProcessor::new(),
+            channel,
+            clock: IntervalClock::new(latency),
+            clients,
+            sleep_rngs,
+            query_rngs,
+            update_rng,
+            update_engine,
+            report_bits_total: 0,
+            overflow_exchanges: 0,
+            registration_messages: 0,
+            safety: SafetyStats::default(),
+            delivery,
+            delivery_rng,
+            energy: EnergyTotals::default(),
+            config,
+        })
+    }
+
+    /// The strategy under simulation.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Read access to the database (tests).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Read access to the client fleet (tests).
+    pub fn clients(&self) -> &[MobileUnit] {
+        &self.clients
+    }
+
+    /// Runs one broadcast interval; returns the report's size in bits
+    /// (zero for the stateful baseline, which sends directed messages
+    /// instead).
+    pub fn step(&mut self) -> Result<u64, SimulationError> {
+        let (i, t_i) = self.clock.tick();
+        let from = self.clock.report_time(i - 1);
+        self.channel.begin_interval();
+
+        // 1. Clients draw their sleep state and generate this interval's
+        // query arrivals. (Queries and updates are independent streams;
+        // answering happens at T_i either way, so ordering the client
+        // draws first lets the stateful registry see the true
+        // connectivity before the updates land.)
+        for idx in 0..self.clients.len() {
+            self.clients[idx].begin_interval(
+                from,
+                t_i,
+                &mut self.sleep_rngs[idx],
+                &mut self.query_rngs[idx],
+            );
+        }
+        if let ServerSide::Stateful { registry, .. } = &mut self.server {
+            // Clients announce connects/disconnects; each transition is
+            // one control message on the channel.
+            for mu in &self.clients {
+                let id = mu.id();
+                if mu.is_awake() && !registry.is_connected(id) {
+                    registry.connect(id);
+                    let _ = self.channel.send_invalidation(id); // control msg
+                    self.registration_messages += 1;
+                } else if !mu.is_awake() && registry.is_connected(id) {
+                    registry.disconnect(id);
+                    let _ = self.channel.send_invalidation(id); // control msg
+                    self.registration_messages += 1;
+                }
+            }
+        }
+
+        // 2. Apply this interval's updates; the stateful server fires a
+        // directed invalidation message per registered holder.
+        let recs = self
+            .update_engine
+            .advance(&mut self.db, from, t_i, &mut self.update_rng);
+        for rec in &recs {
+            if let ServerSide::Stateful { registry, .. } = &mut self.server {
+                let recipients = registry.on_update(rec);
+                for _ in &recipients {
+                    let _ = self.channel.send_invalidation(rec.item);
+                }
+            }
+            self.server.on_update(rec);
+            if let Some(h) = self.history.as_mut() {
+                h.record(rec);
+            }
+        }
+
+        // 3. Build and broadcast the report (skipped by the stateful
+        // baseline, whose messages were charged above; the AT-style
+        // framing still drives the client algorithm).
+        let payload = self.server.build(i, t_i, &self.db);
+        let is_stateful = matches!(self.server, ServerSide::Stateful { .. });
+        let frame = self.channel.encoder().frame(payload.clone());
+        if !is_stateful {
+            self.channel.send_report(&frame).map_err(|e| match e {
+                ChannelError::ReportExceedsInterval { needed, capacity } => {
+                    SimulationError::ReportTooLarge {
+                        bits: needed,
+                        capacity,
+                    }
+                }
+                other => unreachable!("report send can only fail by size: {other}"),
+            })?;
+            self.report_bits_total += frame.bits;
+        }
+
+        // 4. Awake clients hear the report / their invalidations and
+        // answer the interval's queries.
+        let mut uplink_counts = vec![0u32; self.clients.len()];
+        // Index loop on purpose: the body re-borrows `self.clients[idx]`
+        // mutably after touching the channel, uplink processor, and
+        // server between uses — an iterator would pin the whole Vec.
+        #[allow(clippy::needless_range_loop)]
+        for idx in 0..self.clients.len() {
+            let mu = &mut self.clients[idx];
+            if !mu.is_awake() {
+                let _ = mu.skip_report();
+                continue;
+            }
+            let outcome = mu.hear_report_and_answer(&payload);
+            let mu_id = mu.id();
+            uplink_counts[idx] += outcome.uplink_requests.len() as u32;
+            for (item, piggyback) in outcome.uplink_requests {
+                // Charge the channel; an overloaded interval still
+                // answers (clients block, we count the overage).
+                if self.channel.send_query_exchange(mu_id, item).is_err() {
+                    self.overflow_exchanges += 1;
+                }
+                let answer = self
+                    .uplink
+                    .answer(&self.db, item, t_i, piggyback.as_ref());
+                if let ServerSide::Adaptive {
+                    query_times,
+                    method: FeedbackMethod::Method1,
+                    ..
+                } = &mut self.server
+                {
+                    let times = query_times.entry(item).or_default();
+                    if let Some(pb) = &piggyback {
+                        times.extend(pb.local_hit_times.iter().copied());
+                    }
+                    times.push(t_i);
+                }
+                if let ServerSide::QuasiDelay { tracker, .. } = &mut self.server {
+                    tracker.on_uplink(item, i);
+                }
+                if let ServerSide::Stateful { registry, .. } = &mut self.server {
+                    // Registration rides the uplink query for free.
+                    registry.register_cache(mu_id, item);
+                }
+                self.clients[idx].install_answer(answer);
+            }
+        }
+
+        // 5. Energy accounting (§9/§10): asleep units pay sleep energy;
+        // awake units listen for the report (delivery-mode dependent),
+        // transmit their queries, receive their answers, and doze the
+        // rest of the interval.
+        {
+            let model = self.config.energy_model;
+            let interval = SimDuration::from_secs(self.config.params.latency_secs);
+            let report_tx =
+                SimDuration::from_secs(self.channel.transmission_secs(frame.bits));
+            let per_query_tx = SimDuration::from_secs(
+                self.channel
+                    .transmission_secs(self.config.params.query_bits as u64),
+            );
+            let per_answer_rx = SimDuration::from_secs(
+                self.channel
+                    .transmission_secs(self.config.params.answer_bits as u64),
+            );
+            for (mu, &misses) in self.clients.iter().zip(&uplink_counts) {
+                if !mu.is_awake() {
+                    self.energy.add_sleep(&model, interval);
+                    continue;
+                }
+                let outcome = self.delivery.deliver(t_i, report_tx, &mut self.delivery_rng);
+                let active = SimDuration::from_secs(
+                    (outcome.listening.as_secs()
+                        + misses as f64 * (per_query_tx.as_secs() + per_answer_rx.as_secs()))
+                    .min(interval.as_secs()),
+                );
+                self.energy.add_rx(
+                    &model,
+                    SimDuration::from_secs(
+                        (outcome.listening.as_secs() + misses as f64 * per_answer_rx.as_secs())
+                            .min(interval.as_secs()),
+                    ),
+                );
+                self.energy
+                    .add_tx(&model, per_query_tx.scaled(misses as f64));
+                self.energy
+                    .add_doze(&model, interval - active.min(interval));
+            }
+        }
+
+        // 6. Safety invariant: every cache entry's value must match the
+        // item's historical value at the entry's validity timestamp.
+        if let Some(history) = &self.history {
+            for mu in &self.clients {
+                for item in mu.cache().sorted_items() {
+                    let entry = mu.cache().peek(item).expect("iterating cached items");
+                    self.safety.entries_checked += 1;
+                    if !history.is_consistent(item, entry.value, entry.timestamp) {
+                        self.safety.violations += 1;
+                    }
+                }
+            }
+        }
+
+        // 7. Period boundaries and log hygiene.
+        if let ServerSide::Adaptive {
+            builder,
+            controller,
+            eval_period,
+            method,
+            query_times,
+            update_times,
+        } = &mut self.server
+        {
+            if i % *eval_period as u64 == 0 {
+                let mentions = builder.end_period();
+                let uplink_stats = self.uplink.end_period();
+                let mut items: std::collections::BTreeSet<ItemId> = std::collections::BTreeSet::new();
+                items.extend(mentions.keys().copied());
+                items.extend(uplink_stats.keys().copied());
+                let stats: Vec<PeriodItemStats> = items
+                    .into_iter()
+                    .map(|item| {
+                        let us = uplink_stats.get(&item).copied().unwrap_or_default();
+                        let mhr = match method {
+                            FeedbackMethod::Method1 => {
+                                let queries =
+                                    query_times.get(&item).map(|v| v.as_slice()).unwrap_or(&[]);
+                                let updates =
+                                    update_times.get(&item).map(|v| v.as_slice()).unwrap_or(&[]);
+                                Some(sw_adaptive::estimate_mhr(queries, updates))
+                            }
+                            FeedbackMethod::Method2 => None,
+                        };
+                        PeriodItemStats {
+                            item,
+                            uplink_queries: us.uplink_queries,
+                            piggybacked_hits: us.piggybacked_hits,
+                            mentions: mentions.get(&item).copied().unwrap_or(0),
+                            mhr,
+                        }
+                    })
+                    .collect();
+                controller.end_period(builder.windows_mut(), stats);
+                query_times.clear();
+                update_times.clear();
+                // Growing windows need deeper update history.
+                let max_k = builder
+                    .windows()
+                    .exceptions()
+                    .iter()
+                    .map(|&(_, k)| k)
+                    .chain(std::iter::once(builder.windows().default_k()))
+                    .max()
+                    .unwrap_or(1);
+                self.db.widen_log_retention(
+                    SimDuration::from_secs(self.config.params.latency_secs)
+                        .scaled(max_k as f64 + 2.0),
+                );
+            }
+        }
+        self.db.prune_log(t_i);
+
+        Ok(frame.bits)
+    }
+
+    /// Runs `intervals` broadcast intervals and summarizes.
+    pub fn run(&mut self, intervals: u64) -> Result<SimulationReport, SimulationError> {
+        for _ in 0..intervals {
+            self.step()?;
+        }
+        Ok(self.report())
+    }
+
+    /// Zeroes every metric (client stats, traffic, report bits, safety
+    /// counters) without touching caches or protocol state — call after
+    /// a warm-up phase so cold-start misses don't bias the measurement.
+    /// The warm-up bias matters most for effectiveness: with `h` close
+    /// to 1, Eq. 9's `1/(1−h)` amplifies even a 1% cold-cache miss
+    /// inflation severalfold.
+    pub fn reset_metrics(&mut self) {
+        for mu in &mut self.clients {
+            mu.reset_stats();
+        }
+        self.channel.reset_totals();
+        self.report_bits_total = 0;
+        self.overflow_exchanges = 0;
+        self.registration_messages = 0;
+        self.energy = EnergyTotals::default();
+        self.safety = SafetyStats::default();
+    }
+
+    /// Runs `warmup` unmeasured intervals, resets the metrics, then
+    /// runs `intervals` measured ones.
+    pub fn run_measured(
+        &mut self,
+        warmup: u64,
+        intervals: u64,
+    ) -> Result<SimulationReport, SimulationError> {
+        for _ in 0..warmup {
+            self.step()?;
+        }
+        self.reset_metrics();
+        self.run(intervals)
+    }
+
+    /// Snapshot of the metrics so far.
+    pub fn report(&self) -> SimulationReport {
+        let mut hit_events = 0;
+        let mut miss_events = 0;
+        let mut queries_posed = 0;
+        let mut cache_drops = 0;
+        let mut items_invalidated = 0;
+        for mu in &self.clients {
+            let s = mu.stats();
+            hit_events += s.hit_events;
+            miss_events += s.miss_events;
+            queries_posed += s.queries_posed;
+            cache_drops += s.cache_drops;
+            items_invalidated += s.items_invalidated;
+        }
+        let params = &self.config.params;
+        SimulationReport {
+            strategy: self.strategy.name(),
+            intervals: self.channel.intervals_elapsed(),
+            n_clients: self.clients.len(),
+            hit_events,
+            miss_events,
+            queries_posed,
+            cache_drops,
+            items_invalidated,
+            report_bits_total: self.report_bits_total,
+            traffic: self.channel.totals().clone(),
+            overflow_exchanges: self.overflow_exchanges,
+            registration_messages: self.registration_messages,
+            energy: self.energy,
+            safety: self.safety,
+            interval_bits: params.latency_secs * params.bandwidth_bps as f64,
+            per_query_bits: (params.query_bits + params.answer_bits) as f64,
+            t_max_analytic: sw_analysis::throughput_max(params),
+        }
+    }
+
+    /// Current per-item adaptive window (adaptive strategy only; test
+    /// hook).
+    pub fn adaptive_window(&self, item: ItemId) -> Option<u32> {
+        match &self.server {
+            ServerSide::Adaptive { builder, .. } => Some(builder.windows().get(item)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_workload::ScenarioParams;
+
+    fn quick_params() -> ScenarioParams {
+        // Small, fast parameters for unit tests: lively queries, visible
+        // updates.
+        let mut p = ScenarioParams::scenario1();
+        p.n_items = 200;
+        p.lambda = 0.05;
+        p.mu = 1e-3;
+        p.k = 10;
+        p
+    }
+
+    fn config(s: f64) -> CellConfig {
+        CellConfig::new(quick_params().with_s(s))
+            .with_clients(8)
+            .with_hotspot_size(20)
+            .with_seed(42)
+    }
+
+    #[test]
+    fn at_simulation_runs_and_hits() {
+        let mut sim = CellSimulation::new(config(0.0), Strategy::AmnesicTerminals).unwrap();
+        let report = sim.run(100).unwrap();
+        assert_eq!(report.intervals, 100);
+        assert!(report.query_events() > 0, "workaholics must query");
+        assert!(
+            report.hit_ratio() > 0.5,
+            "awake clients should mostly hit, got {}",
+            report.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn all_static_strategies_run() {
+        for s in [
+            Strategy::BroadcastTimestamps,
+            Strategy::AmnesicTerminals,
+            Strategy::Signatures,
+            Strategy::NoCache,
+        ] {
+            let mut sim = CellSimulation::new(config(0.3), s).unwrap();
+            let report = sim.run(50).unwrap();
+            assert_eq!(report.strategy, s.name());
+            assert_eq!(report.intervals, 50);
+        }
+    }
+
+    #[test]
+    fn no_cache_never_hits() {
+        let mut sim = CellSimulation::new(config(0.0), Strategy::NoCache).unwrap();
+        let report = sim.run(50).unwrap();
+        assert_eq!(report.hit_events, 0);
+        assert!(report.miss_events > 0);
+        assert_eq!(report.report_bits_total, 0, "NC broadcasts nothing");
+    }
+
+    #[test]
+    fn sleepier_cells_hit_less_with_at() {
+        let run = |s: f64| {
+            let mut sim = CellSimulation::new(config(s), Strategy::AmnesicTerminals).unwrap();
+            sim.run(300).unwrap().hit_ratio()
+        };
+        let workaholic = run(0.0);
+        let sleeper = run(0.7);
+        assert!(
+            workaholic > sleeper + 0.1,
+            "AT: h(s=0)={workaholic} must exceed h(s=0.7)={sleeper}"
+        );
+    }
+
+    #[test]
+    fn ts_survives_naps_that_kill_at() {
+        let run = |strategy| {
+            let mut sim = CellSimulation::new(config(0.5), strategy).unwrap();
+            sim.run(300).unwrap().hit_ratio()
+        };
+        let ts = run(Strategy::BroadcastTimestamps);
+        let at = run(Strategy::AmnesicTerminals);
+        assert!(ts > at, "TS {ts} must beat AT {at} for sleepers");
+    }
+
+    #[test]
+    fn safety_invariant_holds_for_ts_and_at() {
+        for strategy in [Strategy::BroadcastTimestamps, Strategy::AmnesicTerminals] {
+            let cfg = config(0.4).with_safety_checking();
+            let mut sim = CellSimulation::new(cfg, strategy).unwrap();
+            let report = sim.run(200).unwrap();
+            assert!(report.safety.entries_checked > 0);
+            assert_eq!(
+                report.safety.violations, 0,
+                "{strategy:?} must never validate a stale entry"
+            );
+        }
+    }
+
+    #[test]
+    fn sig_violations_are_rare() {
+        let cfg = config(0.4).with_safety_checking();
+        let mut sim = CellSimulation::new(cfg, Strategy::Signatures).unwrap();
+        let report = sim.run(200).unwrap();
+        assert!(
+            report.safety.violation_rate() < 0.01,
+            "SIG stale rate {} should be well under 1%",
+            report.safety.violation_rate()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = CellSimulation::new(config(0.3), Strategy::AmnesicTerminals).unwrap();
+            let r = sim.run(100).unwrap();
+            (r.hit_events, r.miss_events, r.report_bits_total)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed| {
+            let mut sim = CellSimulation::new(
+                config(0.3).with_seed(seed),
+                Strategy::AmnesicTerminals,
+            )
+            .unwrap();
+            let r = sim.run(100).unwrap();
+            (r.hit_events, r.miss_events)
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn oversized_report_surfaces_as_error() {
+        // Scenario-3-like: TS with a huge window and heavy updates on a
+        // narrow channel.
+        let mut p = quick_params();
+        p.mu = 0.5;
+        p.k = 100;
+        p.n_items = 2000;
+        p.bandwidth_bps = 1_000;
+        let cfg = CellConfig::new(p).with_clients(2).with_hotspot_size(5);
+        let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+        let err = sim.run(20).unwrap_err();
+        assert!(matches!(err, SimulationError::ReportTooLarge { .. }));
+    }
+
+    #[test]
+    fn adaptive_ts_runs_and_adjusts_windows() {
+        let cfg = config(0.6);
+        let strategy = Strategy::AdaptiveTs {
+            method: FeedbackMethod::Method1,
+            eval_period: 10,
+            step: 2,
+        };
+        let mut sim = CellSimulation::new(cfg, strategy).unwrap();
+        let report = sim.run(200).unwrap();
+        assert_eq!(report.strategy, "ATS");
+        assert!(report.query_events() > 0);
+    }
+
+    #[test]
+    fn hybrid_sig_runs_and_survives_naps_on_cold_items() {
+        // Zipf queries make low-id items genuinely hot; the hybrid
+        // strategy lists those individually and signature-covers the
+        // rest, beating plain AT for sleepers.
+        use sw_workload::Popularity;
+        let cfg = || {
+            CellConfig::new(quick_params().with_s(0.5))
+                .with_clients(8)
+                .with_hotspot_size(20)
+                .with_popularity(Popularity::Zipf { theta: 1.0 })
+                .with_seed(77)
+        };
+        let hybrid = {
+            let mut sim =
+                CellSimulation::new(cfg(), Strategy::HybridSig { hot_count: 20 }).unwrap();
+            sim.run(300).unwrap()
+        };
+        let at = {
+            let mut sim = CellSimulation::new(cfg(), Strategy::AmnesicTerminals).unwrap();
+            sim.run(300).unwrap()
+        };
+        assert_eq!(hybrid.strategy, "HYB");
+        assert!(
+            hybrid.hit_ratio() > at.hit_ratio(),
+            "hybrid h {} should beat AT h {} for sleepers (cold items are nap-proof)",
+            hybrid.hit_ratio(),
+            at.hit_ratio()
+        );
+    }
+
+    #[test]
+    fn hybrid_sig_safety_violations_are_rare() {
+        let cfg = CellConfig::new(quick_params().with_s(0.4))
+            .with_clients(8)
+            .with_hotspot_size(20)
+            .with_seed(78)
+            .with_safety_checking();
+        let mut sim = CellSimulation::new(cfg, Strategy::HybridSig { hot_count: 30 }).unwrap();
+        let report = sim.run(200).unwrap();
+        assert!(
+            report.safety.violation_rate() < 0.01,
+            "hybrid stale rate {} too high",
+            report.safety.violation_rate()
+        );
+    }
+
+    #[test]
+    fn stateful_baseline_runs_and_matches_at_hit_ratio() {
+        // The stateful server's clients behave like AT units (reconnect
+        // loses the cache); with the same seed their hit events match.
+        let at = {
+            let mut sim = CellSimulation::new(config(0.4), Strategy::AmnesicTerminals).unwrap();
+            sim.run(200).unwrap()
+        };
+        let sf = {
+            let mut sim = CellSimulation::new(config(0.4), Strategy::Stateful).unwrap();
+            sim.run(200).unwrap()
+        };
+        assert_eq!(sf.strategy, "SF");
+        assert_eq!(sf.hit_events, at.hit_events, "same semantics, same seed");
+        assert_eq!(sf.miss_events, at.miss_events);
+        // But the channel accounting differs: no broadcast report, some
+        // directed invalidations and registration control traffic.
+        assert_eq!(sf.report_bits_total, 0);
+        assert!(sf.traffic.invalidation_bits > 0);
+        assert!(sf.registration_messages > 0, "sleep transitions register");
+    }
+
+    #[test]
+    fn stateful_directed_traffic_scales_with_holders() {
+        // More clients caching the same items ⇒ more directed messages
+        // per update — §2's scalability argument against statefulness.
+        let run = |clients: usize| {
+            let cfg = config(0.0).with_clients(clients);
+            let mut sim = CellSimulation::new(cfg, Strategy::Stateful).unwrap();
+            sim.run(150).unwrap().traffic.invalidation_bits
+        };
+        let small = run(4);
+        let big = run(16);
+        assert!(
+            big > small * 2,
+            "16 clients ({big} bits) should cost ≫ 4 clients ({small} bits)"
+        );
+    }
+
+    #[test]
+    fn energy_accounting_tracks_sleep_and_listening() {
+        use sw_wireless::DeliveryMode;
+        // Sleepers spend almost nothing; workaholics pay rx/doze.
+        let run = |s: f64, delivery| {
+            let cfg = config(s).with_delivery(delivery);
+            let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+            let r = sim.run(100).unwrap();
+            r.energy_per_client_interval()
+        };
+        let timer = DeliveryMode::TimerSynchronized {
+            clock_skew_bound: 0.0,
+        };
+        let workaholic = run(0.0, timer);
+        let sleeper = run(0.95, timer);
+        assert!(
+            workaholic > sleeper * 2.0,
+            "awake units must burn more: {workaholic} vs {sleeper}"
+        );
+        // Multicast delivery never costs more listening than waking
+        // early for a skewed timer.
+        let skewed = run(0.3, DeliveryMode::TimerSynchronized { clock_skew_bound: 1.0 });
+        let multicast = run(0.3, DeliveryMode::Multicast { max_jitter: 1.0 });
+        assert!(
+            multicast < skewed,
+            "multicast {multicast} should beat skewed-timer {skewed}"
+        );
+    }
+
+    #[test]
+    fn quasi_delay_reduces_report_traffic() {
+        let base = {
+            let mut sim =
+                CellSimulation::new(config(0.2), Strategy::BroadcastTimestamps).unwrap();
+            sim.run(200).unwrap().report_bits_total
+        };
+        let quasi = {
+            let mut sim = CellSimulation::new(
+                config(0.2),
+                Strategy::QuasiDelay { alpha_intervals: 10 },
+            )
+            .unwrap();
+            sim.run(200).unwrap().report_bits_total
+        };
+        assert!(
+            quasi < base,
+            "quasi-delay ({quasi} bits) must thin the TS report stream ({base} bits)"
+        );
+    }
+
+    #[test]
+    fn measured_hit_ratio_tracks_analysis_for_at() {
+        // E11 in miniature: simulated h_at within a few points of Eq. 41.
+        let params = quick_params().with_s(0.3);
+        let cfg = CellConfig::new(params)
+            .with_clients(20)
+            .with_hotspot_size(20)
+            .with_seed(7);
+        let mut sim = CellSimulation::new(cfg, Strategy::AmnesicTerminals).unwrap();
+        let report = sim.run(500).unwrap();
+        let analytic = sw_analysis::h_at(&params);
+        let measured = report.hit_ratio();
+        assert!(
+            (measured - analytic).abs() < 0.05,
+            "h_at: simulated {measured} vs Eq.41 {analytic}"
+        );
+    }
+}

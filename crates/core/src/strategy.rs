@@ -1,0 +1,273 @@
+//! The strategy catalogue.
+//!
+//! [`Strategy`] names every invalidation scheme this library implements
+//! and knows how to construct the matching server-side report builder
+//! and client-side handler pair. The pairing is load-bearing: a TS
+//! server with an AT client would be silently wrong, so construction
+//! goes through this one place.
+
+use sw_adaptive::{AdaptiveTsHandler, FeedbackMethod};
+use sw_client::{
+    AtHandler, GroupHandler, HybridHandler, NoCacheHandler, ReportHandler, SigHandler, TsHandler,
+};
+use sw_quasi::DelayQuasiHandler;
+use sw_server::{
+    AtBuilder, Database, GroupMap, GroupReportBuilder, HotSet, HybridSigBuilder, NoReportBuilder,
+    ReportBuilder, SigBuilder, TsBuilder,
+};
+use sw_signature::{SigPlan, SubsetFamily};
+use sw_sim::{MasterSeed, SimDuration, StreamId};
+use sw_workload::ScenarioParams;
+
+/// Every cache-invalidation strategy in the catalogue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// §3.1 Broadcasting Timestamps, window `w = k·L` (k from the
+    /// scenario parameters).
+    BroadcastTimestamps,
+    /// §3.2 Amnesic Terminals.
+    AmnesicTerminals,
+    /// §3.3 Signatures.
+    Signatures,
+    /// §4.2 No caching: every query goes uplink.
+    NoCache,
+    /// §8 Adaptive TS with per-item windows.
+    AdaptiveTs {
+        /// Feedback method (1 = piggybacked hit histories, 2 = uplink
+        /// deltas).
+        method: FeedbackMethod,
+        /// Evaluation period, in intervals.
+        eval_period: u32,
+        /// Window adjustment step `e` of Eq. 31, in intervals.
+        step: u32,
+    },
+    /// §7 delay-condition quasi-copies over TS reports, allowed lag
+    /// `α = alpha_intervals·L`.
+    QuasiDelay {
+        /// Allowed lag in intervals (`j`, with `α = jL`).
+        alpha_intervals: u64,
+    },
+    /// §2's stateful-server baseline: the server tracks every client's
+    /// cache and sends *directed* invalidation messages. Clients behave
+    /// like AT units (a disconnection loses the cache — the server
+    /// dropped their registrations); the difference is the channel
+    /// accounting: per-holder directed messages plus connect/disconnect
+    /// registration traffic instead of one broadcast report.
+    Stateful,
+    /// §10's weighted-report extension: the `hot_count` most popular
+    /// items (rank = id under the library's Zipf convention) are
+    /// broadcast individually AT-style; the cold remainder participates
+    /// in the combined signatures.
+    HybridSig {
+        /// Number of hot items broadcast individually.
+        hot_count: u64,
+    },
+    /// §10's aggregate-report extension: AT at *group* granularity —
+    /// one id per contiguous group of `n/groups` items with at least
+    /// one change; clients drop every cached member of a listed group.
+    GroupReports {
+        /// Number of groups the database is partitioned into.
+        groups: u64,
+    },
+}
+
+impl Strategy {
+    /// Short name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::BroadcastTimestamps => "TS",
+            Strategy::AmnesicTerminals => "AT",
+            Strategy::Signatures => "SIG",
+            Strategy::NoCache => "NC",
+            Strategy::AdaptiveTs { .. } => "ATS",
+            Strategy::QuasiDelay { .. } => "QD",
+            Strategy::Stateful => "SF",
+            Strategy::HybridSig { .. } => "HYB",
+            Strategy::GroupReports { .. } => "GR",
+        }
+    }
+
+    /// Whether clients under this strategy cache at all.
+    pub fn caches(&self) -> bool {
+        !matches!(self, Strategy::NoCache)
+    }
+
+    /// Builds the server-side report builder. `db` is needed by SIG to
+    /// compute the initial combined signatures.
+    ///
+    /// Adaptive TS is *not* constructed here — it needs the controller
+    /// wiring the simulation owns; see `simulation::ServerSide`.
+    pub(crate) fn make_builder(
+        &self,
+        params: &ScenarioParams,
+        seed: MasterSeed,
+        db: &Database,
+    ) -> Box<dyn ReportBuilder + Send> {
+        let latency = SimDuration::from_secs(params.latency_secs);
+        match self {
+            Strategy::BroadcastTimestamps => Box::new(TsBuilder::new(latency, params.k)),
+            Strategy::AmnesicTerminals => Box::new(AtBuilder::new(latency)),
+            Strategy::Signatures => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                Box::new(SigBuilder::new(plan, family, db))
+            }
+            Strategy::NoCache => Box::new(NoReportBuilder),
+            Strategy::AdaptiveTs { .. } => {
+                unreachable!("adaptive TS is constructed by the simulation driver")
+            }
+            // Quasi-delay uses plain TS reports server-side; the
+            // obligation-list report *thinning* is layered by the
+            // simulation driver.
+            Strategy::QuasiDelay { alpha_intervals } => Box::new(TsBuilder::with_window(
+                latency.scaled(*alpha_intervals as f64),
+            )),
+            Strategy::Stateful => {
+                unreachable!("the stateful baseline is constructed by the simulation driver")
+            }
+            Strategy::HybridSig { hot_count } => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                Box::new(HybridSigBuilder::new(
+                    latency,
+                    HotSet::top_by_rank((*hot_count).min(params.n_items)),
+                    plan,
+                    family,
+                    db,
+                ))
+            }
+            Strategy::GroupReports { groups } => Box::new(GroupReportBuilder::new(
+                latency,
+                GroupMap::new(params.n_items, (*groups).clamp(1, params.n_items)),
+            )),
+        }
+    }
+
+    /// Builds one client's report handler.
+    pub(crate) fn make_handler(
+        &self,
+        params: &ScenarioParams,
+        seed: MasterSeed,
+        db: &Database,
+    ) -> Box<dyn ReportHandler + Send> {
+        let latency = SimDuration::from_secs(params.latency_secs);
+        match self {
+            Strategy::BroadcastTimestamps => Box::new(TsHandler::new(latency, params.k)),
+            Strategy::AmnesicTerminals => Box::new(AtHandler::new(latency)),
+            Strategy::Signatures => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                let _ = db; // handler derives everything from the shared plan
+                Box::new(SigHandler::new(sw_signature::SyndromeDecoder::new(
+                    family, plan,
+                )))
+            }
+            Strategy::NoCache => Box::new(NoCacheHandler),
+            Strategy::AdaptiveTs { .. } => Box::new(AdaptiveTsHandler::new(latency, params.k)),
+            Strategy::QuasiDelay { alpha_intervals } => {
+                Box::new(DelayQuasiHandler::new(latency, *alpha_intervals))
+            }
+            // Stateful clients process the union of their directed
+            // invalidations, which the driver frames as an AT-style id
+            // list; the gap-drop models losing the cache on reconnect.
+            Strategy::Stateful => Box::new(AtHandler::new(latency)),
+            Strategy::HybridSig { hot_count } => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                Box::new(HybridHandler::new(
+                    latency,
+                    HotSet::top_by_rank((*hot_count).min(params.n_items)),
+                    sw_signature::SyndromeDecoder::new(family, plan),
+                ))
+            }
+            Strategy::GroupReports { groups } => Box::new(GroupHandler::new(
+                latency,
+                GroupMap::new(params.n_items, (*groups).clamp(1, params.n_items)),
+            )),
+        }
+    }
+}
+
+/// The SIG subset-family seed both sides derive from the master seed.
+fn sig_seed(seed: MasterSeed) -> u64 {
+    // Any deterministic function of the master seed works; draw one word
+    // from the dedicated signature stream.
+    seed.stream(StreamId::Signatures).next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::SimDuration;
+
+    fn db(params: &ScenarioParams) -> Database {
+        Database::new(
+            params.n_items,
+            |i| i,
+            SimDuration::from_secs(params.window_secs().max(params.latency_secs) * 2.0),
+        )
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Strategy::BroadcastTimestamps.name(), "TS");
+        assert_eq!(Strategy::AmnesicTerminals.name(), "AT");
+        assert_eq!(Strategy::Signatures.name(), "SIG");
+        assert_eq!(Strategy::NoCache.name(), "NC");
+    }
+
+    #[test]
+    fn builder_and_handler_names_match() {
+        let params = ScenarioParams::scenario1();
+        let d = db(&params);
+        for s in [
+            Strategy::BroadcastTimestamps,
+            Strategy::AmnesicTerminals,
+            Strategy::Signatures,
+            Strategy::NoCache,
+        ] {
+            let b = s.make_builder(&params, MasterSeed::TEST, &d);
+            let h = s.make_handler(&params, MasterSeed::TEST, &d);
+            assert_eq!(b.name(), h.name(), "strategy {s:?}");
+        }
+    }
+
+    #[test]
+    fn sig_sides_share_the_family() {
+        // Server and client must derive the same subset family from the
+        // same master seed — otherwise every diagnosis is garbage. The
+        // cheap proxy: same seed twice gives identical families.
+        assert_eq!(sig_seed(MasterSeed(1)), sig_seed(MasterSeed(1)));
+        assert_ne!(sig_seed(MasterSeed(1)), sig_seed(MasterSeed(2)));
+    }
+
+    #[test]
+    fn no_cache_does_not_cache() {
+        assert!(!Strategy::NoCache.caches());
+        assert!(Strategy::Signatures.caches());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 of the paper (see DESIGN.md experiment index).
+
+fn main() {
+    sw_experiments::figures::run_figure_main(8);
+}

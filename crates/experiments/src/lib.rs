@@ -1,0 +1,33 @@
+//! # sw-experiments — the figure/table regeneration harness
+//!
+//! One binary per paper artifact (see DESIGN.md §3's experiment index):
+//!
+//! | bin | artifact |
+//! |-----|----------|
+//! | `fig3`…`fig8` | Figures 3–8 (Scenarios 1–6 effectiveness curves) |
+//! | `asymptotics` | the two §5 limit tables |
+//! | `validate_hit_ratios` | E11: simulated vs closed-form hit ratios |
+//! | `quasi_copies` | E12: §7 report-size reduction |
+//! | `adaptive_ts` | E13: §8 adaptive windows vs static TS |
+//! | `sig_false_alarms` | E14: SIG false-alarm rate vs the Chernoff bound |
+//!
+//! Each binary prints the paper-shaped table to stdout and writes a
+//! JSON artifact under `results/` for EXPERIMENTS.md.
+//!
+//! Simulation points run the full discrete-event simulator. For the
+//! 10⁶-item scenarios (2, 4, 6) the simulated database is scaled down
+//! (default 10⁴ items, hotspots and rates unchanged) because hit ratios
+//! are independent of `n` in the paper's model (per-item λ and μ fixed)
+//! while the report-size terms are analytic; EXPERIMENTS.md states this
+//! substitution wherever it applies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod plot;
+pub mod results;
+
+pub use figures::{FigureResult, FigureSpec, SimPoint, SimSettings};
+pub use plot::ascii_chart;
+pub use results::{write_json, ResultFile};

@@ -1,0 +1,48 @@
+//! JSON result artifacts under `results/`, consumed by EXPERIMENTS.md.
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// A named result artifact.
+#[derive(Debug, Clone)]
+pub struct ResultFile {
+    /// Path the artifact was written to.
+    pub path: PathBuf,
+}
+
+/// Serializes `value` as pretty JSON into `results/<name>.json`
+/// (relative to the workspace root if invoked via cargo, else the
+/// current directory).
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<ResultFile> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable result");
+    std::fs::write(&path, json)?;
+    Ok(ResultFile { path })
+}
+
+fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR points at crates/experiments; hop to the root.
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = Path::new(&manifest);
+        if let Some(root) = p.parent().and_then(Path::parent) {
+            return root.join("results");
+        }
+    }
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_is_readable() {
+        let f = write_json("test_artifact", &serde_json::json!({"answer": 42})).unwrap();
+        let body = std::fs::read_to_string(&f.path).unwrap();
+        assert!(body.contains("42"));
+        std::fs::remove_file(&f.path).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! # sw-server — the stationary data server (MSS side)
+//!
+//! Implements everything that runs at the Mobile Support Station:
+//!
+//! * [`database`] — the collection of named items, each with a value and
+//!   the timestamp of its last update (§2: "A database is a collection
+//!   of named data items ... data are being updated at the servers");
+//! * [`update`] — the update process: per-item exponential updates at
+//!   rate μ, realized as the superposed Poisson process at rate `n·μ`
+//!   (§4 model assumptions);
+//! * [`report`] — the report builders that fulfill each obligation:
+//!   [`report::TsBuilder`] (§3.1), [`report::AtBuilder`] (§3.2),
+//!   [`report::SigBuilder`] (§3.3), plus the windowless
+//!   [`report::NoReportBuilder`] for the no-caching baseline;
+//! * [`async_bcast`] — the asynchronous per-update invalidation
+//!   broadcast that §3.2 proves equivalent to AT;
+//! * [`stateful`] — the stateful-server baseline of §2, which tracks
+//!   every client's cache contents and sends directed invalidation
+//!   messages (the strategy whose idealized, zero-cost version defines
+//!   `T_max`);
+//! * [`uplink`] — query answering, including the piggybacked local-hit
+//!   history that §8's adaptive Method 1 consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod async_bcast;
+pub mod database;
+pub mod group;
+pub mod hybrid;
+pub mod report;
+pub mod stateful;
+pub mod update;
+pub mod uplink;
+
+pub use async_bcast::AsyncBroadcaster;
+pub use database::{Database, ItemId, UpdateLog, UpdateRecord};
+pub use group::{GroupMap, GroupReportBuilder};
+pub use hybrid::{HotSet, HybridSigBuilder};
+pub use report::{AtBuilder, NoReportBuilder, ReportBuilder, SigBuilder, TsBuilder};
+pub use stateful::StatefulServer;
+pub use update::UpdateEngine;
+pub use uplink::{PiggybackInfo, QueryAnswer, UplinkProcessor};

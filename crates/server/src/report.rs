@@ -1,0 +1,384 @@
+//! Invalidation-report builders — the server half of each obligation.
+//!
+//! A [`ReportBuilder`] is invoked once per broadcast instant `T_i` after
+//! the interval's updates have been applied, and produces the
+//! [`FramePayload`] the MSS puts on the air:
+//!
+//! * [`TsBuilder`] — Broadcasting Timestamps (§3.1): all `(j, t_j)` with
+//!   `T_i − w < t_j ≤ T_i`, `w = kL`;
+//! * [`AtBuilder`] — Amnesic Terminals (§3.2): ids updated in
+//!   `(T_{i−1}, T_i]`;
+//! * [`SigBuilder`] — combined signatures (§3.3), maintained
+//!   *incrementally*: each update XOR-patches the `m/(f+1)` expected
+//!   combined signatures containing the item, so report construction is
+//!   O(m) regardless of database size;
+//! * [`NoReportBuilder`] — the no-caching baseline (no report; zero
+//!   bits).
+
+use sw_signature::{item_signature, CombinedSignature, SigPlan, SubsetFamily, SyndromeDecoder};
+use sw_sim::{SimDuration, SimTime};
+use sw_wireless::FramePayload;
+
+use crate::database::{Database, UpdateRecord};
+
+/// Converts a [`SimTime`] to the integer-microsecond wire representation.
+#[inline]
+pub fn wire_micros(t: SimTime) -> u64 {
+    (t.as_secs() * 1e6).round() as u64
+}
+
+/// The server half of an invalidation obligation.
+pub trait ReportBuilder {
+    /// Short human-readable strategy name ("TS", "AT", "SIG", "NC").
+    fn name(&self) -> &'static str;
+
+    /// Observes one applied update (needed by incremental builders;
+    /// default is a no-op).
+    fn on_update(&mut self, _rec: &UpdateRecord) {}
+
+    /// Builds the report broadcast at `t_i` (the `i`-th broadcast,
+    /// `i ≥ 1`), given the database state *as of* `t_i`.
+    fn build(&mut self, i: u64, t_i: SimTime, db: &Database) -> FramePayload;
+}
+
+/// Broadcasting Timestamps (TS, §3.1).
+///
+/// "The server agrees to notify the clients about items that have
+/// changed in the last w seconds ... the invalidation report is composed
+/// of the timestamps of the latest change for these items."
+#[derive(Debug, Clone)]
+pub struct TsBuilder {
+    window: SimDuration,
+}
+
+impl TsBuilder {
+    /// Creates a TS builder with window `w = k·L`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` (the paper requires `w ≥ L`).
+    pub fn new(latency: SimDuration, k: u32) -> Self {
+        assert!(k >= 1, "TS window multiple k must be at least 1 (w >= L)");
+        TsBuilder {
+            window: latency.scaled(k as f64),
+        }
+    }
+
+    /// Creates a TS builder with an explicit window (used by tests; the
+    /// adaptive variant lives in `sw-adaptive`).
+    pub fn with_window(window: SimDuration) -> Self {
+        assert!(!window.is_zero(), "TS window must be positive");
+        TsBuilder { window }
+    }
+
+    /// The window `w`.
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+}
+
+impl ReportBuilder for TsBuilder {
+    fn name(&self) -> &'static str {
+        "TS"
+    }
+
+    fn build(&mut self, _i: u64, t_i: SimTime, db: &Database) -> FramePayload {
+        let from_secs = (t_i.as_secs() - self.window.as_secs()).max(0.0);
+        let from = SimTime::from_secs(from_secs);
+        let entries = db
+            .updated_in_window(from, t_i)
+            .into_iter()
+            .map(|(item, at)| (item, wire_micros(at)))
+            .collect();
+        FramePayload::TimestampReport {
+            report_ts_micros: wire_micros(t_i),
+            entries,
+        }
+    }
+}
+
+/// Amnesic Terminals (AT, §3.2).
+///
+/// "The server has the obligation to inform about the identifiers of
+/// the items that changed since the last invalidation report."
+#[derive(Debug, Clone)]
+pub struct AtBuilder {
+    latency: SimDuration,
+}
+
+impl AtBuilder {
+    /// Creates an AT builder for broadcast latency `L`.
+    pub fn new(latency: SimDuration) -> Self {
+        assert!(!latency.is_zero(), "latency must be positive");
+        AtBuilder { latency }
+    }
+}
+
+impl ReportBuilder for AtBuilder {
+    fn name(&self) -> &'static str {
+        "AT"
+    }
+
+    fn build(&mut self, i: u64, t_i: SimTime, db: &Database) -> FramePayload {
+        debug_assert!(i >= 1);
+        let from = SimTime::from_secs((t_i.as_secs() - self.latency.as_secs()).max(0.0));
+        let ids = db
+            .updated_in_window(from, t_i)
+            .into_iter()
+            .map(|(item, _)| item)
+            .collect();
+        FramePayload::AmnesicReport {
+            report_ts_micros: wire_micros(t_i),
+            ids,
+        }
+    }
+}
+
+/// Combined signatures (SIG, §3.3).
+///
+/// The server "computes the m combined signatures sig_1 … sig_m and
+/// broadcasts them". We keep them materialized and XOR-patch on every
+/// update, so `build` is a clone of the signature vector.
+#[derive(Debug, Clone)]
+pub struct SigBuilder {
+    family: SubsetFamily,
+    plan: SigPlan,
+    sigs: Vec<CombinedSignature>,
+}
+
+impl SigBuilder {
+    /// Creates the builder, computing the initial signatures from the
+    /// full database — O(n·m) membership tests, done once.
+    pub fn new(plan: SigPlan, family: SubsetFamily, db: &Database) -> Self {
+        assert_eq!(family.m(), plan.m, "family/plan m mismatch");
+        let mut sigs = vec![0u64; plan.m as usize];
+        for item in 0..db.len() {
+            let s = item_signature(item, db.value(item), plan.g);
+            for j in family.subsets_of(item) {
+                sigs[j as usize] ^= s;
+            }
+        }
+        SigBuilder { family, plan, sigs }
+    }
+
+    /// The plan (shared with clients).
+    pub fn plan(&self) -> &SigPlan {
+        &self.plan
+    }
+
+    /// The subset family (shared with clients).
+    pub fn family(&self) -> &SubsetFamily {
+        &self.family
+    }
+
+    /// A decoder configured identically to this builder, for clients.
+    pub fn decoder(&self) -> SyndromeDecoder {
+        SyndromeDecoder::new(self.family, self.plan)
+    }
+
+    /// Current combined signatures (what the next report will carry).
+    pub fn current(&self) -> &[CombinedSignature] {
+        &self.sigs
+    }
+}
+
+impl ReportBuilder for SigBuilder {
+    fn name(&self) -> &'static str {
+        "SIG"
+    }
+
+    fn on_update(&mut self, rec: &UpdateRecord) {
+        let old = item_signature(rec.item, rec.previous, self.plan.g);
+        let new = item_signature(rec.item, rec.value, self.plan.g);
+        let patch = old ^ new;
+        for j in self.family.subsets_of(rec.item) {
+            self.sigs[j as usize] ^= patch;
+        }
+    }
+
+    fn build(&mut self, _i: u64, t_i: SimTime, _db: &Database) -> FramePayload {
+        FramePayload::SignatureReport {
+            report_ts_micros: wire_micros(t_i),
+            sig_bits: self.plan.g,
+            signatures: self.sigs.clone(),
+        }
+    }
+}
+
+/// The no-caching baseline: no report is broadcast (§4.2); every query
+/// goes uplink. The builder emits an empty AT report, which costs zero
+/// bits on the channel.
+#[derive(Debug, Clone, Default)]
+pub struct NoReportBuilder;
+
+impl ReportBuilder for NoReportBuilder {
+    fn name(&self) -> &'static str {
+        "NC"
+    }
+
+    fn build(&mut self, _i: u64, t_i: SimTime, _db: &Database) -> FramePayload {
+        FramePayload::AmnesicReport {
+            report_ts_micros: wire_micros(t_i),
+            ids: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_signature::combine;
+
+    fn db() -> Database {
+        Database::new(100, |i| i + 1000, SimDuration::from_secs(1e6))
+    }
+
+    #[test]
+    fn ts_report_covers_window_w() {
+        let mut d = db();
+        d.apply_update(1, 1, SimTime::from_secs(5.0));
+        d.apply_update(2, 2, SimTime::from_secs(55.0));
+        d.apply_update(3, 3, SimTime::from_secs(95.0));
+        // w = 5 L = 50 s, report at T = 100 s: covers (50, 100].
+        let mut b = TsBuilder::new(SimDuration::from_secs(10.0), 5);
+        match b.build(10, SimTime::from_secs(100.0), &d) {
+            FramePayload::TimestampReport { entries, .. } => {
+                let items: Vec<u64> = entries.iter().map(|&(i, _)| i).collect();
+                assert_eq!(items, vec![2, 3]);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ts_report_carries_latest_timestamps() {
+        let mut d = db();
+        d.apply_update(4, 1, SimTime::from_secs(12.0));
+        d.apply_update(4, 2, SimTime::from_secs(17.0));
+        let mut b = TsBuilder::new(SimDuration::from_secs(10.0), 10);
+        match b.build(2, SimTime::from_secs(20.0), &d) {
+            FramePayload::TimestampReport { entries, .. } => {
+                assert_eq!(entries, vec![(4, 17_000_000)]);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_report_covers_one_interval() {
+        let mut d = db();
+        d.apply_update(1, 1, SimTime::from_secs(9.0)); // previous interval
+        d.apply_update(2, 2, SimTime::from_secs(11.0));
+        d.apply_update(3, 3, SimTime::from_secs(20.0)); // boundary: in
+        let mut b = AtBuilder::new(SimDuration::from_secs(10.0));
+        match b.build(2, SimTime::from_secs(20.0), &d) {
+            FramePayload::AmnesicReport { ids, .. } => {
+                assert_eq!(ids, vec![2, 3]);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn at_equals_ts_with_k1() {
+        let mut d = db();
+        d.apply_update(5, 1, SimTime::from_secs(12.0));
+        d.apply_update(9, 1, SimTime::from_secs(19.0));
+        let mut at = AtBuilder::new(SimDuration::from_secs(10.0));
+        let mut ts = TsBuilder::new(SimDuration::from_secs(10.0), 1);
+        let at_ids = match at.build(2, SimTime::from_secs(20.0), &d) {
+            FramePayload::AmnesicReport { ids, .. } => ids,
+            _ => unreachable!(),
+        };
+        let ts_ids: Vec<u64> = match ts.build(2, SimTime::from_secs(20.0), &d) {
+            FramePayload::TimestampReport { entries, .. } => {
+                entries.into_iter().map(|(i, _)| i).collect()
+            }
+            _ => unreachable!(),
+        };
+        assert_eq!(at_ids, ts_ids);
+    }
+
+    #[test]
+    fn sig_builder_initial_matches_bruteforce() {
+        let d = db();
+        let plan = SigPlan::new(5, 16, d.len(), 0.05, SigPlan::DEFAULT_K);
+        let family = SubsetFamily::new(77, plan.m, plan.f);
+        let b = SigBuilder::new(plan, family, &d);
+        // Brute-force a few subsets.
+        for j in [0u32, 1, 7, plan.m - 1] {
+            let expected = combine(
+                family
+                    .members(j, d.len())
+                    .into_iter()
+                    .map(|i| item_signature(i, d.value(i), plan.g)),
+            );
+            assert_eq!(b.current()[j as usize], expected, "subset {j}");
+        }
+    }
+
+    #[test]
+    fn sig_incremental_matches_recompute() {
+        let mut d = db();
+        let plan = SigPlan::new(5, 16, d.len(), 0.05, SigPlan::DEFAULT_K);
+        let family = SubsetFamily::new(31, plan.m, plan.f);
+        let mut b = SigBuilder::new(plan, family, &d);
+        // Apply a bunch of updates through the hook.
+        for (step, item) in [3u64, 50, 3, 99, 42].iter().enumerate() {
+            let rec = d.apply_update(*item, 5_000 + step as u64, SimTime::from_secs(step as f64 + 1.0));
+            b.on_update(&rec);
+        }
+        let fresh = SigBuilder::new(plan, family, &d);
+        assert_eq!(b.current(), fresh.current());
+    }
+
+    #[test]
+    fn sig_report_has_m_signatures() {
+        let d = db();
+        let plan = SigPlan::new(5, 16, d.len(), 0.05, SigPlan::DEFAULT_K);
+        let family = SubsetFamily::new(1, plan.m, plan.f);
+        let mut b = SigBuilder::new(plan, family, &d);
+        match b.build(1, SimTime::from_secs(10.0), &d) {
+            FramePayload::SignatureReport {
+                signatures,
+                sig_bits,
+                ..
+            } => {
+                assert_eq!(signatures.len(), plan.m as usize);
+                assert_eq!(sig_bits, 16);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_report_is_empty() {
+        let d = db();
+        let mut b = NoReportBuilder;
+        match b.build(1, SimTime::from_secs(10.0), &d) {
+            FramePayload::AmnesicReport { ids, .. } => assert!(ids.is_empty()),
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_names() {
+        assert_eq!(TsBuilder::new(SimDuration::from_secs(1.0), 1).name(), "TS");
+        assert_eq!(AtBuilder::new(SimDuration::from_secs(1.0)).name(), "AT");
+        assert_eq!(NoReportBuilder.name(), "NC");
+    }
+
+    #[test]
+    fn ts_window_clamps_at_origin() {
+        // Report at T_1 = 10 with w = 1000: the window must clamp to
+        // [0, 10] rather than panic on negative time.
+        let mut d = db();
+        d.apply_update(0, 1, SimTime::from_secs(5.0));
+        let mut b = TsBuilder::new(SimDuration::from_secs(10.0), 100);
+        match b.build(1, SimTime::from_secs(10.0), &d) {
+            FramePayload::TimestampReport { entries, .. } => {
+                assert_eq!(entries.len(), 1);
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Item signatures and their XOR combination.
+//!
+//! "For each item i in the database, we can compute a signature sig(i),
+//! based on the value of the item. If the signature has s bits, the
+//! probability of two different items having the same signature is 2^−s.
+//! The signatures for a set of items can be combined into one by
+//! performing Exclusive OR of the individual signatures." (§3.3)
+//!
+//! The checksum itself is a strong 64-bit mix (two rounds of the
+//! SplitMix64 finalizer over item id and value) truncated to the low `g`
+//! bits, which empirically meets the 2^−g collision model the analysis
+//! assumes; a unit test estimates the collision rate.
+
+/// A `g`-bit item signature, stored in the low bits of a `u64`.
+pub type ItemSignature = u64;
+
+/// A `g`-bit combined (XOR-ed) signature of a subset of items.
+pub type CombinedSignature = u64;
+
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Computes the `g`-bit signature of item `item` holding `value`.
+///
+/// Signatures depend on the item id as well as the value, so two items
+/// holding equal values still contribute distinct terms to a combined
+/// signature — without this, swapping the values of two items in the
+/// same subset would go undetected.
+///
+/// # Panics
+/// Panics if `g` is zero or greater than 64.
+#[inline]
+pub fn item_signature(item: u64, value: u64, g: u32) -> ItemSignature {
+    assert!((1..=64).contains(&g), "signature width must be in 1..=64, got {g}");
+    let h = mix64(mix64(item.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ value).wrapping_add(item));
+    if g == 64 {
+        h
+    } else {
+        h & ((1u64 << g) - 1)
+    }
+}
+
+/// XOR-combines a set of signatures (associative and commutative; the
+/// empty combination is 0).
+#[inline]
+pub fn combine<I: IntoIterator<Item = ItemSignature>>(sigs: I) -> CombinedSignature {
+    sigs.into_iter().fold(0, |acc, s| acc ^ s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_is_deterministic() {
+        assert_eq!(item_signature(5, 99, 16), item_signature(5, 99, 16));
+    }
+
+    #[test]
+    fn signature_depends_on_value() {
+        assert_ne!(item_signature(5, 99, 32), item_signature(5, 100, 32));
+    }
+
+    #[test]
+    fn signature_depends_on_item_id() {
+        assert_ne!(item_signature(5, 99, 32), item_signature(6, 99, 32));
+    }
+
+    #[test]
+    fn signature_fits_in_g_bits() {
+        for g in [1, 8, 16, 63] {
+            for v in 0..100 {
+                let s = item_signature(v, v * 31 + 7, g);
+                assert!(s < (1u64 << g), "sig {s} exceeds {g} bits");
+            }
+        }
+    }
+
+    #[test]
+    fn full_width_signature_allowed() {
+        let _ = item_signature(1, 2, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "signature width")]
+    fn zero_width_rejected() {
+        let _ = item_signature(1, 2, 0);
+    }
+
+    #[test]
+    fn combine_is_commutative_and_associative() {
+        let a = item_signature(1, 10, 16);
+        let b = item_signature(2, 20, 16);
+        let c = item_signature(3, 30, 16);
+        assert_eq!(combine([a, b, c]), combine([c, a, b]));
+        assert_eq!(combine([combine([a, b]), c]), combine([a, combine([b, c])]));
+    }
+
+    #[test]
+    fn combine_empty_is_zero() {
+        assert_eq!(combine(std::iter::empty()), 0);
+    }
+
+    #[test]
+    fn xor_update_replaces_member() {
+        // Incremental maintenance: combined ^ old ^ new swaps one member.
+        let old = item_signature(7, 1, 16);
+        let new = item_signature(7, 2, 16);
+        let others = combine([item_signature(1, 5, 16), item_signature(2, 6, 16)]);
+        let before = others ^ old;
+        let after = before ^ old ^ new;
+        assert_eq!(after, others ^ new);
+    }
+
+    #[test]
+    fn equal_sets_equal_combined() {
+        let items: Vec<u64> = (0..50).collect();
+        let sig1 = combine(items.iter().map(|&i| item_signature(i, i * 3, 16)));
+        let sig2 = combine(items.iter().rev().map(|&i| item_signature(i, i * 3, 16)));
+        assert_eq!(sig1, sig2);
+    }
+
+    #[test]
+    fn collision_rate_tracks_two_to_minus_g() {
+        // With g = 8 the collision probability of two random values is
+        // 1/256 ≈ 0.39%. Estimate over 100k pairs; allow generous slack.
+        let g = 8;
+        let trials = 100_000u64;
+        let mut collisions = 0u64;
+        for t in 0..trials {
+            let a = item_signature(1, t * 2 + 1, g);
+            let b = item_signature(1, t * 2 + 2, g);
+            if a == b {
+                collisions += 1;
+            }
+        }
+        let rate = collisions as f64 / trials as f64;
+        let expected = 1.0 / 256.0;
+        assert!(
+            (rate - expected).abs() < expected,
+            "collision rate {rate} far from {expected}"
+        );
+    }
+
+    #[test]
+    fn value_swap_between_items_is_detected() {
+        // The motivating property: swapping values of two items in the
+        // same subset must change the combined signature.
+        let before = combine([item_signature(1, 100, 32), item_signature(2, 200, 32)]);
+        let after = combine([item_signature(1, 200, 32), item_signature(2, 100, 32)]);
+        assert_ne!(before, after);
+    }
+}

@@ -1,0 +1,329 @@
+//! Syndrome construction and decoding — the client side of SIG (§3.3).
+//!
+//! The client caches, next to its items, the combined signatures of
+//! every subset that contains a cached item. When a report arrives it
+//! builds the syndrome `α_j = 1` iff subset `j` is cached *and* its
+//! broadcast signature differs from the cached one, then counts, for
+//! each cached item, the unmatching subsets it belongs to:
+//!
+//! ```text
+//! for j in 1..=m { if α_j == 1 { for i in cache { if i ∈ S_j { count[i] += 1 } } } }
+//! invalidate i  where  count[i] > m·δ_f        (δ_f = K·p)
+//! ```
+//!
+//! An item in "too many" unmatching signatures is *suspected* of being
+//! out of date and dropped — possibly falsely (a false alarm, which only
+//! costs an unnecessary uplink query), while a truly changed item escapes
+//! only if every one of its subsets collides, probability ≈ 2^−g each.
+//!
+//! **Refinement over the paper's literal rule.** The paper thresholds
+//! the raw count against `m·δ_f = K·m·p`, which silently assumes every
+//! item belongs to exactly `m/(f+1)` subsets. At finite `m` the degree
+//! `deg(i) = |{j : i ∈ S_j}|` is Binomial with ~13% relative spread, so
+//! low-degree items could *never* exceed the global threshold and would
+//! stay stale forever. Since both sides can compute `deg(i)` exactly
+//! from the shared family, we normalize: invalidate iff
+//! `count(i) > θ·deg(i)` with `θ = K·p·(f+1)` — identical in
+//! expectation to the paper's rule, immune to degree variance, and
+//! guaranteeing every truly-changed item is caught up to signature
+//! collisions (θ < 1). EXPERIMENTS.md quantifies the difference.
+
+use crate::bounds::SigPlan;
+use crate::sig::CombinedSignature;
+use crate::subsets::SubsetFamily;
+
+/// The outcome of decoding one report against one client cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnosis {
+    /// Items declared invalid (to be dropped from the cache).
+    pub invalidated: Vec<u64>,
+    /// Per-item unmatch counts, parallel to the `cached_items` input.
+    pub counts: Vec<u32>,
+    /// Per-item subset degrees `deg(i)`, parallel to `cached_items`.
+    pub degrees: Vec<u32>,
+    /// Number of cached subsets whose signatures did not match.
+    pub unmatched_subsets: u32,
+    /// The degree-normalized threshold fraction θ = K·p·(f+1): item `i`
+    /// is invalidated iff `counts[i] > θ·degrees[i]`.
+    pub threshold: f64,
+}
+
+/// Decodes syndromes for a fixed subset family and plan.
+#[derive(Debug, Clone)]
+pub struct SyndromeDecoder {
+    family: SubsetFamily,
+    plan: SigPlan,
+}
+
+impl SyndromeDecoder {
+    /// Creates a decoder; `family.m()` must equal `plan.m`.
+    pub fn new(family: SubsetFamily, plan: SigPlan) -> Self {
+        assert_eq!(
+            family.m(),
+            plan.m,
+            "subset family has {} subsets but the plan requires {}",
+            family.m(),
+            plan.m
+        );
+        assert_eq!(
+            family.f(),
+            plan.f,
+            "subset family built for f={} but the plan has f={}",
+            family.f(),
+            plan.f
+        );
+        SyndromeDecoder { family, plan }
+    }
+
+    /// The shared subset family.
+    pub fn family(&self) -> &SubsetFamily {
+        &self.family
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &SigPlan {
+        &self.plan
+    }
+
+    /// Runs the diagnosis algorithm of §3.3.
+    ///
+    /// * `cached_items` — the ids currently in the client cache;
+    /// * `cached_sigs(j)` — the client's stored signature for subset
+    ///   `j`, or `None` if the client does not cache that subset
+    ///   ("combined uncached signatures are considered equal to the ones
+    ///   that are being broadcast", i.e. they never unmatch);
+    /// * `broadcast` — the `m` signatures from the report.
+    pub fn diagnose<F>(
+        &self,
+        cached_items: &[u64],
+        cached_sigs: F,
+        broadcast: &[CombinedSignature],
+    ) -> Diagnosis
+    where
+        F: Fn(u32) -> Option<CombinedSignature>,
+    {
+        assert_eq!(
+            broadcast.len(),
+            self.plan.m as usize,
+            "report carries {} signatures, expected m={}",
+            broadcast.len(),
+            self.plan.m
+        );
+        let mut counts = vec![0u32; cached_items.len()];
+        let mut degrees = vec![0u32; cached_items.len()];
+        let mut unmatched_subsets = 0u32;
+        for (j, &bsig) in broadcast.iter().enumerate() {
+            let j = j as u32;
+            let alpha = match cached_sigs(j) {
+                Some(csig) => csig != bsig,
+                None => false,
+            };
+            if alpha {
+                unmatched_subsets += 1;
+            }
+            for (idx, &item) in cached_items.iter().enumerate() {
+                if self.family.contains(j, item) {
+                    degrees[idx] += 1;
+                    if alpha {
+                        counts[idx] += 1;
+                    }
+                }
+            }
+        }
+        let threshold = self.plan.degree_threshold_fraction();
+        let invalidated = cached_items
+            .iter()
+            .zip(counts.iter().zip(&degrees))
+            .filter(|&(_, (&c, &d))| c as f64 > threshold * d as f64)
+            .map(|(&i, _)| i)
+            .collect();
+        Diagnosis {
+            invalidated,
+            counts,
+            degrees,
+            unmatched_subsets,
+            threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sig::{combine, item_signature};
+    use std::collections::HashMap;
+
+    /// A tiny in-memory "server": n items with values, producing the m
+    /// combined signatures the MSS would broadcast.
+    struct MiniServer {
+        family: SubsetFamily,
+        values: Vec<u64>,
+        g: u32,
+    }
+
+    impl MiniServer {
+        fn new(family: SubsetFamily, n: u64, g: u32) -> Self {
+            MiniServer {
+                family,
+                values: (0..n).map(|i| i * 1000 + 1).collect(),
+                g,
+            }
+        }
+
+        fn update(&mut self, item: u64, value: u64) {
+            self.values[item as usize] = value;
+        }
+
+        fn broadcast(&self) -> Vec<CombinedSignature> {
+            (0..self.family.m())
+                .map(|j| {
+                    combine(
+                        (0..self.values.len() as u64)
+                            .filter(|&i| self.family.contains(j, i))
+                            .map(|i| item_signature(i, self.values[i as usize], self.g)),
+                    )
+                })
+                .collect()
+        }
+    }
+
+    fn setup(f: u32, n: u64) -> (MiniServer, SyndromeDecoder) {
+        let g = 16;
+        let plan = SigPlan::new(f, g, n, 0.05, SigPlan::DEFAULT_K);
+        let family = SubsetFamily::new(0xABCD, plan.m, f);
+        let server = MiniServer::new(family, n, g);
+        (server, SyndromeDecoder::new(family, plan))
+    }
+
+    /// Client snapshot: stores all subset signatures touching its items.
+    fn snapshot(
+        decoder: &SyndromeDecoder,
+        server: &MiniServer,
+        cached_items: &[u64],
+    ) -> HashMap<u32, CombinedSignature> {
+        let all = server.broadcast();
+        let mut sigs = HashMap::new();
+        for &item in cached_items {
+            for j in decoder.family().subsets_of(item) {
+                sigs.insert(j, all[j as usize]);
+            }
+        }
+        sigs
+    }
+
+    #[test]
+    fn clean_cache_nothing_invalidated() {
+        let (server, decoder) = setup(10, 500);
+        let cached: Vec<u64> = (0..20).collect();
+        let sigs = snapshot(&decoder, &server, &cached);
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        assert!(d.invalidated.is_empty());
+        assert_eq!(d.unmatched_subsets, 0);
+        assert!(d.counts.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn updated_cached_item_is_diagnosed() {
+        let (mut server, decoder) = setup(10, 500);
+        let cached: Vec<u64> = (0..20).collect();
+        let sigs = snapshot(&decoder, &server, &cached);
+        server.update(5, 999_999);
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        assert!(
+            d.invalidated.contains(&5),
+            "item 5 should be diagnosed; counts: {:?}",
+            d.counts
+        );
+    }
+
+    #[test]
+    fn update_to_uncached_item_rarely_kills_valid_cache() {
+        // f updates land on items the client does NOT cache; the client's
+        // own items should (mostly) survive — this is the false-alarm
+        // probability the Chernoff bound controls.
+        let (mut server, decoder) = setup(10, 500);
+        let cached: Vec<u64> = (0..20).collect();
+        let sigs = snapshot(&decoder, &server, &cached);
+        for u in 0..10 {
+            server.update(400 + u, 777_000 + u);
+        }
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        assert!(
+            d.invalidated.len() <= 2,
+            "too many false alarms: {:?}",
+            d.invalidated
+        );
+    }
+
+    #[test]
+    fn multiple_updated_items_all_diagnosed() {
+        let (mut server, decoder) = setup(10, 500);
+        let cached: Vec<u64> = (0..30).collect();
+        let sigs = snapshot(&decoder, &server, &cached);
+        for item in [3u64, 11, 27] {
+            server.update(item, item + 1_000_000);
+        }
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        for item in [3u64, 11, 27] {
+            assert!(d.invalidated.contains(&item), "missed {item}: {:?}", d.invalidated);
+        }
+    }
+
+    #[test]
+    fn sleeping_through_many_updates_still_diagnoses() {
+        // SIG's selling point: the report is state-based, so a client
+        // that slept through any number of intervals compares against
+        // the CURRENT state and still finds its stale items.
+        let (mut server, decoder) = setup(10, 500);
+        let cached: Vec<u64> = (100..130).collect();
+        let sigs = snapshot(&decoder, &server, &cached);
+        // Many intervals pass; item 100 is updated repeatedly, ending at
+        // a final value.
+        for round in 0..50u64 {
+            server.update(100, 5_000 + round);
+        }
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        assert!(d.invalidated.contains(&100));
+    }
+
+    #[test]
+    fn uncached_subsets_never_unmatch() {
+        let (mut server, decoder) = setup(10, 500);
+        // Client caches nothing: no subsets cached, so no alarm no matter
+        // how much the database churns.
+        for i in 0..100 {
+            server.update(i, i + 42);
+        }
+        let d = decoder.diagnose(&[], |_| None, &server.broadcast());
+        assert_eq!(d.unmatched_subsets, 0);
+        assert!(d.invalidated.is_empty());
+    }
+
+    #[test]
+    fn counts_are_parallel_to_input() {
+        let (mut server, decoder) = setup(10, 200);
+        let cached = vec![7u64, 8, 9];
+        let sigs = snapshot(&decoder, &server, &cached);
+        server.update(8, 123_456);
+        let d = decoder.diagnose(&cached, |j| sigs.get(&j).copied(), &server.broadcast());
+        assert_eq!(d.counts.len(), 3);
+        // The updated item has the (strictly) largest count.
+        assert!(d.counts[1] > d.counts[0]);
+        assert!(d.counts[1] > d.counts[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "report carries")]
+    fn wrong_report_length_rejected() {
+        let (_, decoder) = setup(10, 200);
+        let _ = decoder.diagnose(&[], |_| None, &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "subset family has")]
+    fn family_plan_mismatch_rejected() {
+        let plan = SigPlan::new(10, 16, 200, 0.05, SigPlan::DEFAULT_K);
+        let family = SubsetFamily::new(1, plan.m + 1, 10);
+        let _ = SyndromeDecoder::new(family, plan);
+    }
+}

@@ -1,0 +1,41 @@
+//! # sw-sim — discrete-event simulation kernel
+//!
+//! Substrate crate for the *Sleepers and Workaholics* reproduction
+//! (Barbará & Imieliński, SIGMOD 1994 / VLDB Journal 1995).
+//!
+//! The paper's evaluation model is a cell in which a stateless server
+//! broadcasts an invalidation report every `L` seconds while mobile units
+//! issue queries, sleep, and wake. This crate provides the generic pieces
+//! every higher layer builds on:
+//!
+//! * [`time`] — a virtual clock ([`SimTime`]) measured in seconds with
+//!   total ordering and interval arithmetic;
+//! * [`event`] — a deterministic event queue ([`EventQueue`]) with
+//!   stable FIFO tie-breaking;
+//! * [`rng`] — reproducible, stream-split random number generation
+//!   ([`RngStream`]) so that e.g. the update process and each client's
+//!   query process draw from independent, replayable streams;
+//! * [`process`] — the stochastic processes the paper assumes: Poisson
+//!   arrivals with exponential inter-arrival times (queries at rate λ,
+//!   updates at rate μ) and the per-interval Bernoulli sleep process
+//!   (probability `s` of being disconnected in an interval);
+//! * [`stats`] — streaming statistics (Welford mean/variance, counters,
+//!   fixed-bucket histograms) used by the metrics layer.
+//!
+//! All randomness is deterministic given a master seed, which makes the
+//! integration tests and the figure-regeneration experiments replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod process;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventQueue, ScheduledEvent};
+pub use process::{BernoulliIntervalProcess, IntervalClock, PoissonProcess};
+pub use rng::{MasterSeed, RngStream, StreamId};
+pub use stats::{Counter, Histogram, RatioEstimator, Welford};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,381 @@
+//! Streaming statistics for the metrics layer.
+//!
+//! Simulation runs span millions of query events; we never store raw
+//! samples. [`Welford`] keeps numerically stable running mean/variance,
+//! [`RatioEstimator`] tracks hit ratios (hits over trials with a normal
+//! confidence interval), [`Counter`] is a plain named tally, and
+//! [`Histogram`] buckets values for distribution sanity checks.
+
+use std::fmt;
+
+/// Welford's online algorithm for mean and variance.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance, or 0 with fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64) * (other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+    }
+}
+
+/// Hits over trials — the estimator behind every hit-ratio measurement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RatioEstimator {
+    hits: u64,
+    trials: u64,
+}
+
+impl RatioEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial with the given outcome.
+    pub fn record(&mut self, hit: bool) {
+        self.trials += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Records `hits` successes out of `trials` in bulk.
+    pub fn record_bulk(&mut self, hits: u64, trials: u64) {
+        assert!(hits <= trials, "more hits than trials");
+        self.hits += hits;
+        self.trials += trials;
+    }
+
+    /// Number of successes.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of trials.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate `hits / trials`, or 0 when empty.
+    pub fn ratio(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.trials as f64
+        }
+    }
+
+    /// Half-width of the 95% normal-approximation confidence interval.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.trials == 0 {
+            return 0.0;
+        }
+        let p = self.ratio();
+        1.96 * (p * (1.0 - p) / self.trials as f64).sqrt()
+    }
+
+    /// Merges another estimator into this one.
+    pub fn merge(&mut self, other: &RatioEstimator) {
+        self.hits += other.hits;
+        self.trials += other.trials;
+    }
+}
+
+impl fmt::Display for RatioEstimator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.4} ±{:.4} (n={})",
+            self.ratio(),
+            self.ci95_half_width(),
+            self.trials
+        )
+    }
+}
+
+/// A plain monotone counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A fixed-range, fixed-bucket histogram with overflow/underflow bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal bins.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
+        assert!(hi > lo, "histogram range must be non-empty");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = ((x - self.lo) / width) as usize;
+            let idx = idx.min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Counts per in-range bucket.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile (`q ∈ [0,1]`) from bucket midpoints.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return self.lo;
+        }
+        let target = (q * self.count as f64).ceil() as u64;
+        let mut seen = self.underflow;
+        if seen >= target {
+            return self.lo;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return self.lo + width * (i as f64 + 0.5);
+            }
+        }
+        self.hi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_closed_form() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic dataset is 32/7.
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for i in 0..1000 {
+            let x = (i as f64).sin() * 10.0 + 3.0;
+            if i % 2 == 0 {
+                a.push(x);
+            } else {
+                b.push(x);
+            }
+            all.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.std_error(), 0.0);
+    }
+
+    #[test]
+    fn ratio_estimator_basics() {
+        let mut r = RatioEstimator::new();
+        for i in 0..100 {
+            r.record(i % 4 == 0);
+        }
+        assert_eq!(r.hits(), 25);
+        assert_eq!(r.trials(), 100);
+        assert!((r.ratio() - 0.25).abs() < 1e-12);
+        assert!(r.ci95_half_width() > 0.0);
+    }
+
+    #[test]
+    fn ratio_estimator_merge() {
+        let mut a = RatioEstimator::new();
+        a.record_bulk(10, 40);
+        let mut b = RatioEstimator::new();
+        b.record_bulk(30, 60);
+        a.merge(&b);
+        assert_eq!(a.hits(), 40);
+        assert_eq!(a.trials(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "more hits")]
+    fn ratio_estimator_rejects_impossible_bulk() {
+        let mut r = RatioEstimator::new();
+        r.record_bulk(5, 3);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_and_flows() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        h.record(-1.0);
+        h.record(42.0);
+        assert_eq!(h.count(), 12);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert!(h.buckets().iter().all(|&b| b == 1));
+    }
+
+    #[test]
+    fn histogram_median_of_uniform() {
+        let mut h = Histogram::new(0.0, 1.0, 100);
+        for i in 0..10_000 {
+            h.record(i as f64 / 10_000.0);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 0.5).abs() < 0.02, "median {med}");
+    }
+}

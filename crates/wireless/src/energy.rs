@@ -1,0 +1,173 @@
+//! Client energy accounting.
+//!
+//! The paper's motivation for everything is battery life: "broadcast
+//! solutions require MUs to listen for reports that include items the MU
+//! may not be caching. This presents a problem if the user is paying for
+//! the listening time" (§10). We track the three client radio states the
+//! paper distinguishes (§1, footnote 1):
+//!
+//! * **receiving** — actively listening to the channel (reports,
+//!   answers);
+//! * **transmitting** — sending uplink queries;
+//! * **dozing** — CPU at low rate, wakeable by an addressed message;
+//! * **sleeping** — truly off, unreachable.
+//!
+//! Costs are per-second weights, normalized so dozing costs 1; the
+//! defaults follow the usual order-of-magnitude spread for early-90s
+//! packet radios (tx ≫ rx ≫ doze ≫ sleep).
+
+use sw_sim::SimDuration;
+
+/// Per-second energy weights of each radio state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Cost per second of active reception.
+    pub rx_per_sec: f64,
+    /// Cost per second of transmission.
+    pub tx_per_sec: f64,
+    /// Cost per second of dozing (CPU slow, NIC address-matching).
+    pub doze_per_sec: f64,
+    /// Cost per second fully asleep.
+    pub sleep_per_sec: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            rx_per_sec: 10.0,
+            tx_per_sec: 100.0,
+            doze_per_sec: 1.0,
+            sleep_per_sec: 0.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Validates a custom model (all weights non-negative, ordering
+    /// tx ≥ rx ≥ doze ≥ sleep is *not* enforced but is conventional).
+    pub fn new(rx: f64, tx: f64, doze: f64, sleep: f64) -> Self {
+        for (name, v) in [("rx", rx), ("tx", tx), ("doze", doze), ("sleep", sleep)] {
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "energy weight {name} must be non-negative, got {v}"
+            );
+        }
+        EnergyModel {
+            rx_per_sec: rx,
+            tx_per_sec: tx,
+            doze_per_sec: doze,
+            sleep_per_sec: sleep,
+        }
+    }
+}
+
+/// Accumulated energy by state for one client.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyTotals {
+    /// Energy spent receiving.
+    pub rx: f64,
+    /// Energy spent transmitting.
+    pub tx: f64,
+    /// Energy spent dozing.
+    pub doze: f64,
+    /// Energy spent asleep.
+    pub sleep: f64,
+}
+
+impl EnergyTotals {
+    /// Adds reception time.
+    pub fn add_rx(&mut self, model: &EnergyModel, d: SimDuration) {
+        self.rx += model.rx_per_sec * d.as_secs();
+    }
+
+    /// Adds transmission time.
+    pub fn add_tx(&mut self, model: &EnergyModel, d: SimDuration) {
+        self.tx += model.tx_per_sec * d.as_secs();
+    }
+
+    /// Adds dozing time.
+    pub fn add_doze(&mut self, model: &EnergyModel, d: SimDuration) {
+        self.doze += model.doze_per_sec * d.as_secs();
+    }
+
+    /// Adds sleeping time.
+    pub fn add_sleep(&mut self, model: &EnergyModel, d: SimDuration) {
+        self.sleep += model.sleep_per_sec * d.as_secs();
+    }
+
+    /// Total energy across states.
+    pub fn total(&self) -> f64 {
+        self.rx + self.tx + self.doze + self.sleep
+    }
+
+    /// Merges another client's totals (fleet aggregation).
+    pub fn merge(&mut self, other: &EnergyTotals) {
+        self.rx += other.rx;
+        self.tx += other.tx;
+        self.doze += other.doze;
+        self.sleep += other.sleep;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_is_sane() {
+        let m = EnergyModel::default();
+        assert!(m.tx_per_sec > m.rx_per_sec);
+        assert!(m.rx_per_sec > m.doze_per_sec);
+        assert!(m.doze_per_sec > m.sleep_per_sec);
+    }
+
+    #[test]
+    fn accumulation_is_linear_in_time() {
+        let m = EnergyModel::default();
+        let mut e = EnergyTotals::default();
+        e.add_rx(&m, SimDuration::from_secs(2.0));
+        e.add_tx(&m, SimDuration::from_secs(0.5));
+        e.add_doze(&m, SimDuration::from_secs(10.0));
+        e.add_sleep(&m, SimDuration::from_secs(100.0));
+        assert!((e.rx - 20.0).abs() < 1e-12);
+        assert!((e.tx - 50.0).abs() < 1e-12);
+        assert!((e.doze - 10.0).abs() < 1e-12);
+        assert_eq!(e.sleep, 0.0);
+        assert!((e.total() - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let m = EnergyModel::default();
+        let mut a = EnergyTotals::default();
+        a.add_rx(&m, SimDuration::from_secs(1.0));
+        let mut b = EnergyTotals::default();
+        b.add_tx(&m, SimDuration::from_secs(1.0));
+        a.merge(&b);
+        assert!((a.total() - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_beats_busy_listening() {
+        // A client dozing for an interval and waking only for the report
+        // must spend less than one busy-listening the whole interval.
+        let m = EnergyModel::default();
+        let interval = SimDuration::from_secs(10.0);
+        let report_tx = SimDuration::from_secs(0.1);
+
+        let mut multicast = EnergyTotals::default();
+        multicast.add_doze(&m, interval - report_tx);
+        multicast.add_rx(&m, report_tx);
+
+        let mut busy = EnergyTotals::default();
+        busy.add_rx(&m, interval);
+
+        assert!(multicast.total() < busy.total());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be non-negative")]
+    fn negative_weight_rejected() {
+        let _ = EnergyModel::new(1.0, -1.0, 0.1, 0.0);
+    }
+}

@@ -1,0 +1,573 @@
+//! Wire encoding of everything that crosses the channel.
+//!
+//! The analytical model charges the channel in bits:
+//!
+//! * a TS report entry costs `⌈log2 n⌉ + b_T` bits (item id + timestamp,
+//!   §4.3);
+//! * an AT report entry costs `⌈log2 n⌉` bits (§4.4);
+//! * a SIG report costs `m · g` bits (`m` combined signatures of `g`
+//!   bits, §4.5);
+//! * an uplink query costs `b_q` bits and its answer `b_a` bits (§4).
+//!
+//! To keep the simulator honest we also *serialize* frames into real byte
+//! buffers. The wire format packs fields at bit granularity so the
+//! measured size equals the analytical size rounded up to whole bytes;
+//! unit tests pin that relationship down.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Number of bits needed to name one of `n` items: `⌈log2 n⌉`.
+///
+/// The paper writes `log(n)` for the id cost; we resolve it as the
+/// standard fixed-width binary code (see DESIGN.md §4).
+#[inline]
+pub fn id_bits(n: u64) -> u32 {
+    debug_assert!(n > 0, "database cannot be empty");
+    if n <= 1 {
+        1
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// What a frame carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FramePayload {
+    /// A TS invalidation report: `(item id, update timestamp)` pairs for
+    /// items changed within the window `w`.
+    TimestampReport {
+        /// Report timestamp `T_i` in integer microseconds.
+        report_ts_micros: u64,
+        /// `(id, update timestamp in micros)` entries.
+        entries: Vec<(u64, u64)>,
+    },
+    /// An AT invalidation report: ids of items changed since the last
+    /// report.
+    AmnesicReport {
+        /// Report timestamp `T_i` in integer microseconds.
+        report_ts_micros: u64,
+        /// Changed item ids.
+        ids: Vec<u64>,
+    },
+    /// An adaptive TS report (§8): per-item-window entries plus the
+    /// current window exception table (items whose window differs from
+    /// the shared default), so clients always apply the server's
+    /// windows.
+    AdaptiveTimestampReport {
+        /// Report timestamp `T_i` in integer microseconds.
+        report_ts_micros: u64,
+        /// `(id, update timestamp in micros)` entries.
+        entries: Vec<(u64, u64)>,
+        /// `(id, window in intervals)` exceptions from the default.
+        window_exceptions: Vec<(u64, u32)>,
+    },
+    /// A §10 hybrid report: hot items are broadcast individually
+    /// (AT-style id list), the rest of the database participates in the
+    /// combined signatures — "the 'hot spot' items can be individually
+    /// broadcasted, while the rest of the database items would
+    /// participate in the signatures."
+    HybridReport {
+        /// Report timestamp `T_i` in integer microseconds.
+        report_ts_micros: u64,
+        /// Hot items updated in the last interval.
+        hot_ids: Vec<u64>,
+        /// Signature width `g` in bits.
+        sig_bits: u32,
+        /// Combined signatures over the cold items.
+        signatures: Vec<u64>,
+    },
+    /// A SIG report: `m` combined signatures of `g` bits each.
+    SignatureReport {
+        /// Report timestamp `T_i` in integer microseconds.
+        report_ts_micros: u64,
+        /// Signature width `g` in bits.
+        sig_bits: u32,
+        /// The combined signatures (low `sig_bits` of each word).
+        signatures: Vec<u64>,
+    },
+    /// An uplink query for one item.
+    UplinkQuery {
+        /// Querying client.
+        client: u64,
+        /// Queried item id.
+        item: u64,
+    },
+    /// The downlink answer to an uplink query.
+    QueryAnswer {
+        /// Item id.
+        item: u64,
+        /// Current value at the server.
+        value: u64,
+        /// Server-side timestamp of the answer, in micros.
+        ts_micros: u64,
+    },
+    /// A per-item asynchronous invalidation message (§2's stateful /
+    /// asynchronous baselines).
+    Invalidation {
+        /// Item id.
+        item: u64,
+    },
+}
+
+/// Frame classification used by the traffic accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FrameKind {
+    /// Periodic invalidation report (downlink).
+    Report,
+    /// Uplink query.
+    Query,
+    /// Downlink answer.
+    Answer,
+    /// Asynchronous invalidation (downlink).
+    Invalidation,
+}
+
+/// A frame plus its *analytical* size in bits, as charged by the paper's
+/// formulas. The serialized byte length is always `⌈bits/8⌉` plus a
+/// fixed 2-byte kind/len header (excluded from analytical accounting to
+/// match the paper, which charges payloads only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// The payload.
+    pub payload: FramePayload,
+    /// Analytical size in bits.
+    pub bits: u64,
+}
+
+/// Encoding parameters shared by the cell: how many bits an id, a
+/// timestamp, a query, and an answer take.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireEncode {
+    /// Database size `n` (determines id width).
+    pub n_items: u64,
+    /// Timestamp width `b_T` in bits (512 in the paper's scenarios).
+    pub timestamp_bits: u32,
+    /// Uplink query cost `b_q` in bits.
+    pub query_bits: u32,
+    /// Answer cost `b_a` in bits.
+    pub answer_bits: u32,
+}
+
+impl WireEncode {
+    /// Creates the encoder, validating widths.
+    pub fn new(n_items: u64, timestamp_bits: u32, query_bits: u32, answer_bits: u32) -> Self {
+        assert!(n_items > 0, "database cannot be empty");
+        assert!(timestamp_bits > 0 && timestamp_bits <= 4096);
+        assert!(query_bits > 0 && answer_bits > 0);
+        WireEncode {
+            n_items,
+            timestamp_bits,
+            query_bits,
+            answer_bits,
+        }
+    }
+
+    /// Bits to name one item: `⌈log2 n⌉`.
+    pub fn id_bits(&self) -> u32 {
+        id_bits(self.n_items)
+    }
+
+    /// Analytical size in bits of a TS report with `entries` entries:
+    /// `n_c · (⌈log2 n⌉ + b_T)` (§4.3).
+    pub fn ts_report_bits(&self, entries: usize) -> u64 {
+        entries as u64 * (self.id_bits() as u64 + self.timestamp_bits as u64)
+    }
+
+    /// Analytical size in bits of an AT report with `ids` ids:
+    /// `n_L · ⌈log2 n⌉` (§4.4).
+    pub fn at_report_bits(&self, ids: usize) -> u64 {
+        ids as u64 * self.id_bits() as u64
+    }
+
+    /// Analytical size in bits of a SIG report of `m` signatures of `g`
+    /// bits: `m · g` (§4.5).
+    pub fn sig_report_bits(&self, m: usize, g: u32) -> u64 {
+        m as u64 * g as u64
+    }
+
+    /// Classifies and sizes a payload, producing a [`Frame`].
+    pub fn frame(&self, payload: FramePayload) -> Frame {
+        let bits = match &payload {
+            FramePayload::TimestampReport { entries, .. } => self.ts_report_bits(entries.len()),
+            FramePayload::AdaptiveTimestampReport {
+                entries,
+                window_exceptions,
+                ..
+            } => {
+                self.ts_report_bits(entries.len())
+                    + window_exceptions.len() as u64 * (self.id_bits() as u64 + 16)
+            }
+            FramePayload::AmnesicReport { ids, .. } => self.at_report_bits(ids.len()),
+            FramePayload::SignatureReport {
+                signatures,
+                sig_bits,
+                ..
+            } => self.sig_report_bits(signatures.len(), *sig_bits),
+            FramePayload::HybridReport {
+                hot_ids,
+                signatures,
+                sig_bits,
+                ..
+            } => {
+                self.at_report_bits(hot_ids.len())
+                    + self.sig_report_bits(signatures.len(), *sig_bits)
+            }
+            FramePayload::UplinkQuery { .. } => self.query_bits as u64,
+            FramePayload::QueryAnswer { .. } => self.answer_bits as u64,
+            FramePayload::Invalidation { .. } => self.id_bits() as u64,
+        };
+        Frame { payload, bits }
+    }
+
+    /// Serializes a frame into bytes. The length is `2 + ⌈bits/8⌉`
+    /// (2-byte header carrying kind + a 15-bit length-in-bits field is
+    /// enough for unit tests; reports longer than 4 KiB spill into an
+    /// 8-byte extended header).
+    pub fn serialize(&self, frame: &Frame) -> Bytes {
+        let mut w = BitWriter::new();
+        match &frame.payload {
+            FramePayload::TimestampReport {
+                report_ts_micros,
+                entries,
+            } => {
+                w.put_bits(*report_ts_micros, self.timestamp_bits);
+                for (id, ts) in entries {
+                    w.put_bits(*id, self.id_bits());
+                    w.put_bits(*ts, self.timestamp_bits);
+                }
+            }
+            FramePayload::AmnesicReport {
+                report_ts_micros,
+                ids,
+            } => {
+                w.put_bits(*report_ts_micros, self.timestamp_bits);
+                for id in ids {
+                    w.put_bits(*id, self.id_bits());
+                }
+            }
+            FramePayload::AdaptiveTimestampReport {
+                report_ts_micros,
+                entries,
+                window_exceptions,
+            } => {
+                w.put_bits(*report_ts_micros, self.timestamp_bits);
+                for (id, ts) in entries {
+                    w.put_bits(*id, self.id_bits());
+                    w.put_bits(*ts, self.timestamp_bits);
+                }
+                for (id, win) in window_exceptions {
+                    w.put_bits(*id, self.id_bits());
+                    w.put_bits(*win as u64, 16);
+                }
+            }
+            FramePayload::SignatureReport {
+                report_ts_micros,
+                sig_bits,
+                signatures,
+            } => {
+                w.put_bits(*report_ts_micros, self.timestamp_bits);
+                for s in signatures {
+                    w.put_bits(*s, (*sig_bits).min(64));
+                }
+            }
+            FramePayload::HybridReport {
+                report_ts_micros,
+                hot_ids,
+                sig_bits,
+                signatures,
+            } => {
+                w.put_bits(*report_ts_micros, self.timestamp_bits);
+                for id in hot_ids {
+                    w.put_bits(*id, self.id_bits());
+                }
+                for s in signatures {
+                    w.put_bits(*s, (*sig_bits).min(64));
+                }
+            }
+            FramePayload::UplinkQuery { client, item } => {
+                w.put_bits(*client, 32);
+                w.put_bits(*item, self.id_bits());
+            }
+            FramePayload::QueryAnswer {
+                item,
+                value,
+                ts_micros,
+            } => {
+                w.put_bits(*item, self.id_bits());
+                w.put_bits(*value, 64);
+                w.put_bits(*ts_micros, 64);
+            }
+            FramePayload::Invalidation { item } => {
+                w.put_bits(*item, self.id_bits());
+            }
+        }
+        let kind = match frame.payload {
+            FramePayload::TimestampReport { .. } => 0u8,
+            FramePayload::AdaptiveTimestampReport { .. } => 6,
+            FramePayload::HybridReport { .. } => 7,
+            FramePayload::AmnesicReport { .. } => 1,
+            FramePayload::SignatureReport { .. } => 2,
+            FramePayload::UplinkQuery { .. } => 3,
+            FramePayload::QueryAnswer { .. } => 4,
+            FramePayload::Invalidation { .. } => 5,
+        };
+        let body = w.finish();
+        let mut out = BytesMut::with_capacity(body.len() + 10);
+        out.put_u8(kind);
+        out.put_u8(0); // reserved / version
+        out.put_u64(body.len() as u64);
+        out.extend_from_slice(&body);
+        out.freeze()
+    }
+
+    /// The [`FrameKind`] of a payload.
+    pub fn kind(payload: &FramePayload) -> FrameKind {
+        match payload {
+            FramePayload::TimestampReport { .. }
+            | FramePayload::AdaptiveTimestampReport { .. }
+            | FramePayload::AmnesicReport { .. }
+            | FramePayload::HybridReport { .. }
+            | FramePayload::SignatureReport { .. } => FrameKind::Report,
+            FramePayload::UplinkQuery { .. } => FrameKind::Query,
+            FramePayload::QueryAnswer { .. } => FrameKind::Answer,
+            FramePayload::Invalidation { .. } => FrameKind::Invalidation,
+        }
+    }
+}
+
+/// Minimal MSB-first bit packer backing [`WireEncode::serialize`].
+struct BitWriter {
+    buf: Vec<u8>,
+    cur: u8,
+    filled: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            buf: Vec::new(),
+            cur: 0,
+            filled: 0,
+        }
+    }
+
+    /// Writes the low `width` bits of `value`, MSB first. `width` beyond
+    /// 64 pads with zero bits (timestamps wider than a machine word).
+    fn put_bits(&mut self, value: u64, width: u32) {
+        let pad = width.saturating_sub(64);
+        for _ in 0..pad {
+            self.push_bit(false);
+        }
+        let width = width.min(64);
+        for i in (0..width).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    #[inline]
+    fn push_bit(&mut self, bit: bool) {
+        self.cur = (self.cur << 1) | bit as u8;
+        self.filled += 1;
+        if self.filled == 8 {
+            self.buf.push(self.cur);
+            self.cur = 0;
+            self.filled = 0;
+        }
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.filled > 0 {
+            self.cur <<= 8 - self.filled;
+            self.buf.push(self.cur);
+        }
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> WireEncode {
+        // Scenario 1 parameters: n = 1000, b_T = 512.
+        WireEncode::new(1000, 512, 512, 512)
+    }
+
+    #[test]
+    fn id_bits_is_ceil_log2() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(1000), 10);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+        assert_eq!(id_bits(1_000_000), 20);
+    }
+
+    #[test]
+    fn ts_report_bits_match_formula() {
+        let e = enc();
+        // n_c entries of (10-bit id + 512-bit timestamp).
+        assert_eq!(e.ts_report_bits(7), 7 * (10 + 512));
+    }
+
+    #[test]
+    fn at_report_bits_match_formula() {
+        let e = enc();
+        assert_eq!(e.at_report_bits(13), 13 * 10);
+    }
+
+    #[test]
+    fn sig_report_bits_match_formula() {
+        let e = enc();
+        assert_eq!(e.sig_report_bits(100, 16), 1600);
+    }
+
+    #[test]
+    fn frame_sizes_flow_from_payload() {
+        let e = enc();
+        let f = e.frame(FramePayload::AmnesicReport {
+            report_ts_micros: 0,
+            ids: vec![1, 2, 3],
+        });
+        assert_eq!(f.bits, 30);
+        let q = e.frame(FramePayload::UplinkQuery { client: 0, item: 5 });
+        assert_eq!(q.bits, 512);
+        let a = e.frame(FramePayload::QueryAnswer {
+            item: 5,
+            value: 99,
+            ts_micros: 1,
+        });
+        assert_eq!(a.bits, 512);
+    }
+
+    #[test]
+    fn serialized_length_tracks_analytical_bits() {
+        let e = enc();
+        // AT report: 3 ids = 30 bits + 512-bit report timestamp header.
+        let f = e.frame(FramePayload::AmnesicReport {
+            report_ts_micros: 42,
+            ids: vec![1, 2, 3],
+        });
+        let bytes = e.serialize(&f);
+        // header (10) + ceil((512 + 30)/8) = 10 + 68
+        assert_eq!(bytes.len(), 10 + 68);
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let e = enc();
+        let f = e.frame(FramePayload::TimestampReport {
+            report_ts_micros: 10,
+            entries: vec![(1, 5), (2, 9)],
+        });
+        assert_eq!(e.serialize(&f), e.serialize(&f));
+    }
+
+    #[test]
+    fn distinct_payloads_distinct_bytes() {
+        let e = enc();
+        let a = e.serialize(&e.frame(FramePayload::AmnesicReport {
+            report_ts_micros: 0,
+            ids: vec![1],
+        }));
+        let b = e.serialize(&e.frame(FramePayload::AmnesicReport {
+            report_ts_micros: 0,
+            ids: vec![2],
+        }));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kind_classification() {
+        assert_eq!(
+            WireEncode::kind(&FramePayload::UplinkQuery { client: 0, item: 0 }),
+            FrameKind::Query
+        );
+        assert_eq!(
+            WireEncode::kind(&FramePayload::SignatureReport {
+                report_ts_micros: 0,
+                sig_bits: 16,
+                signatures: vec![]
+            }),
+            FrameKind::Report
+        );
+        assert_eq!(
+            WireEncode::kind(&FramePayload::Invalidation { item: 3 }),
+            FrameKind::Invalidation
+        );
+    }
+
+    #[test]
+    fn hybrid_report_bits_are_ids_plus_signatures() {
+        let e = enc();
+        let f = e.frame(FramePayload::HybridReport {
+            report_ts_micros: 0,
+            hot_ids: vec![1, 2, 3],
+            sig_bits: 16,
+            signatures: vec![0; 100],
+        });
+        assert_eq!(f.bits, 3 * 10 + 100 * 16);
+    }
+
+    #[test]
+    fn adaptive_report_bits_include_window_exceptions() {
+        let e = enc();
+        let f = e.frame(FramePayload::AdaptiveTimestampReport {
+            report_ts_micros: 0,
+            entries: vec![(1, 5), (2, 9)],
+            window_exceptions: vec![(7, 50)],
+        });
+        // 2 entries × (10 + 512) + 1 exception × (10 + 16).
+        assert_eq!(f.bits, 2 * 522 + 26);
+    }
+
+    #[test]
+    fn hybrid_and_adaptive_serialize_deterministically() {
+        let e = enc();
+        for payload in [
+            FramePayload::HybridReport {
+                report_ts_micros: 5,
+                hot_ids: vec![9],
+                sig_bits: 16,
+                signatures: vec![1, 2, 3],
+            },
+            FramePayload::AdaptiveTimestampReport {
+                report_ts_micros: 5,
+                entries: vec![(1, 2)],
+                window_exceptions: vec![(3, 4)],
+            },
+        ] {
+            let f = e.frame(payload);
+            assert_eq!(e.serialize(&f), e.serialize(&f));
+            assert_eq!(WireEncode::kind(&f.payload), FrameKind::Report);
+        }
+    }
+
+    #[test]
+    fn bitwriter_packs_msb_first() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0b11111, 5);
+        let v = w.finish();
+        assert_eq!(v, vec![0b1011_1111]);
+    }
+
+    #[test]
+    fn bitwriter_pads_final_byte() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn wide_timestamps_zero_pad() {
+        // 512-bit field with a 64-bit value: 448 zero bits then the value.
+        let mut w = BitWriter::new();
+        w.put_bits(u64::MAX, 512);
+        let v = w.finish();
+        assert_eq!(v.len(), 64);
+        assert!(v[..56].iter().all(|&b| b == 0));
+        assert!(v[56..].iter().all(|&b| b == 0xFF));
+    }
+}

@@ -1,0 +1,336 @@
+//! Workload generators for the paper's two motivating applications (§1).
+//!
+//! * **Example 1 — business news / stock data**: "a large number of
+//!   mobile users who are interested in news updates involving business
+//!   information (e.g., recent sales/profit figures, or stock market
+//!   data). Assume that each of the users has defined a 'filter' that
+//!   selects the data items of interest." [`StockFilterWorkload`] models
+//!   a universe of tickers with sector-structured filters; a user's
+//!   hotspot is the set of tickers matching their filter.
+//!
+//! * **Example 2 — navigational traffic maps**: "a map with icons that
+//!   summarize traffic volumes ... divided in sections by a grid. Each
+//!   section is given a data identification number. At any particular
+//!   moment, each user is interested in ... a set of nine neighboring
+//!   sections with the center section being the current location."
+//!   [`TrafficMapWorkload`] models the grid, a slow random walk of each
+//!   user, and the 3×3 neighborhood query set, which gives the "large
+//!   degree of locality" the paper highlights.
+
+use sw_sim::RngStream;
+
+/// Example 1: tickers grouped into sectors; each user filters a few
+/// sectors plus a handful of individually watched tickers.
+#[derive(Debug, Clone)]
+pub struct StockFilterWorkload {
+    sectors: u64,
+    tickers_per_sector: u64,
+}
+
+impl StockFilterWorkload {
+    /// Creates a universe of `sectors × tickers_per_sector` items.
+    /// Item id = `sector * tickers_per_sector + index`.
+    pub fn new(sectors: u64, tickers_per_sector: u64) -> Self {
+        assert!(sectors > 0 && tickers_per_sector > 0);
+        StockFilterWorkload {
+            sectors,
+            tickers_per_sector,
+        }
+    }
+
+    /// Total database size.
+    pub fn n_items(&self) -> u64 {
+        self.sectors * self.tickers_per_sector
+    }
+
+    /// All ticker ids of one sector.
+    pub fn sector_items(&self, sector: u64) -> Vec<u64> {
+        assert!(sector < self.sectors, "sector {sector} out of range");
+        let base = sector * self.tickers_per_sector;
+        (base..base + self.tickers_per_sector).collect()
+    }
+
+    /// Draws a user filter: `sectors_watched` whole sectors plus
+    /// `extra_tickers` individual tickers from elsewhere — the union is
+    /// the user's hotspot.
+    pub fn draw_filter(
+        &self,
+        sectors_watched: usize,
+        extra_tickers: usize,
+        rng: &mut RngStream,
+    ) -> Vec<u64> {
+        assert!(
+            sectors_watched as u64 <= self.sectors,
+            "cannot watch more sectors than exist"
+        );
+        let watched = rng.sample_distinct(self.sectors, sectors_watched);
+        let mut items: Vec<u64> = watched
+            .iter()
+            .flat_map(|&s| self.sector_items(s))
+            .collect();
+        let mut guard = 0;
+        while items.len() < sectors_watched * self.tickers_per_sector as usize + extra_tickers {
+            guard += 1;
+            assert!(guard < 1_000_000, "filter sampling stuck");
+            let t = rng.uniform_index(self.n_items());
+            if !items.contains(&t) {
+                items.push(t);
+            }
+        }
+        items.sort_unstable();
+        items
+    }
+}
+
+/// The grid geometry of Example 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrafficGrid {
+    /// Grid width in sections.
+    pub width: u64,
+    /// Grid height in sections.
+    pub height: u64,
+}
+
+impl TrafficGrid {
+    /// Creates a `width × height` grid. Section id = `y·width + x`.
+    pub fn new(width: u64, height: u64) -> Self {
+        assert!(width >= 3 && height >= 3, "grid must be at least 3×3");
+        TrafficGrid { width, height }
+    }
+
+    /// Total sections (= database items).
+    pub fn n_items(&self) -> u64 {
+        self.width * self.height
+    }
+
+    /// Section id at `(x, y)`.
+    pub fn section(&self, x: u64, y: u64) -> u64 {
+        assert!(x < self.width && y < self.height, "({x},{y}) out of grid");
+        y * self.width + x
+    }
+
+    /// Coordinates of section `id`.
+    pub fn coords(&self, id: u64) -> (u64, u64) {
+        assert!(id < self.n_items(), "section {id} out of range");
+        (id % self.width, id / self.width)
+    }
+
+    /// The 3×3 neighborhood centered at `(x, y)`, clipped to the grid —
+    /// "a set of nine neighboring sections with the center section being
+    /// the current location of the user".
+    pub fn neighborhood(&self, x: u64, y: u64) -> Vec<u64> {
+        let mut out = Vec::with_capacity(9);
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let nx = x as i64 + dx;
+                let ny = y as i64 + dy;
+                if nx >= 0 && ny >= 0 && (nx as u64) < self.width && (ny as u64) < self.height {
+                    out.push(self.section(nx as u64, ny as u64));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A user moving slowly over the traffic grid, querying their current
+/// 3×3 neighborhood.
+#[derive(Debug, Clone)]
+pub struct TrafficMapWorkload {
+    grid: TrafficGrid,
+    x: u64,
+    y: u64,
+    /// Probability of moving one section per interval ("the users move
+    /// relatively slowly ... the area covered by each section is fairly
+    /// large with respect to the relative displacement of the user").
+    move_probability: f64,
+    moves: u64,
+}
+
+impl TrafficMapWorkload {
+    /// Places a user at a uniform random section.
+    pub fn new(grid: TrafficGrid, move_probability: f64, rng: &mut RngStream) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&move_probability),
+            "move probability must be in [0,1]"
+        );
+        let x = rng.uniform_index(grid.width);
+        let y = rng.uniform_index(grid.height);
+        TrafficMapWorkload {
+            grid,
+            x,
+            y,
+            move_probability,
+            moves: 0,
+        }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> (u64, u64) {
+        (self.x, self.y)
+    }
+
+    /// Total moves taken.
+    pub fn moves(&self) -> u64 {
+        self.moves
+    }
+
+    /// The user's current hotspot: the 3×3 neighborhood.
+    pub fn hotspot(&self) -> Vec<u64> {
+        self.grid.neighborhood(self.x, self.y)
+    }
+
+    /// Advances one interval: with `move_probability`, steps to one of
+    /// the 4-connected neighbor sections (clipped at borders). Returns
+    /// true if the position changed.
+    pub fn step(&mut self, rng: &mut RngStream) -> bool {
+        if !rng.bernoulli(self.move_probability) {
+            return false;
+        }
+        let dir = rng.uniform_index(4);
+        let (nx, ny) = match dir {
+            0 => (self.x.saturating_sub(1), self.y),
+            1 => ((self.x + 1).min(self.grid.width - 1), self.y),
+            2 => (self.x, self.y.saturating_sub(1)),
+            _ => (self.x, (self.y + 1).min(self.grid.height - 1)),
+        };
+        let changed = (nx, ny) != (self.x, self.y);
+        self.x = nx;
+        self.y = ny;
+        if changed {
+            self.moves += 1;
+        }
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::{MasterSeed, StreamId};
+
+    fn rng(tag: u64) -> RngStream {
+        MasterSeed::TEST.stream(StreamId::Custom { tag })
+    }
+
+    #[test]
+    fn stock_universe_dimensions() {
+        let w = StockFilterWorkload::new(20, 50);
+        assert_eq!(w.n_items(), 1000);
+        assert_eq!(w.sector_items(0), (0..50).collect::<Vec<_>>());
+        assert_eq!(w.sector_items(19)[0], 950);
+    }
+
+    #[test]
+    fn filter_contains_whole_sectors() {
+        let w = StockFilterWorkload::new(20, 50);
+        let filter = w.draw_filter(2, 5, &mut rng(1));
+        assert_eq!(filter.len(), 105);
+        // Every watched sector is fully contained: group by sector and
+        // check that at least two sectors appear 50 times.
+        let mut counts = std::collections::HashMap::new();
+        for &t in &filter {
+            *counts.entry(t / 50).or_insert(0usize) += 1;
+        }
+        let full = counts.values().filter(|&&c| c == 50).count();
+        assert!(full >= 2, "expected 2 fully watched sectors, got {full}");
+    }
+
+    #[test]
+    fn filter_is_distinct_and_sorted() {
+        let w = StockFilterWorkload::new(10, 10);
+        let filter = w.draw_filter(1, 10, &mut rng(2));
+        let mut dedup = filter.clone();
+        dedup.dedup();
+        assert_eq!(dedup, filter, "filter must be sorted and distinct");
+    }
+
+    #[test]
+    fn grid_section_coords_roundtrip() {
+        let g = TrafficGrid::new(8, 5);
+        for id in 0..g.n_items() {
+            let (x, y) = g.coords(id);
+            assert_eq!(g.section(x, y), id);
+        }
+    }
+
+    #[test]
+    fn interior_neighborhood_has_nine_sections() {
+        let g = TrafficGrid::new(10, 10);
+        let n = g.neighborhood(5, 5);
+        assert_eq!(n.len(), 9);
+        assert!(n.contains(&g.section(5, 5)));
+        assert!(n.contains(&g.section(4, 4)));
+        assert!(n.contains(&g.section(6, 6)));
+    }
+
+    #[test]
+    fn corner_neighborhood_is_clipped() {
+        let g = TrafficGrid::new(10, 10);
+        assert_eq!(g.neighborhood(0, 0).len(), 4);
+        assert_eq!(g.neighborhood(9, 9).len(), 4);
+        assert_eq!(g.neighborhood(0, 5).len(), 6);
+    }
+
+    #[test]
+    fn walker_moves_one_step_at_a_time() {
+        let g = TrafficGrid::new(20, 20);
+        let mut w = TrafficMapWorkload::new(g, 1.0, &mut rng(3));
+        for _ in 0..200 {
+            let (x0, y0) = w.position();
+            w.step(&mut rng(4));
+            let (x1, y1) = w.position();
+            let dist = x0.abs_diff(x1) + y0.abs_diff(y1);
+            assert!(dist <= 1, "walker jumped {dist} sections");
+        }
+    }
+
+    #[test]
+    fn stationary_walker_never_moves() {
+        let g = TrafficGrid::new(10, 10);
+        let mut w = TrafficMapWorkload::new(g, 0.0, &mut rng(5));
+        let p = w.position();
+        for _ in 0..50 {
+            assert!(!w.step(&mut rng(6)));
+        }
+        assert_eq!(w.position(), p);
+        assert_eq!(w.moves(), 0);
+    }
+
+    #[test]
+    fn hotspot_overlap_between_steps_is_high() {
+        // The locality argument: consecutive hotspots share most items.
+        let g = TrafficGrid::new(30, 30);
+        let mut w = TrafficMapWorkload::new(g, 1.0, &mut rng(7));
+        let mut r = rng(8);
+        for _ in 0..100 {
+            let before: std::collections::HashSet<u64> = w.hotspot().into_iter().collect();
+            if w.step(&mut r) {
+                let after: std::collections::HashSet<u64> = w.hotspot().into_iter().collect();
+                let shared = before.intersection(&after).count();
+                assert!(
+                    shared >= 6,
+                    "one step must preserve ≥ 6 of 9 sections, kept {shared}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn walker_stays_in_grid() {
+        let g = TrafficGrid::new(5, 5);
+        let mut w = TrafficMapWorkload::new(g, 1.0, &mut rng(9));
+        let mut r = rng(10);
+        for _ in 0..500 {
+            w.step(&mut r);
+            let (x, y) = w.position();
+            assert!(x < 5 && y < 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3×3")]
+    fn tiny_grid_rejected() {
+        let _ = TrafficGrid::new(2, 5);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hotspot construction.
+//!
+//! §2: "The MUs exhibit a large degree of data locality, repeatedly
+//! querying a particular subset of the database. This subset is a
+//! hotspot for the MU." Each client gets its own hotspot of a fixed
+//! size; across clients the *popularity* of items can be uniform or
+//! Zipf-skewed (the skewed case models the shared "hot items" §10's
+//! weighted-signature extension targets).
+
+use sw_sim::RngStream;
+
+/// Cross-client popularity distribution of database items.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every item equally likely to be in a hotspot.
+    Uniform,
+    /// Zipf(θ): item rank r chosen with probability ∝ 1/r^θ. Clients'
+    /// hotspots overlap heavily on low-rank items.
+    Zipf {
+        /// Skew exponent θ > 0 (θ → 0 degenerates to uniform).
+        theta: f64,
+    },
+}
+
+/// Specification of per-client hotspots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotspotSpec {
+    /// Database size n.
+    pub n_items: u64,
+    /// Hotspot size per client.
+    pub size: usize,
+    /// Popularity model across clients.
+    pub popularity: Popularity,
+}
+
+impl HotspotSpec {
+    /// Creates a spec, validating that the hotspot fits the database.
+    pub fn new(n_items: u64, size: usize, popularity: Popularity) -> Self {
+        assert!(n_items > 0, "database cannot be empty");
+        assert!(
+            size > 0 && (size as u64) <= n_items,
+            "hotspot size {size} must be in 1..=n ({n_items})"
+        );
+        if let Popularity::Zipf { theta } = popularity {
+            assert!(
+                theta.is_finite() && theta > 0.0,
+                "Zipf exponent must be positive, got {theta}"
+            );
+        }
+        HotspotSpec {
+            n_items,
+            size,
+            popularity,
+        }
+    }
+
+    /// Draws one client's hotspot: `size` distinct items.
+    pub fn draw(&self, rng: &mut RngStream) -> Vec<u64> {
+        match self.popularity {
+            Popularity::Uniform => rng.sample_distinct(self.n_items, self.size),
+            Popularity::Zipf { theta } => self.draw_zipf(theta, rng),
+        }
+    }
+
+    /// Zipf sampling by inversion over the harmonic CDF, with rejection
+    /// of duplicates. Ranks map identically to item ids (item 0 is the
+    /// most popular), which makes popularity assertions in tests easy.
+    fn draw_zipf(&self, theta: f64, rng: &mut RngStream) -> Vec<u64> {
+        // Precompute the normalization over a truncated support: for
+        // large n the tail contributes negligibly, and hotspots are
+        // small, so we cap the CDF table at min(n, 100_000) ranks and
+        // fall back to uniform tail beyond it.
+        let support = self.n_items.min(100_000) as usize;
+        let mut cdf = Vec::with_capacity(support);
+        let mut acc = 0.0f64;
+        for r in 1..=support {
+            acc += 1.0 / (r as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        let mut out: Vec<u64> = Vec::with_capacity(self.size);
+        let mut guard = 0u32;
+        while out.len() < self.size {
+            guard += 1;
+            assert!(
+                guard < 1_000_000,
+                "Zipf rejection sampling failed to fill the hotspot"
+            );
+            let u = rng.uniform() * total;
+            let rank = match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("no NaN")) {
+                Ok(i) => i,
+                Err(i) => i,
+            } as u64;
+            let item = rank.min(self.n_items - 1);
+            if !out.contains(&item) {
+                out.push(item);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::{MasterSeed, StreamId};
+
+    fn rng(i: u64) -> RngStream {
+        MasterSeed::TEST.stream(StreamId::Hotspot { index: i })
+    }
+
+    #[test]
+    fn uniform_hotspot_is_distinct_and_in_range() {
+        let spec = HotspotSpec::new(1000, 50, Popularity::Uniform);
+        let h = spec.draw(&mut rng(0));
+        assert_eq!(h.len(), 50);
+        let mut sorted = h.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 50);
+        assert!(h.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn different_clients_different_hotspots() {
+        let spec = HotspotSpec::new(10_000, 20, Popularity::Uniform);
+        let a = spec.draw(&mut rng(1));
+        let b = spec.draw(&mut rng(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zipf_hotspots_overlap_more_than_uniform() {
+        let n = 10_000u64;
+        let size = 30;
+        let clients = 40;
+        let overlap = |pop: Popularity, tag: u64| -> f64 {
+            let spec = HotspotSpec::new(n, size, pop);
+            let sets: Vec<std::collections::HashSet<u64>> = (0..clients)
+                .map(|c| spec.draw(&mut rng(tag * 1000 + c)).into_iter().collect())
+                .collect();
+            let mut shared = 0usize;
+            let mut pairs = 0usize;
+            for i in 0..sets.len() {
+                for j in (i + 1)..sets.len() {
+                    shared += sets[i].intersection(&sets[j]).count();
+                    pairs += 1;
+                }
+            }
+            shared as f64 / pairs as f64
+        };
+        let uni = overlap(Popularity::Uniform, 1);
+        let zipf = overlap(Popularity::Zipf { theta: 1.0 }, 2);
+        assert!(
+            zipf > uni * 3.0,
+            "Zipf overlap {zipf} should dwarf uniform overlap {uni}"
+        );
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let spec = HotspotSpec::new(100_000, 50, Popularity::Zipf { theta: 1.2 });
+        let h = spec.draw(&mut rng(7));
+        let below_1000 = h.iter().filter(|&&i| i < 1000).count();
+        assert!(
+            below_1000 > h.len() / 2,
+            "Zipf(1.2) hotspot should concentrate on popular items, got {below_1000}/50 below rank 1000"
+        );
+    }
+
+    #[test]
+    fn zipf_hotspot_is_distinct() {
+        let spec = HotspotSpec::new(500, 100, Popularity::Zipf { theta: 1.0 });
+        let h = spec.draw(&mut rng(9));
+        let mut sorted = h.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn full_database_hotspot_allowed() {
+        let spec = HotspotSpec::new(10, 10, Popularity::Uniform);
+        let mut h = spec.draw(&mut rng(3));
+        h.sort_unstable();
+        assert_eq!(h, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "hotspot size")]
+    fn oversized_hotspot_rejected() {
+        let _ = HotspotSpec::new(10, 11, Popularity::Uniform);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf exponent")]
+    fn bad_zipf_exponent_rejected() {
+        let _ = HotspotSpec::new(10, 5, Popularity::Zipf { theta: -1.0 });
+    }
+}

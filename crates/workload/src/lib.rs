@@ -1,0 +1,22 @@
+//! # sw-workload — workloads, scenario presets, and example generators
+//!
+//! * [`scenario`] — the full parameter vector of the paper's model (§4)
+//!   and the six scenario presets of §6 (Figures 3–8), plus the derived
+//!   probabilities `q_0`, `p_0`, `u_0` of Eqs. 3–8;
+//! * [`hotspot`] — hotspot construction: each MU repeatedly queries a
+//!   small subset of the database (uniform or Zipf-skewed popularity
+//!   across clients);
+//! * [`examples`] — generators for the two motivating applications of
+//!   §1: the business-news / stock-filter workload (Example 1) and the
+//!   navigational traffic-map grid workload (Example 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod examples;
+pub mod hotspot;
+pub mod scenario;
+
+pub use examples::{StockFilterWorkload, TrafficGrid, TrafficMapWorkload};
+pub use hotspot::{HotspotSpec, Popularity};
+pub use scenario::{DerivedProbabilities, ScenarioParams, SweepAxis};

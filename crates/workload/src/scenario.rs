@@ -1,0 +1,344 @@
+//! Scenario parameters — the model's full parameter vector (§4, §6).
+//!
+//! One [`ScenarioParams`] value captures everything the analysis and the
+//! simulator need: λ, μ, L, n, b_T, W, k, f, g, s, plus the query/answer
+//! costs `b_q`/`b_a` (see DESIGN.md §4 for how their values are
+//! resolved). The six presets reproduce the §6 scenario tables verbatim.
+
+use serde::{Deserialize, Serialize};
+
+/// The derived per-interval probabilities of Eqs. 3–8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DerivedProbabilities {
+    /// `e^{−λL}` — no queries given awake (Eq. 3).
+    pub no_queries_given_awake: f64,
+    /// `q_0 = (1−s)·e^{−λL}` — awake and no queries (Eq. 4).
+    pub q0: f64,
+    /// `p_0 = s + q_0` — no queries (Eq. 5).
+    pub p0: f64,
+    /// `u_0 = e^{−μL}` — no updates to a given item in an interval
+    /// (Eq. 7).
+    pub u0: f64,
+}
+
+/// Full parameter vector for one evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioParams {
+    /// Per-item query rate λ (queries/s) at each MU.
+    pub lambda: f64,
+    /// Per-item update rate μ (updates/s) at the server.
+    pub mu: f64,
+    /// Broadcast latency L (s).
+    pub latency_secs: f64,
+    /// Database size n.
+    pub n_items: u64,
+    /// Timestamp size b_T (bits).
+    pub timestamp_bits: u32,
+    /// Channel bandwidth W (bits/s).
+    pub bandwidth_bps: u64,
+    /// TS window multiple k (w = kL).
+    pub k: u32,
+    /// SIG diagnosable-difference parameter f.
+    pub f: u32,
+    /// SIG signature width g (bits).
+    pub g: u32,
+    /// Per-interval sleep probability s.
+    pub s: f64,
+    /// Uplink query size b_q (bits).
+    pub query_bits: u32,
+    /// Answer size b_a (bits).
+    pub answer_bits: u32,
+    /// SIG diagnosis confidence δ (Eq. 23/24); the paper leaves it
+    /// unspecified, we default to 0.05 (DESIGN.md §4).
+    pub sig_delta: f64,
+}
+
+impl ScenarioParams {
+    /// The window `w = k·L` in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.k as f64 * self.latency_secs
+    }
+
+    /// Derived probabilities of Eqs. 3–8 at this parameter point.
+    pub fn derived(&self) -> DerivedProbabilities {
+        let no_queries_given_awake = (-self.lambda * self.latency_secs).exp();
+        let q0 = (1.0 - self.s) * no_queries_given_awake;
+        let p0 = self.s + q0;
+        let u0 = (-self.mu * self.latency_secs).exp();
+        DerivedProbabilities {
+            no_queries_given_awake,
+            q0,
+            p0,
+            u0,
+        }
+    }
+
+    /// Returns a copy with a different sleep probability (the Figures
+    /// 3–6 x-axis).
+    pub fn with_s(mut self, s: f64) -> Self {
+        assert!((0.0..=1.0).contains(&s), "s must be in [0,1]");
+        self.s = s;
+        self
+    }
+
+    /// Returns a copy with a different update rate (the Figures 7–8
+    /// x-axis).
+    pub fn with_mu(mut self, mu: f64) -> Self {
+        assert!(mu.is_finite() && mu >= 0.0, "μ must be non-negative");
+        self.mu = mu;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.lambda.is_finite() && self.lambda >= 0.0) {
+            return Err(format!("λ must be non-negative, got {}", self.lambda));
+        }
+        if !(self.mu.is_finite() && self.mu >= 0.0) {
+            return Err(format!("μ must be non-negative, got {}", self.mu));
+        }
+        if !(self.latency_secs.is_finite() && self.latency_secs > 0.0) {
+            return Err(format!("L must be positive, got {}", self.latency_secs));
+        }
+        if self.n_items == 0 {
+            return Err("n must be positive".into());
+        }
+        if self.k == 0 {
+            return Err("k must be at least 1 (w >= L)".into());
+        }
+        if !(0.0..=1.0).contains(&self.s) {
+            return Err(format!("s must be in [0,1], got {}", self.s));
+        }
+        if self.bandwidth_bps == 0 {
+            return Err("W must be positive".into());
+        }
+        if !(self.sig_delta > 0.0 && self.sig_delta < 1.0) {
+            return Err(format!("δ must be in (0,1), got {}", self.sig_delta));
+        }
+        Ok(())
+    }
+
+    fn base(lambda: f64, mu: f64, n: u64, w: u64, k: u32, f: u32) -> Self {
+        ScenarioParams {
+            lambda,
+            mu,
+            latency_secs: 10.0,
+            n_items: n,
+            timestamp_bits: 512,
+            bandwidth_bps: w,
+            k,
+            f,
+            g: 16,
+            s: 0.0,
+            query_bits: 512,
+            answer_bits: 512,
+            sig_delta: 0.05,
+        }
+    }
+
+    /// Scenario 1 (Figure 3): infrequent updates, small DB, narrow band.
+    /// λ=0.1, μ=1e−4, L=10, n=10³, b_T=512, W=10⁴, k=100, f=10, g=16.
+    pub fn scenario1() -> Self {
+        Self::base(1e-1, 1e-4, 1_000, 10_000, 100, 10)
+    }
+
+    /// Scenario 2 (Figure 4): as Scenario 1 with n=10⁶, W=10⁶, k=10.
+    pub fn scenario2() -> Self {
+        Self::base(1e-1, 1e-4, 1_000_000, 1_000_000, 10, 10)
+    }
+
+    /// Scenario 3 (Figure 5): update-intensive (μ=λ=0.1), small DB.
+    /// k=10, f=20. TS is unusable here (report exceeds L·W).
+    pub fn scenario3() -> Self {
+        Self::base(1e-1, 1e-1, 1_000, 10_000, 10, 20)
+    }
+
+    /// Scenario 4 (Figure 6): update-intensive, n=10⁶, W=10⁶, f=200.
+    pub fn scenario4() -> Self {
+        Self::base(1e-1, 1e-1, 1_000_000, 1_000_000, 10, 200)
+    }
+
+    /// Scenario 5 (Figure 7): workaholics (s=0), μ swept in
+    /// [10⁻⁴, 2·10⁻⁴], small DB, k=100, f=1.
+    pub fn scenario5() -> Self {
+        Self::base(1e-1, 1e-4, 1_000, 10_000, 100, 1)
+    }
+
+    /// Scenario 6 (Figure 8): as Scenario 5 with n=10⁶, W=10⁶, k=10,
+    /// f=10.
+    pub fn scenario6() -> Self {
+        Self::base(1e-1, 1e-4, 1_000_000, 1_000_000, 10, 10)
+    }
+
+    /// All six presets with their figure numbers.
+    pub fn all_scenarios() -> Vec<(u8, &'static str, Self)> {
+        vec![
+            (3, "Scenario 1", Self::scenario1()),
+            (4, "Scenario 2", Self::scenario2()),
+            (5, "Scenario 3", Self::scenario3()),
+            (6, "Scenario 4", Self::scenario4()),
+            (7, "Scenario 5", Self::scenario5()),
+            (8, "Scenario 6", Self::scenario6()),
+        ]
+    }
+}
+
+/// Which parameter a figure sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Sleep probability `s` from 0 to 1 (Figures 3–6).
+    SleepProbability {
+        /// Number of points, inclusive of both ends.
+        points: usize,
+    },
+    /// Update rate μ over `[lo, hi]` (Figures 7–8).
+    UpdateRate {
+        /// Lower bound of μ.
+        lo: f64,
+        /// Upper bound of μ.
+        hi: f64,
+        /// Number of points, inclusive of both ends.
+        points: usize,
+    },
+}
+
+impl SweepAxis {
+    /// The default x-axis for Figures 3–6.
+    pub fn sleep_default() -> Self {
+        SweepAxis::SleepProbability { points: 21 }
+    }
+
+    /// The default x-axis for Figures 7–8: μ ∈ [10⁻⁴, 2·10⁻⁴].
+    pub fn update_default() -> Self {
+        SweepAxis::UpdateRate {
+            lo: 1e-4,
+            hi: 2e-4,
+            points: 21,
+        }
+    }
+
+    /// Materializes the sweep points.
+    pub fn points(&self) -> Vec<f64> {
+        match *self {
+            SweepAxis::SleepProbability { points } => linspace(0.0, 1.0, points),
+            SweepAxis::UpdateRate { lo, hi, points } => linspace(lo, hi, points),
+        }
+    }
+
+    /// Applies a sweep value to a base parameter set.
+    pub fn apply(&self, base: ScenarioParams, x: f64) -> ScenarioParams {
+        match self {
+            SweepAxis::SleepProbability { .. } => base.with_s(x),
+            SweepAxis::UpdateRate { .. } => base.with_mu(x),
+        }
+    }
+}
+
+fn linspace(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "a sweep needs at least two points");
+    let step = (hi - lo) / (points - 1) as f64;
+    (0..points).map(|i| lo + step * i as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for (fig, name, p) in ScenarioParams::all_scenarios() {
+            p.validate().unwrap_or_else(|e| panic!("{name} (fig {fig}): {e}"));
+        }
+    }
+
+    #[test]
+    fn scenario1_matches_paper_table() {
+        let p = ScenarioParams::scenario1();
+        assert_eq!(p.lambda, 1e-1);
+        assert_eq!(p.mu, 1e-4);
+        assert_eq!(p.latency_secs, 10.0);
+        assert_eq!(p.n_items, 1_000);
+        assert_eq!(p.timestamp_bits, 512);
+        assert_eq!(p.bandwidth_bps, 10_000);
+        assert_eq!(p.k, 100);
+        assert_eq!(p.f, 10);
+        assert_eq!(p.g, 16);
+    }
+
+    #[test]
+    fn scenario1_u0_is_0999() {
+        // §6: "This set of parameters corresponds to a scenario of
+        // infrequent updates (u_0 = 0.999)."
+        let d = ScenarioParams::scenario1().derived();
+        assert!((d.u0 - 0.999).abs() < 1e-4, "u0 = {}", d.u0);
+    }
+
+    #[test]
+    fn derived_probabilities_match_eqs_3_to_8() {
+        let p = ScenarioParams::scenario1().with_s(0.3);
+        let d = p.derived();
+        let e_ll = (-0.1f64 * 10.0).exp();
+        assert!((d.no_queries_given_awake - e_ll).abs() < 1e-12);
+        assert!((d.q0 - 0.7 * e_ll).abs() < 1e-12);
+        assert!((d.p0 - (0.3 + 0.7 * e_ll)).abs() < 1e-12);
+        assert!((d.u0 - (-1e-4f64 * 10.0).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p0_limits_match_section5_table() {
+        // s → 0: q0 → e^{−λL}, p0 → e^{−λL}; s → 1: q0 → 0, p0 → 1.
+        let base = ScenarioParams::scenario1();
+        let d0 = base.with_s(0.0).derived();
+        assert!((d0.p0 - d0.no_queries_given_awake).abs() < 1e-12);
+        let d1 = base.with_s(1.0).derived();
+        assert_eq!(d1.q0, 0.0);
+        assert_eq!(d1.p0, 1.0);
+    }
+
+    #[test]
+    fn window_is_k_times_l() {
+        assert_eq!(ScenarioParams::scenario1().window_secs(), 1000.0);
+        assert_eq!(ScenarioParams::scenario2().window_secs(), 100.0);
+    }
+
+    #[test]
+    fn sweep_axes_produce_requested_points() {
+        let s = SweepAxis::sleep_default().points();
+        assert_eq!(s.len(), 21);
+        assert_eq!(s[0], 0.0);
+        assert_eq!(*s.last().unwrap(), 1.0);
+        let u = SweepAxis::update_default().points();
+        assert_eq!(u[0], 1e-4);
+        assert!((u.last().unwrap() - 2e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_apply_sets_the_right_knob() {
+        let base = ScenarioParams::scenario1();
+        let swept = SweepAxis::sleep_default().apply(base, 0.4);
+        assert_eq!(swept.s, 0.4);
+        let swept = SweepAxis::update_default().apply(base, 1.5e-4);
+        assert_eq!(swept.mu, 1.5e-4);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut p = ScenarioParams::scenario1();
+        p.k = 0;
+        assert!(p.validate().is_err());
+        let mut p = ScenarioParams::scenario1();
+        p.s = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = ScenarioParams::scenario1();
+        p.latency_secs = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = ScenarioParams::scenario3();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ScenarioParams = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

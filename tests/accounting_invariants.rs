@@ -1,0 +1,110 @@
+//! Conservation laws of the simulation's accounting, proptest-driven:
+//! whatever the regime and strategy, the books must balance.
+
+use proptest::prelude::*;
+use sleepers_workaholics::prelude::*;
+use sleepers_workaholics::Strategy;
+
+fn strategies() -> impl proptest::strategy::Strategy<Value = Strategy> {
+    prop_oneof![
+        Just(Strategy::BroadcastTimestamps),
+        Just(Strategy::AmnesicTerminals),
+        Just(Strategy::Signatures),
+        Just(Strategy::NoCache),
+        Just(Strategy::QuasiDelay { alpha_intervals: 5 }),
+        Just(Strategy::GroupReports { groups: 50 }),
+        Just(Strategy::HybridSig { hot_count: 30 }),
+    ]
+}
+
+fn run(strategy: Strategy, s: f64, mu: f64, seed: u64) -> (SimulationReport, u64) {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 300;
+    params.mu = mu;
+    params.k = 5;
+    params.bandwidth_bps = 10_000_000; // accounting test, not capacity test
+    let params = params.with_s(s);
+    let cfg = CellConfig::new(params)
+        .with_clients(6)
+        .with_hotspot_size(12)
+        .with_seed(seed);
+    let mut sim = CellSimulation::new(cfg, strategy).expect("valid");
+    let report = sim.run(60).expect("fits");
+    let posed: u64 = sim.clients().iter().map(|m| m.stats().queries_posed).sum();
+    (report, posed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Hits + misses = query events; events ≤ raw queries; every miss
+    /// is one uplink query frame and one answer frame.
+    #[test]
+    fn query_accounting_balances(
+        strategy in strategies(),
+        s in 0.0f64..0.9,
+        mu in 1e-4f64..1e-2,
+        seed in 0u64..10_000,
+    ) {
+        let (report, posed) = run(strategy, s, mu, seed);
+        prop_assert_eq!(report.queries_posed, posed);
+        prop_assert_eq!(
+            report.query_events(),
+            report.hit_events + report.miss_events
+        );
+        prop_assert!(report.query_events() <= report.queries_posed);
+        // Each miss is exactly one query/answer exchange on the channel.
+        let q_bits = report.miss_events * 512;
+        prop_assert_eq!(report.traffic.query_bits, q_bits, "uplink bits");
+        prop_assert_eq!(report.traffic.answer_bits, q_bits, "answer bits");
+        prop_assert_eq!(report.overflow_exchanges, 0, "wide channel never saturates");
+    }
+
+    /// The per-interval report-bit ledger equals the channel's report
+    /// traffic (broadcast strategies) and stays zero for the stateful
+    /// baseline and NC.
+    #[test]
+    fn report_bit_ledgers_agree(
+        strategy in strategies(),
+        s in 0.0f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let (report, _) = run(strategy, s, 1e-3, seed);
+        prop_assert_eq!(
+            report.report_bits_total,
+            report.traffic.report_bits,
+            "ledger vs channel"
+        );
+        prop_assert_eq!(report.intervals, 60);
+    }
+
+    /// Energy is conserved: every client accounts exactly one interval
+    /// of wall-clock per interval (rx + tx + doze + sleep seconds sum
+    /// to L), expressed through the default weight model.
+    #[test]
+    fn energy_never_negative_and_sleepers_spend_less(
+        s in 0.1f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let (sleepy, _) = run(Strategy::AmnesicTerminals, s, 1e-3, seed);
+        let (awake, _) = run(Strategy::AmnesicTerminals, 0.0, 1e-3, seed);
+        prop_assert!(sleepy.energy.total() >= 0.0);
+        prop_assert!(
+            awake.energy.total() > sleepy.energy.total(),
+            "workaholics must burn more energy: {} vs {}",
+            awake.energy.total(),
+            sleepy.energy.total()
+        );
+    }
+}
+
+/// The stateful baseline's ledgers: no broadcast reports, only directed
+/// invalidations + control messages.
+#[test]
+fn stateful_ledger_shape() {
+    let (report, _) = run(Strategy::Stateful, 0.5, 2e-3, 7);
+    assert_eq!(report.report_bits_total, 0);
+    assert_eq!(report.traffic.report_bits, 0);
+    assert!(report.traffic.invalidation_bits > 0);
+    assert!(report.registration_messages > 0);
+}

@@ -1,0 +1,160 @@
+//! Integration coverage for the extension strategies (§2 stateful
+//! baseline, §10 hybrid and group reports) through the public API.
+
+use sleepers_workaholics::prelude::*;
+use sleepers_workaholics::workload::Popularity;
+use sleepers_workaholics::Strategy;
+
+fn params() -> ScenarioParams {
+    let mut p = ScenarioParams::scenario1();
+    p.n_items = 800;
+    p.mu = 1e-3;
+    p.k = 10;
+    p
+}
+
+fn run_with(
+    strategy: Strategy,
+    s: f64,
+    popularity: Popularity,
+    seed: u64,
+) -> SimulationReport {
+    let cfg = CellConfig::new(params().with_s(s))
+        .with_clients(10)
+        .with_hotspot_size(20)
+        .with_popularity(popularity)
+        .with_seed(seed);
+    CellSimulation::new(cfg, strategy)
+        .expect("valid config")
+        .run_measured(80, 320)
+        .expect("fits channel")
+}
+
+#[test]
+fn group_reports_degenerate_to_at_when_groups_equal_items() {
+    let at = run_with(Strategy::AmnesicTerminals, 0.3, Popularity::Uniform, 5);
+    let gr = run_with(
+        Strategy::GroupReports { groups: 800 },
+        0.3,
+        Popularity::Uniform,
+        5,
+    );
+    assert_eq!(gr.strategy, "GR");
+    assert_eq!(
+        gr.hit_events, at.hit_events,
+        "G = n group reports are exactly AT under the same seed"
+    );
+    assert_eq!(gr.miss_events, at.miss_events);
+}
+
+#[test]
+fn coarser_groups_trade_hit_ratio_for_report_entries() {
+    let fine = run_with(
+        Strategy::GroupReports { groups: 800 },
+        0.3,
+        Popularity::Uniform,
+        6,
+    );
+    let coarse = run_with(
+        Strategy::GroupReports { groups: 20 },
+        0.3,
+        Popularity::Uniform,
+        6,
+    );
+    assert!(
+        coarse.hit_ratio() < fine.hit_ratio(),
+        "collateral invalidation must cost hits: coarse {} vs fine {}",
+        coarse.hit_ratio(),
+        fine.hit_ratio()
+    );
+    assert!(
+        coarse.report_bits_total <= fine.report_bits_total,
+        "coarse groups cannot produce more report entries"
+    );
+    // More invalidations land on clients (innocent same-group members).
+    assert!(coarse.items_invalidated > fine.items_invalidated);
+}
+
+#[test]
+fn group_reports_never_validate_stale_entries() {
+    // Group false alarms are safe in the over-invalidation direction
+    // only; the history checker proves no stale entry survives.
+    let cfg = CellConfig::new(params().with_s(0.4))
+        .with_clients(8)
+        .with_hotspot_size(15)
+        .with_seed(9)
+        .with_safety_checking();
+    let mut sim = CellSimulation::new(cfg, Strategy::GroupReports { groups: 40 }).unwrap();
+    let report = sim.run(200).unwrap();
+    assert!(report.safety.entries_checked > 0);
+    assert_eq!(report.safety.violations, 0);
+}
+
+#[test]
+fn hybrid_interpolates_between_sig_and_at() {
+    // Growing the hot set moves the hybrid hit ratio from SIG's toward
+    // AT's under workaholic Zipf queries (where AT is the precision
+    // ceiling and SIG pays superset false alarms at d ≈ f).
+    let zipf = Popularity::Zipf { theta: 1.0 };
+    let sig = run_with(Strategy::Signatures, 0.0, zipf, 11);
+    let at = run_with(Strategy::AmnesicTerminals, 0.0, zipf, 11);
+    let hyb_small = run_with(Strategy::HybridSig { hot_count: 10 }, 0.0, zipf, 11);
+    let hyb_large = run_with(Strategy::HybridSig { hot_count: 300 }, 0.0, zipf, 11);
+    assert!(
+        hyb_small.hit_ratio() >= sig.hit_ratio() - 0.02,
+        "small hot set ≈ SIG: {} vs {}",
+        hyb_small.hit_ratio(),
+        sig.hit_ratio()
+    );
+    assert!(
+        hyb_large.hit_ratio() > hyb_small.hit_ratio(),
+        "more hot items, more precision"
+    );
+    assert!(
+        hyb_large.hit_ratio() <= at.hit_ratio() + 0.02,
+        "AT is the precision ceiling"
+    );
+}
+
+#[test]
+fn stateful_message_cost_grows_with_population_at_fixed_broadcast_cost() {
+    let run_n = |clients: usize, strategy: Strategy| {
+        let cfg = CellConfig::new(params().with_s(0.0))
+            .with_clients(clients)
+            .with_hotspot_size(20)
+            .with_seed(13);
+        CellSimulation::new(cfg, strategy)
+            .unwrap()
+            .run_measured(50, 200)
+            .unwrap()
+    };
+    let at_small = run_n(4, Strategy::AmnesicTerminals);
+    let at_large = run_n(16, Strategy::AmnesicTerminals);
+    assert_eq!(
+        at_small.report_bits_total, at_large.report_bits_total,
+        "broadcast cost is population-independent"
+    );
+    let sf_small = run_n(4, Strategy::Stateful);
+    let sf_large = run_n(16, Strategy::Stateful);
+    assert!(
+        sf_large.traffic.invalidation_bits > sf_small.traffic.invalidation_bits * 3,
+        "directed traffic must scale with holders: {} vs {}",
+        sf_large.traffic.invalidation_bits,
+        sf_small.traffic.invalidation_bits
+    );
+}
+
+#[test]
+fn all_extension_strategies_are_deterministic() {
+    for strategy in [
+        Strategy::Stateful,
+        Strategy::HybridSig { hot_count: 50 },
+        Strategy::GroupReports { groups: 100 },
+        Strategy::QuasiDelay { alpha_intervals: 5 },
+    ] {
+        let a = run_with(strategy, 0.3, Popularity::Uniform, 21);
+        let b = run_with(strategy, 0.3, Popularity::Uniform, 21);
+        assert_eq!(a.hit_events, b.hit_events, "{strategy:?}");
+        assert_eq!(a.report_bits_total, b.report_bits_total, "{strategy:?}");
+    }
+}

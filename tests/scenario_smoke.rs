@@ -1,0 +1,150 @@
+//! Scenario smoke tests: every §6 scenario runs end-to-end through the
+//! simulator (scaled n where the paper uses 10⁶), and the headline
+//! qualitative claims of the figures hold in simulation, not just in
+//! the closed forms.
+
+use sleepers_workaholics::prelude::*;
+
+fn scaled(params: ScenarioParams) -> ScenarioParams {
+    let mut p = params;
+    if p.n_items > 2_000 {
+        p.n_items = 2_000;
+    }
+    p
+}
+
+fn run(params: ScenarioParams, strategy: Strategy, seed: u64) -> Result<SimulationReport, SimulationError> {
+    let cfg = CellConfig::new(params)
+        .with_clients(8)
+        .with_hotspot_size(20)
+        .with_seed(seed);
+    CellSimulation::new(cfg, strategy)?.run_measured(40, 160)
+}
+
+#[test]
+fn every_scenario_runs_where_usable() {
+    for (fig, name, base) in ScenarioParams::all_scenarios() {
+        let params = scaled(base);
+        for strategy in [
+            Strategy::BroadcastTimestamps,
+            Strategy::AmnesicTerminals,
+            Strategy::Signatures,
+            Strategy::NoCache,
+        ] {
+            let analytic_usable = match strategy {
+                Strategy::BroadcastTimestamps => throughput_ts(&params).is_some(),
+                Strategy::AmnesicTerminals => throughput_at(&params).is_some(),
+                Strategy::Signatures => throughput_sig(&params).is_some(),
+                _ => true,
+            };
+            match run(params, strategy, fig as u64) {
+                Ok(report) => {
+                    assert!(
+                        analytic_usable,
+                        "{name} fig{fig}: {} ran but the model says its report \
+                         cannot fit",
+                        strategy.name()
+                    );
+                    assert_eq!(report.intervals, 160);
+                }
+                Err(SimulationError::ReportTooLarge { .. }) => {
+                    assert!(
+                        !analytic_usable,
+                        "{name} fig{fig}: {} rejected but the model says it fits",
+                        strategy.name()
+                    );
+                }
+                Err(e) => panic!("{name}: {e}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn scenario3_ts_unusable_at_full_scale_too() {
+    // Even without scaling, Scenario 3 (n = 1000) rejects TS: the
+    // defining §6 observation.
+    let params = ScenarioParams::scenario3();
+    let err = run(params, Strategy::BroadcastTimestamps, 1).unwrap_err();
+    assert!(matches!(err, SimulationError::ReportTooLarge { .. }));
+}
+
+#[test]
+fn workaholics_prefer_at_in_simulation() {
+    // Figure 3 at s = 0: AT's measured effectiveness beats SIG's
+    // (shortest report, same hit ratio) — §5's workaholic conclusion.
+    //
+    // Paired comparison: identical seed means identical sleep, query,
+    // and update streams, so the only differences are strategy-driven
+    // (AT misses exactly the updated hotspot items; SIG misses those
+    // plus false alarms, and pays a 10-kbit report vs AT's ~10 bits).
+    // Unpaired seeds would drown in noise — at h ≈ 0.998, effectiveness
+    // divides by a miss count of a few dozen events.
+    let params = ScenarioParams::scenario1().with_s(0.0);
+    let at = run(params, Strategy::AmnesicTerminals, 2).unwrap();
+    let sig = run(params, Strategy::Signatures, 2).unwrap();
+    assert!(
+        at.effectiveness() > sig.effectiveness(),
+        "AT {} should beat SIG {} for workaholics",
+        at.effectiveness(),
+        sig.effectiveness()
+    );
+    assert!(
+        sig.miss_events >= at.miss_events,
+        "paired run: SIG misses ({}) can only add false alarms to AT's ({})",
+        sig.miss_events,
+        at.miss_events
+    );
+}
+
+#[test]
+fn sleepers_prefer_sig_in_simulation() {
+    // Figure 3 mid-range: SIG's measured effectiveness beats AT's.
+    let params = ScenarioParams::scenario1().with_s(0.5);
+    let at = run(params, Strategy::AmnesicTerminals, 4).unwrap();
+    let sig = run(params, Strategy::Signatures, 5).unwrap();
+    assert!(
+        sig.effectiveness() > at.effectiveness(),
+        "SIG {} should beat AT {} for sleepers",
+        sig.effectiveness(),
+        at.effectiveness()
+    );
+}
+
+#[test]
+fn update_intensive_scenario3_at_dominates_sig() {
+    // Figure 5: "AT dominates SIG for the entire range" (until NC wins).
+    let params = scaled(ScenarioParams::scenario3()).with_s(0.3);
+    let at = run(params, Strategy::AmnesicTerminals, 6).unwrap();
+    let sig = run(params, Strategy::Signatures, 7).unwrap();
+    assert!(
+        at.effectiveness() >= sig.effectiveness(),
+        "AT {} vs SIG {} in update-intensive Scenario 3",
+        at.effectiveness(),
+        sig.effectiveness()
+    );
+}
+
+#[test]
+fn no_cache_effectiveness_is_tiny_in_scenario1() {
+    // §6: "the effectiveness of the no-caching strategy remains very
+    // close to 0 for the entire interval" (updates are rare, so T_max
+    // is enormous).
+    let params = ScenarioParams::scenario1().with_s(0.4);
+    let nc = run(params, Strategy::NoCache, 8).unwrap();
+    assert!(
+        nc.effectiveness() < 0.01,
+        "NC effectiveness {} should be negligible",
+        nc.effectiveness()
+    );
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let params = scaled(ScenarioParams::scenario2()).with_s(0.3);
+    let a = run(params, Strategy::Signatures, 42).unwrap();
+    let b = run(params, Strategy::Signatures, 42).unwrap();
+    assert_eq!(a.hit_events, b.hit_events);
+    assert_eq!(a.miss_events, b.miss_events);
+    assert_eq!(a.report_bits_total, b.report_bits_total);
+}
