@@ -8,8 +8,6 @@
 //! individually; items within their window follow the ordinary TS
 //! timestamp comparison.
 
-use std::collections::HashMap;
-
 use sw_server::ItemId;
 use sw_sim::{SimDuration, SimTime};
 use sw_wireless::FramePayload;
@@ -88,41 +86,54 @@ impl ReportHandler for AdaptiveTsHandler {
             Some(t_l) => t_i.saturating_duration_since(t_l).as_secs(),
             None => f64::INFINITY,
         };
-        let reported: HashMap<ItemId, u64> = entries.iter().copied().collect();
+        // Dense-id reports arrive item-sorted, so per-item lookups are
+        // binary searches over the entry slice — no per-call hash map.
+        let sorted_entries;
+        let reported: &[(ItemId, u64)] = if entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            entries
+        } else {
+            let mut copy = entries.clone();
+            copy.sort_unstable_by_key(|&(item, _)| item);
+            sorted_entries = copy;
+            &sorted_entries
+        };
         let mut invalidated = Vec::new();
-        for item in cache.sorted_items() {
-            let k_i = self.windows.get(item);
+        let windows = &self.windows;
+        let latency_secs = self.latency.as_secs();
+        cache.retain_entries(|item, entry| {
+            let k_i = windows.get(item);
             let w_secs = if k_i >= crate::window::INFINITE_WINDOW {
                 // §8: "it makes sense to keep an 'infinite' window for
                 // an item like this, including the pair <i, 0> in each
                 // invalidation report" — no gap can age it out.
                 f64::INFINITY
             } else {
-                k_i as f64 * self.latency.as_secs()
+                k_i as f64 * latency_secs
             };
             // Per-item gap check replaces §3.1's whole-cache drop. The
             // tiny epsilon mirrors the float-tolerant boundary of the
             // static handlers (gap exactly w is survivable).
             if gap_secs > w_secs * (1.0 + 1e-12) {
-                cache.remove(item);
                 invalidated.push(item);
-                continue;
+                return false;
             }
-            let cached_micros = (cache
-                .peek(item)
-                .expect("iterating cached items")
-                .timestamp
-                .as_secs()
-                * 1e6)
-                .round() as u64;
-            match reported.get(&item) {
-                Some(&t_j) if cached_micros < t_j => {
-                    cache.remove(item);
+            let cached_micros = (entry.timestamp.as_secs() * 1e6).round() as u64;
+            match reported
+                .binary_search_by_key(&item, |&(it, _)| it)
+                .ok()
+                .map(|ix| reported[ix].1)
+            {
+                Some(t_j) if cached_micros < t_j => {
                     invalidated.push(item);
+                    false
                 }
-                _ => cache.restamp(item, t_i),
+                _ => {
+                    entry.timestamp = t_i;
+                    true
+                }
             }
-        }
+        });
+        invalidated.sort_unstable();
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,

@@ -102,6 +102,9 @@ pub struct AdaptiveController {
     query_bits: u32,
     timestamp_bits: u32,
     n_items: u64,
+    /// Hashed is fine here: `prev` is touched only at evaluation-period
+    /// boundaries (every `eval_period` intervals), never on the
+    /// per-interval hot path.
     prev: HashMap<ItemId, PrevState>,
 }
 

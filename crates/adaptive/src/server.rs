@@ -14,7 +14,7 @@
 //! for a given data item is low even for units that do not sleep at
 //! all, then the item should not be included in the report."
 
-use sw_server::{Database, ItemId, ReportBuilder, UpdateRecord};
+use sw_server::{Database, ItemId, ItemTable, ReportBuilder, UpdateRecord};
 use sw_sim::{SimDuration, SimTime};
 use sw_wireless::FramePayload;
 
@@ -41,8 +41,9 @@ pub struct AdaptiveReport {
 pub struct AdaptiveTsBuilder {
     latency: SimDuration,
     windows: WindowTable,
-    /// Mentions per item within the current evaluation period.
-    mentions_this_period: std::collections::HashMap<ItemId, u32>,
+    /// Mentions per item within the current evaluation period — dense
+    /// over the item universe (ids are dense; no hashing per report).
+    mentions_this_period: ItemTable<u32>,
 }
 
 impl AdaptiveTsBuilder {
@@ -52,7 +53,7 @@ impl AdaptiveTsBuilder {
         AdaptiveTsBuilder {
             latency,
             windows: WindowTable::new(default_k),
-            mentions_this_period: std::collections::HashMap::new(),
+            mentions_this_period: ItemTable::dense(0),
         }
     }
 
@@ -73,13 +74,13 @@ impl AdaptiveTsBuilder {
 
     /// Report mentions of `item` in the current evaluation period.
     pub fn mentions(&self, item: ItemId) -> u32 {
-        self.mentions_this_period.get(&item).copied().unwrap_or(0)
+        self.mentions_this_period.get(item).copied().unwrap_or(0)
     }
 
     /// Ends the evaluation period, returning and resetting the mention
     /// counts (the controller's `Report(i, new)`).
-    pub fn end_period(&mut self) -> std::collections::HashMap<ItemId, u32> {
-        std::mem::take(&mut self.mentions_this_period)
+    pub fn end_period(&mut self) -> ItemTable<u32> {
+        self.mentions_this_period.take()
     }
 
     /// Builds the adaptive report at `t_i`. This is the richer variant
@@ -101,6 +102,7 @@ impl AdaptiveTsBuilder {
         let horizon = SimTime::from_secs(
             (t_i.as_secs() - max_k as f64 * self.latency.as_secs()).max(0.0),
         );
+        self.mentions_this_period.reserve_universe(db.len());
         let mut entries: Vec<(u64, u64)> = Vec::new();
         for (item, last_update) in db.updated_in_window(horizon, t_i) {
             let w_i = self.windows.get(item);
@@ -110,7 +112,7 @@ impl AdaptiveTsBuilder {
             let window_start = t_i.as_secs() - w_i as f64 * self.latency.as_secs();
             if last_update.as_secs() > window_start {
                 entries.push((item, (last_update.as_secs() * 1e6).round() as u64));
-                *self.mentions_this_period.entry(item).or_insert(0) += 1;
+                *self.mentions_this_period.get_or_insert_with(item, || 0) += 1;
             }
         }
         entries.sort_unstable_by_key(|&(item, _)| item);
@@ -203,7 +205,7 @@ mod tests {
         // Item 1 (updated at t=5, window 100 s) is mentioned in all 5.
         assert_eq!(b.mentions(1), 5);
         let period = b.end_period();
-        assert_eq!(period[&1], 5);
+        assert_eq!(period.get(1).copied(), Some(5));
         assert_eq!(b.mentions(1), 0);
     }
 

@@ -8,8 +8,6 @@
 //! awake client always has the current windows (see
 //! [`crate::server::AdaptiveReport`]).
 
-use std::collections::HashMap;
-
 use sw_server::ItemId;
 
 /// Wire width of one window value in the exception list (intervals,
@@ -22,10 +20,16 @@ pub const WINDOW_FIELD_BITS: u32 = 16;
 pub const INFINITE_WINDOW: u32 = u16::MAX as u32;
 
 /// Per-item windows in units of intervals, defaulting to `k0`.
+///
+/// Exceptions live in an item-sorted vector: `get` is on the client's
+/// per-cached-item hot path, where a binary search over the (typically
+/// short) exception list beats hashing; mutation only happens at
+/// evaluation-period boundaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WindowTable {
     default_k: u32,
-    exceptions: HashMap<ItemId, u32>,
+    /// Sorted by item id; never contains `default_k` values.
+    exceptions: Vec<(ItemId, u32)>,
 }
 
 impl WindowTable {
@@ -36,7 +40,7 @@ impl WindowTable {
         assert!(default_k >= 1, "default window must be at least one interval");
         WindowTable {
             default_k,
-            exceptions: HashMap::new(),
+            exceptions: Vec::new(),
         }
     }
 
@@ -46,17 +50,30 @@ impl WindowTable {
     }
 
     /// Current window of `item`, in intervals.
+    #[inline]
     pub fn get(&self, item: ItemId) -> u32 {
-        self.exceptions.get(&item).copied().unwrap_or(self.default_k)
+        match self.exceptions.binary_search_by_key(&item, |&(it, _)| it) {
+            Ok(ix) => self.exceptions[ix].1,
+            Err(_) => self.default_k,
+        }
     }
 
     /// Sets `item`'s window explicitly (clamped to the wire range).
     pub fn set(&mut self, item: ItemId, k: u32) {
         let k = k.min(INFINITE_WINDOW);
-        if k == self.default_k {
-            self.exceptions.remove(&item);
-        } else {
-            self.exceptions.insert(item, k);
+        match self.exceptions.binary_search_by_key(&item, |&(it, _)| it) {
+            Ok(ix) => {
+                if k == self.default_k {
+                    self.exceptions.remove(ix);
+                } else {
+                    self.exceptions[ix].1 = k;
+                }
+            }
+            Err(ix) => {
+                if k != self.default_k {
+                    self.exceptions.insert(ix, (item, k));
+                }
+            }
         }
     }
 
@@ -76,9 +93,7 @@ impl WindowTable {
     /// The exception list broadcast in every adaptive report, sorted by
     /// item id for determinism.
     pub fn exceptions(&self) -> Vec<(ItemId, u32)> {
-        let mut v: Vec<(ItemId, u32)> = self.exceptions.iter().map(|(&k, &v)| (k, v)).collect();
-        v.sort_unstable_by_key(|&(item, _)| item);
-        v
+        self.exceptions.clone()
     }
 
     /// Number of exception entries.
@@ -87,9 +102,15 @@ impl WindowTable {
     }
 
     /// Replaces the exception list wholesale (client side, from the
-    /// broadcast).
+    /// broadcast). The broadcast list is already item-sorted; unsorted
+    /// input is sorted here so lookups stay correct.
     pub fn load_exceptions(&mut self, exceptions: &[(ItemId, u32)]) {
-        self.exceptions = exceptions.iter().copied().collect();
+        self.exceptions.clear();
+        self.exceptions.extend_from_slice(exceptions);
+        if !self.exceptions.windows(2).all(|w| w[0].0 < w[1].0) {
+            self.exceptions.sort_unstable_by_key(|&(item, _)| item);
+            self.exceptions.dedup_by_key(|&mut (item, _)| item);
+        }
     }
 
     /// Extra report bits the exception list costs:

@@ -1,0 +1,227 @@
+//! Microbenches for the hot-path overhaul: per-MU report application,
+//! dense vs hashed per-item tables, and wake-heap vs full-scan sleeper
+//! handling. These are the three mechanisms the per-interval loop is
+//! built from; `BENCH_report.json` (see the `bench_report` binary)
+//! measures their end-to-end effect.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use sleepers::client::{MobileUnit, MuConfig, TsHandler};
+use sleepers::server::{Database, ItemTable, ReportBuilder, TsBuilder, UpdateEngine};
+use sleepers::sim::{MasterSeed, SimDuration, SimTime, StreamId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::hint::black_box;
+
+const N_ITEMS: u64 = 10_000;
+
+fn loaded_db(mu: f64, horizon: f64) -> Database {
+    let mut rng = MasterSeed(1).stream(StreamId::Updates);
+    let mut db = Database::new(N_ITEMS, |i| i, SimDuration::from_secs(horizon * 2.0));
+    let mut engine = UpdateEngine::new(N_ITEMS, mu, &mut rng);
+    engine.advance(
+        &mut db,
+        SimTime::ZERO,
+        SimTime::from_secs(horizon),
+        &mut rng,
+    );
+    db
+}
+
+/// One interval of a single MU: generate queries, hear the TS report,
+/// answer from cache — with the cache dense (universe known) or hashed.
+fn bench_report_apply_per_mu(c: &mut Criterion) {
+    let db = loaded_db(1e-4, 1_000.0);
+    let latency = SimDuration::from_secs(10.0);
+    let payload = TsBuilder::new(latency, 100).build(100, SimTime::from_secs(1_000.0), &db);
+
+    let mut group = c.benchmark_group("report_apply_per_mu");
+    group.throughput(Throughput::Elements(1));
+    for (label, universe) in [("dense_cache", Some(N_ITEMS)), ("hashed_cache", None)] {
+        group.bench_function(label, |b| {
+            b.iter_batched(
+                || {
+                    let mut rng = MasterSeed(7).stream(StreamId::Queries { index: 1 });
+                    let mut unit = MobileUnit::new(
+                        MuConfig {
+                            id: 1,
+                            hotspot: (0..100).collect(),
+                            query_rate_per_item: 0.02,
+                            sleep_probability: 0.0,
+                            cache_capacity: None,
+                            piggyback_hits: false,
+                            item_universe: universe,
+                        },
+                        Box::new(TsHandler::new(latency, 100)),
+                        &mut rng,
+                    );
+                    for item in 0..50 {
+                        unit.install_answer(sleepers::server::QueryAnswer {
+                            item,
+                            value: item,
+                            timestamp: SimTime::from_secs(995.0),
+                        });
+                    }
+                    let mut qrng = MasterSeed(8).stream(StreamId::Queries { index: 2 });
+                    unit.begin_awake_interval(
+                        SimTime::from_secs(990.0),
+                        SimTime::from_secs(1_000.0),
+                        &mut qrng,
+                    );
+                    unit
+                },
+                |mut unit| black_box(unit.hear_report_and_answer(&payload)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+/// The raw table layouts under a per-interval access pattern: populate,
+/// point-probe, ordered scan.
+fn bench_item_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("item_table");
+    group.throughput(Throughput::Elements(N_ITEMS));
+    for (label, make) in [
+        ("dense", ItemTable::dense as fn(u64) -> ItemTable<u64>),
+        ("hashed", (|_| ItemTable::hashed()) as fn(u64) -> ItemTable<u64>),
+    ] {
+        group.bench_function(format!("{label}/fill_probe_scan"), |b| {
+            b.iter(|| {
+                let mut t = make(N_ITEMS);
+                for item in 0..N_ITEMS {
+                    t.insert(item, item * 3);
+                }
+                // Pseudo-random probes (fixed LCG, not wall-clock).
+                let mut x = 0x9E37u64;
+                let mut found = 0u64;
+                for _ in 0..N_ITEMS {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if t.get(x % N_ITEMS).is_some() {
+                        found += 1;
+                    }
+                }
+                let sum: u64 = t.iter_sorted().map(|(_, &v)| v).sum();
+                black_box((found, sum))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Sleeper handling: touch every client every interval (the old loop —
+/// a Bernoulli sleep draw plus per-client bookkeeping whether or not
+/// the unit is awake) vs pop only the due wake-ups from a heap, one
+/// geometric run draw per wake (the cell driver now). Same sleep
+/// process, same client count, same horizon.
+fn bench_wake_scan(c: &mut Criterion) {
+    use sleepers::sim::process::BernoulliIntervalProcess;
+
+    // The paper's "sleeper" regime: long disconnection runs. This is
+    // where skipping sleeping clients pays — at small s the Bernoulli
+    // scan is already cheap and the heap is a wash.
+    const CLIENTS: u64 = 1_000;
+    const INTERVALS: u64 = 1_000;
+    const S: f64 = 0.99;
+
+    let mut group = c.benchmark_group("wake_scan");
+    group.throughput(Throughput::Elements(CLIENTS * INTERVALS));
+    let process = BernoulliIntervalProcess::new(S);
+
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            let mut rng = MasterSeed(42).stream(StreamId::Sleep { index: 0 });
+            // The old driver touched every client every interval: one
+            // sleep draw plus an asleep/awake stats bump each.
+            let mut awake_events = 0u64;
+            let mut asleep_credits = 0u64;
+            for _ in 0..INTERVALS {
+                for _ in 0..CLIENTS {
+                    if process.draw_asleep(&mut rng) {
+                        asleep_credits += 1;
+                    } else {
+                        awake_events += 1;
+                    }
+                }
+            }
+            black_box((awake_events, asleep_credits))
+        })
+    });
+
+    group.bench_function("wake_heap", |b| {
+        b.iter(|| {
+            let mut rng = MasterSeed(42).stream(StreamId::Sleep { index: 0 });
+            let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+            let mut asleep_credits = 0u64;
+            for idx in 0..CLIENTS {
+                let k = process.draw_sleep_run(&mut rng);
+                if k != u64::MAX {
+                    heap.push(Reverse((1u64.saturating_add(k), idx)));
+                }
+            }
+            let mut awake_events = 0u64;
+            for i in 1..=INTERVALS {
+                while let Some(&Reverse((wake, idx))) = heap.peek() {
+                    if wake > i {
+                        break;
+                    }
+                    heap.pop();
+                    awake_events += 1;
+                    asleep_credits += wake - 1;
+                    let k = process.draw_sleep_run(&mut rng);
+                    if k != u64::MAX {
+                        heap.push(Reverse((i.saturating_add(1 + k), idx)));
+                    }
+                }
+            }
+            black_box((awake_events, asleep_credits))
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end check that the cell driver's cost tracks the *awake*
+/// population: with the wake-heap, raising s at fixed client count
+/// should cut per-interval time roughly in proportion to 1 − s.
+fn bench_interval_cost_vs_sleep(c: &mut Criterion) {
+    use sleepers::prelude::*;
+
+    let mut group = c.benchmark_group("interval_cost_vs_sleep");
+    for s in [0.0, 0.9, 0.99] {
+        let mut params = ScenarioParams::scenario1();
+        params.n_items = 2_000;
+        let params = params.with_s(s);
+        group.bench_function(format!("ts/s={s}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sim = CellSimulation::new(
+                        CellConfig::new(params)
+                            .with_clients(100)
+                            .with_hotspot_size(30)
+                            .with_seed(3),
+                        Strategy::BroadcastTimestamps,
+                    )
+                    .expect("valid");
+                    sim.run(10).expect("warm-up fits");
+                    sim
+                },
+                |mut sim| {
+                    for _ in 0..20 {
+                        black_box(sim.step().expect("fits"));
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_report_apply_per_mu,
+    bench_item_table,
+    bench_wake_scan,
+    bench_interval_cost_vs_sleep
+);
+criterion_main!(benches);

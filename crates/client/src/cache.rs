@@ -14,9 +14,7 @@
 //! strategy algorithms do. An optional LRU capacity bound models small
 //! devices; the paper's scenarios are capacity-unbounded.
 
-use std::collections::HashMap;
-
-use sw_server::ItemId;
+use sw_server::{ItemId, ItemTable};
 use sw_sim::SimTime;
 
 /// One cached item.
@@ -32,19 +30,36 @@ pub struct CacheEntry {
 }
 
 /// The MU cache: item → entry, with optional LRU capacity.
+///
+/// Item ids are dense, so the cell driver constructs caches with
+/// [`Cache::for_universe`]: a vec-indexed table with no hashing on the
+/// per-query hot path, and free id-ordered iteration. The hashed
+/// constructors remain for callers with unknown universes.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    entries: HashMap<ItemId, CacheEntry>,
+    entries: ItemTable<CacheEntry>,
     capacity: Option<usize>,
     clock: u64,
     evictions: u64,
 }
 
 impl Cache {
-    /// Creates an unbounded cache (the paper's model).
+    /// Creates an unbounded cache (the paper's model) over an unknown
+    /// item universe (hashed table).
     pub fn unbounded() -> Self {
         Cache {
-            entries: HashMap::new(),
+            entries: ItemTable::hashed(),
+            capacity: None,
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates an unbounded cache pre-sized for items `0..universe`
+    /// (dense table; the fast path used by the cell simulation).
+    pub fn for_universe(universe: u64) -> Self {
+        Cache {
+            entries: ItemTable::dense(universe),
             capacity: None,
             clock: 0,
             evictions: 0,
@@ -56,7 +71,19 @@ impl Cache {
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
         Cache {
-            entries: HashMap::with_capacity(capacity),
+            entries: ItemTable::hashed(),
+            capacity: Some(capacity),
+            clock: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Creates a capacity-bounded LRU cache over a dense universe of
+    /// `universe` items.
+    pub fn with_capacity_for_universe(capacity: usize, universe: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Cache {
+            entries: ItemTable::dense(universe),
             capacity: Some(capacity),
             clock: 0,
             evictions: 0,
@@ -80,14 +107,14 @@ impl Cache {
 
     /// True if `item` is cached.
     pub fn contains(&self, item: ItemId) -> bool {
-        self.entries.contains_key(&item)
+        self.entries.contains(item)
     }
 
     /// Reads `item` (bumping LRU recency).
     pub fn get(&mut self, item: ItemId) -> Option<CacheEntry> {
         self.clock += 1;
         let clock = self.clock;
-        self.entries.get_mut(&item).map(|e| {
+        self.entries.get_mut(item).map(|e| {
             e.last_used = clock;
             *e
         })
@@ -95,7 +122,7 @@ impl Cache {
 
     /// Reads `item` without touching recency (for invariant checks).
     pub fn peek(&self, item: ItemId) -> Option<&CacheEntry> {
-        self.entries.get(&item)
+        self.entries.get(item)
     }
 
     /// Inserts or replaces `item`, evicting LRU if over capacity.
@@ -115,9 +142,9 @@ impl Cache {
                     .entries
                     .iter()
                     .min_by_key(|(_, e)| e.last_used)
-                    .map(|(&k, _)| k)
+                    .map(|(k, _)| k)
                     .expect("cache over capacity cannot be empty");
-                self.entries.remove(&lru);
+                self.entries.remove(lru);
                 self.evictions += 1;
             }
         }
@@ -125,7 +152,7 @@ impl Cache {
 
     /// Removes `item`, returning its entry if present.
     pub fn remove(&mut self, item: ItemId) -> Option<CacheEntry> {
-        self.entries.remove(&item)
+        self.entries.remove(item)
     }
 
     /// Drops the entire cache (the `T_i − T_l > w` / `> L` path of the
@@ -142,29 +169,46 @@ impl Cache {
     pub fn restamp(&mut self, item: ItemId, timestamp: SimTime) {
         let e = self
             .entries
-            .get_mut(&item)
+            .get_mut(item)
             .expect("cannot restamp an item that is not cached");
         e.timestamp = timestamp;
     }
 
-    /// Iterates over cached item ids (arbitrary order).
+    /// Iterates over cached item ids (ascending for dense caches,
+    /// arbitrary for hashed ones).
     pub fn items(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.entries.keys().copied()
+        self.entries.iter().map(|(k, _)| k)
     }
 
     /// Cached ids as a sorted vector (deterministic iteration for the
-    /// strategy algorithms and tests).
+    /// strategy algorithms and tests). Free of sorting for dense caches.
     pub fn sorted_items(&self) -> Vec<ItemId> {
-        let mut v: Vec<ItemId> = self.entries.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.entries.sorted_ids()
+    }
+
+    /// One mutable pass over the whole cache — the shape of the §3
+    /// report algorithms: `f` restamps the entry in place and returns
+    /// `true` to keep it, or `false` to invalidate it. Dense caches are
+    /// visited in ascending item order; recency is untouched (report
+    /// processing is not a read). Replaces the
+    /// `sorted_items` + `peek` + `restamp`/`remove` walk, which cost an
+    /// id-vector allocation and three lookups per entry per report.
+    pub fn retain_entries<F: FnMut(ItemId, &mut CacheEntry) -> bool>(&mut self, f: F) {
+        self.entries.retain_mut(f);
+    }
+
+    /// Restamps every cached entry to `timestamp` in one pass (the "all
+    /// survivors are verified as of `T_i`" step shared by the report
+    /// algorithms).
+    pub fn restamp_all(&mut self, timestamp: SimTime) {
+        self.entries.for_each_mut(|_, e| e.timestamp = timestamp);
     }
 
     /// Removes every item for which `predicate` returns true, returning
     /// how many were dropped.
     pub fn drop_where<F: FnMut(ItemId, &CacheEntry) -> bool>(&mut self, mut predicate: F) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|&k, e| !predicate(k, e));
+        self.entries.retain(|k, e| !predicate(k, e));
         before - self.entries.len()
     }
 }
@@ -270,6 +314,36 @@ mod tests {
             c.insert(i, 0, SimTime::ZERO);
         }
         assert_eq!(c.sorted_items(), vec![1, 3, 7, 9]);
+    }
+
+    #[test]
+    fn dense_cache_behaves_like_hashed() {
+        let mut dense = Cache::for_universe(16);
+        let mut hashed = Cache::unbounded();
+        for c in [&mut dense, &mut hashed] {
+            for i in [9u64, 3, 7, 1] {
+                c.insert(i, i * 2, SimTime::from_secs(i as f64));
+            }
+            c.remove(7);
+        }
+        assert_eq!(dense.sorted_items(), hashed.sorted_items());
+        assert_eq!(dense.len(), hashed.len());
+        assert_eq!(dense.peek(9).unwrap().value, 18);
+        // Beyond the pre-sized universe still works (table grows).
+        dense.insert(100, 1, SimTime::ZERO);
+        assert!(dense.contains(100));
+    }
+
+    #[test]
+    fn dense_lru_evicts_like_hashed() {
+        let mut c = Cache::with_capacity_for_universe(2, 8);
+        c.insert(1, 1, SimTime::ZERO);
+        c.insert(2, 2, SimTime::ZERO);
+        let _ = c.get(1);
+        c.insert(3, 3, SimTime::ZERO);
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert_eq!(c.evictions(), 1);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! previously tracked (see [`SigHandler`] docs); both are measured, not
 //! assumed, by the integration tests.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use sw_server::ItemId;
 use sw_signature::{CombinedSignature, SyndromeDecoder};
@@ -136,26 +136,44 @@ impl ReportHandler for TsHandler {
             };
         }
 
-        let reported: HashMap<ItemId, u64> = entries.iter().copied().collect();
+        // Report builders emit entries in ascending item order, so a
+        // binary search replaces the per-report hash table; an unsorted
+        // payload (hand-built in tests) falls back to sorting a copy.
+        let sorted_copy: Vec<(u64, u64)>;
+        let reported: &[(u64, u64)] = if entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            entries
+        } else {
+            sorted_copy = {
+                let mut v = entries.clone();
+                v.sort_unstable_by_key(|&(item, _)| item);
+                v
+            };
+            &sorted_copy
+        };
         let mut invalidated = Vec::new();
         // for every item j in the MU cache:
         //   if [j, t_j] in U_i { if t_cache < t_j drop else t_cache := T_i }
         //   (not mentioned ⇒ unchanged within w ⇒ t_cache := T_i)
-        for item in cache.sorted_items() {
-            let cached_micros = time_to_micros(
-                cache
-                    .peek(item)
-                    .expect("iterating cached items")
-                    .timestamp,
-            );
-            match reported.get(&item) {
-                Some(&t_j) if cached_micros < t_j => {
-                    cache.remove(item);
+        cache.retain_entries(|item, entry| {
+            let cached_micros = time_to_micros(entry.timestamp);
+            match reported
+                .binary_search_by_key(&item, |&(reported_item, _)| reported_item)
+                .ok()
+                .map(|ix| reported[ix].1)
+            {
+                Some(t_j) if cached_micros < t_j => {
                     invalidated.push(item);
+                    false
                 }
-                _ => cache.restamp(item, t_i),
+                _ => {
+                    entry.timestamp = t_i;
+                    true
+                }
             }
-        }
+        });
+        // Ascending already for dense caches; hashed ones visit in
+        // arbitrary order, so sort for deterministic output.
+        invalidated.sort_unstable();
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,
@@ -225,9 +243,7 @@ impl ReportHandler for AtHandler {
             }
         }
         // Surviving entries are verified as of T_i.
-        for item in cache.sorted_items() {
-            cache.restamp(item, t_i);
-        }
+        cache.restamp_all(t_i);
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,
@@ -257,26 +273,33 @@ impl ReportHandler for AtHandler {
 #[derive(Debug, Clone)]
 pub struct SigHandler {
     decoder: SyndromeDecoder,
-    tracked: HashMap<u32, CombinedSignature>,
-    /// The signatures of the last heard report, kept so that uplink
+    /// Tracked combined signature per subset index, dense over the
+    /// plan's `m` subsets (`None` = untracked). Subset indices are
+    /// dense by construction, so no hashing on the per-report path.
+    tracked: Vec<Option<CombinedSignature>>,
+    tracked_count: usize,
+    /// The signatures of the last heard report — an [`Arc`] share of
+    /// the broadcast payload, never a copy — kept so that uplink
     /// fetches within the current interval can adopt tracking for their
     /// subsets (see [`ReportHandler::on_fetch`]).
-    last_report: Vec<CombinedSignature>,
+    last_report: Arc<Vec<CombinedSignature>>,
 }
 
 impl SigHandler {
     /// Creates the handler sharing the server's decoder configuration.
     pub fn new(decoder: SyndromeDecoder) -> Self {
+        let m = decoder.family().m() as usize;
         SigHandler {
             decoder,
-            tracked: HashMap::new(),
-            last_report: Vec::new(),
+            tracked: vec![None; m],
+            tracked_count: 0,
+            last_report: Arc::new(Vec::new()),
         }
     }
 
     /// Number of subset signatures currently tracked.
     pub fn tracked_subsets(&self) -> usize {
-        self.tracked.len()
+        self.tracked_count
     }
 }
 
@@ -290,9 +313,11 @@ impl ReportHandler for SigHandler {
             return; // fetched before any report was heard
         }
         for j in self.decoder.family().subsets_of(item) {
-            self.tracked
-                .entry(j)
-                .or_insert(self.last_report[j as usize]);
+            let slot = &mut self.tracked[j as usize];
+            if slot.is_none() {
+                *slot = Some(self.last_report[j as usize]);
+                self.tracked_count += 1;
+            }
         }
     }
 
@@ -314,27 +339,31 @@ impl ReportHandler for SigHandler {
 
         let cached_items = cache.sorted_items();
         let tracked = &self.tracked;
-        let diagnosis =
-            self.decoder
-                .diagnose(&cached_items, |j| tracked.get(&j).copied(), signatures);
+        let diagnosis = self.decoder.diagnose(
+            &cached_items,
+            |j| tracked.get(j as usize).copied().flatten(),
+            signatures,
+        );
         for &item in &diagnosis.invalidated {
             cache.remove(item);
         }
         // Re-scope tracking to the surviving cache and adopt the
         // broadcast signatures ("the combined uncached signatures are
         // considered equal to the ones that are being broadcast").
-        self.tracked.clear();
+        self.tracked.iter_mut().for_each(|slot| *slot = None);
+        self.tracked_count = 0;
         for item in cache.items() {
             for j in self.decoder.family().subsets_of(item) {
-                self.tracked
-                    .insert(j, signatures[j as usize]);
+                let slot = &mut self.tracked[j as usize];
+                if slot.is_none() {
+                    self.tracked_count += 1;
+                }
+                *slot = Some(signatures[j as usize]);
             }
         }
         // Survivors are valid as of T_i with probability P_nf.
-        for item in cache.sorted_items() {
-            cache.restamp(item, t_i);
-        }
-        self.last_report = signatures.clone();
+        cache.restamp_all(t_i);
+        self.last_report = Arc::clone(signatures);
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,
@@ -357,8 +386,10 @@ pub struct HybridHandler {
     latency: SimDuration,
     hot: sw_server::HotSet,
     decoder: SyndromeDecoder,
-    tracked: HashMap<u32, CombinedSignature>,
-    last_report: Vec<CombinedSignature>,
+    /// Dense per-subset tracking, as in [`SigHandler`].
+    tracked: Vec<Option<CombinedSignature>>,
+    tracked_count: usize,
+    last_report: Arc<Vec<CombinedSignature>>,
 }
 
 impl HybridHandler {
@@ -366,18 +397,20 @@ impl HybridHandler {
     /// [`sw_server::HybridSigBuilder`].
     pub fn new(latency: SimDuration, hot: sw_server::HotSet, decoder: SyndromeDecoder) -> Self {
         assert!(!latency.is_zero(), "latency must be positive");
+        let m = decoder.family().m() as usize;
         HybridHandler {
             latency,
             hot,
             decoder,
-            tracked: HashMap::new(),
-            last_report: Vec::new(),
+            tracked: vec![None; m],
+            tracked_count: 0,
+            last_report: Arc::new(Vec::new()),
         }
     }
 
     /// Number of cold-subset signatures currently tracked.
     pub fn tracked_subsets(&self) -> usize {
-        self.tracked.len()
+        self.tracked_count
     }
 }
 
@@ -391,9 +424,11 @@ impl ReportHandler for HybridHandler {
             return;
         }
         for j in self.decoder.family().subsets_of(item) {
-            self.tracked
-                .entry(j)
-                .or_insert(self.last_report[j as usize]);
+            let slot = &mut self.tracked[j as usize];
+            if slot.is_none() {
+                *slot = Some(self.last_report[j as usize]);
+                self.tracked_count += 1;
+            }
         }
     }
 
@@ -447,27 +482,32 @@ impl ReportHandler for HybridHandler {
             .filter(|&i| !hot.contains(i))
             .collect();
         let tracked = &self.tracked;
-        let diagnosis =
-            self.decoder
-                .diagnose(&cold_items, |j| tracked.get(&j).copied(), signatures);
+        let diagnosis = self.decoder.diagnose(
+            &cold_items,
+            |j| tracked.get(j as usize).copied().flatten(),
+            signatures,
+        );
         for &item in &diagnosis.invalidated {
             cache.remove(item);
             invalidated.push(item);
         }
-        self.tracked.clear();
+        self.tracked.iter_mut().for_each(|slot| *slot = None);
+        self.tracked_count = 0;
         for item in cache.items() {
             if self.hot.contains(item) {
                 continue;
             }
             for j in self.decoder.family().subsets_of(item) {
-                self.tracked.insert(j, signatures[j as usize]);
+                let slot = &mut self.tracked[j as usize];
+                if slot.is_none() {
+                    self.tracked_count += 1;
+                }
+                *slot = Some(signatures[j as usize]);
             }
         }
-        self.last_report = signatures.clone();
+        self.last_report = Arc::clone(signatures);
 
-        for item in cache.sorted_items() {
-            cache.restamp(item, t_i);
-        }
+        cache.restamp_all(t_i);
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,
@@ -532,20 +572,25 @@ impl ReportHandler for GroupHandler {
                 revalidated: 0,
             };
         }
-        let changed: std::collections::HashSet<u64> = group_ids.iter().copied().collect();
+        // The group id list is tiny and (from the builder) sorted; a
+        // binary search over a sorted copy beats hashing per item.
+        let changed = {
+            let mut v = group_ids.clone();
+            v.sort_unstable();
+            v
+        };
         let map = self.map;
-        let mut invalidated: Vec<ItemId> = cache
-            .sorted_items()
-            .into_iter()
-            .filter(|&i| changed.contains(&map.group_of(i)))
-            .collect();
-        for &i in &invalidated {
-            cache.remove(i);
-        }
+        let mut invalidated: Vec<ItemId> = Vec::new();
+        cache.retain_entries(|i, entry| {
+            if changed.binary_search(&map.group_of(i)).is_ok() {
+                invalidated.push(i);
+                false
+            } else {
+                entry.timestamp = t_i;
+                true
+            }
+        });
         invalidated.sort_unstable();
-        for item in cache.sorted_items() {
-            cache.restamp(item, t_i);
-        }
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,

@@ -14,9 +14,7 @@
 //! * a unit that posed queries stays up to hear the closing report and
 //!   answer them, then may sleep again (§4's stated simplification).
 
-use std::collections::HashMap;
-
-use sw_server::{ItemId, PiggybackInfo, QueryAnswer};
+use sw_server::{ItemId, ItemTable, PiggybackInfo, QueryAnswer};
 use sw_sim::{BernoulliIntervalProcess, PoissonProcess, RngStream, SimTime};
 use sw_wireless::FramePayload;
 
@@ -50,6 +48,10 @@ pub struct MuConfig {
     /// Whether to collect local-hit timestamps for uplink piggybacking
     /// (adaptive Method 1, §8.1).
     pub piggyback_hits: bool,
+    /// Size of the item universe, when known: pre-sizes the cache and
+    /// hit-history tables as dense vectors (no hashing on the query hot
+    /// path). `None` falls back to hashed tables.
+    pub item_universe: Option<u64>,
 }
 
 /// Counters the experiments read out.
@@ -126,7 +128,7 @@ pub struct MobileUnit {
     t_l: Option<SimTime>,
     pending: Vec<PendingQuery>,
     awake: bool,
-    local_hits: HashMap<ItemId, Vec<SimTime>>,
+    local_hits: ItemTable<Vec<SimTime>>,
     stats: MuStats,
 }
 
@@ -155,9 +157,15 @@ impl MobileUnit {
             "query rate must be non-negative"
         );
         let total_rate = config.query_rate_per_item * config.hotspot.len() as f64;
-        let cache = match config.cache_capacity {
-            Some(cap) => Cache::with_capacity(cap),
-            None => Cache::unbounded(),
+        let cache = match (config.cache_capacity, config.item_universe) {
+            (Some(cap), Some(n)) => Cache::with_capacity_for_universe(cap, n),
+            (Some(cap), None) => Cache::with_capacity(cap),
+            (None, Some(n)) => Cache::for_universe(n),
+            (None, None) => Cache::unbounded(),
+        };
+        let local_hits = match config.item_universe {
+            Some(n) if config.piggyback_hits => ItemTable::dense(n),
+            _ => ItemTable::hashed(),
         };
         MobileUnit {
             sleep: BernoulliIntervalProcess::new(config.sleep_probability),
@@ -167,7 +175,7 @@ impl MobileUnit {
             t_l: None,
             pending: Vec::new(),
             awake: true,
-            local_hits: HashMap::new(),
+            local_hits,
             stats: MuStats::default(),
             config,
         }
@@ -217,6 +225,10 @@ impl MobileUnit {
     /// Starts interval `(from, to]`: draws the sleep state and, if
     /// awake, generates this interval's query arrivals into the pending
     /// list.
+    ///
+    /// Unit-level convenience built on [`Self::begin_awake_interval`] /
+    /// [`Self::enter_sleep`]; the cell driver schedules wake-ups with a
+    /// heap instead and never touches sleeping units.
     pub fn begin_interval(
         &mut self,
         from: SimTime,
@@ -224,11 +236,19 @@ impl MobileUnit {
         sleep_rng: &mut RngStream,
         query_rng: &mut RngStream,
     ) {
-        self.awake = !self.sleep.draw_asleep(sleep_rng);
-        if !self.awake {
-            self.stats.intervals_asleep += 1;
-            return;
+        if self.sleep.draw_asleep(sleep_rng) {
+            self.enter_sleep();
+            self.credit_asleep_intervals(1);
+        } else {
+            self.begin_awake_interval(from, to, query_rng);
         }
+    }
+
+    /// Starts interval `(from, to]` with the unit known awake: generates
+    /// this interval's query arrivals into the pending list. The sleep
+    /// decision is the caller's (the cell driver's wake heap).
+    pub fn begin_awake_interval(&mut self, from: SimTime, to: SimTime, query_rng: &mut RngStream) {
+        self.awake = true;
         self.stats.intervals_awake += 1;
         for at in self.queries.arrivals_in(from, to, query_rng) {
             let idx = query_rng.uniform_index(self.config.hotspot.len() as u64) as usize;
@@ -236,6 +256,27 @@ impl MobileUnit {
             self.pending.push(PendingQuery { item, posed_at: at });
             self.stats.queries_posed += 1;
         }
+    }
+
+    /// Marks the unit asleep. Asleep intervals are credited lazily with
+    /// [`Self::credit_asleep_intervals`] when the unit wakes (the cell
+    /// driver never iterates sleeping units).
+    pub fn enter_sleep(&mut self) {
+        self.awake = false;
+    }
+
+    /// Draws a whole sleep run from the unit's sleep process (see
+    /// [`BernoulliIntervalProcess::draw_sleep_run`]): the number of
+    /// consecutive asleep intervals before the next awake one. The cell
+    /// driver uses this to schedule the unit's wake-up on a heap.
+    pub fn draw_sleep_run(&self, rng: &mut RngStream) -> u64 {
+        self.sleep.draw_sleep_run(rng)
+    }
+
+    /// Credits `k` intervals spent asleep (lazy settlement of a whole
+    /// sleep run at wake-up time).
+    pub fn credit_asleep_intervals(&mut self, k: u64) {
+        self.stats.intervals_asleep += k;
     }
 
     /// Hears the report closing the current interval (awake units only)
@@ -276,13 +317,15 @@ impl MobileUnit {
             if self.cache.get(item).is_some() {
                 self.stats.hit_events += 1;
                 if self.config.piggyback_hits {
-                    self.local_hits.entry(item).or_default().push(t_i);
+                    self.local_hits
+                        .get_or_insert_with(item, Vec::new)
+                        .push(t_i);
                 }
             } else {
                 self.stats.miss_events += 1;
                 let piggyback = if self.config.piggyback_hits {
                     Some(PiggybackInfo {
-                        local_hit_times: self.local_hits.remove(&item).unwrap_or_default(),
+                        local_hit_times: self.local_hits.remove(item).unwrap_or_default(),
                     })
                 } else {
                     None
@@ -346,6 +389,7 @@ mod tests {
             sleep_probability: s,
             cache_capacity: None,
             piggyback_hits: true,
+            item_universe: None,
         };
         let mut qrng = MasterSeed::TEST.stream(StreamId::Queries { index: 0 });
         let srng = MasterSeed::TEST.stream(StreamId::Sleep { index: 0 });

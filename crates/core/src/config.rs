@@ -10,6 +10,27 @@ use sw_sim::MasterSeed;
 use sw_wireless::{DeliveryMode, EnergyModel};
 use sw_workload::{Popularity, ScenarioParams};
 
+/// How the cell tracks which units wake in which interval.
+///
+/// Both representations yield the identical awake set in the identical
+/// (ascending-index) order — every random stream is consumed in the
+/// same sequence — so the choice is purely a time/space trade, never a
+/// results change. [`CellConfig::with_wake_mode`] forces one; the
+/// default picks by the cell's mean sleep probability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WakeMode {
+    /// Dense scan of a per-client next-wake vector: O(n) per interval
+    /// with a branch-predictable sequential pass. Fastest for
+    /// workaholic-leaning cells, where most units wake most intervals
+    /// and a heap would churn an entry per client per interval.
+    Scan,
+    /// Min-heap of `(wake_interval, client)` — the sleeper skip-list:
+    /// O(awake · log n) per interval, never visiting sleepers. Wins
+    /// when nearly the whole cell sleeps (s ≳ 0.95), which is exactly
+    /// the paper's sleeper regime.
+    Heap,
+}
+
 /// Full configuration of one simulated cell.
 #[derive(Debug, Clone)]
 pub struct CellConfig {
@@ -42,6 +63,10 @@ pub struct CellConfig {
     /// species rarely live apart in practice). `None` = every client
     /// uses `params.s`.
     pub sleep_profile: Option<Vec<f64>>,
+    /// Wake-tracking representation; `None` picks automatically from
+    /// the cell's mean sleep probability (heap for sleeper cells, scan
+    /// otherwise). Either choice produces bit-identical results.
+    pub wake_mode: Option<WakeMode>,
 }
 
 impl CellConfig {
@@ -64,6 +89,7 @@ impl CellConfig {
             check_safety: false,
             energy_model: EnergyModel::default(),
             sleep_profile: None,
+            wake_mode: None,
         }
     }
 
@@ -136,6 +162,27 @@ impl CellConfig {
         );
         self.sleep_profile = Some(profile);
         self
+    }
+
+    /// Forces the wake-tracking representation (tests and benches; the
+    /// automatic choice is right for normal runs).
+    pub fn with_wake_mode(mut self, mode: WakeMode) -> Self {
+        self.wake_mode = Some(mode);
+        self
+    }
+
+    /// Mean sleep probability across the cell (profile-weighted under
+    /// the cyclic assignment), used to auto-pick the wake mode.
+    pub fn mean_sleep_probability(&self) -> f64 {
+        match &self.sleep_profile {
+            Some(profile) => {
+                let total: f64 = (0..self.n_clients)
+                    .map(|idx| profile[idx % profile.len()])
+                    .sum();
+                total / self.n_clients as f64
+            }
+            None => self.params.s,
+        }
     }
 
     /// Validates the configuration.

@@ -51,7 +51,7 @@ pub mod safety;
 pub mod simulation;
 pub mod strategy;
 
-pub use config::CellConfig;
+pub use config::{CellConfig, WakeMode};
 pub use metrics::SimulationReport;
 pub use simulation::{CellSimulation, SimulationError};
 pub use strategy::Strategy;

@@ -19,6 +19,9 @@ use sw_server::{ItemId, UpdateRecord};
 use sw_sim::SimTime;
 
 /// Full value history of every item, for invariant checking only.
+///
+/// Hashed maps are fine here: the checker runs only in tests and debug
+/// harnesses (`check_safety` mode), never on the simulation hot path.
 #[derive(Debug, Clone, Default)]
 pub struct ValueHistory {
     /// Per item: (update time, new value), in time order; the implicit

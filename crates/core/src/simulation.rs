@@ -22,7 +22,8 @@
 //! 5. adaptive/quasi bookkeeping (evaluation periods, obligation lists)
 //!    runs at the boundary.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use sw_adaptive::{
     AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
@@ -30,7 +31,8 @@ use sw_adaptive::{
 use sw_client::{MobileUnit, MuConfig};
 use sw_quasi::ObligationTracker;
 use sw_server::{
-    Database, ItemId, ReportBuilder, StatefulServer, TsBuilder, UpdateEngine, UplinkProcessor,
+    Database, ItemId, ItemTable, ReportBuilder, StatefulServer, TsBuilder, UpdateEngine,
+    UplinkProcessor,
 };
 use sw_sim::{IntervalClock, RngStream, SimDuration, SimTime, StreamId};
 use sw_wireless::{
@@ -38,7 +40,7 @@ use sw_wireless::{
 };
 use sw_workload::HotspotSpec;
 
-use crate::config::CellConfig;
+use crate::config::{CellConfig, WakeMode};
 use crate::metrics::SimulationReport;
 use crate::safety::{SafetyStats, ValueHistory};
 use crate::strategy::Strategy;
@@ -87,9 +89,9 @@ enum ServerSide {
         eval_period: u32,
         method: FeedbackMethod,
         /// Per-item query timestamps this period (uplink + piggybacked).
-        query_times: HashMap<ItemId, Vec<SimTime>>,
+        query_times: ItemTable<Vec<SimTime>>,
         /// Per-item update timestamps this period.
-        update_times: HashMap<ItemId, Vec<SimTime>>,
+        update_times: ItemTable<Vec<SimTime>>,
     },
     QuasiDelay {
         builder: TsBuilder,
@@ -116,7 +118,9 @@ impl ServerSide {
                 ..
             } => {
                 builder.on_update(rec);
-                update_times.entry(rec.item).or_default().push(rec.at);
+                update_times
+                    .get_or_insert_with(rec.item, Vec::new)
+                    .push(rec.at);
             }
             ServerSide::QuasiDelay { .. } => {}
             // Stateful invalidations are charged in the step() update
@@ -177,6 +181,77 @@ impl ServerSide {
     }
 }
 
+/// Above this mean sleep probability the automatic [`WakeMode`] choice
+/// uses the heap: with ≥ 95% of the cell asleep, skipping sleepers
+/// outweighs the heap's churn. Below it, the dense scan's sequential
+/// pass beats paying a push+pop per awake client per interval.
+const HEAP_SLEEP_THRESHOLD: f64 = 0.95;
+
+/// The sleeper skip-list: which unit wakes in which interval, under
+/// either [`WakeMode`] representation. Both produce the identical due
+/// set in the identical ascending-index order (all entries due in
+/// interval `i` carry wake time exactly `i`, so heap pops order by
+/// index; the scan is index-ordered by construction), so every random
+/// stream downstream is consumed in the same sequence regardless of
+/// mode.
+enum WakeSchedule {
+    /// `wake_at[idx]` = next interval in which unit `idx` is awake
+    /// (`u64::MAX` = never wakes again).
+    Scan { wake_at: Vec<u64> },
+    /// Min-heap of `(wake_interval, client_idx)`; never-waking units
+    /// simply leave the heap.
+    Heap { heap: BinaryHeap<Reverse<(u64, usize)>> },
+}
+
+impl WakeSchedule {
+    fn new(mode: WakeMode, n_clients: usize) -> Self {
+        match mode {
+            WakeMode::Scan => WakeSchedule::Scan {
+                wake_at: vec![u64::MAX; n_clients],
+            },
+            WakeMode::Heap => WakeSchedule::Heap {
+                heap: BinaryHeap::with_capacity(n_clients),
+            },
+        }
+    }
+
+    /// Schedules unit `idx` to wake in interval `wake` (`u64::MAX` =
+    /// never). Each unit must be rescheduled after every pop.
+    fn schedule(&mut self, idx: usize, wake: u64) {
+        match self {
+            WakeSchedule::Scan { wake_at } => wake_at[idx] = wake,
+            WakeSchedule::Heap { heap } => {
+                if wake != u64::MAX {
+                    heap.push(Reverse((wake, idx)));
+                }
+            }
+        }
+    }
+
+    /// Appends every unit due at interval `i` to `awake`, ascending by
+    /// client index.
+    fn pop_due(&mut self, i: u64, awake: &mut Vec<usize>) {
+        match self {
+            WakeSchedule::Scan { wake_at } => {
+                for (idx, &wake) in wake_at.iter().enumerate() {
+                    if wake <= i {
+                        awake.push(idx);
+                    }
+                }
+            }
+            WakeSchedule::Heap { heap } => {
+                while let Some(&Reverse((wake, idx))) = heap.peek() {
+                    if wake > i {
+                        break;
+                    }
+                    heap.pop();
+                    awake.push(idx);
+                }
+            }
+        }
+    }
+}
+
 /// One simulated cell.
 pub struct CellSimulation {
     config: CellConfig,
@@ -188,6 +263,18 @@ pub struct CellSimulation {
     channel: BroadcastChannel,
     clock: IntervalClock,
     clients: Vec<MobileUnit>,
+    /// The next interval in which each currently-sleeping (or
+    /// yet-unprocessed) unit is awake. The per-interval loop takes
+    /// exactly the awake set from it — heap-backed sleeper cells never
+    /// visit sleepers; scan-backed workaholic cells pay one sequential
+    /// pass instead of heap churn.
+    wake: WakeSchedule,
+    /// Last interval whose sleep accounting was settled, per client
+    /// (sleep runs are credited lazily at wake-up).
+    last_settled: Vec<u64>,
+    /// Stateful baseline only: units that went to sleep after the
+    /// previous interval and must disconnect at the start of this one.
+    pending_disconnects: Vec<usize>,
     sleep_rngs: Vec<RngStream>,
     query_rngs: Vec<RngStream>,
     update_rng: RngStream,
@@ -237,15 +324,15 @@ impl CellSimulation {
                 ),
                 eval_period,
                 method,
-                query_times: HashMap::new(),
-                update_times: HashMap::new(),
+                query_times: ItemTable::dense(params.n_items),
+                update_times: ItemTable::dense(params.n_items),
             },
             Strategy::QuasiDelay { alpha_intervals } => ServerSide::QuasiDelay {
                 builder: TsBuilder::with_window(latency.scaled(alpha_intervals as f64)),
-                tracker: ObligationTracker::new(alpha_intervals),
+                tracker: ObligationTracker::for_universe(alpha_intervals, params.n_items),
             },
             Strategy::Stateful => {
-                let mut registry = StatefulServer::new();
+                let mut registry = StatefulServer::with_universe(params.n_items);
                 for idx in 0..config.n_clients as u64 {
                     registry.connect(idx);
                 }
@@ -274,9 +361,19 @@ impl CellSimulation {
                     ..
                 }
             );
+        let stateful = matches!(strategy, Strategy::Stateful);
         let mut clients = Vec::with_capacity(config.n_clients);
         let mut sleep_rngs = Vec::with_capacity(config.n_clients);
         let mut query_rngs = Vec::with_capacity(config.n_clients);
+        let wake_mode = config.wake_mode.unwrap_or_else(|| {
+            if config.mean_sleep_probability() >= HEAP_SLEEP_THRESHOLD {
+                WakeMode::Heap
+            } else {
+                WakeMode::Scan
+            }
+        });
+        let mut wake = WakeSchedule::new(wake_mode, config.n_clients);
+        let mut pending_disconnects = Vec::new();
         for idx in 0..config.n_clients as u64 {
             let mut hotspot_rng = config.seed.stream(StreamId::Hotspot { index: idx });
             let hotspot = spec.draw(&mut hotspot_rng);
@@ -292,12 +389,32 @@ impl CellSimulation {
                 sleep_probability,
                 cache_capacity: config.cache_capacity,
                 piggyback_hits: piggyback,
+                item_universe: Some(params.n_items),
             };
             let handler = strategy.make_handler(&params, config.seed, &db);
-            clients.push(MobileUnit::new(mu_config, handler, &mut query_rng));
+            let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
+            let mut sleep_rng = config.seed.stream(StreamId::Sleep { index: idx });
+            // Draw the unit's initial sleep run and schedule its first
+            // awake interval; units starting asleep are not visited
+            // again until they wake.
+            let k0 = mu.draw_sleep_run(&mut sleep_rng);
+            if k0 > 0 {
+                mu.enter_sleep();
+                if stateful {
+                    pending_disconnects.push(idx as usize);
+                }
+            }
+            let first_wake = if k0 == u64::MAX {
+                u64::MAX
+            } else {
+                1u64.saturating_add(k0)
+            };
+            wake.schedule(idx as usize, first_wake);
+            clients.push(mu);
             query_rngs.push(query_rng);
-            sleep_rngs.push(config.seed.stream(StreamId::Sleep { index: idx }));
+            sleep_rngs.push(sleep_rng);
         }
+        let last_settled = vec![0u64; clients.len()];
 
         let mut update_rng = config.seed.stream(StreamId::Updates);
         let update_engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
@@ -309,10 +426,13 @@ impl CellSimulation {
             db,
             history,
             server,
-            uplink: UplinkProcessor::new(),
+            uplink: UplinkProcessor::with_universe(params.n_items),
             channel,
             clock: IntervalClock::new(latency),
             clients,
+            wake,
+            last_settled,
+            pending_disconnects,
             sleep_rngs,
             query_rngs,
             update_rng,
@@ -351,30 +471,41 @@ impl CellSimulation {
         let from = self.clock.report_time(i - 1);
         self.channel.begin_interval();
 
-        // 1. Clients draw their sleep state and generate this interval's
-        // query arrivals. (Queries and updates are independent streams;
-        // answering happens at T_i either way, so ordering the client
-        // draws first lets the stateful registry see the true
-        // connectivity before the updates land.)
-        for idx in 0..self.clients.len() {
-            self.clients[idx].begin_interval(
-                from,
-                t_i,
-                &mut self.sleep_rngs[idx],
-                &mut self.query_rngs[idx],
-            );
+        // 1. Take this interval's wake-ups off the schedule and generate
+        // their query arrivals. Each unit drew its whole sleep run when
+        // it went under, so sleepers cost nothing here beyond (in scan
+        // mode) one sequential wake-time comparison. Either wake mode
+        // yields the awake set in ascending client index, preserving the
+        // old per-index loop's rng consumption order.
+        let mut awake: Vec<usize> = Vec::new();
+        self.wake.pop_due(i, &mut awake);
+        for &idx in &awake {
+            // Lazily settle the sleep run that just ended.
+            let slept = i - self.last_settled[idx] - 1;
+            if slept > 0 {
+                self.clients[idx].credit_asleep_intervals(slept);
+            }
+            self.last_settled[idx] = i;
+            self.clients[idx].begin_awake_interval(from, t_i, &mut self.query_rngs[idx]);
         }
         if let ServerSide::Stateful { registry, .. } = &mut self.server {
             // Clients announce connects/disconnects; each transition is
-            // one control message on the channel.
-            for mu in &self.clients {
-                let id = mu.id();
-                if mu.is_awake() && !registry.is_connected(id) {
-                    registry.connect(id);
+            // one control message on the channel. Units that fell asleep
+            // after the previous interval disconnect now, waking units
+            // (re)connect — same transition count as observing every
+            // client's state each interval.
+            for idx in self.pending_disconnects.drain(..) {
+                let id = self.clients[idx].id();
+                if registry.is_connected(id) {
+                    registry.disconnect(id);
                     let _ = self.channel.send_invalidation(id); // control msg
                     self.registration_messages += 1;
-                } else if !mu.is_awake() && registry.is_connected(id) {
-                    registry.disconnect(id);
+                }
+            }
+            for &idx in &awake {
+                let id = self.clients[idx].id();
+                if !registry.is_connected(id) {
+                    registry.connect(id);
                     let _ = self.channel.send_invalidation(id); // control msg
                     self.registration_messages += 1;
                 }
@@ -404,36 +535,38 @@ impl CellSimulation {
         // framing still drives the client algorithm).
         let payload = self.server.build(i, t_i, &self.db);
         let is_stateful = matches!(self.server, ServerSide::Stateful { .. });
-        let frame = self.channel.encoder().frame(payload.clone());
-        if !is_stateful {
-            self.channel.send_report(&frame).map_err(|e| match e {
-                ChannelError::ReportExceedsInterval { needed, capacity } => {
-                    SimulationError::ReportTooLarge {
-                        bits: needed,
-                        capacity,
+        // Zero-copy broadcast: the payload is charged by reference (its
+        // bit size computed in place) and then lent to every listening
+        // client — no per-interval frame clone, no per-client copies.
+        let report_bits = if is_stateful {
+            // Directed messages were charged above; the size only feeds
+            // the energy model's listening window.
+            self.channel.encoder().payload_bits(&payload)
+        } else {
+            let bits = self
+                .channel
+                .send_report_payload(&payload)
+                .map_err(|e| match e {
+                    ChannelError::ReportExceedsInterval { needed, capacity } => {
+                        SimulationError::ReportTooLarge {
+                            bits: needed,
+                            capacity,
+                        }
                     }
-                }
-                other => unreachable!("report send can only fail by size: {other}"),
-            })?;
-            self.report_bits_total += frame.bits;
-        }
+                    other => unreachable!("report send can only fail by size: {other}"),
+                })?;
+            self.report_bits_total += bits;
+            bits
+        };
 
         // 4. Awake clients hear the report / their invalidations and
         // answer the interval's queries.
-        let mut uplink_counts = vec![0u32; self.clients.len()];
-        // Index loop on purpose: the body re-borrows `self.clients[idx]`
-        // mutably after touching the channel, uplink processor, and
-        // server between uses — an iterator would pin the whole Vec.
-        #[allow(clippy::needless_range_loop)]
-        for idx in 0..self.clients.len() {
+        let mut uplink_counts = vec![0u32; awake.len()];
+        for (slot, &idx) in awake.iter().enumerate() {
             let mu = &mut self.clients[idx];
-            if !mu.is_awake() {
-                let _ = mu.skip_report();
-                continue;
-            }
             let outcome = mu.hear_report_and_answer(&payload);
             let mu_id = mu.id();
-            uplink_counts[idx] += outcome.uplink_requests.len() as u32;
+            uplink_counts[slot] += outcome.uplink_requests.len() as u32;
             for (item, piggyback) in outcome.uplink_requests {
                 // Charge the channel; an overloaded interval still
                 // answers (clients block, we count the overage).
@@ -449,7 +582,7 @@ impl CellSimulation {
                     ..
                 } = &mut self.server
                 {
-                    let times = query_times.entry(item).or_default();
+                    let times = query_times.get_or_insert_with(item, Vec::new);
                     if let Some(pb) = &piggyback {
                         times.extend(pb.local_hit_times.iter().copied());
                     }
@@ -473,8 +606,15 @@ impl CellSimulation {
         {
             let model = self.config.energy_model;
             let interval = SimDuration::from_secs(self.config.params.latency_secs);
+            // One O(1) charge settles the whole sleeping population for
+            // this interval (sleep power is linear in time).
+            let asleep = self.clients.len() - awake.len();
+            if asleep > 0 {
+                self.energy
+                    .add_sleep(&model, interval.scaled(asleep as f64));
+            }
             let report_tx =
-                SimDuration::from_secs(self.channel.transmission_secs(frame.bits));
+                SimDuration::from_secs(self.channel.transmission_secs(report_bits));
             let per_query_tx = SimDuration::from_secs(
                 self.channel
                     .transmission_secs(self.config.params.query_bits as u64),
@@ -483,11 +623,10 @@ impl CellSimulation {
                 self.channel
                     .transmission_secs(self.config.params.answer_bits as u64),
             );
-            for (mu, &misses) in self.clients.iter().zip(&uplink_counts) {
-                if !mu.is_awake() {
-                    self.energy.add_sleep(&model, interval);
-                    continue;
-                }
+            // `uplink_counts` is parallel to the awake set, in ascending
+            // client order — the delivery rng draws in the same order as
+            // the old full-fleet loop.
+            for &misses in &uplink_counts {
                 let outcome = self.delivery.deliver(t_i, report_tx, &mut self.delivery_rng);
                 let active = SimDuration::from_secs(
                     (outcome.listening.as_secs()
@@ -535,19 +674,25 @@ impl CellSimulation {
             if i % *eval_period as u64 == 0 {
                 let mentions = builder.end_period();
                 let uplink_stats = self.uplink.end_period();
-                let mut items: std::collections::BTreeSet<ItemId> = std::collections::BTreeSet::new();
-                items.extend(mentions.keys().copied());
-                items.extend(uplink_stats.keys().copied());
+                // Both tables iterate in ascending id order; merge the
+                // two sorted id streams.
+                let mut items: Vec<ItemId> = mentions
+                    .iter_sorted()
+                    .map(|(item, _)| item)
+                    .chain(uplink_stats.iter_sorted().map(|(item, _)| item))
+                    .collect();
+                items.sort_unstable();
+                items.dedup();
                 let stats: Vec<PeriodItemStats> = items
                     .into_iter()
                     .map(|item| {
-                        let us = uplink_stats.get(&item).copied().unwrap_or_default();
+                        let us = uplink_stats.get(item).copied().unwrap_or_default();
                         let mhr = match method {
                             FeedbackMethod::Method1 => {
                                 let queries =
-                                    query_times.get(&item).map(|v| v.as_slice()).unwrap_or(&[]);
+                                    query_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
                                 let updates =
-                                    update_times.get(&item).map(|v| v.as_slice()).unwrap_or(&[]);
+                                    update_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
                                 Some(sw_adaptive::estimate_mhr(queries, updates))
                             }
                             FeedbackMethod::Method2 => None,
@@ -556,7 +701,7 @@ impl CellSimulation {
                             item,
                             uplink_queries: us.uplink_queries,
                             piggybacked_hits: us.piggybacked_hits,
-                            mentions: mentions.get(&item).copied().unwrap_or(0),
+                            mentions: mentions.get(item).copied().unwrap_or(0),
                             mhr,
                         }
                     })
@@ -581,7 +726,27 @@ impl CellSimulation {
         }
         self.db.prune_log(t_i);
 
-        Ok(frame.bits)
+        // 8. Each awake unit draws its next sleep run and schedules its
+        // wake-up: a run of k > 0 means the unit is absent until
+        // interval i+1+k (and, stateful, disconnects at i+1). Units
+        // drawing the never-wake sentinel leave the schedule for good.
+        for &idx in &awake {
+            let k = self.clients[idx].draw_sleep_run(&mut self.sleep_rngs[idx]);
+            if k > 0 {
+                self.clients[idx].enter_sleep();
+                if is_stateful {
+                    self.pending_disconnects.push(idx);
+                }
+            }
+            let next_wake = if k == u64::MAX {
+                u64::MAX
+            } else {
+                (i + 1).saturating_add(k)
+            };
+            self.wake.schedule(idx, next_wake);
+        }
+
+        Ok(report_bits)
     }
 
     /// Runs `intervals` broadcast intervals and summarizes.
@@ -601,6 +766,12 @@ impl CellSimulation {
     pub fn reset_metrics(&mut self) {
         for mu in &mut self.clients {
             mu.reset_stats();
+        }
+        // Sleep runs straddling the reset must not credit their
+        // pre-reset intervals into the fresh stats.
+        let now = self.clock.next_index();
+        for settled in &mut self.last_settled {
+            *settled = (*settled).max(now);
         }
         self.channel.reset_totals();
         self.report_bits_total = 0;

@@ -51,6 +51,7 @@ fn mu(seed: u64, hotspot: Vec<u64>, handler: Box<dyn ReportHandler + Send>) -> M
             sleep_probability: 0.0,
             cache_capacity: None,
             piggyback_hits: false,
+            item_universe: None,
         },
         handler,
         &mut rng,

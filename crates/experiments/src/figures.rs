@@ -152,22 +152,17 @@ pub fn run_figure(spec: &FigureSpec, sim: SimSettings) -> FigureResult {
         Strategy::NoCache,
     ];
 
-    // Fan the (x, strategy) grid across threads.
+    // Fan the (x, strategy) grid across the shared sweep runner. Seeds
+    // are pure functions of the cell coordinates, so the output is
+    // identical at any thread count.
     let tasks: Vec<(f64, Strategy)> = xs
         .iter()
         .flat_map(|&x| strategies.iter().map(move |&s| (x, s)))
         .collect();
-    let results: Vec<SimPoint> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = tasks
-            .iter()
-            .map(|&(x, strategy)| {
-                let axis = spec.axis;
-                scope.spawn(move |_| simulate_point(sim_base, axis, x, strategy, sim))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("sim thread")).collect()
-    })
-    .expect("crossbeam scope");
+    let runner = crate::runner::ParallelRunner::from_env();
+    let results: Vec<SimPoint> = runner.run(&tasks, |_, &(x, strategy)| {
+        simulate_point(sim_base, spec.axis, x, strategy, sim)
+    });
 
     FigureResult {
         figure: spec.figure,
@@ -196,10 +191,18 @@ fn simulate_point(
     sim: SimSettings,
 ) -> SimPoint {
     let params = axis.apply(base, x);
+    // Seed is a pure function of the cell coordinates (the old ad-hoc
+    // XOR collided for same-length strategy names and depended on float
+    // rounding).
+    let strategy_tag = strategy
+        .name()
+        .bytes()
+        .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let seed = crate::runner::cell_seed(sim.seed, &[x.to_bits(), strategy_tag]);
     let config = CellConfig::new(params)
         .with_clients(sim.clients)
         .with_hotspot_size(sim.hotspot.min(params.n_items as usize))
-        .with_seed(sim.seed ^ ((x * 1e9) as u64) ^ strategy.name().len() as u64);
+        .with_seed(seed);
     match CellSimulation::new(config, strategy) {
         Ok(mut cell) => match cell.run_measured(sim.intervals / 4, sim.intervals) {
             Ok(report) => SimPoint {

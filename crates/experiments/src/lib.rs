@@ -27,7 +27,9 @@
 pub mod figures;
 pub mod plot;
 pub mod results;
+pub mod runner;
 
 pub use figures::{FigureResult, FigureSpec, SimPoint, SimSettings};
 pub use plot::ascii_chart;
 pub use results::{write_json, ResultFile};
+pub use runner::{cell_seed, ParallelRunner};

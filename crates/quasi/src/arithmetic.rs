@@ -13,25 +13,35 @@
 //! fetched) value, so suppressed updates keep all copies within `ε` of
 //! the server value at report boundaries.
 
-use std::collections::HashMap;
-
-use sw_server::ItemId;
+use sw_server::{ItemId, ItemTable};
 
 /// Server-side change filter for the arithmetic condition.
 #[derive(Debug, Clone)]
 pub struct EpsilonFilter {
     epsilon: u64,
-    last_reported: HashMap<ItemId, u64>,
+    last_reported: ItemTable<u64>,
     suppressed: u64,
     passed: u64,
 }
 
 impl EpsilonFilter {
-    /// Creates the filter with tolerance `ε` (absolute value units).
+    /// Creates the filter with tolerance `ε` (absolute value units);
+    /// hashed baseline table for arbitrary item ids.
     pub fn new(epsilon: u64) -> Self {
         EpsilonFilter {
             epsilon,
-            last_reported: HashMap::new(),
+            last_reported: ItemTable::hashed(),
+            suppressed: 0,
+            passed: 0,
+        }
+    }
+
+    /// Same, but dense over items `0..universe` — `should_report` sits
+    /// on the per-update path, so known universes skip hashing.
+    pub fn for_universe(epsilon: u64, universe: u64) -> Self {
+        EpsilonFilter {
+            epsilon,
+            last_reported: ItemTable::dense(universe),
             suppressed: 0,
             passed: 0,
         }
@@ -45,7 +55,7 @@ impl EpsilonFilter {
     /// Seeds the baseline for `item` (its initial value, known to every
     /// client that fetched it).
     pub fn seed(&mut self, item: ItemId, value: u64) {
-        self.last_reported.entry(item).or_insert(value);
+        self.last_reported.get_or_insert_with(item, || value);
     }
 
     /// Decides whether an update of `item` to `new_value` must be
@@ -56,7 +66,7 @@ impl EpsilonFilter {
     /// An item never seeded is always reported (no baseline to deviate
     /// from).
     pub fn should_report(&mut self, item: ItemId, new_value: u64) -> bool {
-        match self.last_reported.get_mut(&item) {
+        match self.last_reported.get_mut(item) {
             Some(baseline) => {
                 if new_value.abs_diff(*baseline) > self.epsilon {
                     *baseline = new_value;
@@ -81,7 +91,7 @@ impl EpsilonFilter {
     /// recency). `None` if the item was never seen.
     pub fn copy_deviation_bound(&self, item: ItemId, current: u64) -> Option<u64> {
         self.last_reported
-            .get(&item)
+            .get(item)
             .map(|&b| current.abs_diff(b))
     }
 

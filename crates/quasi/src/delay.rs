@@ -23,10 +23,10 @@
 //! apply that rule safely, so entries older than `α` are dropped
 //! whenever the unit slept through any report (gap > L).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use sw_client::{Cache, ProcessOutcome, ReportHandler};
-use sw_server::ItemId;
+use sw_server::{ItemId, ItemTable};
 use sw_sim::{SimDuration, SimTime};
 use sw_wireless::FramePayload;
 
@@ -35,16 +35,28 @@ use sw_wireless::FramePayload;
 pub struct ObligationTracker {
     /// `α` in intervals (`α = j·L`).
     alpha_intervals: u64,
-    lists: HashMap<ItemId, VecDeque<u64>>,
+    lists: ItemTable<VecDeque<u64>>,
 }
 
 impl ObligationTracker {
-    /// Creates the tracker with allowed lag `α = alpha_intervals · L`.
+    /// Creates the tracker with allowed lag `α = alpha_intervals · L`
+    /// (hashed table — arbitrary item ids).
     pub fn new(alpha_intervals: u64) -> Self {
         assert!(alpha_intervals >= 1, "α must be at least one interval");
         ObligationTracker {
             alpha_intervals,
-            lists: HashMap::new(),
+            lists: ItemTable::hashed(),
+        }
+    }
+
+    /// Same, but with dense obligation lists over items `0..universe` —
+    /// `due` is probed for every database item on every report build,
+    /// so the dense layout keeps that scan hash-free.
+    pub fn for_universe(alpha_intervals: u64, universe: u64) -> Self {
+        assert!(alpha_intervals >= 1, "α must be at least one interval");
+        ObligationTracker {
+            alpha_intervals,
+            lists: ItemTable::dense(universe),
         }
     }
 
@@ -56,13 +68,17 @@ impl ObligationTracker {
     /// Records that `item` was reported at interval `i` (every client
     /// copy is now at most as old as `T_i`).
     pub fn on_reported(&mut self, item: ItemId, interval: u64) {
-        self.lists.entry(item).or_default().push_back(interval);
+        self.lists
+            .get_or_insert_with(item, VecDeque::new)
+            .push_back(interval);
     }
 
     /// Records an uplink fetch of `item` answered just before interval
     /// `p` (a fresh copy went out, stamped `p`).
     pub fn on_uplink(&mut self, item: ItemId, interval: u64) {
-        self.lists.entry(item).or_default().push_back(interval);
+        self.lists
+            .get_or_insert_with(item, VecDeque::new)
+            .push_back(interval);
     }
 
     /// Whether `item` must be *considered* for the report closing
@@ -73,7 +89,7 @@ impl ObligationTracker {
     /// verified unchanged).
     pub fn due(&self, item: ItemId, next_interval: u64) -> bool {
         self.lists
-            .get(&item)
+            .get(item)
             .and_then(|q| q.front())
             .is_some_and(|&l| next_interval >= l + self.alpha_intervals)
     }
@@ -84,7 +100,7 @@ impl ObligationTracker {
     /// restarts — a re-validated item is obligated again from now.
     pub fn consume(&mut self, item: ItemId, interval: u64, revalidated: bool) {
         let j = self.alpha_intervals;
-        if let Some(q) = self.lists.get_mut(&item) {
+        if let Some(q) = self.lists.get_mut(item) {
             while q.front().is_some_and(|&l| l + j <= interval) {
                 q.pop_front();
             }
@@ -92,7 +108,7 @@ impl ObligationTracker {
                 q.push_back(interval);
             }
             if q.is_empty() {
-                self.lists.remove(&item);
+                self.lists.remove(item);
             }
         }
     }
@@ -152,34 +168,49 @@ impl ReportHandler for DelayQuasiHandler {
             None => SimDuration::from_secs(f64::MAX / 2.0),
         };
         let missed_reports = gap.as_secs() > self.latency.as_secs() * (1.0 + 1e-9);
-        let reported: HashMap<ItemId, u64> = entries.iter().copied().collect();
+        // Dense-id reports arrive item-sorted, so membership checks are
+        // binary searches over the entry slice — no per-call hash map.
+        let sorted_entries;
+        let reported: &[(ItemId, u64)] = if entries.windows(2).all(|w| w[0].0 < w[1].0) {
+            entries
+        } else {
+            let mut copy = entries.clone();
+            copy.sort_unstable_by_key(|&(item, _)| item);
+            sorted_entries = copy;
+            &sorted_entries
+        };
 
         let mut invalidated = Vec::new();
-        for item in cache.sorted_items() {
-            let entry = *cache.peek(item).expect("iterating cached items");
+        let alpha_secs = self.alpha.as_secs();
+        cache.retain_entries(|item, entry| {
             let age = t_i.saturating_duration_since(entry.timestamp);
             // The copy reaches its allowed lag exactly at age = α —
             // the same interval the server-side obligation comes due
             // (l + j). Checking with ≥ keeps client and server in
             // lockstep; a strict > would look one interval late, after
             // the server already popped the obligation.
-            let over_alpha = age.as_secs() >= self.alpha.as_secs() * (1.0 - 1e-12);
-            let in_report = reported.contains_key(&item);
+            let over_alpha = age.as_secs() >= alpha_secs * (1.0 - 1e-12);
+            let in_report = reported
+                .binary_search_by_key(&item, |&(it, _)| it)
+                .is_ok();
             // Cache is dropped when: the due report names the item, or
             // the unit slept past a report while over-α (it cannot know
             // whether the due report named it).
             if over_alpha && (in_report || missed_reports) {
-                cache.remove(item);
                 invalidated.push(item);
-            } else if over_alpha {
+                return false;
+            }
+            if over_alpha {
                 // The due report did not name it: re-validated, restart
                 // the lag clock.
-                cache.restamp(item, t_i);
+                entry.timestamp = t_i;
             }
             // Under α: keep as-is; the delay condition allows the lag,
             // so the entry's timestamp is NOT advanced (the lag clock
             // keeps running from the copy's birth).
-        }
+            true
+        });
+        invalidated.sort_unstable();
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,

@@ -208,16 +208,19 @@ impl Database {
     /// This is exactly the TS list `U_i` of Eq. 1 when called with
     /// `(T_i − w, T_i]`, and the AT list of Eq. 2 with `(T_{i−1}, T_i]`.
     pub fn updated_in_window(&self, from: SimTime, to: SimTime) -> Vec<(ItemId, SimTime)> {
-        let mut latest: std::collections::HashMap<ItemId, SimTime> =
-            std::collections::HashMap::new();
-        for rec in self.log.window(from, to) {
-            let e = latest.entry(rec.item).or_insert(rec.at);
-            if rec.at > *e {
-                *e = rec.at;
+        let mut hits: Vec<(ItemId, SimTime)> =
+            self.log.window(from, to).map(|r| (r.item, r.at)).collect();
+        // The log is time-ordered, so a stable sort by item keeps each
+        // item's records in time order: the last duplicate is the
+        // latest update in the window.
+        hits.sort_by_key(|&(item, _)| item);
+        let mut out: Vec<(ItemId, SimTime)> = Vec::with_capacity(hits.len());
+        for (item, at) in hits {
+            match out.last_mut() {
+                Some((last_item, last_at)) if *last_item == item => *last_at = at,
+                _ => out.push((item, at)),
             }
         }
-        let mut out: Vec<(ItemId, SimTime)> = latest.into_iter().collect();
-        out.sort_unstable_by_key(|&(item, _)| item);
         out
     }
 }

@@ -14,7 +14,7 @@
 //! Hot items get AT's precision and tiny per-update cost; cold items
 //! get SIG's nap-resilience at a fixed price.
 
-use std::collections::HashSet;
+use std::sync::Arc;
 
 use sw_signature::{item_signature, CombinedSignature, SigPlan, SubsetFamily};
 use sw_sim::{SimDuration, SimTime};
@@ -24,41 +24,59 @@ use crate::database::{Database, ItemId, UpdateRecord};
 use crate::report::{wire_micros, ReportBuilder};
 
 /// The hot/cold split shared by server and clients.
-#[derive(Debug, Clone)]
+///
+/// Item ids are dense, so membership is a bitset probe — one shift and
+/// mask on the per-update and per-cached-item hot paths — rather than a
+/// hash lookup.
+#[derive(Debug, Clone, Default)]
 pub struct HotSet {
-    hot: HashSet<ItemId>,
+    bits: Vec<u64>,
+    count: usize,
 }
 
 impl HotSet {
     /// Creates the hot set from an explicit id list.
     pub fn new(ids: impl IntoIterator<Item = ItemId>) -> Self {
-        HotSet {
-            hot: ids.into_iter().collect(),
+        let mut set = HotSet::default();
+        for item in ids {
+            set.insert(item);
         }
+        set
     }
 
     /// The `count` most popular items under the library's Zipf
     /// convention (rank = id, item 0 hottest).
     pub fn top_by_rank(count: u64) -> Self {
-        HotSet {
-            hot: (0..count).collect(),
+        HotSet::new(0..count)
+    }
+
+    fn insert(&mut self, item: ItemId) {
+        let (word, bit) = (item as usize / 64, item % 64);
+        if word >= self.bits.len() {
+            self.bits.resize(word + 1, 0);
+        }
+        if self.bits[word] & (1 << bit) == 0 {
+            self.bits[word] |= 1 << bit;
+            self.count += 1;
         }
     }
 
     /// True iff `item` is in the hot set.
     #[inline]
     pub fn contains(&self, item: ItemId) -> bool {
-        self.hot.contains(&item)
+        self.bits
+            .get(item as usize / 64)
+            .is_some_and(|w| w & (1 << (item % 64)) != 0)
     }
 
     /// Number of hot items.
     pub fn len(&self) -> usize {
-        self.hot.len()
+        self.count
     }
 
     /// True if no items are hot (degenerates to plain SIG).
     pub fn is_empty(&self) -> bool {
-        self.hot.is_empty()
+        self.count == 0
     }
 }
 
@@ -69,7 +87,7 @@ pub struct HybridSigBuilder {
     hot: HotSet,
     plan: SigPlan,
     family: SubsetFamily,
-    sigs: Vec<CombinedSignature>,
+    sigs: Arc<Vec<CombinedSignature>>,
 }
 
 impl HybridSigBuilder {
@@ -99,7 +117,7 @@ impl HybridSigBuilder {
             hot,
             plan,
             family,
-            sigs,
+            sigs: Arc::new(sigs),
         }
     }
 
@@ -130,8 +148,11 @@ impl ReportBuilder for HybridSigBuilder {
         }
         let patch = item_signature(rec.item, rec.previous, self.plan.g)
             ^ item_signature(rec.item, rec.value, self.plan.g);
+        // Copy-on-write against the last broadcast payload, like
+        // `SigBuilder::on_update`.
+        let sigs = Arc::make_mut(&mut self.sigs);
         for j in self.family.subsets_of(rec.item) {
-            self.sigs[j as usize] ^= patch;
+            sigs[j as usize] ^= patch;
         }
     }
 
@@ -147,7 +168,7 @@ impl ReportBuilder for HybridSigBuilder {
             report_ts_micros: wire_micros(t_i),
             hot_ids,
             sig_bits: self.plan.g,
-            signatures: self.sigs.clone(),
+            signatures: Arc::clone(&self.sigs),
         }
     }
 }
@@ -179,7 +200,7 @@ mod tests {
                 hot_ids,
                 signatures,
                 ..
-            } => (hot_ids, signatures),
+            } => (hot_ids, signatures.to_vec()),
             other => panic!("unexpected payload {other:?}"),
         }
     }
@@ -210,14 +231,15 @@ mod tests {
     fn hot_updates_do_not_touch_signatures() {
         let d = db();
         let mut b = builder(&d, 10);
-        let before = b.sigs.clone();
         b.on_update(&UpdateRecord {
             item: 3,
             at: SimTime::from_secs(1.0),
             value: 42,
             previous: 80,
         });
-        assert_eq!(b.sigs, before);
+        // A fresh builder over the unchanged database must agree: the
+        // hot update never reached the signature vector.
+        assert_eq!(b.sigs, builder(&d, 10).sigs);
     }
 
     #[test]
@@ -244,6 +266,6 @@ mod tests {
         let plan = SigPlan::new(5, 16, d.len(), 0.05, SigPlan::DEFAULT_K);
         let family = SubsetFamily::new(0x1234, plan.m, plan.f);
         let sig = crate::report::SigBuilder::new(plan, family, &d);
-        assert_eq!(hybrid.sigs, sig.current());
+        assert_eq!(hybrid.sigs.as_slice(), sig.current());
     }
 }

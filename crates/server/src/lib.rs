@@ -30,6 +30,7 @@ pub mod group;
 pub mod hybrid;
 pub mod report;
 pub mod stateful;
+pub mod table;
 pub mod update;
 pub mod uplink;
 
@@ -39,5 +40,6 @@ pub use group::{GroupMap, GroupReportBuilder};
 pub use hybrid::{HotSet, HybridSigBuilder};
 pub use report::{AtBuilder, NoReportBuilder, ReportBuilder, SigBuilder, TsBuilder};
 pub use stateful::StatefulServer;
+pub use table::ItemTable;
 pub use update::UpdateEngine;
 pub use uplink::{PiggybackInfo, QueryAnswer, UplinkProcessor};

@@ -15,6 +15,8 @@
 //! * [`NoReportBuilder`] — the no-caching baseline (no report; zero
 //!   bits).
 
+use std::sync::Arc;
+
 use sw_signature::{item_signature, CombinedSignature, SigPlan, SubsetFamily, SyndromeDecoder};
 use sw_sim::{SimDuration, SimTime};
 use sw_wireless::FramePayload;
@@ -137,12 +139,14 @@ impl ReportBuilder for AtBuilder {
 ///
 /// The server "computes the m combined signatures sig_1 … sig_m and
 /// broadcasts them". We keep them materialized and XOR-patch on every
-/// update, so `build` is a clone of the signature vector.
+/// update. The vector lives behind an [`Arc`] so `build` shares it with
+/// the broadcast payload (and every listening client) without copying;
+/// the first patch of the next interval copies-on-write exactly once.
 #[derive(Debug, Clone)]
 pub struct SigBuilder {
     family: SubsetFamily,
     plan: SigPlan,
-    sigs: Vec<CombinedSignature>,
+    sigs: Arc<Vec<CombinedSignature>>,
 }
 
 impl SigBuilder {
@@ -157,7 +161,11 @@ impl SigBuilder {
                 sigs[j as usize] ^= s;
             }
         }
-        SigBuilder { family, plan, sigs }
+        SigBuilder {
+            family,
+            plan,
+            sigs: Arc::new(sigs),
+        }
     }
 
     /// The plan (shared with clients).
@@ -177,7 +185,7 @@ impl SigBuilder {
 
     /// Current combined signatures (what the next report will carry).
     pub fn current(&self) -> &[CombinedSignature] {
-        &self.sigs
+        self.sigs.as_slice()
     }
 }
 
@@ -190,8 +198,11 @@ impl ReportBuilder for SigBuilder {
         let old = item_signature(rec.item, rec.previous, self.plan.g);
         let new = item_signature(rec.item, rec.value, self.plan.g);
         let patch = old ^ new;
+        // Copy-on-write: if the last broadcast payload still shares the
+        // vector, this clones it once; further patches are in place.
+        let sigs = Arc::make_mut(&mut self.sigs);
         for j in self.family.subsets_of(rec.item) {
-            self.sigs[j as usize] ^= patch;
+            sigs[j as usize] ^= patch;
         }
     }
 
@@ -199,7 +210,7 @@ impl ReportBuilder for SigBuilder {
         FramePayload::SignatureReport {
             report_ts_micros: wire_micros(t_i),
             sig_bits: self.plan.g,
-            signatures: self.sigs.clone(),
+            signatures: Arc::clone(&self.sigs),
         }
     }
 }

@@ -17,24 +17,39 @@
 use std::collections::{HashMap, HashSet};
 
 use crate::database::{ItemId, UpdateRecord};
+use crate::table::ItemTable;
 
 /// A client identifier within the cell.
 pub type ClientId = u64;
 
 /// The stateful server's registry of connected clients and their caches.
+///
+/// The per-update index (`watchers`) is an [`ItemTable`], dense when
+/// the item universe is known; `caches` stays client-keyed (client ids
+/// are few and the map is only walked on connect/disconnect, not per
+/// update).
 #[derive(Debug, Clone, Default)]
 pub struct StatefulServer {
     /// item → clients caching it (the index used on update).
-    watchers: HashMap<ItemId, HashSet<ClientId>>,
+    watchers: ItemTable<HashSet<ClientId>>,
     /// client → items it caches (for O(cache) disconnect cleanup).
     caches: HashMap<ClientId, HashSet<ItemId>>,
     invalidations_sent: u64,
 }
 
 impl StatefulServer {
-    /// Creates an empty registry.
+    /// Creates an empty registry (hashed watcher index).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty registry with a dense watcher index over items
+    /// `0..universe` — no hashing on the per-update path.
+    pub fn with_universe(universe: u64) -> Self {
+        StatefulServer {
+            watchers: ItemTable::dense(universe),
+            ..Self::default()
+        }
     }
 
     /// A client announces itself (entering the cell or reconnecting).
@@ -59,7 +74,9 @@ impl StatefulServer {
             .get_mut(&client)
             .expect("client must connect before registering cache entries");
         if cache.insert(item) {
-            self.watchers.entry(item).or_default().insert(client);
+            self.watchers
+                .get_or_insert_with(item, HashSet::new)
+                .insert(client);
         }
     }
 
@@ -67,10 +84,10 @@ impl StatefulServer {
     pub fn unregister_cache(&mut self, client: ClientId, item: ItemId) {
         if let Some(cache) = self.caches.get_mut(&client) {
             if cache.remove(&item) {
-                if let Some(w) = self.watchers.get_mut(&item) {
+                if let Some(w) = self.watchers.get_mut(item) {
                     w.remove(&client);
                     if w.is_empty() {
-                        self.watchers.remove(&item);
+                        self.watchers.remove(item);
                     }
                 }
             }
@@ -83,10 +100,10 @@ impl StatefulServer {
     pub fn disconnect(&mut self, client: ClientId) {
         if let Some(items) = self.caches.remove(&client) {
             for item in items {
-                if let Some(w) = self.watchers.get_mut(&item) {
+                if let Some(w) = self.watchers.get_mut(item) {
                     w.remove(&client);
                     if w.is_empty() {
-                        self.watchers.remove(&item);
+                        self.watchers.remove(item);
                     }
                 }
             }
@@ -99,7 +116,7 @@ impl StatefulServer {
     pub fn on_update(&mut self, rec: &UpdateRecord) -> Vec<ClientId> {
         let recipients: Vec<ClientId> = self
             .watchers
-            .get(&rec.item)
+            .get(rec.item)
             .map(|s| {
                 let mut v: Vec<ClientId> = s.iter().copied().collect();
                 v.sort_unstable();
@@ -115,7 +132,7 @@ impl StatefulServer {
                 cache.remove(&rec.item);
             }
         }
-        self.watchers.remove(&rec.item);
+        self.watchers.remove(rec.item);
         recipients
     }
 

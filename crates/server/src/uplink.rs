@@ -13,11 +13,10 @@
 //! AHR(i). [`UplinkProcessor`] records both the uplink counts and the
 //! piggybacked local-hit counts per item per evaluation period.
 
-use std::collections::HashMap;
-
 use sw_sim::SimTime;
 
 use crate::database::{Database, ItemId};
+use crate::table::ItemTable;
 
 /// Timestamps of cache hits satisfied locally since the client's last
 /// uplink request for this item (adaptive Method 1, §8.1).
@@ -58,16 +57,31 @@ impl ItemUplinkStats {
 
 /// Answers uplink queries and accumulates the per-item statistics the
 /// adaptive controllers consume.
+///
+/// The per-item table is dense when the item universe is known (the
+/// cell driver sizes it from the database), avoiding hashing on the
+/// per-query hot path.
 #[derive(Debug, Clone, Default)]
 pub struct UplinkProcessor {
-    stats: HashMap<ItemId, ItemUplinkStats>,
+    // `ItemTable`'s Default is the hashed layout, matching `new()`.
+    stats: ItemTable<ItemUplinkStats>,
     total_uplink: u64,
 }
 
 impl UplinkProcessor {
-    /// Creates an empty processor.
+    /// Creates an empty processor over an unknown item universe
+    /// (hashed stats table).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a processor whose stats table is dense over items
+    /// `0..universe`.
+    pub fn with_universe(universe: u64) -> Self {
+        UplinkProcessor {
+            stats: ItemTable::dense(universe),
+            total_uplink: 0,
+        }
     }
 
     /// Processes one uplink query at server time `now`, returning the
@@ -80,7 +94,7 @@ impl UplinkProcessor {
         now: SimTime,
         piggyback: Option<&PiggybackInfo>,
     ) -> QueryAnswer {
-        let entry = self.stats.entry(item).or_default();
+        let entry = self.stats.get_or_insert_with(item, Default::default);
         entry.uplink_queries += 1;
         if let Some(pb) = piggyback {
             entry.piggybacked_hits += pb.local_hit_times.len() as u64;
@@ -95,12 +109,12 @@ impl UplinkProcessor {
 
     /// Statistics for `item` in the current evaluation period.
     pub fn item_stats(&self, item: ItemId) -> ItemUplinkStats {
-        self.stats.get(&item).copied().unwrap_or_default()
+        self.stats.get(item).copied().unwrap_or_default()
     }
 
-    /// All items with activity this period.
+    /// All items with activity this period, ascending by item id.
     pub fn active_items(&self) -> impl Iterator<Item = (ItemId, ItemUplinkStats)> + '_ {
-        self.stats.iter().map(|(&k, &v)| (k, v))
+        self.stats.iter_sorted().map(|(k, &v)| (k, v))
     }
 
     /// Total uplink queries since construction (never reset).
@@ -109,9 +123,9 @@ impl UplinkProcessor {
     }
 
     /// Ends the evaluation period: returns the period's statistics and
-    /// starts a fresh one.
-    pub fn end_period(&mut self) -> HashMap<ItemId, ItemUplinkStats> {
-        std::mem::take(&mut self.stats)
+    /// starts a fresh one (same table layout).
+    pub fn end_period(&mut self) -> ItemTable<ItemUplinkStats> {
+        self.stats.take()
     }
 }
 
@@ -170,7 +184,7 @@ mod tests {
         let mut up = UplinkProcessor::new();
         up.answer(&d, 1, SimTime::from_secs(1.0), None);
         let period = up.end_period();
-        assert_eq!(period[&1].uplink_queries, 1);
+        assert_eq!(period.get(1).expect("active item").uplink_queries, 1);
         assert_eq!(up.item_stats(1), ItemUplinkStats::default());
         // The lifetime total survives.
         assert_eq!(up.total_uplink_queries(), 1);

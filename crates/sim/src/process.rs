@@ -140,6 +140,34 @@ impl BernoulliIntervalProcess {
     pub fn draw_asleep(&self, rng: &mut RngStream) -> bool {
         rng.bernoulli(self.sleep_probability)
     }
+
+    /// Draws a whole *sleep run*: the number `k ≥ 0` of consecutive
+    /// asleep intervals before the next awake one, distributed
+    /// `P(K = k) = s^k · (1 − s)` — exactly the run length that `k + 1`
+    /// successive [`Self::draw_asleep`] calls would produce, but in one
+    /// draw. This is what lets the cell driver schedule each unit's next
+    /// wake-up on a heap instead of flipping a coin for every sleeper
+    /// every interval.
+    ///
+    /// Returns [`u64::MAX`] as an effectively-infinite sentinel when
+    /// `s = 1` (the unit never wakes).
+    pub fn draw_sleep_run(&self, rng: &mut RngStream) -> u64 {
+        let s = self.sleep_probability;
+        if s <= 0.0 {
+            return 0;
+        }
+        if s >= 1.0 {
+            return u64::MAX;
+        }
+        // Inverse-CDF of the geometric: k = ⌊ln U / ln s⌋, U ∈ (0, 1).
+        let u = rng.uniform().max(f64::MIN_POSITIVE);
+        let k = (u.ln() / s.ln()).floor();
+        if k >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            k as u64
+        }
+    }
 }
 
 /// Enumerates report broadcast instants `T_i = i·L` and the intervals
@@ -301,5 +329,35 @@ mod tests {
     #[should_panic(expected = "sleep probability")]
     fn sleep_probability_validated() {
         let _ = BernoulliIntervalProcess::new(1.5);
+    }
+
+    #[test]
+    fn sleep_run_matches_geometric() {
+        let mut r = rng();
+        let s = 0.7;
+        let p = BernoulliIntervalProcess::new(s);
+        let n = 100_000;
+        let mut sum = 0u64;
+        let mut zeros = 0u64;
+        for _ in 0..n {
+            let k = p.draw_sleep_run(&mut r);
+            sum += k;
+            zeros += (k == 0) as u64;
+        }
+        // E[K] = s/(1−s), P[K = 0] = 1 − s.
+        let mean = sum as f64 / n as f64;
+        assert!((mean - s / (1.0 - s)).abs() < 0.05, "mean {mean}");
+        let p0 = zeros as f64 / n as f64;
+        assert!((p0 - (1.0 - s)).abs() < 0.01, "P[K=0] {p0}");
+    }
+
+    #[test]
+    fn sleep_run_edge_probabilities() {
+        let mut r = rng();
+        assert_eq!(BernoulliIntervalProcess::new(0.0).draw_sleep_run(&mut r), 0);
+        assert_eq!(
+            BernoulliIntervalProcess::new(1.0).draw_sleep_run(&mut r),
+            u64::MAX
+        );
     }
 }

@@ -9,9 +9,6 @@
 //! pair from a single [`MasterSeed`] via the SplitMix64 mixing function,
 //! so streams are stable under unrelated code changes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// Identifies a logical random stream (component kind + index within it).
 ///
 /// The discriminants feed the seed derivation, so *adding* variants is
@@ -74,20 +71,20 @@ impl MasterSeed {
         let mut state = self.0;
         state = splitmix64(state ^ kind.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         state = splitmix64(state ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9));
-        let mut seed = [0u8; 32];
+        // Seed the xoshiro state from four further SplitMix64 outputs,
+        // the initialization its authors recommend.
         let mut s = state;
-        for chunk in seed.chunks_exact_mut(8) {
+        let mut words = [0u64; 4];
+        for w in &mut words {
             s = splitmix64(s);
-            chunk.copy_from_slice(&s.to_le_bytes());
+            *w = s;
         }
-        RngStream {
-            inner: StdRng::from_seed(seed),
-        }
+        RngStream { s: words }
     }
 }
 
 /// SplitMix64: a small, well-distributed 64-bit mixing function used only
-/// for seed derivation (the draws themselves come from `StdRng`).
+/// for seed derivation (the draws themselves come from xoshiro256++).
 #[inline]
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -97,26 +94,38 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// One independent, reproducible random stream.
+///
+/// Backed by an in-tree xoshiro256++ generator (Blackman & Vigna) so
+/// the workspace has no external RNG dependency and the hot path pays
+/// four shifts and an add per word instead of a ChaCha block.
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
 impl RngStream {
-    /// Uniform draw in `[0, 1)`.
+    /// Uniform draw in `[0, 1)` (53 mantissa bits).
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// Uniform integer in `[0, bound)`.
+    /// Uniform integer in `[0, bound)` (Lemire's unbiased multiply-shift
+    /// rejection method).
     ///
     /// # Panics
     /// Panics if `bound == 0`.
     #[inline]
     pub fn uniform_index(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "uniform_index bound must be positive");
-        self.inner.gen_range(0..bound)
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(bound as u128);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
     }
 
     /// Bernoulli draw with success probability `p ∈ [0, 1]`.
@@ -147,14 +156,26 @@ impl RngStream {
             "exponential rate must be positive, got {rate}"
         );
         // Inverse-CDF sampling; 1 - u avoids ln(0).
-        let u: f64 = self.inner.gen::<f64>();
+        let u: f64 = self.uniform();
         -(1.0 - u).ln() / rate
     }
 
     /// A fresh 64-bit word (used for item values).
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        // xoshiro256++ step.
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
     }
 
     /// Fisher–Yates sample of `count` distinct indices out of `[0, n)`.

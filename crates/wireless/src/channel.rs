@@ -8,8 +8,6 @@
 //! `b_q + b_a` bits (Eq. 9). [`BroadcastChannel`] enforces exactly that
 //! budget and keeps cumulative [`TrafficTotals`].
 
-use std::collections::HashMap;
-
 use crate::frame::{Frame, FrameKind, FramePayload, WireEncode};
 
 /// Error returned when an interval's bit budget cannot fit a frame.
@@ -51,6 +49,38 @@ impl std::fmt::Display for ChannelError {
 
 impl std::error::Error for ChannelError {}
 
+/// Frame counts by [`FrameKind`], stored as a dense array (the kind
+/// set is tiny and fixed, so there is nothing to hash).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameCounts([u64; 4]);
+
+impl FrameCounts {
+    #[inline]
+    fn slot(kind: FrameKind) -> usize {
+        match kind {
+            FrameKind::Report => 0,
+            FrameKind::Query => 1,
+            FrameKind::Answer => 2,
+            FrameKind::Invalidation => 3,
+        }
+    }
+
+    /// Frames of the given kind sent so far.
+    pub fn get(&self, kind: FrameKind) -> u64 {
+        self.0[Self::slot(kind)]
+    }
+
+    /// All frames, every kind.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    #[inline]
+    fn bump(&mut self, kind: FrameKind) {
+        self.0[Self::slot(kind)] += 1;
+    }
+}
+
 /// Cumulative bit counts per direction and frame kind.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrafficTotals {
@@ -63,7 +93,7 @@ pub struct TrafficTotals {
     /// Downlink asynchronous invalidation bits.
     pub invalidation_bits: u64,
     /// Frame counts by kind.
-    pub frames: HashMap<FrameKind, u64>,
+    pub frames: FrameCounts,
 }
 
 impl TrafficTotals {
@@ -89,7 +119,7 @@ impl TrafficTotals {
             FrameKind::Answer => self.answer_bits += bits,
             FrameKind::Invalidation => self.invalidation_bits += bits,
         }
-        *self.frames.entry(kind).or_insert(0) += 1;
+        self.frames.bump(kind);
     }
 }
 
@@ -227,6 +257,23 @@ impl BroadcastChannel {
             });
         }
         self.consume(FrameKind::Report, report.bits)
+    }
+
+    /// Broadcasts the invalidation report directly from a borrowed
+    /// payload — the zero-copy path: the payload is sized in place and
+    /// never wrapped in a [`Frame`], so nothing is cloned. Returns the
+    /// charged bit count on success.
+    pub fn send_report_payload(&mut self, payload: &FramePayload) -> Result<u64, ChannelError> {
+        debug_assert!(matches!(WireEncode::kind(payload), FrameKind::Report));
+        let bits = self.encode.payload_bits(payload);
+        if bits > self.budget.capacity {
+            return Err(ChannelError::ReportExceedsInterval {
+                needed: bits,
+                capacity: self.budget.capacity,
+            });
+        }
+        self.consume(FrameKind::Report, bits)?;
+        Ok(bits)
     }
 
     /// Sends one uplink query and its downlink answer, charging

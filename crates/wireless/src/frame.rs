@@ -13,8 +13,12 @@
 //! buffers. The wire format packs fields at bit granularity so the
 //! measured size equals the analytical size rounded up to whole bytes;
 //! unit tests pin that relationship down.
+//!
+//! Signature vectors are [`Arc`]-shared: one report payload built per
+//! interval is handed by reference to every listening client, so the
+//! `m`-word vector is never copied on the broadcast path.
 
-use bytes::{BufMut, Bytes, BytesMut};
+use std::sync::Arc;
 
 /// Number of bits needed to name one of `n` items: `⌈log2 n⌉`.
 ///
@@ -73,8 +77,9 @@ pub enum FramePayload {
         hot_ids: Vec<u64>,
         /// Signature width `g` in bits.
         sig_bits: u32,
-        /// Combined signatures over the cold items.
-        signatures: Vec<u64>,
+        /// Combined signatures over the cold items (shared, not copied,
+        /// between the builder and every client).
+        signatures: Arc<Vec<u64>>,
     },
     /// A SIG report: `m` combined signatures of `g` bits each.
     SignatureReport {
@@ -82,8 +87,9 @@ pub enum FramePayload {
         report_ts_micros: u64,
         /// Signature width `g` in bits.
         sig_bits: u32,
-        /// The combined signatures (low `sig_bits` of each word).
-        signatures: Vec<u64>,
+        /// The combined signatures (low `sig_bits` of each word; shared,
+        /// not copied, between the builder and every client).
+        signatures: Arc<Vec<u64>>,
     },
     /// An uplink query for one item.
     UplinkQuery {
@@ -185,9 +191,11 @@ impl WireEncode {
         m as u64 * g as u64
     }
 
-    /// Classifies and sizes a payload, producing a [`Frame`].
-    pub fn frame(&self, payload: FramePayload) -> Frame {
-        let bits = match &payload {
+    /// Analytical size in bits of any payload, without constructing a
+    /// [`Frame`] (the zero-copy broadcast path charges the channel from
+    /// a borrowed payload).
+    pub fn payload_bits(&self, payload: &FramePayload) -> u64 {
+        match payload {
             FramePayload::TimestampReport { entries, .. } => self.ts_report_bits(entries.len()),
             FramePayload::AdaptiveTimestampReport {
                 entries,
@@ -215,7 +223,12 @@ impl WireEncode {
             FramePayload::UplinkQuery { .. } => self.query_bits as u64,
             FramePayload::QueryAnswer { .. } => self.answer_bits as u64,
             FramePayload::Invalidation { .. } => self.id_bits() as u64,
-        };
+        }
+    }
+
+    /// Classifies and sizes a payload, producing a [`Frame`].
+    pub fn frame(&self, payload: FramePayload) -> Frame {
+        let bits = self.payload_bits(&payload);
         Frame { payload, bits }
     }
 
@@ -223,7 +236,7 @@ impl WireEncode {
     /// (2-byte header carrying kind + a 15-bit length-in-bits field is
     /// enough for unit tests; reports longer than 4 KiB spill into an
     /// 8-byte extended header).
-    pub fn serialize(&self, frame: &Frame) -> Bytes {
+    pub fn serialize(&self, frame: &Frame) -> Vec<u8> {
         let mut w = BitWriter::new();
         match &frame.payload {
             FramePayload::TimestampReport {
@@ -266,7 +279,7 @@ impl WireEncode {
                 signatures,
             } => {
                 w.put_bits(*report_ts_micros, self.timestamp_bits);
-                for s in signatures {
+                for s in signatures.iter() {
                     w.put_bits(*s, (*sig_bits).min(64));
                 }
             }
@@ -280,7 +293,7 @@ impl WireEncode {
                 for id in hot_ids {
                     w.put_bits(*id, self.id_bits());
                 }
-                for s in signatures {
+                for s in signatures.iter() {
                     w.put_bits(*s, (*sig_bits).min(64));
                 }
             }
@@ -312,12 +325,12 @@ impl WireEncode {
             FramePayload::Invalidation { .. } => 5,
         };
         let body = w.finish();
-        let mut out = BytesMut::with_capacity(body.len() + 10);
-        out.put_u8(kind);
-        out.put_u8(0); // reserved / version
-        out.put_u64(body.len() as u64);
+        let mut out = Vec::with_capacity(body.len() + 10);
+        out.push(kind);
+        out.push(0); // reserved / version
+        out.extend_from_slice(&(body.len() as u64).to_be_bytes());
         out.extend_from_slice(&body);
-        out.freeze()
+        out
     }
 
     /// The [`FrameKind`] of a payload.
@@ -488,7 +501,7 @@ mod tests {
             WireEncode::kind(&FramePayload::SignatureReport {
                 report_ts_micros: 0,
                 sig_bits: 16,
-                signatures: vec![]
+                signatures: Arc::new(vec![])
             }),
             FrameKind::Report
         );
@@ -505,7 +518,7 @@ mod tests {
             report_ts_micros: 0,
             hot_ids: vec![1, 2, 3],
             sig_bits: 16,
-            signatures: vec![0; 100],
+            signatures: Arc::new(vec![0; 100]),
         });
         assert_eq!(f.bits, 3 * 10 + 100 * 16);
     }
@@ -530,7 +543,7 @@ mod tests {
                 report_ts_micros: 5,
                 hot_ids: vec![9],
                 sig_bits: 16,
-                signatures: vec![1, 2, 3],
+                signatures: Arc::new(vec![1, 2, 3]),
             },
             FramePayload::AdaptiveTimestampReport {
                 report_ts_micros: 5,

@@ -26,7 +26,7 @@ pub mod delivery;
 pub mod energy;
 pub mod frame;
 
-pub use channel::{BroadcastChannel, ChannelError, IntervalBudget, TrafficTotals};
+pub use channel::{BroadcastChannel, ChannelError, FrameCounts, IntervalBudget, TrafficTotals};
 pub use delivery::{DeliveryMode, DeliveryOutcome, ReportDelivery};
 pub use energy::{EnergyModel, EnergyTotals};
 pub use frame::{Frame, FrameKind, FramePayload, WireEncode};

@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Repo health check: build, full test suite, lints, bench smoke.
+# Everything runs offline against the vendored registry.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test --workspace (release)"
+cargo test --workspace --release -q
+
+echo "==> cargo clippy --workspace -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench smoke (criterion --test mode)"
+cargo bench -p sw-bench --bench hot_paths -- --test
+
+echo "All checks passed."

@@ -1,21 +1,24 @@
-//! Conservation laws of the simulation's accounting, proptest-driven:
-//! whatever the regime and strategy, the books must balance.
+//! Conservation laws of the simulation's accounting, driven through
+//! randomized regimes by a deterministic seeded driver: whatever the
+//! regime and strategy, the books must balance.
 
-use proptest::prelude::*;
 use sleepers_workaholics::prelude::*;
+use sleepers_workaholics::sim::{MasterSeed, RngStream, StreamId};
 use sleepers_workaholics::Strategy;
 
-fn strategies() -> impl proptest::strategy::Strategy<Value = Strategy> {
-    prop_oneof![
-        Just(Strategy::BroadcastTimestamps),
-        Just(Strategy::AmnesicTerminals),
-        Just(Strategy::Signatures),
-        Just(Strategy::NoCache),
-        Just(Strategy::QuasiDelay { alpha_intervals: 5 }),
-        Just(Strategy::GroupReports { groups: 50 }),
-        Just(Strategy::HybridSig { hot_count: 30 }),
-    ]
+fn rng(tag: u64) -> RngStream {
+    MasterSeed(0xACC0_0000_0000_0000 | tag).stream(StreamId::Custom { tag })
 }
+
+const STRATEGIES: [Strategy; 7] = [
+    Strategy::BroadcastTimestamps,
+    Strategy::AmnesicTerminals,
+    Strategy::Signatures,
+    Strategy::NoCache,
+    Strategy::QuasiDelay { alpha_intervals: 5 },
+    Strategy::GroupReports { groups: 50 },
+    Strategy::HybridSig { hot_count: 30 },
+];
 
 fn run(strategy: Strategy, s: f64, mu: f64, seed: u64) -> (SimulationReport, u64) {
     let mut params = ScenarioParams::scenario1();
@@ -34,64 +37,78 @@ fn run(strategy: Strategy, s: f64, mu: f64, seed: u64) -> (SimulationReport, u64
     (report, posed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(20))]
-
-    /// Hits + misses = query events; events ≤ raw queries; every miss
-    /// is one uplink query frame and one answer frame.
-    #[test]
-    fn query_accounting_balances(
-        strategy in strategies(),
-        s in 0.0f64..0.9,
-        mu in 1e-4f64..1e-2,
-        seed in 0u64..10_000,
-    ) {
+/// Hits + misses = query events; events ≤ raw queries; every miss is
+/// one uplink query frame and one answer frame.
+#[test]
+fn query_accounting_balances() {
+    let mut rng = rng(1);
+    for case in 0..20 {
+        let strategy = STRATEGIES[rng.uniform_index(STRATEGIES.len() as u64) as usize];
+        let s = rng.uniform() * 0.9;
+        let mu = 1e-4 + rng.uniform() * (1e-2 - 1e-4);
+        let seed = rng.uniform_index(10_000);
         let (report, posed) = run(strategy, s, mu, seed);
-        prop_assert_eq!(report.queries_posed, posed);
-        prop_assert_eq!(
+        assert_eq!(report.queries_posed, posed, "case {case} ({strategy:?})");
+        assert_eq!(
             report.query_events(),
-            report.hit_events + report.miss_events
+            report.hit_events + report.miss_events,
+            "case {case} ({strategy:?})"
         );
-        prop_assert!(report.query_events() <= report.queries_posed);
+        assert!(
+            report.query_events() <= report.queries_posed,
+            "case {case} ({strategy:?})"
+        );
         // Each miss is exactly one query/answer exchange on the channel.
         let q_bits = report.miss_events * 512;
-        prop_assert_eq!(report.traffic.query_bits, q_bits, "uplink bits");
-        prop_assert_eq!(report.traffic.answer_bits, q_bits, "answer bits");
-        prop_assert_eq!(report.overflow_exchanges, 0, "wide channel never saturates");
-    }
-
-    /// The per-interval report-bit ledger equals the channel's report
-    /// traffic (broadcast strategies) and stays zero for the stateful
-    /// baseline and NC.
-    #[test]
-    fn report_bit_ledgers_agree(
-        strategy in strategies(),
-        s in 0.0f64..0.9,
-        seed in 0u64..10_000,
-    ) {
-        let (report, _) = run(strategy, s, 1e-3, seed);
-        prop_assert_eq!(
-            report.report_bits_total,
-            report.traffic.report_bits,
-            "ledger vs channel"
+        assert_eq!(
+            report.traffic.query_bits, q_bits,
+            "case {case} ({strategy:?}): uplink bits"
         );
-        prop_assert_eq!(report.intervals, 60);
+        assert_eq!(
+            report.traffic.answer_bits, q_bits,
+            "case {case} ({strategy:?}): answer bits"
+        );
+        assert_eq!(
+            report.overflow_exchanges, 0,
+            "case {case} ({strategy:?}): wide channel never saturates"
+        );
     }
+}
 
-    /// Energy is conserved: every client accounts exactly one interval
-    /// of wall-clock per interval (rx + tx + doze + sleep seconds sum
-    /// to L), expressed through the default weight model.
-    #[test]
-    fn energy_never_negative_and_sleepers_spend_less(
-        s in 0.1f64..0.9,
-        seed in 0u64..10_000,
-    ) {
+/// The per-interval report-bit ledger equals the channel's report
+/// traffic (broadcast strategies) and stays zero for the stateful
+/// baseline and NC.
+#[test]
+fn report_bit_ledgers_agree() {
+    let mut rng = rng(2);
+    for case in 0..20 {
+        let strategy = STRATEGIES[rng.uniform_index(STRATEGIES.len() as u64) as usize];
+        let s = rng.uniform() * 0.9;
+        let seed = rng.uniform_index(10_000);
+        let (report, _) = run(strategy, s, 1e-3, seed);
+        assert_eq!(
+            report.report_bits_total, report.traffic.report_bits,
+            "case {case} ({strategy:?}): ledger vs channel"
+        );
+        assert_eq!(report.intervals, 60, "case {case} ({strategy:?})");
+    }
+}
+
+/// Energy is conserved: every client accounts exactly one interval of
+/// wall-clock per interval (rx + tx + doze + sleep seconds sum to L),
+/// expressed through the default weight model.
+#[test]
+fn energy_never_negative_and_sleepers_spend_less() {
+    let mut rng = rng(3);
+    for case in 0..20 {
+        let s = 0.1 + rng.uniform() * 0.8;
+        let seed = rng.uniform_index(10_000);
         let (sleepy, _) = run(Strategy::AmnesicTerminals, s, 1e-3, seed);
         let (awake, _) = run(Strategy::AmnesicTerminals, 0.0, 1e-3, seed);
-        prop_assert!(sleepy.energy.total() >= 0.0);
-        prop_assert!(
+        assert!(sleepy.energy.total() >= 0.0, "case {case}");
+        assert!(
             awake.energy.total() > sleepy.energy.total(),
-            "workaholics must burn more energy: {} vs {}",
+            "case {case}: workaholics must burn more energy: {} vs {} (s={s}, seed={seed})",
             awake.energy.total(),
             sleepy.energy.total()
         );

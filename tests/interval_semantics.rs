@@ -22,6 +22,7 @@ fn mu_with_hotspot(hotspot: Vec<u64>, lambda: f64) -> MobileUnit {
             sleep_probability: 0.0,
             cache_capacity: None,
             piggyback_hits: false,
+            item_universe: None,
         },
         Box::new(AtHandler::new(SimDuration::from_secs(10.0))),
         &mut rng,

@@ -1,20 +1,36 @@
-//! Property-based invariants on the report pipeline (DESIGN.md §6,
+//! Randomized invariants on the report pipeline (DESIGN.md §6,
 //! invariants 4 and 6): report windows are exactly the paper's sets,
 //! and the signature algebra composes correctly, under arbitrary
-//! update schedules.
+//! update schedules. Driven by the workspace's own deterministic
+//! `RngStream` (seeded, replayable) rather than an external
+//! property-testing framework.
 
-use proptest::prelude::*;
 use sleepers_workaholics::server::{AtBuilder, Database, ReportBuilder, TsBuilder};
 use sleepers_workaholics::signature::{combine, item_signature, SubsetFamily};
-use sleepers_workaholics::sim::{SimDuration, SimTime};
+use sleepers_workaholics::sim::{MasterSeed, RngStream, SimDuration, SimTime, StreamId};
 use sleepers_workaholics::wireless::FramePayload;
 
+fn rng(tag: u64) -> RngStream {
+    MasterSeed(0xC0FF_EE00_0000_0000 | tag).stream(StreamId::Custom { tag })
+}
+
 /// An arbitrary update schedule: (item, at-seconds) pairs in time order.
-fn update_schedule(n_items: u64, horizon: f64) -> impl proptest::strategy::Strategy<Value = Vec<(u64, f64)>> {
-    proptest::collection::vec((0..n_items, 0.0..horizon), 0..60).prop_map(|mut v| {
-        v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
-        v
-    })
+fn update_schedule(rng: &mut RngStream, n_items: u64, horizon: f64) -> Vec<(u64, f64)> {
+    let len = rng.uniform_index(60) as usize;
+    let mut v: Vec<(u64, f64)> = (0..len)
+        .map(|_| (rng.uniform_index(n_items), rng.uniform() * horizon))
+        .collect();
+    v.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+    v
+}
+
+fn distinct_items(rng: &mut RngStream, universe: u64, min: usize, max: usize) -> Vec<u64> {
+    let count = min + rng.uniform_index((max - min) as u64) as usize;
+    let mut set = std::collections::BTreeSet::new();
+    while set.len() < count {
+        set.insert(rng.uniform_index(universe));
+    }
+    set.into_iter().collect()
 }
 
 fn apply(db: &mut Database, schedule: &[(u64, f64)]) {
@@ -24,13 +40,14 @@ fn apply(db: &mut Database, schedule: &[(u64, f64)]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Invariant 4a: the TS report at `T_i` contains exactly
-    /// `{j : T_i − w < t_j ≤ T_i}` with each item's latest timestamp.
-    #[test]
-    fn ts_report_is_exactly_the_window(schedule in update_schedule(50, 200.0), k in 1u32..8) {
+/// Invariant 4a: the TS report at `T_i` contains exactly
+/// `{j : T_i − w < t_j ≤ T_i}` with each item's latest timestamp.
+#[test]
+fn ts_report_is_exactly_the_window() {
+    let mut rng = rng(1);
+    for case in 0..64 {
+        let schedule = update_schedule(&mut rng, 50, 200.0);
+        let k = 1 + rng.uniform_index(7) as u32;
         let latency = SimDuration::from_secs(10.0);
         let mut db = Database::new(50, |i| i, SimDuration::from_secs(1e4));
         apply(&mut db, &schedule);
@@ -50,12 +67,16 @@ proptest! {
             }
         }
         let got: std::collections::BTreeMap<u64, u64> = entries.into_iter().collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case} (k={k})");
     }
+}
 
-    /// Invariant 4b: the AT report covers exactly `(T_{i−1}, T_i]`.
-    #[test]
-    fn at_report_is_exactly_one_interval(schedule in update_schedule(50, 200.0)) {
+/// Invariant 4b: the AT report covers exactly `(T_{i−1}, T_i]`.
+#[test]
+fn at_report_is_exactly_one_interval() {
+    let mut rng = rng(2);
+    for case in 0..64 {
+        let schedule = update_schedule(&mut rng, 50, 200.0);
         let latency = SimDuration::from_secs(10.0);
         let mut db = Database::new(50, |i| i, SimDuration::from_secs(1e4));
         apply(&mut db, &schedule);
@@ -72,59 +93,87 @@ proptest! {
             .collect();
         expected.sort_unstable();
         expected.dedup();
-        prop_assert_eq!(ids, expected);
+        assert_eq!(ids, expected, "case {case}");
     }
+}
 
-    /// Invariant 6a: equal item sets with equal values give equal
-    /// combined signatures regardless of order; any single value change
-    /// flips the combination (up to the 2^−g collision budget, which at
-    /// g = 32 never fires in 64 cases).
-    #[test]
-    fn combined_signature_set_semantics(
-        items in proptest::collection::btree_set(0u64..1000, 1..40),
-        flip_idx in 0usize..40,
-    ) {
+/// Invariant 6a: equal item sets with equal values give equal combined
+/// signatures regardless of order; any single value change flips the
+/// combination (up to the 2^−g collision budget, which at g = 32 never
+/// fires in 64 cases).
+#[test]
+fn combined_signature_set_semantics() {
+    let mut rng = rng(3);
+    for case in 0..64 {
+        let items = distinct_items(&mut rng, 1000, 1, 40);
+        let flip_idx = rng.uniform_index(40) as usize;
         let g = 32;
-        let forward: Vec<u64> = items.iter().map(|&i| item_signature(i, i * 7 + 1, g)).collect();
-        let backward: Vec<u64> = items.iter().rev().map(|&i| item_signature(i, i * 7 + 1, g)).collect();
-        prop_assert_eq!(combine(forward.iter().copied()), combine(backward.iter().copied()));
+        let forward: Vec<u64> = items
+            .iter()
+            .map(|&i| item_signature(i, i * 7 + 1, g))
+            .collect();
+        let backward: Vec<u64> = items
+            .iter()
+            .rev()
+            .map(|&i| item_signature(i, i * 7 + 1, g))
+            .collect();
+        assert_eq!(
+            combine(forward.iter().copied()),
+            combine(backward.iter().copied()),
+            "case {case}: order must not matter"
+        );
 
-        let victim = *items.iter().nth(flip_idx % items.len()).expect("non-empty");
+        let victim = items[flip_idx % items.len()];
         let mutated = combine(items.iter().map(|&i| {
             let value = if i == victim { i * 7 + 2 } else { i * 7 + 1 };
             item_signature(i, value, g)
         }));
-        prop_assert_ne!(mutated, combine(forward.iter().copied()));
+        assert_ne!(
+            mutated,
+            combine(forward.iter().copied()),
+            "case {case}: a changed value must flip the combination"
+        );
     }
+}
 
-    /// Invariant 6b: XOR-patching a combined signature for one member's
-    /// change equals recomputing from scratch.
-    #[test]
-    fn incremental_patch_equals_recompute(
-        items in proptest::collection::btree_set(0u64..500, 2..30),
-        new_value in 0u64..u64::MAX,
-    ) {
+/// Invariant 6b: XOR-patching a combined signature for one member's
+/// change equals recomputing from scratch.
+#[test]
+fn incremental_patch_equals_recompute() {
+    let mut rng = rng(4);
+    for case in 0..64 {
+        let items = distinct_items(&mut rng, 500, 2, 30);
+        let new_value = rng.next_u64();
         let g = 16;
-        let victim = *items.iter().next().expect("non-empty");
+        let victim = items[0];
         let old = combine(items.iter().map(|&i| item_signature(i, i + 1, g)));
-        let patched = old ^ item_signature(victim, victim + 1, g) ^ item_signature(victim, new_value, g);
+        let patched =
+            old ^ item_signature(victim, victim + 1, g) ^ item_signature(victim, new_value, g);
         let recomputed = combine(items.iter().map(|&i| {
             let v = if i == victim { new_value } else { i + 1 };
             item_signature(i, v, g)
         }));
-        prop_assert_eq!(patched, recomputed);
+        assert_eq!(patched, recomputed, "case {case}");
     }
+}
 
-    /// The shared-seed property behind SIG: two `SubsetFamily` values
-    /// built from the same (seed, m, f) agree on every membership
-    /// query, and the empty-cache diagnosis never invalidates anything.
-    #[test]
-    fn families_agree_and_empty_cache_is_silent(seed in any::<u64>(), f in 1u32..50) {
+/// The shared-seed property behind SIG: two `SubsetFamily` values built
+/// from the same (seed, m, f) agree on every membership query.
+#[test]
+fn families_agree_and_empty_cache_is_silent() {
+    let mut rng = rng(5);
+    for case in 0..32 {
+        let seed = rng.next_u64();
+        let f = 1 + rng.uniform_index(49) as u32;
         let a = SubsetFamily::new(seed, 64, f);
         let b = SubsetFamily::new(seed, 64, f);
         for j in 0..64u32 {
             for item in (0..200u64).step_by(7) {
-                prop_assert_eq!(a.contains(j, item), b.contains(j, item));
+                assert_eq!(
+                    a.contains(j, item),
+                    b.contains(j, item),
+                    "case {case}: family divergence at subset {j}, item {item}"
+                );
             }
         }
     }

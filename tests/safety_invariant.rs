@@ -3,14 +3,17 @@
 //! "Our schemes will only allow false alarm errors and will always
 //! correctly inform the client if his copy is invalid." For TS and AT
 //! this must hold absolutely, across arbitrary parameter combinations —
-//! proptest drives the whole simulator through randomized regimes. SIG
-//! is probabilistic; its violation rate is bounded statistically.
+//! a deterministic seeded driver pushes the whole simulator through
+//! randomized regimes. SIG is probabilistic; its violation rate is
+//! bounded statistically.
 
-use proptest::prelude::*;
 use sleepers_workaholics::prelude::*;
-// Explicit import wins over both globs (proptest also exports a
-// `Strategy` trait).
+use sleepers_workaholics::sim::{MasterSeed, RngStream, StreamId};
 use sleepers_workaholics::Strategy;
+
+fn rng(tag: u64) -> RngStream {
+    MasterSeed(0x5AFE_0000_0000_0000 | tag).stream(StreamId::Custom { tag })
+}
 
 fn scenario(lambda: f64, mu: f64, s: f64, k: u32, n: u64) -> ScenarioParams {
     let mut p = ScenarioParams::scenario1();
@@ -35,44 +38,58 @@ fn run_safety(params: ScenarioParams, strategy: Strategy, seed: u64, intervals: 
     (report.safety.violations, report.safety.entries_checked)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn in_range(rng: &mut RngStream, lo: f64, hi: f64) -> f64 {
+    lo + rng.uniform() * (hi - lo)
+}
 
-    /// TS never validates a stale cache entry, whatever the regime.
-    #[test]
-    fn ts_never_stale(
-        lambda in 0.01f64..0.5,
-        mu in 1e-5f64..5e-2,
-        s in 0.0f64..1.0,
-        k in 1u32..20,
-        seed in 0u64..u64::MAX,
-    ) {
+/// TS never validates a stale cache entry, whatever the regime.
+#[test]
+fn ts_never_stale() {
+    let mut rng = rng(1);
+    for case in 0..24 {
+        let lambda = in_range(&mut rng, 0.01, 0.5);
+        let mu = in_range(&mut rng, 1e-5, 5e-2);
+        let s = in_range(&mut rng, 0.0, 1.0);
+        let k = 1 + rng.uniform_index(19) as u32;
+        let seed = rng.next_u64();
         let params = scenario(lambda, mu, s, k, 300);
         let (violations, checked) = run_safety(params, Strategy::BroadcastTimestamps, seed, 60);
-        prop_assert_eq!(violations, 0, "TS stale entries out of {} checked", checked);
+        assert_eq!(
+            violations, 0,
+            "case {case}: TS stale entries out of {checked} checked \
+             (λ={lambda}, μ={mu}, s={s}, k={k}, seed={seed})"
+        );
     }
+}
 
-    /// AT never validates a stale cache entry, whatever the regime.
-    #[test]
-    fn at_never_stale(
-        lambda in 0.01f64..0.5,
-        mu in 1e-5f64..5e-2,
-        s in 0.0f64..1.0,
-        seed in 0u64..u64::MAX,
-    ) {
+/// AT never validates a stale cache entry, whatever the regime.
+#[test]
+fn at_never_stale() {
+    let mut rng = rng(2);
+    for case in 0..24 {
+        let lambda = in_range(&mut rng, 0.01, 0.5);
+        let mu = in_range(&mut rng, 1e-5, 5e-2);
+        let s = in_range(&mut rng, 0.0, 1.0);
+        let seed = rng.next_u64();
         let params = scenario(lambda, mu, s, 5, 300);
         let (violations, checked) = run_safety(params, Strategy::AmnesicTerminals, seed, 60);
-        prop_assert_eq!(violations, 0, "AT stale entries out of {} checked", checked);
+        assert_eq!(
+            violations, 0,
+            "case {case}: AT stale entries out of {checked} checked \
+             (λ={lambda}, μ={mu}, s={s}, seed={seed})"
+        );
     }
+}
 
-    /// The adaptive-TS per-item gap rule preserves safety too.
-    #[test]
-    fn adaptive_ts_never_stale(
-        lambda in 0.01f64..0.3,
-        mu in 1e-4f64..2e-2,
-        s in 0.0f64..0.9,
-        seed in 0u64..u64::MAX,
-    ) {
+/// The adaptive-TS per-item gap rule preserves safety too.
+#[test]
+fn adaptive_ts_never_stale() {
+    let mut rng = rng(3);
+    for case in 0..24 {
+        let lambda = in_range(&mut rng, 0.01, 0.3);
+        let mu = in_range(&mut rng, 1e-4, 2e-2);
+        let s = in_range(&mut rng, 0.0, 0.9);
+        let seed = rng.next_u64();
         let params = scenario(lambda, mu, s, 4, 300);
         let strategy = Strategy::AdaptiveTs {
             method: FeedbackMethod::Method1,
@@ -80,7 +97,11 @@ proptest! {
             step: 2,
         };
         let (violations, checked) = run_safety(params, strategy, seed, 80);
-        prop_assert_eq!(violations, 0, "adaptive TS stale entries out of {} checked", checked);
+        assert_eq!(
+            violations, 0,
+            "case {case}: adaptive TS stale entries out of {checked} checked \
+             (λ={lambda}, μ={mu}, s={s}, seed={seed})"
+        );
     }
 }
 

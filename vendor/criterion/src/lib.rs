@@ -1,0 +1,232 @@
+//! Vendored, offline stand-in for `criterion`.
+//!
+//! A wall-clock micro-bench harness exposing the subset of criterion's
+//! API the workspace benches use (`bench_function`, groups,
+//! `iter`/`iter_batched`, `Throughput`, the `criterion_group!` /
+//! `criterion_main!` macros). Each benchmark runs a short warm-up then
+//! samples until a time budget (`SW_BENCH_MS`, default 80 ms per
+//! benchmark) or an iteration cap is reached, and prints
+//! mean/min ns-per-iteration to stdout. No statistics beyond that —
+//! the point is trend tracking and smoke coverage without crates-io.
+
+use std::time::{Duration, Instant};
+
+/// How inputs are batched in [`Bencher::iter_batched`] (accepted for
+/// API compatibility; every batch is size 1 here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Throughput annotation (recorded, displayed alongside timings).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+fn budget() -> Duration {
+    let ms = std::env::var("SW_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(80);
+    Duration::from_millis(ms.max(1))
+}
+
+/// One measured sample set.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations.
+    pub iters: u64,
+}
+
+/// Runs `f` under the harness timing loop and returns the sample.
+/// (Also used directly by the workspace's BENCH_report generator.)
+pub fn run_timed<R>(mut f: impl FnMut() -> R) -> Sample {
+    // Warm-up: two untimed calls.
+    std::hint::black_box(f());
+    std::hint::black_box(f());
+    let budget = budget();
+    let start = Instant::now();
+    let mut iters = 0u64;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    while iters < 3 || (start.elapsed() < budget && iters < 100_000) {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed();
+        total += dt;
+        if dt < min {
+            min = dt;
+        }
+        iters += 1;
+    }
+    Sample {
+        mean_ns: total.as_nanos() as f64 / iters as f64,
+        min_ns: min.as_nanos() as f64,
+        iters,
+    }
+}
+
+fn report(name: &str, sample: Sample, throughput: Option<Throughput>) {
+    let per = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if n > 0 => {
+            format!("  ({:.1} ns/unit)", sample.mean_ns / n as f64)
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{name:<48} mean {:>12.1} ns  min {:>12.1} ns  ({} iters){per}",
+        sample.mean_ns, sample.min_ns, sample.iters
+    );
+}
+
+/// Per-benchmark driver handed to the closure.
+pub struct Bencher {
+    throughput: Option<Throughput>,
+    name: String,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly.
+    pub fn iter<R>(&mut self, f: impl FnMut() -> R) {
+        let sample = run_timed(f);
+        report(&self.name, sample, self.throughput);
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        // Warm-up.
+        std::hint::black_box(routine(setup()));
+        let budget = budget();
+        let start = Instant::now();
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        while iters < 3 || (start.elapsed() < budget && iters < 100_000) {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            let dt = t0.elapsed();
+            total += dt;
+            if dt < min {
+                min = dt;
+            }
+            iters += 1;
+        }
+        report(
+            &self.name,
+            Sample {
+                mean_ns: total.as_nanos() as f64 / iters as f64,
+                min_ns: min.as_nanos() as f64,
+                iters,
+            },
+            self.throughput,
+        );
+    }
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            throughput: None,
+            name: id.into(),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (the harness is time-budgeted).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            throughput: self.throughput,
+            name: format!("{}/{}", self.name, id.into()),
+        };
+        f(&mut b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function set, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, criterion-style.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

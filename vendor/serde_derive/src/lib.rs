@@ -1,0 +1,252 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls over the value data model
+//! (`serde::Value`). Supports the shapes this workspace uses: structs
+//! with named fields, and enums whose variants are unit or have named
+//! fields (externally tagged, like real serde's default). Parsing is
+//! hand-rolled over `proc_macro::TokenStream` — no syn/quote, because
+//! the build must work with an empty cargo registry.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum; each variant is (name, named fields — empty = unit).
+    Enum {
+        name: String,
+        variants: Vec<(String, Vec<String>)>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(crate)`), starting at `i`; returns the new index.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Parses `name: Type, ...` named-field lists, returning field names.
+/// Commas inside groups or angle brackets do not split fields.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect ':' then the type; consume until a comma at angle depth 0.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other}"),
+    };
+    // Find the brace group (skips generics, which this stub rejects by
+    // producing code that won't compile against them — none exist here).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("serde_derive: no body on {name}"));
+
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else if kind == "enum" {
+        let tokens: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        let mut j = 0;
+        while j < tokens.len() {
+            j = skip_attrs_and_vis(&tokens, j);
+            let Some(TokenTree::Ident(v)) = tokens.get(j) else {
+                break;
+            };
+            let vname = v.to_string();
+            j += 1;
+            let mut vfields = Vec::new();
+            if let Some(TokenTree::Group(g)) = tokens.get(j) {
+                match g.delimiter() {
+                    Delimiter::Brace => {
+                        vfields = parse_named_fields(g.stream());
+                        j += 1;
+                    }
+                    Delimiter::Parenthesis => {
+                        panic!("serde_derive: tuple variants unsupported ({vname})")
+                    }
+                    _ => {}
+                }
+            }
+            variants.push((vname, vfields));
+            // Skip to past the trailing comma, if any.
+            if let Some(TokenTree::Punct(p)) = tokens.get(j) {
+                if p.as_char() == ',' {
+                    j += 1;
+                }
+            }
+        }
+        Shape::Enum { name, variants }
+    } else {
+        panic!("serde_derive: cannot derive for `{kind}`");
+    }
+}
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut m = ::serde::Map::new();\n"
+            ));
+            for f in &fields {
+                out.push_str(&format!(
+                    "m.insert(String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Object(m)\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    out.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(String::from(\"{v}\")),\n"
+                    ));
+                } else {
+                    let pat = fields.join(", ");
+                    out.push_str(&format!("{name}::{v} {{ {pat} }} => {{\n"));
+                    out.push_str("let mut inner = ::serde::Map::new();\n");
+                    for f in fields {
+                        out.push_str(&format!(
+                            "inner.insert(String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "let mut m = ::serde::Map::new();\n\
+                         m.insert(String::from(\"{v}\"), ::serde::Value::Object(inner));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    ));
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let mut out = String::new();
+    match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 const NULL: ::serde::Value = ::serde::Value::Null;\n\
+                 let m = v.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for {name}\"))?;\n\
+                 Ok({name} {{\n"
+            ));
+            for f in &fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(m.get(\"{f}\").unwrap_or(&NULL))?,\n"
+                ));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 const NULL: ::serde::Value = ::serde::Value::Null;\n\
+                 let _ = &NULL;\n"
+            ));
+            out.push_str("if let Some(s) = v.as_str() {\nmatch s {\n");
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    out.push_str(&format!("\"{v}\" => return Ok({name}::{v}),\n"));
+                }
+            }
+            out.push_str("_ => {}\n}\n}\n");
+            out.push_str(&format!(
+                "let m = v.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for {name}\"))?;\n"
+            ));
+            for (v, fields) in &variants {
+                if fields.is_empty() {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "if let Some(inner) = m.get(\"{v}\") {{\n\
+                     let im = inner.as_object().ok_or_else(|| ::serde::Error::new(\"expected object for variant {v}\"))?;\n\
+                     return Ok({name}::{v} {{\n"
+                ));
+                for f in fields {
+                    out.push_str(&format!(
+                        "{f}: ::serde::Deserialize::from_value(im.get(\"{f}\").unwrap_or(&NULL))?,\n"
+                    ));
+                }
+                out.push_str("});\n}\n");
+            }
+            out.push_str(&format!(
+                "Err(::serde::Error::new(\"unknown variant of {name}\"))\n}}\n}}\n"
+            ));
+        }
+    }
+    out.parse().expect("serde_derive: generated code parses")
+}
