@@ -105,6 +105,13 @@ impl Cache {
         self.evictions
     }
 
+    /// Whether the cache runs on the dense (vec-indexed) table layout;
+    /// `false` means the hashed fallback activated (unknown universe) —
+    /// surfaced by the observability layer at simulation start.
+    pub fn is_dense(&self) -> bool {
+        self.entries.is_dense()
+    }
+
     /// True if `item` is cached.
     pub fn contains(&self, item: ItemId) -> bool {
         self.entries.contains(item)

@@ -71,6 +71,16 @@ pub trait ReportHandler {
         payload: &FramePayload,
         t_l: Option<SimTime>,
     ) -> ProcessOutcome;
+
+    /// Syndrome-decode telemetry: how many cached subsets' signatures
+    /// failed to match in the last processed report. `None` for
+    /// non-signature strategies. Mismatched subsets are where SIG's
+    /// false alarms (and, when the mismatch count stays under the
+    /// decoding threshold, its false validations) originate, so the
+    /// observability layer tracks them per interval.
+    fn last_unmatched_subsets(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// Broadcasting Timestamps — client algorithm of §3.1.
@@ -283,6 +293,8 @@ pub struct SigHandler {
     /// fetches within the current interval can adopt tracking for their
     /// subsets (see [`ReportHandler::on_fetch`]).
     last_report: Arc<Vec<CombinedSignature>>,
+    /// Unmatched-subset count from the last diagnosis (telemetry).
+    last_unmatched: u32,
 }
 
 impl SigHandler {
@@ -294,6 +306,7 @@ impl SigHandler {
             tracked: vec![None; m],
             tracked_count: 0,
             last_report: Arc::new(Vec::new()),
+            last_unmatched: 0,
         }
     }
 
@@ -344,6 +357,7 @@ impl ReportHandler for SigHandler {
             |j| tracked.get(j as usize).copied().flatten(),
             signatures,
         );
+        self.last_unmatched = diagnosis.unmatched_subsets;
         for &item in &diagnosis.invalidated {
             cache.remove(item);
         }
@@ -372,6 +386,10 @@ impl ReportHandler for SigHandler {
             revalidated,
         }
     }
+
+    fn last_unmatched_subsets(&self) -> Option<u32> {
+        Some(self.last_unmatched)
+    }
 }
 
 /// Hybrid weighted reports — client half of the §10 extension.
@@ -390,6 +408,8 @@ pub struct HybridHandler {
     tracked: Vec<Option<CombinedSignature>>,
     tracked_count: usize,
     last_report: Arc<Vec<CombinedSignature>>,
+    /// Unmatched-subset count from the last cold-half diagnosis.
+    last_unmatched: u32,
 }
 
 impl HybridHandler {
@@ -405,6 +425,7 @@ impl HybridHandler {
             tracked: vec![None; m],
             tracked_count: 0,
             last_report: Arc::new(Vec::new()),
+            last_unmatched: 0,
         }
     }
 
@@ -487,6 +508,7 @@ impl ReportHandler for HybridHandler {
             |j| tracked.get(j as usize).copied().flatten(),
             signatures,
         );
+        self.last_unmatched = diagnosis.unmatched_subsets;
         for &item in &diagnosis.invalidated {
             cache.remove(item);
             invalidated.push(item);
@@ -515,6 +537,10 @@ impl ReportHandler for HybridHandler {
             invalidated,
             revalidated,
         }
+    }
+
+    fn last_unmatched_subsets(&self) -> Option<u32> {
+        Some(self.last_unmatched)
     }
 }
 

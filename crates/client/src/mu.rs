@@ -217,6 +217,13 @@ impl MobileUnit {
         self.t_l
     }
 
+    /// Strategy telemetry passthrough: unmatched subsets in the last
+    /// processed report (signature strategies only; see
+    /// [`ReportHandler::last_unmatched_subsets`]).
+    pub fn last_unmatched_subsets(&self) -> Option<u32> {
+        self.handler.last_unmatched_subsets()
+    }
+
     /// Whether the unit is awake in the current interval.
     pub fn is_awake(&self) -> bool {
         self.awake

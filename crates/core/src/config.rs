@@ -67,6 +67,13 @@ pub struct CellConfig {
     /// the cell's mean sleep probability (heap for sleeper cells, scan
     /// otherwise). Either choice produces bit-identical results.
     pub wake_mode: Option<WakeMode>,
+    /// Cell label under which to record an observation trace
+    /// (counters, per-interval series, NDJSON events). `None` — the
+    /// default — records nothing; with the `observe` cargo feature off
+    /// the label is ignored and the recorder is a compile-time no-op
+    /// either way. Observation never changes simulation results (the
+    /// determinism suite pins this).
+    pub observe: Option<String>,
 }
 
 impl CellConfig {
@@ -90,6 +97,7 @@ impl CellConfig {
             energy_model: EnergyModel::default(),
             sleep_profile: None,
             wake_mode: None,
+            observe: None,
         }
     }
 
@@ -168,6 +176,16 @@ impl CellConfig {
     /// automatic choice is right for normal runs).
     pub fn with_wake_mode(mut self, mode: WakeMode) -> Self {
         self.wake_mode = Some(mode);
+        self
+    }
+
+    /// Enables observation under the given cell label: the run records
+    /// counters, histograms, a per-interval time series and an NDJSON
+    /// event trace, attached to the report as
+    /// [`crate::metrics::SimulationReport::observe`]. Requires the
+    /// `observe` cargo feature to actually capture anything.
+    pub fn with_observe(mut self, label: impl Into<String>) -> Self {
+        self.observe = Some(label.into());
         self
     }
 

@@ -74,3 +74,6 @@ pub use sw_workload as workload;
 pub use sw_adaptive as adaptive;
 /// Re-export: quasi-copy coherency (§7).
 pub use sw_quasi as quasi;
+/// Re-export: zero-cost instrumentation (counters, histograms, span
+/// timers, NDJSON traces, per-interval series).
+pub use sw_observe as observe;

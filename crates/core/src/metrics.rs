@@ -5,6 +5,7 @@
 //! so the validation tests and the experiment harness can put the
 //! simulator and the model side by side.
 
+use sw_observe::ObserveSnapshot;
 use sw_wireless::{EnergyTotals, TrafficTotals};
 
 use crate::safety::SafetyStats;
@@ -49,14 +50,23 @@ pub struct SimulationReport {
     pub per_query_bits: f64,
     /// Analytical `T_max` at the run's parameters (Eq. 11).
     pub t_max_analytic: f64,
+    /// Attached observation snapshot: `Some` only when the run was
+    /// configured with [`crate::config::CellConfig::with_observe`] AND
+    /// the `observe` cargo feature is on. Contains wall-clock span
+    /// timings, so strip it (`report.observe = None`) before comparing
+    /// reports byte-for-byte; the snapshot's own deterministic parts
+    /// are compared via `ObserveSnapshot::deterministic_digest`.
+    pub observe: Option<ObserveSnapshot>,
 }
 
 impl SimulationReport {
-    /// Measured hit ratio over query events.
+    /// Measured hit ratio over query events. NaN for a run with no
+    /// query events at all: "no data" must not plot as the real point
+    /// `h = 0` (formatters render it as `--`/`null`).
     pub fn hit_ratio(&self) -> f64 {
         let events = self.hit_events + self.miss_events;
         if events == 0 {
-            0.0
+            f64::NAN
         } else {
             self.hit_events as f64 / events as f64
         }
@@ -67,10 +77,12 @@ impl SimulationReport {
         self.hit_events + self.miss_events
     }
 
-    /// Mean report size in bits.
+    /// Mean report size in bits. NaN when no interval was simulated
+    /// (an empty run has no mean, and `0.0` would silently plot as a
+    /// real data point).
     pub fn report_bits_mean(&self) -> f64 {
         if self.intervals == 0 {
-            0.0
+            f64::NAN
         } else {
             self.report_bits_total as f64 / self.intervals as f64
         }
@@ -78,21 +90,33 @@ impl SimulationReport {
 
     /// Eq. 9 evaluated with the *measured* hit ratio and mean report
     /// size: the throughput this cell could sustain at saturation.
+    /// NaN when the run measured nothing (empty-run `hit_ratio` /
+    /// `report_bits_mean` propagate).
     pub fn throughput(&self) -> f64 {
         let bc = self.report_bits_mean();
         if bc >= self.interval_bits {
             return 0.0;
         }
-        let miss = (1.0 - self.hit_ratio()).max(1e-15);
+        let h = self.hit_ratio();
+        if h.is_nan() || bc.is_nan() {
+            return f64::NAN;
+        }
+        let miss = (1.0 - h).max(1e-15);
         (self.interval_bits - bc) / (self.per_query_bits * miss)
     }
 
     /// Measured effectiveness `e = T/T_max` (Eq. 10), capped at 1.
+    /// NaN for an empty run (`f64::min` would otherwise swallow the
+    /// NaN throughput and report a perfect 1.0).
     pub fn effectiveness(&self) -> f64 {
         if self.t_max_analytic <= 0.0 {
             return 0.0;
         }
-        (self.throughput() / self.t_max_analytic).min(1.0)
+        let t = self.throughput();
+        if t.is_nan() {
+            return f64::NAN;
+        }
+        (t / self.t_max_analytic).min(1.0)
     }
 
     /// Mean client energy per interval (all radio states).
@@ -134,6 +158,7 @@ mod tests {
             interval_bits: 100_000.0,
             per_query_bits: 1024.0,
             t_max_analytic: 10_000.0,
+            observe: None,
         }
     }
 
@@ -182,13 +207,28 @@ mod tests {
     }
 
     #[test]
-    fn empty_run_is_all_zeros() {
+    fn empty_run_reports_nan_not_zero() {
+        // "No data" must not plot as the real data point h = 0 /
+        // B_c = 0; downstream serializers render NaN as null/--.
         let mut r = report();
         r.intervals = 0;
         r.hit_events = 0;
         r.miss_events = 0;
-        assert_eq!(r.hit_ratio(), 0.0);
-        assert_eq!(r.report_bits_mean(), 0.0);
+        assert!(r.hit_ratio().is_nan());
+        assert!(r.report_bits_mean().is_nan());
+        assert!(r.throughput().is_nan(), "NaN propagates through Eq. 9");
+        assert!(r.effectiveness().is_nan(), "min() must not mask the NaN");
         assert_eq!(r.misses_per_interval(), 0.0);
+    }
+
+    #[test]
+    fn zero_events_alone_is_nan_hit_ratio() {
+        let mut r = report();
+        r.hit_events = 0;
+        r.miss_events = 0;
+        assert!(r.hit_ratio().is_nan());
+        // Intervals ran, so the mean report size is still real.
+        assert!((r.report_bits_mean() - 1000.0).abs() < 1e-12);
+        assert!(r.throughput().is_nan());
     }
 }

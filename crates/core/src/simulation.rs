@@ -34,6 +34,7 @@ use sw_server::{
     Database, ItemId, ItemTable, ReportBuilder, StatefulServer, TsBuilder, UpdateEngine,
     UplinkProcessor,
 };
+use sw_observe::{Recorder, Value};
 use sw_sim::{IntervalClock, RngStream, SimDuration, SimTime, StreamId};
 use sw_wireless::{
     BroadcastChannel, ChannelError, EnergyTotals, FramePayload, ReportDelivery, WireEncode,
@@ -286,6 +287,12 @@ pub struct CellSimulation {
     delivery: ReportDelivery,
     delivery_rng: RngStream,
     energy: EnergyTotals,
+    /// Instrumentation. A compile-time no-op without the `observe`
+    /// cargo feature; a one-branch no-op unless the config carries an
+    /// observation label. Never consumes randomness and never feeds
+    /// back into the simulation, so observed and unobserved runs are
+    /// bit-identical (pinned by the determinism suite).
+    obs: Recorder,
 }
 
 impl CellSimulation {
@@ -416,6 +423,49 @@ impl CellSimulation {
         }
         let last_settled = vec![0u64; clients.len()];
 
+        let mut obs = match &config.observe {
+            Some(label) => Recorder::enabled(label.clone()),
+            None => Recorder::disabled(),
+        };
+        if obs.is_enabled() {
+            obs.series_schema(&[
+                "awake",
+                "hits",
+                "misses",
+                "uplinks",
+                "invalidated",
+                "drops",
+                "report_bits",
+                "used_bits",
+                "overflow",
+            ]);
+            // ItemTable layout census: every hashed entry is a dense
+            // fast-path fallback activation.
+            let dense = clients.iter().filter(|mu| mu.cache().is_dense()).count();
+            obs.add("cache_dense_layouts", dense as u64);
+            obs.add("cache_hashed_fallbacks", (clients.len() - dense) as u64);
+            obs.event(
+                0,
+                "sim_start",
+                &[
+                    ("strategy", Value::Str(strategy.name().to_string())),
+                    (
+                        "wake_mode",
+                        Value::Str(
+                            match wake_mode {
+                                WakeMode::Scan => "scan",
+                                WakeMode::Heap => "heap",
+                            }
+                            .to_string(),
+                        ),
+                    ),
+                    ("clients", Value::U64(config.n_clients as u64)),
+                    ("n_items", Value::U64(params.n_items)),
+                    ("mean_sleep", Value::F64(config.mean_sleep_probability())),
+                ],
+            );
+        }
+
         let mut update_rng = config.seed.stream(StreamId::Updates);
         let update_engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
 
@@ -444,6 +494,7 @@ impl CellSimulation {
             delivery,
             delivery_rng,
             energy: EnergyTotals::default(),
+            obs,
             config,
         })
     }
@@ -470,6 +521,17 @@ impl CellSimulation {
         let (i, t_i) = self.clock.tick();
         let from = self.clock.report_time(i - 1);
         self.channel.begin_interval();
+
+        // Observation bookkeeping: cheap register-width locals, dead
+        // code when the recorder is disabled (and compiled out entirely
+        // without the `observe` feature, where `is_enabled()` is a
+        // compile-time `false`).
+        let observing = self.obs.is_enabled();
+        let overflow_before = self.overflow_exchanges;
+        let violations_before = self.safety.violations;
+        let (mut obs_hits, mut obs_misses) = (0u64, 0u64);
+        let (mut obs_invalidated, mut obs_drops) = (0u64, 0u64);
+        let (mut obs_false_alarms, mut obs_unmatched) = (0u64, 0u64);
 
         // 1. Take this interval's wake-ups off the schedule and generate
         // their query arrivals. Each unit drew its whole sleep run when
@@ -533,7 +595,10 @@ impl CellSimulation {
         // 3. Build and broadcast the report (skipped by the stateful
         // baseline, whose messages were charged above; the AT-style
         // framing still drives the client algorithm).
-        let payload = self.server.build(i, t_i, &self.db);
+        let payload = {
+            let _span = self.obs.span("server_build");
+            self.server.build(i, t_i, &self.db)
+        };
         let is_stateful = matches!(self.server, ServerSide::Stateful { .. });
         // Zero-copy broadcast: the payload is charged by reference (its
         // bit size computed in place) and then lent to every listening
@@ -561,17 +626,51 @@ impl CellSimulation {
 
         // 4. Awake clients hear the report / their invalidations and
         // answer the interval's queries.
+        let process_timer = self.obs.timer("client_process");
         let mut uplink_counts = vec![0u32; awake.len()];
         for (slot, &idx) in awake.iter().enumerate() {
             let mu = &mut self.clients[idx];
+            // Pre-processing snapshot for the per-interval series. The
+            // last-report time is the false-alarm reference point: an
+            // invalidation is *false* iff the item did not actually
+            // change since this client last heard a report (SIG's
+            // diagnosis risk, §6).
+            let pre = if observing {
+                Some((mu.stats(), mu.last_report_heard()))
+            } else {
+                None
+            };
             let outcome = mu.hear_report_and_answer(&payload);
             let mu_id = mu.id();
             uplink_counts[slot] += outcome.uplink_requests.len() as u32;
+            if observing {
+                if let Some(po) = &outcome.outcome {
+                    obs_invalidated += po.invalidated.len() as u64;
+                    obs_drops += po.dropped_all as u64;
+                    if let Some((_, Some(t_l))) = &pre {
+                        for &item in &po.invalidated {
+                            if self.db.updated_at(item) <= *t_l {
+                                obs_false_alarms += 1;
+                            }
+                        }
+                    }
+                }
+                if let Some(u) = self.clients[idx].last_unmatched_subsets() {
+                    obs_unmatched += u as u64;
+                }
+            }
             for (item, piggyback) in outcome.uplink_requests {
                 // Charge the channel; an overloaded interval still
                 // answers (clients block, we count the overage).
                 if self.channel.send_query_exchange(mu_id, item).is_err() {
                     self.overflow_exchanges += 1;
+                    if observing {
+                        self.obs.event(
+                            i,
+                            "overflow",
+                            &[("client", Value::U64(mu_id)), ("item", Value::U64(item))],
+                        );
+                    }
                 }
                 let answer = self
                     .uplink
@@ -597,7 +696,13 @@ impl CellSimulation {
                 }
                 self.clients[idx].install_answer(answer);
             }
+            if let Some((pre_stats, _)) = pre {
+                let s = self.clients[idx].stats();
+                obs_hits += s.hit_events - pre_stats.hit_events;
+                obs_misses += s.miss_events - pre_stats.miss_events;
+            }
         }
+        self.obs.finish(process_timer);
 
         // 5. Energy accounting (§9/§10): asleep units pay sleep energy;
         // awake units listen for the report (delivery-mode dependent),
@@ -645,6 +750,14 @@ impl CellSimulation {
                 self.energy
                     .add_doze(&model, interval - active.min(interval));
             }
+            if observing {
+                // Radio-state transition census (§9/§10): how many
+                // client-intervals each energy state absorbed.
+                self.obs.add("energy_sleep_intervals", asleep as u64);
+                self.obs.add("energy_rx_intervals", awake.len() as u64);
+                let tx: u64 = uplink_counts.iter().map(|&c| c as u64).sum();
+                self.obs.add("energy_tx_queries", tx);
+            }
         }
 
         // 6. Safety invariant: every cache entry's value must match the
@@ -658,6 +771,14 @@ impl CellSimulation {
                         self.safety.violations += 1;
                     }
                 }
+            }
+            if observing {
+                // Stale entries the strategy validated anyway — SIG's
+                // false-validation risk made visible per interval.
+                self.obs.add(
+                    "safety_false_validations",
+                    self.safety.violations - violations_before,
+                );
             }
         }
 
@@ -722,6 +843,22 @@ impl CellSimulation {
                     SimDuration::from_secs(self.config.params.latency_secs)
                         .scaled(max_k as f64 + 2.0),
                 );
+                if observing {
+                    self.obs.event(
+                        i,
+                        "adaptive_period",
+                        &[
+                            (
+                                "default_k",
+                                Value::U64(builder.windows().default_k() as u64),
+                            ),
+                            (
+                                "exceptions",
+                                Value::U64(builder.windows().exceptions().len() as u64),
+                            ),
+                        ],
+                    );
+                }
             }
         }
         self.db.prune_log(t_i);
@@ -743,7 +880,38 @@ impl CellSimulation {
             } else {
                 (i + 1).saturating_add(k)
             };
+            if observing && k == u64::MAX {
+                self.obs.add("never_wake_draws", 1);
+            }
             self.wake.schedule(idx, next_wake);
+        }
+
+        if observing {
+            let uplinks: u64 = uplink_counts.iter().map(|&c| c as u64).sum();
+            let overflow = self.overflow_exchanges - overflow_before;
+            self.obs.add("intervals", 1);
+            self.obs.add("updates_applied", recs.len() as u64);
+            self.obs.add("overflow_exchanges", overflow);
+            self.obs.add("sig_false_alarms", obs_false_alarms);
+            self.obs.add("sig_unmatched_subsets", obs_unmatched);
+            self.obs.record("report_bits", report_bits);
+            self.obs.record("awake_clients", awake.len() as u64);
+            self.obs.record("uplinks_per_interval", uplinks);
+            self.obs.record("used_bits", self.channel.budget().used);
+            self.obs.series_row(
+                i,
+                &[
+                    awake.len() as u64,
+                    obs_hits,
+                    obs_misses,
+                    uplinks,
+                    obs_invalidated,
+                    obs_drops,
+                    report_bits,
+                    self.channel.budget().used,
+                    overflow,
+                ],
+            );
         }
 
         Ok(report_bits)
@@ -779,6 +947,10 @@ impl CellSimulation {
         self.registration_messages = 0;
         self.energy = EnergyTotals::default();
         self.safety = SafetyStats::default();
+        // The observation recorder is deliberately *not* reset: a trace
+        // that covers warm-up is a feature (the cold-start transient is
+        // exactly what a per-interval series makes visible), and the
+        // series carries absolute interval indices either way.
     }
 
     /// Runs `warmup` unmeasured intervals, resets the metrics, then
@@ -829,7 +1001,17 @@ impl CellSimulation {
             interval_bits: params.latency_secs * params.bandwidth_bps as f64,
             per_query_bits: (params.query_bits + params.answer_bits) as f64,
             t_max_analytic: sw_analysis::throughput_max(params),
+            observe: self.obs.snapshot(),
         }
+    }
+
+    /// The observation snapshot captured so far (`None` unless the run
+    /// was configured with an observe label *and* the `observe` cargo
+    /// feature is on). Also reachable via
+    /// [`SimulationReport::observe`]; this accessor additionally works
+    /// when a run aborted before producing a report.
+    pub fn observe_snapshot(&self) -> Option<sw_observe::ObserveSnapshot> {
+        self.obs.snapshot()
     }
 
     /// Current per-item adaptive window (adaptive strategy only; test

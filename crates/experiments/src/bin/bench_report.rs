@@ -64,17 +64,33 @@ fn bench_params(sleep_s: f64) -> ScenarioParams {
     p.with_s(sleep_s)
 }
 
-/// The current per-interval loop: the real cell driver.
+/// The current per-interval loop: the real cell driver. With
+/// `SW_OBSERVE=1` (and the `observe` cargo feature) the run also
+/// records a per-interval series and writes it next to the JSON
+/// report — the timing then deliberately includes the recorder, which
+/// is how observation overhead itself gets measured.
 fn run_current(sleep_s: f64, intervals: u64) -> (f64, f64) {
-    let cfg = CellConfig::new(bench_params(sleep_s))
+    let mut cfg = CellConfig::new(bench_params(sleep_s))
         .with_clients(client_count())
         .with_hotspot_size(HOTSPOT)
         .with_seed(11);
+    if std::env::var("SW_OBSERVE").is_ok() {
+        cfg = cfg.with_observe(format!("bench:s={sleep_s}"));
+    }
     let mut sim =
         CellSimulation::new(cfg, Strategy::BroadcastTimestamps).expect("bench cell constructs");
     let start = Instant::now();
     let report = sim.run(intervals).expect("bench cell runs");
     let secs = start.elapsed().as_secs_f64();
+    if let Some(snap) = &report.observe {
+        match sw_experiments::results::write_text(
+            &format!("BENCH_series_s{sleep_s}.csv"),
+            &snap.series_csv(),
+        ) {
+            Ok(f) => eprintln!("wrote {}", f.path.display()),
+            Err(e) => eprintln!("could not write bench series: {e}"),
+        }
+    }
     (secs, report.hit_ratio())
 }
 

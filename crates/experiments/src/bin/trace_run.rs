@@ -1,0 +1,65 @@
+//! Replays any figure configuration with observation turned on and
+//! writes the full trace: NDJSON events, per-interval series CSV, and
+//! the end-of-run summary table.
+//!
+//! Usage: `cargo run --release -p sw-experiments --features observe \
+//!   --bin trace_run -- [figure]` (figure defaults to 3; `SW_FAST=1`
+//! uses the quick settings). Artifacts land in `results/` as
+//! `trace_fig<N>.trace.ndjson`, `trace_fig<N>.series.csv`, and
+//! `trace_fig<N>.summary.txt`.
+//!
+//! The trace is deterministic: the same figure at the same settings
+//! produces byte-identical NDJSON and CSV at any `SW_THREADS` value
+//! (pinned by the determinism suite). Wall-clock span timings appear
+//! only in the summary table.
+
+use sw_experiments::figures::{run_figure_with, FigureSpec, SimSettings};
+use sw_experiments::results::write_text;
+
+fn main() {
+    let figure: u8 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("figure must be a number in 3..=8"))
+        .unwrap_or(3);
+    let mut settings = if std::env::var("SW_FAST").is_ok() {
+        SimSettings::quick()
+    } else {
+        SimSettings::default()
+    };
+    settings.observe = true;
+
+    let spec = FigureSpec::for_figure(figure);
+    eprintln!(
+        "tracing figure {figure} ({}): {} x-points × 4 strategies, {} intervals each ...",
+        spec.scenario, settings.points, settings.intervals
+    );
+    let observed = run_figure_with(&spec, settings);
+
+    let Some(snap) = observed.observe else {
+        eprintln!(
+            "no trace captured: this binary was built without the `observe` cargo \
+             feature. Rerun as\n  cargo run --release -p sw-experiments \
+             --features observe --bin trace_run -- {figure}"
+        );
+        std::process::exit(1);
+    };
+
+    let summary = sw_observe::summary(&snap);
+    println!("{summary}");
+    if let Some(warning) =
+        sw_observe::overflow_warning(snap.counter("overflow_exchanges"))
+    {
+        eprintln!("{warning}");
+    }
+
+    for (suffix, body) in [
+        ("trace.ndjson", snap.to_ndjson()),
+        ("series.csv", snap.series_csv()),
+        ("summary.txt", summary),
+    ] {
+        match write_text(&format!("trace_fig{figure}.{suffix}"), &body) {
+            Ok(f) => println!("wrote {}", f.path.display()),
+            Err(e) => eprintln!("could not write trace_fig{figure}.{suffix}: {e}"),
+        }
+    }
+}

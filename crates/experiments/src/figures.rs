@@ -69,17 +69,37 @@ pub struct SimSettings {
     pub max_sim_items: u64,
     /// Master seed.
     pub seed: u64,
+    /// Record an observation trace per simulated cell (counters,
+    /// per-interval series, NDJSON events), merged across the grid in
+    /// task order. Captures nothing unless the `observe` cargo feature
+    /// is on; never changes the simulated numbers either way.
+    pub observe: bool,
 }
 
 impl Default for SimSettings {
     fn default() -> Self {
+        // Fleet sized below channel saturation: the narrow-band
+        // scenarios carry ≈97 uplink exchanges per interval
+        // (`L·W / (b_q + b_a)` = 10⁵/1024), and a worst-case fleet of
+        // 6 clients × 15-item hotspots poses ≤90 query events per
+        // interval, so even the cache-less strategy fits. The old
+        // 10 × 30 default silently overflowed the budget on
+        // Scenarios 1/3/5 (validation h and B_c stayed unbiased, but
+        // the traffic accounting was fiction); `run_figure_main` now
+        // asserts the default configurations stay overflow-free. The
+        // longer horizon restores the query-event sample the smaller
+        // fleet gives up — Eq. 9's 1/(1−h) amplifies h noise hard
+        // near h = 1 (`run_figure_main` trims it back to 400 for the
+        // update-intensive figures, whose h sits far from 1 and whose
+        // update engines dominate runtime at the scaled item counts).
         SimSettings {
             points: 5,
-            intervals: 400,
-            clients: 10,
-            hotspot: 30,
+            intervals: 1200,
+            clients: 6,
+            hotspot: 15,
             max_sim_items: 10_000,
             seed: 0xF1650,
+            observe: false,
         }
     }
 }
@@ -94,6 +114,7 @@ impl SimSettings {
             hotspot: 15,
             max_sim_items: 2_000,
             seed: 0xF1650,
+            observe: false,
         }
     }
 }
@@ -115,6 +136,11 @@ pub struct SimPoint {
     pub query_events: u64,
     /// True when the strategy was unusable (report exceeded `L·W`).
     pub unusable: bool,
+    /// Query exchanges that overflowed the interval bit budget. Must be
+    /// zero for every default figure configuration — a non-zero value
+    /// means the cell is oversubscribed and the throughput numbers are
+    /// unreliable ([`run_figure_main`] warns and asserts on it).
+    pub overflow_exchanges: u64,
 }
 
 /// A regenerated figure: the analytic sweep plus simulated points.
@@ -130,8 +156,26 @@ pub struct FigureResult {
     pub simulated: Vec<SimPoint>,
 }
 
+/// A regenerated figure bundled with its merged observation snapshot:
+/// `observe` is `Some` only when [`SimSettings::observe`] was set *and*
+/// the `observe` cargo feature is on.
+#[derive(Debug, Clone)]
+pub struct ObservedFigure {
+    /// The analytic sweep plus simulated points.
+    pub result: FigureResult,
+    /// Per-cell snapshots merged in task (seed) order — independent of
+    /// `SW_THREADS`, like everything else the runner produces.
+    pub observe: Option<sw_observe::ObserveSnapshot>,
+}
+
 /// Regenerates a figure: full analytic sweep + simulated points.
 pub fn run_figure(spec: &FigureSpec, sim: SimSettings) -> FigureResult {
+    run_figure_with(spec, sim).result
+}
+
+/// [`run_figure`], keeping the observation snapshots the cells
+/// captured (the figure bins and `trace_run` use this form).
+pub fn run_figure_with(spec: &FigureSpec, sim: SimSettings) -> ObservedFigure {
     let analytic = Sweep::run(
         format!("Figure {} / {}", spec.figure, spec.scenario),
         spec.base,
@@ -160,15 +204,31 @@ pub fn run_figure(spec: &FigureSpec, sim: SimSettings) -> FigureResult {
         .flat_map(|&x| strategies.iter().map(move |&s| (x, s)))
         .collect();
     let runner = crate::runner::ParallelRunner::from_env();
-    let results: Vec<SimPoint> = runner.run(&tasks, |_, &(x, strategy)| {
+    let results = runner.run(&tasks, |_, &(x, strategy)| {
         simulate_point(sim_base, spec.axis, x, strategy, sim)
     });
 
-    FigureResult {
-        figure: spec.figure,
-        scenario: spec.scenario.to_string(),
-        analytic,
-        simulated: results,
+    // The runner returns outputs in task order regardless of thread
+    // count, so merging here keeps the combined trace deterministic.
+    let mut simulated = Vec::with_capacity(results.len());
+    let mut observe: Option<sw_observe::ObserveSnapshot> = None;
+    for (point, snap) in results {
+        simulated.push(point);
+        if let Some(snap) = snap {
+            observe
+                .get_or_insert_with(sw_observe::ObserveSnapshot::empty)
+                .merge(snap);
+        }
+    }
+
+    ObservedFigure {
+        result: FigureResult {
+            figure: spec.figure,
+            scenario: spec.scenario.to_string(),
+            analytic,
+            simulated,
+        },
+        observe,
     }
 }
 
@@ -189,7 +249,7 @@ fn simulate_point(
     x: f64,
     strategy: Strategy,
     sim: SimSettings,
-) -> SimPoint {
+) -> (SimPoint, Option<sw_observe::ObserveSnapshot>) {
     let params = axis.apply(base, x);
     // Seed is a pure function of the cell coordinates (the old ad-hoc
     // XOR collided for same-length strategy names and depended on float
@@ -199,22 +259,33 @@ fn simulate_point(
         .bytes()
         .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
     let seed = crate::runner::cell_seed(sim.seed, &[x.to_bits(), strategy_tag]);
-    let config = CellConfig::new(params)
+    let mut config = CellConfig::new(params)
         .with_clients(sim.clients)
         .with_hotspot_size(sim.hotspot.min(params.n_items as usize))
         .with_seed(seed);
+    if sim.observe {
+        config = config.with_observe(format!("{}:x={x}", strategy.name()));
+    }
     match CellSimulation::new(config, strategy) {
         Ok(mut cell) => match cell.run_measured(sim.intervals / 4, sim.intervals) {
-            Ok(report) => SimPoint {
-                x,
-                strategy: strategy.name().to_string(),
-                hit_ratio: report.hit_ratio(),
-                effectiveness: report.effectiveness(),
-                report_bits: report.report_bits_mean(),
-                query_events: report.query_events(),
-                unusable: false,
-            },
-            Err(SimulationError::ReportTooLarge { .. }) => unusable(x, strategy),
+            Ok(report) => {
+                let point = SimPoint {
+                    x,
+                    strategy: strategy.name().to_string(),
+                    hit_ratio: report.hit_ratio(),
+                    effectiveness: report.effectiveness(),
+                    report_bits: report.report_bits_mean(),
+                    query_events: report.query_events(),
+                    unusable: false,
+                    overflow_exchanges: report.overflow_exchanges,
+                };
+                (point, report.observe)
+            }
+            // Even an unusable run keeps its trace: the events up to
+            // the oversized report show *why* it died.
+            Err(SimulationError::ReportTooLarge { .. }) => {
+                (unusable(x, strategy), cell.observe_snapshot())
+            }
             Err(e) => panic!("simulation failed at x={x}: {e}"),
         },
         Err(e) => panic!("bad config at x={x}: {e}"),
@@ -230,6 +301,7 @@ fn unusable(x: f64, strategy: Strategy) -> SimPoint {
         report_bits: 0.0,
         query_events: 0,
         unusable: true,
+        overflow_exchanges: 0,
     }
 }
 
@@ -289,15 +361,28 @@ pub fn print_figure_table(result: &FigureResult, x_label: &str) {
 
 /// Shared `main` for the `fig3`…`fig8` binaries: runs the figure,
 /// prints the table and an ASCII chart, writes the JSON artifact.
-/// Set `SW_FAST=1` for the quick settings (used by CI-ish smoke runs).
+/// Set `SW_FAST=1` for the quick settings (used by CI-ish smoke runs)
+/// and `SW_OBSERVE=1` to also capture and write an observation trace
+/// (needs the `observe` cargo feature to record anything).
 pub fn run_figure_main(figure: u8) {
     let spec = FigureSpec::for_figure(figure);
-    let settings = if std::env::var("SW_FAST").is_ok() {
+    let mut settings = if std::env::var("SW_FAST").is_ok() {
         SimSettings::quick()
     } else {
-        SimSettings::default()
+        let mut s = SimSettings::default();
+        // The update-intensive scenarios (figures 5–6) keep the
+        // shorter horizon: their hit ratios sit far from 1, where
+        // Eq. 9 does not amplify h noise, and their update engines
+        // dominate runtime at the scaled item counts — tripling the
+        // horizon there buys nothing but minutes.
+        if matches!(figure, 5 | 6) {
+            s.intervals = 400;
+        }
+        s
     };
-    let result = run_figure(&spec, settings);
+    settings.observe = std::env::var("SW_OBSERVE").is_ok();
+    let observed = run_figure_with(&spec, settings);
+    let result = observed.result;
     print_figure_table(&result, spec.x_label());
 
     let curves = result.analytic.curves();
@@ -333,6 +418,38 @@ pub fn run_figure_main(figure: u8) {
         Ok(f) => println!("wrote {}", f.path.display()),
         Err(e) => eprintln!("could not write results JSON: {e}"),
     }
+
+    if let Some(snap) = &observed.observe {
+        println!();
+        println!("{}", sw_observe::sink::summary(snap));
+        for (suffix, body) in [
+            ("trace.ndjson", snap.to_ndjson()),
+            ("series.csv", snap.series_csv()),
+        ] {
+            match crate::results::write_text(&format!("fig{figure}.{suffix}"), &body) {
+                Ok(f) => println!("wrote {}", f.path.display()),
+                Err(e) => eprintln!("could not write fig{figure}.{suffix}: {e}"),
+            }
+        }
+    } else if settings.observe {
+        eprintln!(
+            "SW_OBSERVE is set but this binary was built without the `observe` \
+             cargo feature; rerun with `--features observe` to capture a trace."
+        );
+    }
+
+    // The paper's figure configurations run the cell far below channel
+    // saturation; overflowing exchanges would make every throughput
+    // number above meaningless, so surface it loudly and refuse to
+    // pass silently.
+    let overflow: u64 = result.simulated.iter().map(|p| p.overflow_exchanges).sum();
+    if let Some(warning) = sw_observe::sink::overflow_warning(overflow) {
+        eprintln!("{warning}");
+    }
+    assert_eq!(
+        overflow, 0,
+        "figure {figure}'s default configuration oversubscribed the uplink channel"
+    );
 }
 
 #[cfg(test)]

@@ -23,6 +23,16 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<Result
     Ok(ResultFile { path })
 }
 
+/// Writes a plain-text artifact (NDJSON trace, CSV series, summary
+/// table) to `results/<name>`; `name` carries its own extension.
+pub fn write_text(name: &str, body: &str) -> std::io::Result<ResultFile> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, body)?;
+    Ok(ResultFile { path })
+}
+
 fn results_dir() -> PathBuf {
     // CARGO_MANIFEST_DIR points at crates/experiments; hop to the root.
     if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {

@@ -57,6 +57,91 @@ fn run_cell(cell: &Cell) -> String {
     format!("{report:?}")
 }
 
+/// Runs one cell with observation on. Returns the report's `Debug`
+/// rendering with the snapshot stripped (it contains wall-clock span
+/// timings, which are legitimately non-deterministic) plus the
+/// snapshot itself — `None` whenever the `observe` feature is off.
+fn run_cell_observed(cell: &Cell) -> (String, Option<sleepers::observe::ObserveSnapshot>) {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 500;
+    params.s = cell.sleep;
+    let seed = cell_seed(0xD0_0D, &[cell.tag, cell.sleep.to_bits()]);
+    let cfg = CellConfig::new(params)
+        .with_clients(6)
+        .with_hotspot_size(15)
+        .with_seed(seed)
+        .with_observe(format!("{}:s={}", cell.strategy.name(), cell.sleep));
+    let mut report = CellSimulation::new(cfg, cell.strategy)
+        .expect("cell constructs")
+        .run_measured(20, 60)
+        .expect("cell runs");
+    let snap = report.observe.take();
+    (format!("{report:?}"), snap)
+}
+
+#[test]
+fn observation_does_not_perturb_the_simulation() {
+    // An observed run must produce the exact report an unobserved run
+    // does: the recorder consumes no randomness and feeds nothing back.
+    // Holds identically whether the `observe` feature is on or off.
+    for cell in grid() {
+        let plain = run_cell(&cell);
+        let (observed, _) = run_cell_observed(&cell);
+        assert_eq!(
+            plain, observed,
+            "observing {:?} at s={} changed the simulation",
+            cell.strategy, cell.sleep
+        );
+    }
+}
+
+#[test]
+fn traces_are_byte_identical_across_thread_counts() {
+    // The deterministic half of a trace — NDJSON events, per-interval
+    // series, counters, value histograms — must be a pure function of
+    // the grid and the seed, never of SW_THREADS. Cells merge in task
+    // order, which the runner preserves at any thread count.
+    let cells = grid();
+    let collect = |threads: usize| {
+        let outs = ParallelRunner::new(threads).run(&cells, |_, c| run_cell_observed(c));
+        let mut reports = Vec::new();
+        let mut merged = sleepers::observe::ObserveSnapshot::empty();
+        let mut captured = false;
+        for (report, snap) in outs {
+            reports.push(report);
+            if let Some(snap) = snap {
+                merged.merge(snap);
+                captured = true;
+            }
+        }
+        (reports, merged, captured)
+    };
+    let (base_reports, base_snap, captured) = collect(1);
+    assert_eq!(captured, cfg!(feature = "observe"));
+    for threads in [2, 8] {
+        let (reports, snap, _) = collect(threads);
+        assert_eq!(
+            reports, base_reports,
+            "observed reports differed between 1 and {threads} threads"
+        );
+        assert_eq!(
+            snap.to_ndjson(),
+            base_snap.to_ndjson(),
+            "NDJSON trace differed between 1 and {threads} threads"
+        );
+        assert_eq!(
+            snap.series_csv(),
+            base_snap.series_csv(),
+            "per-interval series differed between 1 and {threads} threads"
+        );
+        assert_eq!(
+            snap.deterministic_digest(),
+            base_snap.deterministic_digest(),
+            "trace digest differed between 1 and {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn reports_are_byte_identical_across_thread_counts() {
     let cells = grid();

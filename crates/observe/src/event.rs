@@ -1,0 +1,153 @@
+//! Trace events and their NDJSON rendering.
+//!
+//! One event is one line of the trace: `{"t":…,"cell":…,"kind":…,…}`.
+//! The writer is hand-rolled (no serde): the observe crate must stay
+//! dependency-free so it can sit below every other crate in the
+//! workspace, and the paper's traces only need scalars and short
+//! strings. Rendering is fully deterministic — field order is insertion
+//! order, floats use Rust's shortest-roundtrip formatting — which is
+//! what lets the determinism suite compare traces byte-for-byte across
+//! thread counts.
+
+use std::fmt::Write as _;
+
+/// A field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (ids, counts, bits).
+    U64(u64),
+    /// Signed integer (deltas).
+    I64(i64),
+    /// Float (probabilities, seconds). Non-finite renders as `null`.
+    F64(f64),
+    /// Short string (names, modes).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+/// One trace event. `cell` indexes the owning snapshot's cell table so
+/// merged traces stay compact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Index into [`crate::ObserveSnapshot::cells`].
+    pub cell: u32,
+    /// Broadcast interval the event occurred in.
+    pub t: u64,
+    /// Event kind (the taxonomy is documented in DESIGN.md §9).
+    pub kind: &'static str,
+    /// Named payload fields, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+/// Appends `s` JSON-escaped (quotes included) to `out`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a value in JSON form to `out`.
+pub fn push_json_value(out: &mut String, v: &Value) {
+    match v {
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Str(s) => push_json_str(out, s),
+    }
+}
+
+impl Event {
+    /// Appends this event's NDJSON line (newline included) to `out`,
+    /// resolving the cell index against `cells`.
+    pub fn render(&self, cells: &[String], out: &mut String) {
+        out.push_str("{\"t\":");
+        let _ = write!(out, "{}", self.t);
+        out.push_str(",\"cell\":");
+        push_json_str(out, &cells[self.cell as usize]);
+        out.push_str(",\"kind\":");
+        push_json_str(out, self.kind);
+        for (name, value) in &self.fields {
+            out.push(',');
+            push_json_str(out, name);
+            out.push(':');
+            push_json_value(out, value);
+        }
+        out.push_str("}\n");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_one_json_line() {
+        let e = Event {
+            cell: 0,
+            t: 7,
+            kind: "overflow",
+            fields: vec![("client", Value::U64(3)), ("item", Value::U64(42))],
+        };
+        let mut out = String::new();
+        e.render(&["fig3/x=0/TS".to_string()], &mut out);
+        assert_eq!(
+            out,
+            "{\"t\":7,\"cell\":\"fig3/x=0/TS\",\"kind\":\"overflow\",\"client\":3,\"item\":42}\n"
+        );
+    }
+
+    #[test]
+    fn escapes_and_floats() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        push_json_value(&mut out, &Value::F64(0.25));
+        assert_eq!(out, "0.25");
+        let mut out = String::new();
+        push_json_value(&mut out, &Value::F64(f64::NAN));
+        assert_eq!(out, "null");
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixed power-of-two-bucket histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `b ≥ 1` holds the values in
+//! `[2^(b−1), 2^b)`. 65 buckets cover the whole `u64` range with no
+//! allocation and O(1) recording (`leading_zeros` is one instruction),
+//! which is what lets the recorder sit on the per-interval hot path.
+//! Exact count/sum/min/max ride along; quantiles are read from the
+//! bucket upper bounds (≤ 2× error by construction).
+
+/// Number of buckets: one for zero plus one per bit width.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-size power-of-two histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket sample counts.
+    pub counts: [u64; BUCKETS],
+    /// Total samples recorded.
+    pub count: u64,
+    /// Exact sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (undefined when `count == 0`).
+    pub min: u64,
+    /// Largest sample (undefined when `count == 0`).
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of a bucket (the largest value it can hold).
+pub fn bucket_upper(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean sample, or NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile `q ∈ [0, 1]`: the upper bound of the first
+    /// bucket at which the cumulative count reaches `q·count` (exact
+    /// min/max are substituted at the extremes). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper(bucket).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for b in 0..BUCKETS {
+            let hi = bucket_upper(b);
+            assert_eq!(bucket_of(hi), b, "upper bound of bucket {b} stays inside");
+        }
+    }
+
+    #[test]
+    fn record_tracks_exact_stats() {
+        let mut h = Histogram::default();
+        for v in [3, 0, 17, 17, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.sum, 137);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert!((h.mean() - 27.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_samples() {
+        let mut h = Histogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        assert!((500..=1023).contains(&p50), "p50 = {p50}");
+        assert_eq!(h.quantile(1.0), 1000, "p100 clamps to exact max");
+        let mut empty = Histogram::default();
+        assert_eq!(empty.quantile(0.5), 0);
+        assert!(empty.mean().is_nan());
+        empty.merge(&h);
+        assert_eq!(empty.count, 1000);
+        assert_eq!(empty.min, 1);
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-interval time series.
+//!
+//! A series is a fixed column schema (declared once, before the first
+//! row) plus one row of `u64` samples per broadcast interval. Rows are
+//! tagged with the owning cell so merged sweeps keep every cell's
+//! series intact, in merge (= seed) order.
+
+/// One row of samples at interval `t` for one cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeriesRow {
+    /// Index into [`crate::ObserveSnapshot::cells`].
+    pub cell: u32,
+    /// Broadcast interval index.
+    pub t: u64,
+    /// Samples, parallel to [`SeriesData::columns`].
+    pub values: Vec<u64>,
+}
+
+/// A recorded time series: column names plus rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesData {
+    /// Column names, fixed at schema declaration.
+    pub columns: Vec<&'static str>,
+    /// Rows in recording order (per cell: ascending `t`).
+    pub rows: Vec<SeriesRow>,
+}
+
+impl SeriesData {
+    /// Renders the series as CSV: `cell,t,<columns…>` header plus one
+    /// line per row. Deterministic (pure integer formatting).
+    pub fn to_csv(&self, cells: &[String]) -> String {
+        let mut out = String::new();
+        out.push_str("cell,t");
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for row in &self.rows {
+            // Cell labels are path-ish (`fig3/x=0.5/TS`); no commas.
+            out.push_str(&cells[row.cell as usize]);
+            out.push(',');
+            out.push_str(&row.t.to_string());
+            for v in &row.values {
+                out.push(',');
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-column sums across all rows (summary-table fodder).
+    pub fn column_sums(&self) -> Vec<u64> {
+        let mut sums = vec![0u64; self.columns.len()];
+        for row in &self.rows {
+            for (s, v) in sums.iter_mut().zip(row.values.iter()) {
+                *s = s.saturating_add(*v);
+            }
+        }
+        sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let s = SeriesData {
+            columns: vec!["hits", "misses"],
+            rows: vec![
+                SeriesRow {
+                    cell: 0,
+                    t: 1,
+                    values: vec![5, 2],
+                },
+                SeriesRow {
+                    cell: 0,
+                    t: 2,
+                    values: vec![7, 0],
+                },
+            ],
+        };
+        let csv = s.to_csv(&["c0".to_string()]);
+        assert_eq!(csv, "cell,t,hits,misses\nc0,1,5,2\nc0,2,7,0\n");
+        assert_eq!(s.column_sums(), vec![12, 2]);
+    }
+}

@@ -1,0 +1,185 @@
+//! End-of-run observation snapshots and their merge.
+
+use crate::event::Event;
+use crate::hist::Histogram;
+use crate::series::SeriesData;
+
+/// Everything one recorder observed, detached from the live run.
+///
+/// Snapshots split into a **deterministic** part (counters, value
+/// histograms, events, series — pure functions of the seed, compared
+/// byte-for-byte by the determinism suite) and a **non-deterministic**
+/// part (`timings`: wall-clock span durations, reported only in the
+/// summary table). [`ObserveSnapshot::deterministic_digest`] renders
+/// exactly the former.
+///
+/// Merging (sweep runs) concatenates cells in call order; the figure
+/// pipeline merges in `ParallelRunner` input order, which is seed
+/// order, so merged output is thread-count invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObserveSnapshot {
+    /// Cell labels, in merge order; events/series rows index into this.
+    pub cells: Vec<String>,
+    /// Monotonic counters, summed across cells (insertion order).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Value histograms (deterministic samples: bits, counts).
+    pub hists: Vec<(&'static str, Histogram)>,
+    /// Span-timer histograms in nanoseconds — **wall clock**, excluded
+    /// from every deterministic artifact.
+    pub timings: Vec<(&'static str, Histogram)>,
+    /// Per-interval time series.
+    pub series: SeriesData,
+    /// Event trace, one NDJSON line each.
+    pub events: Vec<Event>,
+}
+
+/// Adds `n` to the named slot, appending it on first sight (linear
+/// scan: the name set is small and insertion order is the display
+/// order).
+pub(crate) fn bump(slots: &mut Vec<(&'static str, u64)>, name: &'static str, n: u64) {
+    match slots.iter_mut().find(|(k, _)| *k == name) {
+        Some((_, v)) => *v += n,
+        None => slots.push((name, n)),
+    }
+}
+
+pub(crate) fn hist_slot<'a>(
+    slots: &'a mut Vec<(&'static str, Histogram)>,
+    name: &'static str,
+) -> &'a mut Histogram {
+    if let Some(pos) = slots.iter().position(|(k, _)| *k == name) {
+        return &mut slots[pos].1;
+    }
+    slots.push((name, Histogram::default()));
+    &mut slots.last_mut().expect("just pushed").1
+}
+
+impl ObserveSnapshot {
+    /// An empty snapshot to merge others into.
+    pub fn empty() -> Self {
+        ObserveSnapshot {
+            cells: Vec::new(),
+            counters: Vec::new(),
+            hists: Vec::new(),
+            timings: Vec::new(),
+            series: SeriesData::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Folds `other` into this snapshot: cells concatenate (events and
+    /// series rows are re-indexed), counters and histograms sum by
+    /// name. Call in seed order to keep merged output deterministic.
+    pub fn merge(&mut self, other: ObserveSnapshot) {
+        let base = self.cells.len() as u32;
+        self.cells.extend(other.cells);
+        for (name, n) in other.counters {
+            bump(&mut self.counters, name, n);
+        }
+        for (name, h) in other.hists {
+            hist_slot(&mut self.hists, name).merge(&h);
+        }
+        for (name, h) in other.timings {
+            hist_slot(&mut self.timings, name).merge(&h);
+        }
+        if self.series.columns.is_empty() {
+            self.series.columns = other.series.columns;
+        }
+        self.series.rows.extend(other.series.rows.into_iter().map(|mut r| {
+            r.cell += base;
+            r
+        }));
+        self.events.extend(other.events.into_iter().map(|mut e| {
+            e.cell += base;
+            e
+        }));
+    }
+
+    /// The event trace as NDJSON, one event per line.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            e.render(&self.cells, &mut out);
+        }
+        out
+    }
+
+    /// The per-interval time series as CSV.
+    pub fn series_csv(&self) -> String {
+        self.series.to_csv(&self.cells)
+    }
+
+    /// Value of a counter, zero if never bumped.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
+    /// Every deterministic artifact in one string: the NDJSON trace,
+    /// the series CSV, the counters, and the value histograms — what
+    /// the determinism tests compare byte-for-byte across thread
+    /// counts. Wall-clock `timings` are deliberately absent.
+    pub fn deterministic_digest(&self) -> String {
+        let mut out = self.to_ndjson();
+        out.push_str(&self.series_csv());
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter {name} = {v}\n"));
+        }
+        for (name, h) in &self.hists {
+            out.push_str(&format!(
+                "hist {name}: count={} sum={} min={} max={} buckets={:?}\n",
+                h.count, h.sum, h.min, h.max, h.counts
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+    use crate::series::SeriesRow;
+
+    fn snap(label: &str, n: u64) -> ObserveSnapshot {
+        let mut s = ObserveSnapshot::empty();
+        s.cells.push(label.to_string());
+        s.counters.push(("hits", n));
+        hist_slot(&mut s.hists, "bits").record(n);
+        s.series.columns = vec!["hits"];
+        s.series.rows.push(SeriesRow {
+            cell: 0,
+            t: 1,
+            values: vec![n],
+        });
+        s.events.push(Event {
+            cell: 0,
+            t: 1,
+            kind: "tick",
+            fields: vec![("n", Value::U64(n))],
+        });
+        s
+    }
+
+    #[test]
+    fn merge_reindexes_and_sums() {
+        let mut m = ObserveSnapshot::empty();
+        m.merge(snap("a", 2));
+        m.merge(snap("b", 3));
+        assert_eq!(m.cells, vec!["a", "b"]);
+        assert_eq!(m.counter("hits"), 5);
+        assert_eq!(m.counter("absent"), 0);
+        assert_eq!(m.hists[0].1.count, 2);
+        assert_eq!(m.events[1].cell, 1);
+        assert_eq!(m.series.rows[1].cell, 1);
+        let ndjson = m.to_ndjson();
+        assert_eq!(ndjson.lines().count(), 2);
+        assert!(ndjson.contains("\"cell\":\"b\""));
+        let digest = m.deterministic_digest();
+        assert!(digest.contains("counter hits = 5"));
+        assert!(!digest.contains("timing"));
+    }
+}

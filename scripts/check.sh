@@ -14,6 +14,15 @@ cargo test --workspace --release -q
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo test --workspace (release, --features observe)"
+cargo test --workspace --release -q --features observe
+
+echo "==> cargo clippy --workspace -D warnings (--features observe)"
+cargo clippy --workspace --all-targets --features observe -- -D warnings
+
+echo "==> trace_run smoke (figure 3, quick settings, observed)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- 3 >/dev/null
+
 echo "==> bench smoke (criterion --test mode)"
 cargo bench -p sw-bench --bench hot_paths -- --test
 
