@@ -71,6 +71,9 @@ pub struct MuStats {
     pub cache_drops: u64,
     /// Individual items invalidated by reports.
     pub items_invalidated: u64,
+    /// Reports the unit listened for but never received intact (lost,
+    /// corrupted, or missed through clock drift — fault injection).
+    pub reports_missed: u64,
     /// Sum of query answer latencies in seconds (posed → answered at
     /// the next report; §2's guaranteed-latency property of synchronous
     /// methods).
@@ -348,6 +351,27 @@ impl MobileUnit {
         }
     }
 
+    /// Records that the awake unit listened for the interval-closing
+    /// report but never received it intact (lost, corrupted, or missed
+    /// through clock drift).
+    ///
+    /// Crucially, `t_l` does *not* advance and the pending queries are
+    /// *not* answered: to this unit the interval looks exactly like a
+    /// nap, so the next intact report triggers the strategy's ordinary
+    /// gap recovery (AT drops the cache after any missed report, TS
+    /// drops iff the silent span exceeds the window `w`, SIG proceeds
+    /// modulo collisions). Pending queries wait for that next report,
+    /// accruing latency — the §2 latency guarantee is exactly what a
+    /// lossy channel breaks.
+    ///
+    /// # Panics
+    /// Panics if called while asleep — a sleeping unit was not
+    /// listening in the first place.
+    pub fn miss_report(&mut self) {
+        assert!(self.awake, "a sleeping unit was not listening for the report");
+        self.stats.reports_missed += 1;
+    }
+
     /// Skips the interval-closing report (asleep units). Pending queries
     /// cannot exist (no queries are posed while asleep).
     pub fn skip_report(&mut self) -> IntervalReport {
@@ -539,6 +563,45 @@ mod tests {
         let _ = mu.hear_report_and_answer(&at_report(30.0, vec![]));
         assert_eq!(mu.stats().cache_drops, 1);
         assert!(mu.cache().is_empty());
+    }
+
+    #[test]
+    fn missed_report_defers_answers_and_triggers_gap_recovery() {
+        let (mut mu, mut qrng, mut srng) = unit(0.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        for (item, _) in &rep.uplink_requests {
+            mu.install_answer(QueryAnswer {
+                item: *item,
+                value: 1,
+                timestamp: SimTime::from_secs(10.5),
+            });
+        }
+        // Interval 2: the report is lost in flight.
+        mu.begin_interval(SimTime::from_secs(10.0), SimTime::from_secs(20.0), &mut srng, &mut qrng);
+        let pending_before = mu.pending_len();
+        assert!(pending_before > 0);
+        mu.miss_report();
+        assert_eq!(mu.stats().reports_missed, 1);
+        // Queries stay queued; t_l still points at the last heard report.
+        assert_eq!(mu.pending_len(), pending_before);
+        assert_eq!(mu.last_report_heard(), Some(SimTime::from_secs(10.0)));
+        assert_eq!(mu.stats().query_events(), rep.uplink_requests.len() as u64);
+        // Interval 3: the next intact report closes a 20 s gap > L = 10 s,
+        // so the AT handler drops the whole cache — the paper's recovery.
+        mu.begin_interval(SimTime::from_secs(20.0), SimTime::from_secs(30.0), &mut srng, &mut qrng);
+        let rep3 = mu.hear_report_and_answer(&at_report(30.0, vec![]));
+        assert_eq!(mu.stats().cache_drops, 1);
+        assert!(mu.cache().is_empty());
+        assert!(!rep3.uplink_requests.is_empty(), "deferred queries answered now");
+    }
+
+    #[test]
+    #[should_panic(expected = "was not listening")]
+    fn sleeping_unit_cannot_miss_a_report() {
+        let (mut mu, mut qrng, mut srng) = unit(1.0, 1.0);
+        mu.begin_interval(SimTime::ZERO, SimTime::from_secs(10.0), &mut srng, &mut qrng);
+        mu.miss_report();
     }
 
     #[test]

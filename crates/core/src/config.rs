@@ -6,6 +6,7 @@
 //! hotspot sizes and popularity skew, the random seed, the report
 //! delivery mode (§9), and whether expensive safety checking is on.
 
+use sw_faults::FaultPlan;
 use sw_sim::MasterSeed;
 use sw_wireless::{DeliveryMode, EnergyModel};
 use sw_workload::{Popularity, ScenarioParams};
@@ -74,6 +75,11 @@ pub struct CellConfig {
     /// either way. Observation never changes simulation results (the
     /// determinism suite pins this).
     pub observe: Option<String>,
+    /// Deterministic fault schedule (report loss, frame corruption,
+    /// uplink retry, clock drift). `None` — the default — injects
+    /// nothing; with the `faults` cargo feature off any plan is ignored
+    /// and the injector is a compile-time no-op either way.
+    pub faults: Option<FaultPlan>,
 }
 
 impl CellConfig {
@@ -98,6 +104,7 @@ impl CellConfig {
             sleep_profile: None,
             wake_mode: None,
             observe: None,
+            faults: None,
         }
     }
 
@@ -189,6 +196,14 @@ impl CellConfig {
         self
     }
 
+    /// Arms the deterministic fault injector with the given plan
+    /// (requires the `faults` cargo feature to actually inject
+    /// anything; the schedule is a pure function of the master seed).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Mean sleep probability across the cell (profile-weighted under
     /// the cyclic assignment), used to auto-pick the wake mode.
     pub fn mean_sleep_probability(&self) -> f64 {
@@ -219,6 +234,9 @@ impl CellConfig {
             if cap == 0 {
                 return Err("cache capacity must be positive".into());
             }
+        }
+        if let Some(plan) = &self.faults {
+            plan.validate()?;
         }
         Ok(())
     }
@@ -279,6 +297,17 @@ mod tests {
     #[should_panic(expected = "cannot be empty")]
     fn empty_sleep_profile_rejected() {
         let _ = CellConfig::new(ScenarioParams::scenario1()).with_sleep_profile(vec![]);
+    }
+
+    #[test]
+    fn fault_plan_is_validated() {
+        use sw_faults::LossModel;
+        let good = CellConfig::new(ScenarioParams::scenario1())
+            .with_faults(FaultPlan::none().with_loss(LossModel::bernoulli(0.1)));
+        good.validate().unwrap();
+        let bad = CellConfig::new(ScenarioParams::scenario1())
+            .with_faults(FaultPlan::none().with_loss(LossModel::bernoulli(2.0)));
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -77,3 +77,6 @@ pub use sw_quasi as quasi;
 /// Re-export: zero-cost instrumentation (counters, histograms, span
 /// timers, NDJSON traces, per-interval series).
 pub use sw_observe as observe;
+/// Re-export: deterministic fault injection (report loss, frame
+/// corruption, uplink retry with backoff, clock drift).
+pub use sw_faults as faults;

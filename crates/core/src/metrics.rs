@@ -5,6 +5,7 @@
 //! so the validation tests and the experiment harness can put the
 //! simulator and the model side by side.
 
+use sw_faults::FaultTotals;
 use sw_observe::ObserveSnapshot;
 use sw_wireless::{EnergyTotals, TrafficTotals};
 
@@ -44,6 +45,9 @@ pub struct SimulationReport {
     pub energy: EnergyTotals,
     /// Safety-checker counters (all zeros unless enabled).
     pub safety: SafetyStats,
+    /// Fault-injection counters (all zeros unless a plan is armed and
+    /// the `faults` cargo feature is on).
+    pub faults: FaultTotals,
     /// Interval capacity `L·W` in bits.
     pub interval_bits: f64,
     /// `b_q + b_a` in bits.
@@ -155,6 +159,7 @@ mod tests {
             registration_messages: 0,
             energy: EnergyTotals::default(),
             safety: SafetyStats::default(),
+            faults: FaultTotals::default(),
             interval_bits: 100_000.0,
             per_query_bits: 1024.0,
             t_max_analytic: 10_000.0,

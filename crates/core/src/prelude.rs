@@ -16,6 +16,7 @@ pub use sw_analysis::{
     effectiveness_at, h_at, h_sig, h_ts_bounds, h_ts_estimate, mhr, throughput_at,
     throughput_max, throughput_nc, throughput_sig, throughput_ts, Sweep, Throughputs,
 };
+pub use sw_faults::{ClockDrift, FaultPlan, FaultTotals, LossModel, UplinkFaults};
 pub use sw_sim::{MasterSeed, SimDuration, SimTime};
 pub use sw_wireless::DeliveryMode;
 pub use sw_workload::{Popularity, ScenarioParams, SweepAxis};

@@ -94,6 +94,57 @@ impl SafetyStats {
             self.violations as f64 / self.entries_checked as f64
         }
     }
+
+    /// Checks the counters against a strategy's contract. `Ok(())`
+    /// when the run satisfied the expectation, `Err` with a diagnostic
+    /// otherwise.
+    pub fn verify(&self, expectation: SafetyExpectation) -> Result<(), String> {
+        match expectation {
+            SafetyExpectation::NeverStale => {
+                if self.violations == 0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "never-stale strategy produced {} false validations over {} checks",
+                        self.violations, self.entries_checked
+                    ))
+                }
+            }
+            SafetyExpectation::BoundedRate(bound) => {
+                let rate = self.violation_rate();
+                if rate <= bound {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "violation rate {rate:.6} exceeds documented bound {bound} \
+                         ({} violations / {} checks)",
+                        self.violations, self.entries_checked
+                    ))
+                }
+            }
+            SafetyExpectation::QuasiByDesign => Ok(()),
+        }
+    }
+}
+
+/// What the no-stale-reads checker may legitimately find for a given
+/// strategy — the per-strategy safety contract of §2/§3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SafetyExpectation {
+    /// Zero false validations, under *any* fault schedule: the strategy
+    /// turns every uncertain gap into a drop (AT, the window rule of
+    /// TS) or never caches at all (NC). This is the invariant the fault
+    /// injector exists to attack.
+    NeverStale,
+    /// False validations occur with small probability — signature
+    /// collisions (≈ `2^-g` per unmatched pair) plus the documented
+    /// one-interval fetch blind spot — and must stay under the given
+    /// rate over checked entries.
+    BoundedRate(f64),
+    /// The checker flags entries *by design*: quasi-copies tolerate
+    /// bounded staleness (§7), so strict value comparison is the wrong
+    /// oracle and no assertion is made.
+    QuasiByDesign,
 }
 
 #[cfg(test)]
@@ -144,5 +195,31 @@ mod tests {
         };
         assert!((s.violation_rate() - 0.03).abs() < 1e-12);
         assert_eq!(SafetyStats::default().violation_rate(), 0.0);
+    }
+
+    #[test]
+    fn never_stale_rejects_any_violation() {
+        let clean = SafetyStats {
+            entries_checked: 10,
+            violations: 0,
+        };
+        assert!(clean.verify(SafetyExpectation::NeverStale).is_ok());
+        let dirty = SafetyStats {
+            entries_checked: 10,
+            violations: 1,
+        };
+        assert!(dirty.verify(SafetyExpectation::NeverStale).is_err());
+    }
+
+    #[test]
+    fn bounded_rate_compares_against_bound() {
+        let s = SafetyStats {
+            entries_checked: 1000,
+            violations: 5,
+        };
+        assert!(s.verify(SafetyExpectation::BoundedRate(0.01)).is_ok());
+        assert!(s.verify(SafetyExpectation::BoundedRate(0.001)).is_err());
+        // Quasi-copies are never asserted on.
+        assert!(s.verify(SafetyExpectation::QuasiByDesign).is_ok());
     }
 }

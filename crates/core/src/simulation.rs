@@ -23,19 +23,21 @@
 //!    runs at the boundary.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use sw_adaptive::{
     AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
 };
 use sw_client::{MobileUnit, MuConfig};
+use sw_faults::{FaultLayer, ReportFate};
 use sw_quasi::ObligationTracker;
 use sw_server::{
-    Database, ItemId, ItemTable, ReportBuilder, StatefulServer, TsBuilder, UpdateEngine,
-    UplinkProcessor,
+    Database, ItemId, ItemTable, PiggybackInfo, ReportBuilder, StatefulServer, TsBuilder,
+    UpdateEngine, UplinkProcessor,
 };
 use sw_observe::{Recorder, Value};
 use sw_sim::{IntervalClock, RngStream, SimDuration, SimTime, StreamId};
+use sw_wireless::frame::{checksum64, flip_bit};
 use sw_wireless::{
     BroadcastChannel, ChannelError, EnergyTotals, FramePayload, ReportDelivery, WireEncode,
 };
@@ -43,7 +45,7 @@ use sw_workload::HotspotSpec;
 
 use crate::config::{CellConfig, WakeMode};
 use crate::metrics::SimulationReport;
-use crate::safety::{SafetyStats, ValueHistory};
+use crate::safety::{SafetyExpectation, SafetyStats, ValueHistory};
 use crate::strategy::Strategy;
 
 /// Errors a simulation can raise.
@@ -60,6 +62,18 @@ pub enum SimulationError {
         /// Bits available per interval.
         capacity: u64,
     },
+    /// A never-stale strategy (TS, AT, NC, ATS, SF, GR) validated a
+    /// stale cache entry. The safety checker normally just counts
+    /// violations so SIG's bounded collision rate can be measured; for
+    /// strategies whose contract is *zero* false validations under any
+    /// fault schedule, the run aborts at the first one instead of
+    /// averaging it away.
+    SafetyViolated {
+        /// The offending strategy's name.
+        strategy: &'static str,
+        /// Interval in which the stale entry was validated.
+        interval: u64,
+    },
 }
 
 impl std::fmt::Display for SimulationError {
@@ -70,6 +84,11 @@ impl std::fmt::Display for SimulationError {
                 f,
                 "invalidation report of {bits} bits exceeds interval capacity of {capacity} bits; \
                  the strategy is unusable at these parameters"
+            ),
+            SimulationError::SafetyViolated { strategy, interval } => write!(
+                f,
+                "no-stale-reads guarantee broken: never-stale strategy {strategy} validated a \
+                 stale cache entry in interval {interval}"
             ),
         }
     }
@@ -253,6 +272,32 @@ impl WakeSchedule {
     }
 }
 
+/// A query exchange rejected by a saturated interval (or abandoned by
+/// the uplink fault model), waiting for a later interval's budget.
+/// Deferred exchanges are charged to the traffic totals only when they
+/// actually transmit, so each query counts once however long it waits.
+struct QueuedExchange {
+    /// Client index within the cell.
+    idx: usize,
+    /// Item the client is fetching.
+    item: ItemId,
+    /// Piggybacked hit history captured when the miss occurred.
+    piggyback: Option<PiggybackInfo>,
+}
+
+/// How one uplink exchange attempt sequence ended.
+enum ExchangeOutcome {
+    /// Transmitted, answered, and installed in the client's cache.
+    Done,
+    /// The interval's bit budget rejected the exchange; it is queued
+    /// FIFO for a later interval and has been charged nothing.
+    Saturated,
+    /// Every transmitted attempt this interval failed (uplink fault
+    /// model); the exchange is queued for a later interval. The failed
+    /// attempts *did* burn airtime and are charged as traffic.
+    FaultDeferred,
+}
+
 /// One simulated cell.
 pub struct CellSimulation {
     config: CellConfig,
@@ -284,6 +329,17 @@ pub struct CellSimulation {
     overflow_exchanges: u64,
     registration_messages: u64,
     safety: SafetyStats,
+    /// Exchanges deferred by saturated intervals (or exhausted uplink
+    /// retries), drained FIFO at the start of each interval's client
+    /// phase. Normally empty: the simulated fleet sits far below
+    /// channel capacity.
+    pending_uplinks: VecDeque<QueuedExchange>,
+    /// Deterministic fault injector. A zero-sized compile-time no-op
+    /// without the `faults` cargo feature; one null check per interval
+    /// when compiled in but unarmed. Draws only from
+    /// `StreamId::Faults { index }`, so arming it never perturbs the
+    /// query/sleep/update streams.
+    faults: FaultLayer,
     delivery: ReportDelivery,
     delivery_rng: RngStream,
     energy: EnergyTotals,
@@ -438,6 +494,8 @@ impl CellSimulation {
                 "report_bits",
                 "used_bits",
                 "overflow",
+                "lost",
+                "retries",
             ]);
             // ItemTable layout census: every hashed entry is a dense
             // fast-path fallback activation.
@@ -471,6 +529,7 @@ impl CellSimulation {
 
         let delivery = ReportDelivery::new(config.delivery);
         let delivery_rng = config.seed.stream(StreamId::Custom { tag: 0xDE11 });
+        let faults = FaultLayer::new(config.faults.as_ref(), config.seed, config.n_clients);
         Ok(CellSimulation {
             strategy,
             db,
@@ -491,6 +550,8 @@ impl CellSimulation {
             overflow_exchanges: 0,
             registration_messages: 0,
             safety: SafetyStats::default(),
+            pending_uplinks: VecDeque::new(),
+            faults,
             delivery,
             delivery_rng,
             energy: EnergyTotals::default(),
@@ -514,6 +575,99 @@ impl CellSimulation {
         &self.clients
     }
 
+    /// Whether an identical exchange is already queued for `idx`. A
+    /// client re-querying an item it is still waiting for must not
+    /// enqueue (or be served) a second copy of the same fetch.
+    fn exchange_queued(&self, idx: usize, item: ItemId) -> bool {
+        self.pending_uplinks
+            .iter()
+            .any(|q| q.idx == idx && q.item == item)
+    }
+
+    fn enqueue_exchange(&mut self, idx: usize, item: ItemId, piggyback: Option<PiggybackInfo>) {
+        if !self.exchange_queued(idx, item) {
+            self.pending_uplinks
+                .push_back(QueuedExchange { idx, item, piggyback });
+        }
+    }
+
+    /// Runs one uplink query exchange for client `idx` to completion,
+    /// deferral, or abandonment.
+    ///
+    /// On success the exchange is charged to the channel, the
+    /// server-side bookkeeping (adaptive feedback, quasi obligations,
+    /// stateful registration) runs, and the answer is installed in the
+    /// client's cache. A saturated interval defers the exchange to the
+    /// FIFO queue *without charging anything* — the query counts once
+    /// in the traffic totals however many intervals it waits. Under the
+    /// uplink fault model, each transmitted-but-failed attempt is
+    /// retried up to `max_attempts` times with exponentially growing
+    /// backoff charged as dead air against the interval budget; failed
+    /// attempts burned real airtime and stay charged as traffic.
+    fn attempt_uplink_exchange(
+        &mut self,
+        idx: usize,
+        item: ItemId,
+        piggyback: Option<PiggybackInfo>,
+        i: u64,
+        t_i: SimTime,
+    ) -> ExchangeOutcome {
+        let mu_id = self.clients[idx].id();
+        let uplink_model = self.faults.uplink_model();
+        let max_attempts = uplink_model.map_or(1, |m| m.max_attempts);
+        let mut attempt = 1u32;
+        loop {
+            if self.channel.send_query_exchange(mu_id, item).is_err() {
+                self.enqueue_exchange(idx, item, piggyback);
+                return ExchangeOutcome::Saturated;
+            }
+            let failed = uplink_model.is_some() && self.faults.uplink_attempt_fails(idx);
+            if !failed {
+                break;
+            }
+            self.faults.note_uplink_retry();
+            if attempt >= max_attempts {
+                // Bounded retry exhausted: give the channel back and
+                // try again in a later interval.
+                self.enqueue_exchange(idx, item, piggyback);
+                return ExchangeOutcome::FaultDeferred;
+            }
+            let backoff = uplink_model
+                .expect("a failed attempt implies an uplink model")
+                .backoff_base_bits
+                << (attempt - 1);
+            if self.channel.charge_backoff(backoff).is_err() {
+                // The backoff wait would outlast the interval budget.
+                self.enqueue_exchange(idx, item, piggyback);
+                return ExchangeOutcome::Saturated;
+            }
+            self.faults.note_backoff_interval();
+            attempt += 1;
+        }
+        let answer = self.uplink.answer(&self.db, item, t_i, piggyback.as_ref());
+        if let ServerSide::Adaptive {
+            query_times,
+            method: FeedbackMethod::Method1,
+            ..
+        } = &mut self.server
+        {
+            let times = query_times.get_or_insert_with(item, Vec::new);
+            if let Some(pb) = &piggyback {
+                times.extend(pb.local_hit_times.iter().copied());
+            }
+            times.push(t_i);
+        }
+        if let ServerSide::QuasiDelay { tracker, .. } = &mut self.server {
+            tracker.on_uplink(item, i);
+        }
+        if let ServerSide::Stateful { registry, .. } = &mut self.server {
+            // Registration rides the uplink query for free.
+            registry.register_cache(mu_id, item);
+        }
+        self.clients[idx].install_answer(answer);
+        ExchangeOutcome::Done
+    }
+
     /// Runs one broadcast interval; returns the report's size in bits
     /// (zero for the stateful baseline, which sends directed messages
     /// instead).
@@ -529,6 +683,7 @@ impl CellSimulation {
         let observing = self.obs.is_enabled();
         let overflow_before = self.overflow_exchanges;
         let violations_before = self.safety.violations;
+        let faults_before = self.faults.totals();
         let (mut obs_hits, mut obs_misses) = (0u64, 0u64);
         let (mut obs_invalidated, mut obs_drops) = (0u64, 0u64);
         let (mut obs_false_alarms, mut obs_unmatched) = (0u64, 0u64);
@@ -628,7 +783,96 @@ impl CellSimulation {
         // answer the interval's queries.
         let process_timer = self.obs.timer("client_process");
         let mut uplink_counts = vec![0u32; awake.len()];
+        // 4a. Drain exchanges deferred by earlier saturated intervals,
+        // oldest first, before this interval's fresh misses compete for
+        // the budget — strict FIFO across intervals. Entries whose
+        // client is asleep keep their place; the first renewed
+        // saturation stops the drain and the rest wait in order.
+        if !self.pending_uplinks.is_empty() {
+            let mut queue = std::mem::take(&mut self.pending_uplinks);
+            let mut stalled = false;
+            while let Some(q) = queue.pop_front() {
+                if stalled || !self.clients[q.idx].is_awake() {
+                    self.pending_uplinks.push_back(q);
+                    continue;
+                }
+                let slot = awake
+                    .binary_search(&q.idx)
+                    .expect("an awake client is always in the interval's awake set");
+                match self.attempt_uplink_exchange(q.idx, q.item, q.piggyback, i, t_i) {
+                    ExchangeOutcome::Done => uplink_counts[slot] += 1,
+                    // Already re-queued by the attempt; keep the
+                    // remaining entries behind it, in order.
+                    ExchangeOutcome::Saturated => stalled = true,
+                    ExchangeOutcome::FaultDeferred => {}
+                }
+            }
+        }
+        // Fault injection only attacks the *broadcast* downlink; the
+        // stateful baseline's directed invalidations model a reliable
+        // connection-oriented link (its consistency story depends on
+        // it, §2).
+        let faults_active = self.faults.is_active() && !is_stateful;
+        // Serialized report + checksum, computed lazily at most once
+        // per interval, only when a corruption fate needs real bytes to
+        // flip.
+        let mut wire_check: Option<(Vec<u8>, u64)> = None;
         for (slot, &idx) in awake.iter().enumerate() {
+            // Decide whether this client receives the report at all:
+            // drift (woke too late), loss (fade-out), or corruption
+            // (checksum failure) all mean the strategy's recovery path
+            // runs at the *next* intact report, exactly as the paper
+            // prescribes for a unit that slept through reports.
+            if faults_active {
+                let delivery = self.delivery;
+                let fate = self
+                    .faults
+                    .report_fate(idx, i, |drift| delivery.misses_with_drift(drift));
+                if fate.is_missed() {
+                    if fate == ReportFate::Corrupted {
+                        // Demonstrate detection on real bytes: flip one
+                        // bit of the serialized report and require the
+                        // checksum to catch it. An undetected flip
+                        // would mean a half-applied report.
+                        let (bytes, clean) = wire_check.get_or_insert_with(|| {
+                            let b = self.channel.encoder().serialize_payload(&payload);
+                            let c = checksum64(&b);
+                            (b, c)
+                        });
+                        let mut damaged = bytes.clone();
+                        let bit = self
+                            .faults
+                            .corrupt_bit_index(idx, damaged.len() as u64 * 8);
+                        flip_bit(&mut damaged, bit);
+                        if checksum64(&damaged) == *clean {
+                            self.faults.note_undetected_corruption();
+                        }
+                    }
+                    self.clients[idx].miss_report();
+                    if observing {
+                        self.obs.event(
+                            i,
+                            "report_missed",
+                            &[
+                                ("client", Value::U64(idx as u64)),
+                                (
+                                    "fate",
+                                    Value::Str(
+                                        match fate {
+                                            ReportFate::Lost => "lost",
+                                            ReportFate::Corrupted => "corrupted",
+                                            ReportFate::DriftMissed => "drift",
+                                            ReportFate::Heard => unreachable!(),
+                                        }
+                                        .to_string(),
+                                    ),
+                                ),
+                            ],
+                        );
+                    }
+                    continue;
+                }
+            }
             let mu = &mut self.clients[idx];
             // Pre-processing snapshot for the per-interval series. The
             // last-report time is the false-alarm reference point: an
@@ -642,7 +886,6 @@ impl CellSimulation {
             };
             let outcome = mu.hear_report_and_answer(&payload);
             let mu_id = mu.id();
-            uplink_counts[slot] += outcome.uplink_requests.len() as u32;
             if observing {
                 if let Some(po) = &outcome.outcome {
                     obs_invalidated += po.invalidated.len() as u64;
@@ -660,41 +903,27 @@ impl CellSimulation {
                 }
             }
             for (item, piggyback) in outcome.uplink_requests {
-                // Charge the channel; an overloaded interval still
-                // answers (clients block, we count the overage).
-                if self.channel.send_query_exchange(mu_id, item).is_err() {
-                    self.overflow_exchanges += 1;
-                    if observing {
-                        self.obs.event(
-                            i,
-                            "overflow",
-                            &[("client", Value::U64(mu_id)), ("item", Value::U64(item))],
-                        );
+                if self.exchange_queued(idx, item) {
+                    // The same fetch is already waiting from an earlier
+                    // interval; answering it once is enough.
+                    continue;
+                }
+                match self.attempt_uplink_exchange(idx, item, piggyback, i, t_i) {
+                    ExchangeOutcome::Done => uplink_counts[slot] += 1,
+                    ExchangeOutcome::Saturated => {
+                        // First deferral of a fresh exchange: count the
+                        // overage once (retries are the same exchange).
+                        self.overflow_exchanges += 1;
+                        if observing {
+                            self.obs.event(
+                                i,
+                                "overflow",
+                                &[("client", Value::U64(mu_id)), ("item", Value::U64(item))],
+                            );
+                        }
                     }
+                    ExchangeOutcome::FaultDeferred => {}
                 }
-                let answer = self
-                    .uplink
-                    .answer(&self.db, item, t_i, piggyback.as_ref());
-                if let ServerSide::Adaptive {
-                    query_times,
-                    method: FeedbackMethod::Method1,
-                    ..
-                } = &mut self.server
-                {
-                    let times = query_times.get_or_insert_with(item, Vec::new);
-                    if let Some(pb) = &piggyback {
-                        times.extend(pb.local_hit_times.iter().copied());
-                    }
-                    times.push(t_i);
-                }
-                if let ServerSide::QuasiDelay { tracker, .. } = &mut self.server {
-                    tracker.on_uplink(item, i);
-                }
-                if let ServerSide::Stateful { registry, .. } = &mut self.server {
-                    // Registration rides the uplink query for free.
-                    registry.register_cache(mu_id, item);
-                }
-                self.clients[idx].install_answer(answer);
             }
             if let Some((pre_stats, _)) = pre {
                 let s = self.clients[idx].stats();
@@ -779,6 +1008,19 @@ impl CellSimulation {
                     "safety_false_validations",
                     self.safety.violations - violations_before,
                 );
+            }
+            // The no-stale-reads guarantee is absolute for never-stale
+            // strategies: abort at the first false validation instead
+            // of averaging it into a rate. SIG/HYB keep counting (their
+            // contract is a bounded rate), quasi-copies are stale by
+            // design.
+            if self.safety.violations > violations_before
+                && self.strategy.safety_expectation() == SafetyExpectation::NeverStale
+            {
+                return Err(SimulationError::SafetyViolated {
+                    strategy: self.strategy.name(),
+                    interval: i,
+                });
             }
         }
 
@@ -889,11 +1131,39 @@ impl CellSimulation {
         if observing {
             let uplinks: u64 = uplink_counts.iter().map(|&c| c as u64).sum();
             let overflow = self.overflow_exchanges - overflow_before;
+            let ft = self.faults.totals();
             self.obs.add("intervals", 1);
             self.obs.add("updates_applied", recs.len() as u64);
             self.obs.add("overflow_exchanges", overflow);
             self.obs.add("sig_false_alarms", obs_false_alarms);
             self.obs.add("sig_unmatched_subsets", obs_unmatched);
+            if self.faults.is_active() {
+                // The fault event family: counters stay absent (and
+                // faultless trace summaries stay byte-identical) unless
+                // a plan is actually armed.
+                self.obs
+                    .add("reports_lost", ft.reports_lost - faults_before.reports_lost);
+                self.obs.add(
+                    "frames_corrupted",
+                    ft.frames_corrupted - faults_before.frames_corrupted,
+                );
+                self.obs.add(
+                    "drift_missed_reports",
+                    ft.drift_missed_reports - faults_before.drift_missed_reports,
+                );
+                self.obs.add(
+                    "uplink_retries",
+                    ft.uplink_retries - faults_before.uplink_retries,
+                );
+                self.obs.add(
+                    "backoff_intervals",
+                    ft.backoff_intervals - faults_before.backoff_intervals,
+                );
+                // Every whole-cache drop this interval followed a
+                // report gap (sleep- or fault-induced): the recovery
+                // cost the fig_loss sweep plots.
+                self.obs.add("cache_drops_on_gap", obs_drops);
+            }
             self.obs.record("report_bits", report_bits);
             self.obs.record("awake_clients", awake.len() as u64);
             self.obs.record("uplinks_per_interval", uplinks);
@@ -910,6 +1180,8 @@ impl CellSimulation {
                     report_bits,
                     self.channel.budget().used,
                     overflow,
+                    ft.reports_missed_total() - faults_before.reports_missed_total(),
+                    ft.uplink_retries - faults_before.uplink_retries,
                 ],
             );
         }
@@ -947,6 +1219,10 @@ impl CellSimulation {
         self.registration_messages = 0;
         self.energy = EnergyTotals::default();
         self.safety = SafetyStats::default();
+        // Counters only: the fault processes (burst state, drift) keep
+        // evolving across the warm-up boundary, like every other
+        // random stream.
+        self.faults.reset_totals();
         // The observation recorder is deliberately *not* reset: a trace
         // that covers warm-up is a feature (the cold-start transient is
         // exactly what a per-interval series makes visible), and the
@@ -998,6 +1274,7 @@ impl CellSimulation {
             registration_messages: self.registration_messages,
             energy: self.energy,
             safety: self.safety,
+            faults: self.faults.totals(),
             interval_bits: params.latency_secs * params.bandwidth_bps as f64,
             per_query_bits: (params.query_bits + params.answer_bits) as f64,
             t_max_analytic: sw_analysis::throughput_max(params),
@@ -1322,6 +1599,217 @@ mod tests {
             quasi < base,
             "quasi-delay ({quasi} bits) must thin the TS report stream ({base} bits)"
         );
+    }
+
+    #[test]
+    fn saturated_exchanges_requeue_fifo_and_charge_once() {
+        use sw_wireless::FrameKind;
+        // A channel so narrow (~4 000 bits/interval, 1 024 per
+        // exchange) that the cold fleet's first intervals want far more
+        // than fits: rejected exchanges must defer FIFO across
+        // intervals, not vanish or double-charge.
+        let mut p = quick_params();
+        p.mu = 0.0; // no updates: a fetched item stays valid forever
+        p.bandwidth_bps = 400;
+        let cfg = CellConfig::new(p.with_s(0.0))
+            .with_clients(4)
+            .with_hotspot_size(10)
+            .with_seed(11);
+        let mut sim = CellSimulation::new(cfg, Strategy::AmnesicTerminals).unwrap();
+        let mut prev: Vec<(usize, ItemId)> = Vec::new();
+        for _ in 0..40 {
+            sim.step().unwrap();
+            let queue: Vec<(usize, ItemId)> = sim
+                .pending_uplinks
+                .iter()
+                .map(|q| (q.idx, q.item))
+                .collect();
+            // FIFO across intervals: the previous queue's survivors are
+            // a suffix of it, still at the front of the new queue in
+            // unchanged order (new deferrals only append).
+            let survivors: Vec<(usize, ItemId)> = prev
+                .iter()
+                .copied()
+                .filter(|e| queue.contains(e))
+                .collect();
+            assert!(prev.ends_with(&survivors), "drain must serve the oldest first");
+            assert!(
+                queue.starts_with(&survivors),
+                "retries must stay ahead of newly deferred exchanges"
+            );
+            prev = queue;
+        }
+        let report = sim.report();
+        assert!(
+            report.overflow_exchanges > 0,
+            "the test must actually exercise saturation"
+        );
+        assert!(
+            sim.pending_uplinks.is_empty(),
+            "queue must drain once the cold start passes"
+        );
+        // Each exchange transmits exactly once, however long it waited:
+        // with μ = 0 every (client, item) pair is fetched at most once,
+        // so queries pair 1:1 with answers and never exceed the 4 × 10
+        // distinct pairs.
+        let queries = report.traffic.frames.get(FrameKind::Query);
+        assert_eq!(queries, report.traffic.frames.get(FrameKind::Answer));
+        assert!(
+            queries <= 40,
+            "a deferred exchange must not transmit twice ({queries} query frames)"
+        );
+        assert_eq!(report.traffic.query_bits, queries * quick_params().query_bits as u64);
+    }
+
+    #[test]
+    fn zero_probability_fault_plan_changes_nothing() {
+        use sw_faults::{FaultPlan, LossModel};
+        // An armed plan whose every probability is zero must be
+        // bit-identical to no plan at all — in both feature configs
+        // (compiled out it is trivially inert; compiled in, zero-p
+        // models draw no randomness).
+        let base = {
+            let mut sim =
+                CellSimulation::new(config(0.3), Strategy::BroadcastTimestamps).unwrap();
+            sim.run(100).unwrap()
+        };
+        let zeroed = {
+            let cfg = config(0.3)
+                .with_faults(FaultPlan::none().with_loss(LossModel::bernoulli(0.0)));
+            let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+            sim.run(100).unwrap()
+        };
+        assert_eq!(base.hit_events, zeroed.hit_events);
+        assert_eq!(base.miss_events, zeroed.miss_events);
+        assert_eq!(base.report_bits_total, zeroed.report_bits_total);
+        assert_eq!(base.traffic, zeroed.traffic);
+        assert_eq!(base.faults, zeroed.faults);
+    }
+
+    #[cfg(feature = "faults")]
+    mod fault_injection {
+        use super::*;
+        use sw_faults::{ClockDrift, FaultPlan, LossModel, UplinkFaults};
+
+        fn run_with(
+            plan: Option<FaultPlan>,
+            strategy: Strategy,
+            intervals: u64,
+        ) -> SimulationReport {
+            let mut cfg = config(0.2).with_safety_checking();
+            if let Some(plan) = plan {
+                cfg = cfg.with_faults(plan);
+            }
+            let mut sim = CellSimulation::new(cfg, strategy).unwrap();
+            sim.run(intervals).unwrap()
+        }
+
+        #[test]
+        fn report_loss_costs_hits_and_at_drops_more() {
+            let plan = FaultPlan::none().with_loss(LossModel::bernoulli(0.3));
+            let clean = run_with(None, Strategy::AmnesicTerminals, 300);
+            let lossy = run_with(Some(plan), Strategy::AmnesicTerminals, 300);
+            assert!(lossy.faults.reports_lost > 0, "losses must occur at p = 0.3");
+            assert!(
+                lossy.hit_ratio() < clean.hit_ratio(),
+                "lost reports must cost hits: {} !< {}",
+                lossy.hit_ratio(),
+                clean.hit_ratio()
+            );
+            assert!(
+                lossy.cache_drops > clean.cache_drops,
+                "AT must drop its cache after every missed-report gap"
+            );
+        }
+
+        #[test]
+        fn ts_window_recovery_drops_less_than_at() {
+            // TS (w = kL, k = 10) restamps across short gaps where AT
+            // must drop everything — the paper's central distinction,
+            // now driven by fault-induced gaps instead of sleep.
+            let plan = FaultPlan::none().with_loss(LossModel::bernoulli(0.2));
+            let ts = run_with(Some(plan), Strategy::BroadcastTimestamps, 300);
+            let at = run_with(Some(plan), Strategy::AmnesicTerminals, 300);
+            assert!(ts.faults.reports_lost > 0);
+            assert!(
+                ts.cache_drops < at.cache_drops,
+                "TS window recovery ({} drops) must beat AT's drop-all rule ({})",
+                ts.cache_drops,
+                at.cache_drops
+            );
+        }
+
+        #[test]
+        fn never_stale_survives_a_hostile_schedule() {
+            // Bursty loss + corruption + drift + uplink failures, with
+            // the in-step no-stale-reads enforcement armed: completing
+            // the run at all proves zero false validations.
+            let plan = FaultPlan::none()
+                .with_loss(LossModel::burst(0.1, 0.4, 0.9))
+                .with_corruption(0.05)
+                .with_drift(ClockDrift {
+                    rate_secs_per_interval: 0.02,
+                    jitter_secs: 0.01,
+                })
+                .with_uplink(UplinkFaults {
+                    p_fail: 0.2,
+                    max_attempts: 3,
+                    backoff_base_bits: 64,
+                });
+            for strategy in [Strategy::BroadcastTimestamps, Strategy::AmnesicTerminals] {
+                let report = run_with(Some(plan), strategy, 300);
+                assert!(report.faults.reports_missed_total() > 0);
+                assert_eq!(report.faults.undetected_corruptions, 0);
+                assert_eq!(
+                    report.safety.violations, 0,
+                    "{strategy:?} validated a stale entry under faults"
+                );
+            }
+        }
+
+        #[test]
+        fn uplink_retries_back_off_and_eventually_deliver() {
+            let plan = FaultPlan::none().with_uplink(UplinkFaults {
+                p_fail: 0.3,
+                max_attempts: 4,
+                backoff_base_bits: 64,
+            });
+            let clean = run_with(None, Strategy::AmnesicTerminals, 200);
+            let faulty = run_with(Some(plan), Strategy::AmnesicTerminals, 200);
+            assert!(faulty.faults.uplink_retries > 0);
+            assert!(faulty.faults.backoff_intervals > 0);
+            // Failed attempts burn real airtime: more query bits for
+            // the same workload.
+            assert!(faulty.traffic.query_bits > clean.traffic.query_bits);
+            assert!(faulty.hit_events > 0, "retried fetches must still land");
+        }
+
+        #[test]
+        fn drift_hits_timer_clients_but_not_multicast() {
+            use sw_wireless::DeliveryMode;
+            let plan = FaultPlan::none().with_drift(ClockDrift {
+                rate_secs_per_interval: 0.5,
+                jitter_secs: 0.0,
+            });
+            let run = |delivery| {
+                let cfg = config(0.2).with_faults(plan).with_delivery(delivery);
+                let mut sim =
+                    CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+                sim.run(100).unwrap()
+            };
+            let timer = run(DeliveryMode::TimerSynchronized {
+                clock_skew_bound: 0.1,
+            });
+            let multicast = run(DeliveryMode::Multicast { max_jitter: 1.0 });
+            assert!(
+                timer.faults.drift_missed_reports > 0,
+                "0.5 s/interval drift must beat a 0.1 s guard band"
+            );
+            assert_eq!(
+                multicast.faults.drift_missed_reports, 0,
+                "the network wakes a multicast client, not its clock"
+            );
+        }
     }
 
     #[test]

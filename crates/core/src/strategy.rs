@@ -92,6 +92,39 @@ impl Strategy {
         !matches!(self, Strategy::NoCache)
     }
 
+    /// The strategy's safety contract for the no-stale-reads checker
+    /// (see [`crate::safety::SafetyExpectation`]).
+    ///
+    /// Every gap-dropping strategy is never-stale under *any* fault
+    /// schedule: TS, AT, the adaptive/quasi-window variants that keep
+    /// the drop rule, the group-granular AT, the stateful baseline
+    /// (whose reconnects drop), and trivially NC. The signature
+    /// strategies tolerate a bounded false-validation rate (collisions
+    /// plus the fetch-window blind spot); quasi-delay copies are stale
+    /// *by design* up to `α`, so the strict checker is not an oracle
+    /// for them.
+    pub fn safety_expectation(&self) -> crate::safety::SafetyExpectation {
+        use crate::safety::SafetyExpectation;
+        match self {
+            Strategy::Signatures | Strategy::HybridSig { .. } => {
+                SafetyExpectation::BoundedRate(Self::SIG_VIOLATION_BOUND)
+            }
+            Strategy::QuasiDelay { .. } => SafetyExpectation::QuasiByDesign,
+            Strategy::BroadcastTimestamps
+            | Strategy::AmnesicTerminals
+            | Strategy::NoCache
+            | Strategy::AdaptiveTs { .. }
+            | Strategy::Stateful
+            | Strategy::GroupReports { .. } => SafetyExpectation::NeverStale,
+        }
+    }
+
+    /// Documented bound on the SIG-family false-validation rate over
+    /// checked cache entries: signature collisions contribute ≈ `2^-g`
+    /// per unmatched pair and the one-interval fetch blind spot the
+    /// rest; 1% holds with a wide margin at the paper's `g = 16`.
+    pub const SIG_VIOLATION_BOUND: f64 = 0.01;
+
     /// Builds the server-side report builder. `db` is needed by SIG to
     /// compute the initial combined signatures.
     ///
@@ -269,5 +302,34 @@ mod tests {
     fn no_cache_does_not_cache() {
         assert!(!Strategy::NoCache.caches());
         assert!(Strategy::Signatures.caches());
+    }
+
+    #[test]
+    fn safety_expectations_follow_the_paper() {
+        use crate::safety::SafetyExpectation;
+        assert_eq!(
+            Strategy::BroadcastTimestamps.safety_expectation(),
+            SafetyExpectation::NeverStale
+        );
+        assert_eq!(
+            Strategy::AmnesicTerminals.safety_expectation(),
+            SafetyExpectation::NeverStale
+        );
+        assert_eq!(
+            Strategy::Stateful.safety_expectation(),
+            SafetyExpectation::NeverStale
+        );
+        assert_eq!(
+            Strategy::Signatures.safety_expectation(),
+            SafetyExpectation::BoundedRate(Strategy::SIG_VIOLATION_BOUND)
+        );
+        assert_eq!(
+            Strategy::HybridSig { hot_count: 10 }.safety_expectation(),
+            SafetyExpectation::BoundedRate(Strategy::SIG_VIOLATION_BOUND)
+        );
+        assert_eq!(
+            Strategy::QuasiDelay { alpha_intervals: 3 }.safety_expectation(),
+            SafetyExpectation::QuasiByDesign
+        );
     }
 }

@@ -12,6 +12,12 @@
 //! produces byte-identical NDJSON and CSV at any `SW_THREADS` value
 //! (pinned by the determinism suite). Wall-clock span timings appear
 //! only in the summary table.
+//!
+//! Set `SW_FAULT_LOSS=<p>` to arm a Bernoulli report-loss plan at rate
+//! `p` (requires the `faults` cargo feature as well): the fault event
+//! family (`report_missed` events, `reports_lost`/`uplink_retries`
+//! counters, the `lost`/`retries` series columns) then shows up in all
+//! three artifacts.
 
 use sw_experiments::figures::{run_figure_with, FigureSpec, SimSettings};
 use sw_experiments::results::write_text;
@@ -27,6 +33,21 @@ fn main() {
         SimSettings::default()
     };
     settings.observe = true;
+    if let Some(p) = std::env::var("SW_FAULT_LOSS")
+        .ok()
+        .map(|v| v.parse::<f64>().expect("SW_FAULT_LOSS must be a rate in [0, 1]"))
+    {
+        if !sleepers::faults::compiled_in() {
+            eprintln!(
+                "SW_FAULT_LOSS={p} ignored: fault injection is compiled out; \
+                 rebuild with `--features observe,faults`"
+            );
+        }
+        settings.faults =
+            Some(sleepers::prelude::FaultPlan::none().with_loss(
+                sleepers::prelude::LossModel::bernoulli(p),
+            ));
+    }
 
     let spec = FigureSpec::for_figure(figure);
     eprintln!(

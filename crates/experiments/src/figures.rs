@@ -74,6 +74,10 @@ pub struct SimSettings {
     /// task order. Captures nothing unless the `observe` cargo feature
     /// is on; never changes the simulated numbers either way.
     pub observe: bool,
+    /// Arm every simulated cell's deterministic fault injector with
+    /// this plan. `None` (the default) injects nothing; with the
+    /// `faults` cargo feature off the plan is carried but inert.
+    pub faults: Option<sleepers::faults::FaultPlan>,
 }
 
 impl Default for SimSettings {
@@ -100,6 +104,7 @@ impl Default for SimSettings {
             max_sim_items: 10_000,
             seed: 0xF1650,
             observe: false,
+            faults: None,
         }
     }
 }
@@ -115,6 +120,7 @@ impl SimSettings {
             max_sim_items: 2_000,
             seed: 0xF1650,
             observe: false,
+            faults: None,
         }
     }
 }
@@ -265,6 +271,9 @@ fn simulate_point(
         .with_seed(seed);
     if sim.observe {
         config = config.with_observe(format!("{}:x={x}", strategy.name()));
+    }
+    if let Some(plan) = sim.faults {
+        config = config.with_faults(plan);
     }
     match CellSimulation::new(config, strategy) {
         Ok(mut cell) => match cell.run_measured(sim.intervals / 4, sim.intervals) {

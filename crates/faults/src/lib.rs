@@ -1,0 +1,722 @@
+//! Deterministic fault injection for the broadcast cell.
+//!
+//! The paper's safety argument (§2, §5) is about what a client must do
+//! when it has *missed* reports: AT drops its whole cache after one
+//! missed report, TS recovers iff the gap is shorter than the window
+//! `w = kL`, and SIG tolerates arbitrary gaps modulo collision
+//! probability. This crate supplies the adversary: a seed-streamed
+//! [`FaultPlan`] that loses reports (independently or in
+//! Gilbert–Elliott bursts), corrupts frames (detected by checksum and
+//! treated as missed — never half-applied), fails uplink exchanges
+//! (bounded retry with exponential backoff charged as dead air), and
+//! drifts a timer-synchronized client's clock until it wakes too late.
+//!
+//! Every draw comes from `StreamId::Faults { index }` so a fault
+//! schedule is a pure function of `(MasterSeed, FaultPlan, client)` —
+//! byte-identical at any thread count, and independent of the query,
+//! sleep, and update streams.
+//!
+//! Like `sw-observe`, the runtime layer follows the zero-cost
+//! discipline: without the `faults` cargo feature, [`FaultLayer`] is a
+//! zero-sized type, [`FaultLayer::is_active`] is compile-time `false`,
+//! and every injection call compiles away. The *plan* types are always
+//! compiled so configs mentioning faults still type-check.
+
+use sw_sim::rng::MasterSeed;
+#[cfg(feature = "faults")]
+use sw_sim::rng::{RngStream, StreamId};
+
+/// Per-client report-loss process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossModel {
+    /// Each awake listening attempt independently loses the report with
+    /// probability `p`.
+    Bernoulli {
+        /// Loss probability per report, in `[0, 1]`.
+        p: f64,
+    },
+    /// Two-state Gilbert–Elliott burst channel. Each listening attempt
+    /// first moves the per-client state (good ↔ burst), then loses the
+    /// report with the state's loss probability. Models fading: losses
+    /// cluster, which is exactly the regime that separates TS's window
+    /// recovery from AT's drop-everything rule.
+    GilbertElliott {
+        /// P(good → burst) per listening attempt.
+        p_enter_burst: f64,
+        /// P(burst → good) per listening attempt.
+        p_exit_burst: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the burst state.
+        loss_burst: f64,
+    },
+}
+
+impl LossModel {
+    /// Independent per-report loss with probability `p`.
+    pub fn bernoulli(p: f64) -> Self {
+        LossModel::Bernoulli { p }
+    }
+
+    /// A bursty channel that is near-perfect in the good state and
+    /// lossy in the burst state.
+    pub fn burst(p_enter_burst: f64, p_exit_burst: f64, loss_burst: f64) -> Self {
+        LossModel::GilbertElliott {
+            p_enter_burst,
+            p_exit_burst,
+            loss_good: 0.0,
+            loss_burst,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        let check = |name: &str, p: f64| {
+            if (0.0..=1.0).contains(&p) {
+                Ok(())
+            } else {
+                Err(format!("loss model: {name} = {p} outside [0, 1]"))
+            }
+        };
+        match *self {
+            LossModel::Bernoulli { p } => check("p", p),
+            LossModel::GilbertElliott {
+                p_enter_burst,
+                p_exit_burst,
+                loss_good,
+                loss_burst,
+            } => {
+                check("p_enter_burst", p_enter_burst)?;
+                check("p_exit_burst", p_exit_burst)?;
+                check("loss_good", loss_good)?;
+                check("loss_burst", loss_burst)
+            }
+        }
+    }
+}
+
+/// Frame corruption: a report reaches the client but with flipped bits.
+///
+/// The wire layer detects this via the frame checksum and the client
+/// treats the report as missed — a corrupted invalidation list must
+/// never be half-applied, or the safety invariant dies silently.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corruption {
+    /// Probability that a received report is corrupted, in `[0, 1]`.
+    pub p: f64,
+}
+
+/// Uplink exchange failures with bounded retry.
+///
+/// Each transmitted attempt can fail with `p_fail`; the client retries
+/// up to `max_attempts` total attempts, waiting an exponentially
+/// growing backoff (`backoff_base_bits << (attempt - 1)` bits of dead
+/// air) that is charged against the interval's bit budget but not
+/// counted as traffic — the channel is occupied, nothing useful moves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UplinkFaults {
+    /// Probability a transmitted query/answer exchange fails, in `[0, 1)`.
+    pub p_fail: f64,
+    /// Total attempts before the exchange is deferred to a later
+    /// interval (≥ 1).
+    pub max_attempts: u32,
+    /// Dead-air charge before retry `n` is `backoff_base_bits << (n-1)`.
+    pub backoff_base_bits: u64,
+}
+
+impl UplinkFaults {
+    fn validate(&self) -> Result<(), String> {
+        if !(0.0..1.0).contains(&self.p_fail) {
+            return Err(format!("uplink p_fail = {} outside [0, 1)", self.p_fail));
+        }
+        if self.max_attempts == 0 {
+            return Err("uplink max_attempts must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+/// Clock drift for timer-synchronized clients.
+///
+/// A client's local clock drifts by `rate_secs_per_interval` each
+/// interval (awake or asleep — sleepers drift the most) plus a uniform
+/// jitter draw in `[0, jitter_secs)` per listening attempt. When the
+/// accumulated drift exceeds the delivery mode's clock-skew guard band,
+/// a `TimerSynchronized` client wakes after the report has already
+/// aired and misses it entirely; hearing a report (whose timestamp
+/// resynchronizes the clock) resets the drift to zero. Multicast
+/// delivery is immune — the network wakes the client, not its timer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockDrift {
+    /// Seconds of drift accumulated per interval since the last resync.
+    pub rate_secs_per_interval: f64,
+    /// Additional uniform jitter in `[0, jitter_secs)` per listening
+    /// attempt.
+    pub jitter_secs: f64,
+}
+
+impl ClockDrift {
+    fn validate(&self) -> Result<(), String> {
+        if !(self.rate_secs_per_interval.is_finite() && self.rate_secs_per_interval >= 0.0) {
+            return Err(format!(
+                "drift rate_secs_per_interval = {} must be finite and non-negative",
+                self.rate_secs_per_interval
+            ));
+        }
+        if !(self.jitter_secs.is_finite() && self.jitter_secs >= 0.0) {
+            return Err(format!(
+                "drift jitter_secs = {} must be finite and non-negative",
+                self.jitter_secs
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A complete, deterministic fault schedule specification.
+///
+/// All four fault families are optional; an empty plan draws no
+/// randomness at all, so a simulation configured with
+/// `FaultPlan::none()` is bit-identical to one with no plan.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Per-client report loss on the broadcast downlink.
+    pub loss: Option<LossModel>,
+    /// Frame corruption (checksum-detected, treated as missed).
+    pub corruption: Option<Corruption>,
+    /// Uplink exchange failures with retry + backoff.
+    pub uplink: Option<UplinkFaults>,
+    /// Clock drift for timer-synchronized delivery.
+    pub drift: Option<ClockDrift>,
+}
+
+impl FaultPlan {
+    /// An empty plan: nothing is injected, no randomness is drawn.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the report-loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = Some(loss);
+        self
+    }
+
+    /// Sets the frame-corruption probability.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        self.corruption = Some(Corruption { p });
+        self
+    }
+
+    /// Sets the uplink failure/retry model.
+    pub fn with_uplink(mut self, uplink: UplinkFaults) -> Self {
+        self.uplink = Some(uplink);
+        self
+    }
+
+    /// Sets the clock-drift model.
+    pub fn with_drift(mut self, drift: ClockDrift) -> Self {
+        self.drift = Some(drift);
+        self
+    }
+
+    /// True when no fault family is configured.
+    pub fn is_empty(&self) -> bool {
+        self.loss.is_none()
+            && self.corruption.is_none()
+            && self.uplink.is_none()
+            && self.drift.is_none()
+    }
+
+    /// Checks every configured model's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(loss) = &self.loss {
+            loss.validate()?;
+        }
+        if let Some(c) = &self.corruption {
+            if !(0.0..=1.0).contains(&c.p) {
+                return Err(format!("corruption p = {} outside [0, 1]", c.p));
+            }
+        }
+        if let Some(u) = &self.uplink {
+            u.validate()?;
+        }
+        if let Some(d) = &self.drift {
+            d.validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// What happened to one report delivery attempt at one client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFate {
+    /// The report arrived intact and on time.
+    Heard,
+    /// The channel dropped the frame.
+    Lost,
+    /// The frame arrived but failed its checksum; treated as missed.
+    Corrupted,
+    /// Clock drift made the client wake after the report had aired.
+    DriftMissed,
+}
+
+impl ReportFate {
+    /// True for every fate except [`ReportFate::Heard`].
+    pub fn is_missed(self) -> bool {
+        !matches!(self, ReportFate::Heard)
+    }
+}
+
+/// Aggregate fault counters for one run.
+///
+/// Always compiled (it appears in `SimulationReport`); all zeros when
+/// fault injection is compiled out or no plan is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTotals {
+    /// Reports dropped by the loss model.
+    pub reports_lost: u64,
+    /// Reports corrupted in flight (and detected by checksum).
+    pub frames_corrupted: u64,
+    /// Reports missed because drift pushed the wake-up past airtime.
+    pub drift_missed_reports: u64,
+    /// Failed uplink exchange attempts that were retried or abandoned.
+    pub uplink_retries: u64,
+    /// Backoff waits charged against the interval budget.
+    pub backoff_intervals: u64,
+    /// Corrupted frames the checksum failed to detect (must stay 0 for
+    /// single-bit-flip corruption; a 64-bit FNV-1a catches all of them).
+    pub undetected_corruptions: u64,
+}
+
+impl FaultTotals {
+    /// Reports missed for any reason (loss + corruption + drift).
+    pub fn reports_missed_total(&self) -> u64 {
+        self.reports_lost + self.frames_corrupted + self.drift_missed_reports
+    }
+}
+
+/// Whether fault injection is compiled into this build.
+pub const fn compiled_in() -> bool {
+    cfg!(feature = "faults")
+}
+
+#[cfg(feature = "faults")]
+#[derive(Debug)]
+struct FaultInner {
+    plan: FaultPlan,
+    /// One independent stream per client (`StreamId::Faults { index }`).
+    streams: Vec<RngStream>,
+    /// Gilbert–Elliott state per client: true = burst.
+    in_burst: Vec<bool>,
+    /// Accumulated clock drift per client, seconds since last resync.
+    drift_secs: Vec<f64>,
+    /// Interval index at which each client last accounted drift.
+    last_interval: Vec<u64>,
+    totals: FaultTotals,
+}
+
+/// The runtime fault injector owned by the simulation.
+///
+/// Zero-sized and inert without the `faults` cargo feature; with it,
+/// holds per-client streams and channel state behind one pointer so a
+/// run with `plan: None` costs a single null check per interval.
+#[derive(Debug, Default)]
+pub struct FaultLayer {
+    #[cfg(feature = "faults")]
+    inner: Option<Box<FaultInner>>,
+}
+
+impl FaultLayer {
+    /// Builds the injector for `n_clients` clients. With the feature
+    /// off, or `plan` absent/empty, the layer is inert.
+    #[allow(unused_variables)]
+    pub fn new(plan: Option<&FaultPlan>, seed: MasterSeed, n_clients: usize) -> Self {
+        #[cfg(feature = "faults")]
+        {
+            let inner = plan.filter(|p| !p.is_empty()).map(|plan| {
+                Box::new(FaultInner {
+                    plan: *plan,
+                    streams: (0..n_clients)
+                        .map(|i| seed.stream(StreamId::Faults { index: i as u64 }))
+                        .collect(),
+                    in_burst: vec![false; n_clients],
+                    drift_secs: vec![0.0; n_clients],
+                    last_interval: vec![0; n_clients],
+                    totals: FaultTotals::default(),
+                })
+            });
+            FaultLayer { inner }
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            FaultLayer {}
+        }
+    }
+
+    /// True when faults are compiled in *and* a non-empty plan is set.
+    /// Compile-time `false` without the feature, so guarded call sites
+    /// vanish entirely.
+    #[inline(always)]
+    pub fn is_active(&self) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// The configured uplink failure model, if any.
+    #[inline]
+    pub fn uplink_model(&self) -> Option<UplinkFaults> {
+        #[cfg(feature = "faults")]
+        {
+            self.inner.as_ref().and_then(|i| i.plan.uplink)
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            None
+        }
+    }
+
+    /// Decides the fate of the report aired at `interval` for awake
+    /// client `client`. `misses_with_drift` is the delivery mode's
+    /// verdict on whether the given accumulated drift (seconds) makes
+    /// the client wake too late (timer-synchronized: drift exceeds the
+    /// clock-skew guard band; multicast: never).
+    ///
+    /// Draw order per call is fixed — drift jitter, then loss, then
+    /// corruption — so schedules are reproducible. Hearing a report
+    /// resets the client's drift (the report timestamp resyncs the
+    /// clock); so does a drift-miss (the client re-synchronizes out of
+    /// band rather than drifting forever); plain loss/corruption do
+    /// not, because the client has nothing to resync against.
+    #[allow(unused_variables)]
+    pub fn report_fate(
+        &mut self,
+        client: usize,
+        interval: u64,
+        misses_with_drift: impl Fn(f64) -> bool,
+    ) -> ReportFate {
+        #[cfg(feature = "faults")]
+        {
+            let Some(inner) = self.inner.as_deref_mut() else {
+                return ReportFate::Heard;
+            };
+            let rng = &mut inner.streams[client];
+            if let Some(drift) = inner.plan.drift {
+                let elapsed = interval.saturating_sub(inner.last_interval[client]);
+                inner.last_interval[client] = interval;
+                let mut d = inner.drift_secs[client]
+                    + elapsed as f64 * drift.rate_secs_per_interval;
+                if drift.jitter_secs > 0.0 {
+                    d += drift.jitter_secs * rng.uniform();
+                }
+                inner.drift_secs[client] = d;
+                if misses_with_drift(d) {
+                    inner.totals.drift_missed_reports += 1;
+                    inner.drift_secs[client] = 0.0;
+                    return ReportFate::DriftMissed;
+                }
+            }
+            if let Some(loss) = inner.plan.loss {
+                let lost = match loss {
+                    LossModel::Bernoulli { p } => rng.bernoulli(p),
+                    LossModel::GilbertElliott {
+                        p_enter_burst,
+                        p_exit_burst,
+                        loss_good,
+                        loss_burst,
+                    } => {
+                        let burst = &mut inner.in_burst[client];
+                        *burst = if *burst {
+                            !rng.bernoulli(p_exit_burst)
+                        } else {
+                            rng.bernoulli(p_enter_burst)
+                        };
+                        rng.bernoulli(if *burst { loss_burst } else { loss_good })
+                    }
+                };
+                if lost {
+                    inner.totals.reports_lost += 1;
+                    return ReportFate::Lost;
+                }
+            }
+            if let Some(c) = inner.plan.corruption {
+                if rng.bernoulli(c.p) {
+                    inner.totals.frames_corrupted += 1;
+                    return ReportFate::Corrupted;
+                }
+            }
+            if inner.plan.drift.is_some() {
+                inner.drift_secs[client] = 0.0;
+            }
+            ReportFate::Heard
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            ReportFate::Heard
+        }
+    }
+
+    /// Whether the next transmitted uplink attempt by `client` fails.
+    /// Draws only when an uplink model with positive `p_fail` is set.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn uplink_attempt_fails(&mut self, client: usize) -> bool {
+        #[cfg(feature = "faults")]
+        {
+            match self.inner.as_deref_mut() {
+                Some(inner) => match inner.plan.uplink {
+                    Some(u) if u.p_fail > 0.0 => inner.streams[client].bernoulli(u.p_fail),
+                    _ => false,
+                },
+                None => false,
+            }
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            false
+        }
+    }
+
+    /// Picks which bit of a `bit_len`-bit serialized frame to flip for
+    /// a corrupted delivery (used to demonstrate checksum detection).
+    #[allow(unused_variables)]
+    pub fn corrupt_bit_index(&mut self, client: usize, bit_len: u64) -> u64 {
+        #[cfg(feature = "faults")]
+        {
+            match self.inner.as_deref_mut() {
+                Some(inner) if bit_len > 0 => inner.streams[client].uniform_index(bit_len),
+                _ => 0,
+            }
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            0
+        }
+    }
+
+    /// Records a failed uplink attempt that will be retried or abandoned.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn note_uplink_retry(&mut self) {
+        #[cfg(feature = "faults")]
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.totals.uplink_retries += 1;
+        }
+    }
+
+    /// Records one backoff wait charged against the interval budget.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn note_backoff_interval(&mut self) {
+        #[cfg(feature = "faults")]
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.totals.backoff_intervals += 1;
+        }
+    }
+
+    /// Records a corrupted frame the checksum failed to catch.
+    #[allow(unused_variables)]
+    #[inline]
+    pub fn note_undetected_corruption(&mut self) {
+        #[cfg(feature = "faults")]
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.totals.undetected_corruptions += 1;
+        }
+    }
+
+    /// Aggregate counters so far (all zeros when inert).
+    pub fn totals(&self) -> FaultTotals {
+        #[cfg(feature = "faults")]
+        {
+            self.inner
+                .as_ref()
+                .map(|i| i.totals)
+                .unwrap_or_default()
+        }
+        #[cfg(not(feature = "faults"))]
+        {
+            FaultTotals::default()
+        }
+    }
+
+    /// Zeroes the counters without touching channel/drift state (used
+    /// when a warm-up window ends; the fault processes keep evolving).
+    pub fn reset_totals(&mut self) {
+        #[cfg(feature = "faults")]
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner.totals = FaultTotals::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        plan.validate().unwrap();
+        let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 4);
+        assert!(!layer.is_active());
+        for i in 0..100 {
+            assert_eq!(layer.report_fate(i % 4, i as u64, |_| false), ReportFate::Heard);
+            assert!(!layer.uplink_attempt_fails(i % 4));
+        }
+        assert_eq!(layer.totals(), FaultTotals::default());
+    }
+
+    #[test]
+    fn plan_validation_rejects_bad_parameters() {
+        assert!(FaultPlan::none()
+            .with_loss(LossModel::bernoulli(1.5))
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none().with_corruption(-0.1).validate().is_err());
+        assert!(FaultPlan::none()
+            .with_uplink(UplinkFaults {
+                p_fail: 0.5,
+                max_attempts: 0,
+                backoff_base_bits: 64,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_drift(ClockDrift {
+                rate_secs_per_interval: -1.0,
+                jitter_secs: 0.0,
+            })
+            .validate()
+            .is_err());
+        assert!(FaultPlan::none()
+            .with_loss(LossModel::burst(0.05, 0.3, 0.9))
+            .with_corruption(0.01)
+            .validate()
+            .is_ok());
+    }
+
+    #[cfg(not(feature = "faults"))]
+    #[test]
+    fn layer_is_zero_sized_when_compiled_out() {
+        assert_eq!(std::mem::size_of::<FaultLayer>(), 0);
+        assert!(!compiled_in());
+        let mut layer = FaultLayer::new(
+            Some(&FaultPlan::none().with_loss(LossModel::bernoulli(1.0))),
+            MasterSeed::TEST,
+            8,
+        );
+        // Even a certain-loss plan injects nothing when compiled out.
+        assert!(!layer.is_active());
+        assert_eq!(layer.report_fate(0, 1, |_| true), ReportFate::Heard);
+    }
+
+    #[cfg(feature = "faults")]
+    mod active {
+        use super::*;
+
+        #[test]
+        fn schedules_are_deterministic() {
+            let plan = FaultPlan::none()
+                .with_loss(LossModel::burst(0.1, 0.4, 0.8))
+                .with_corruption(0.05)
+                .with_drift(ClockDrift {
+                    rate_secs_per_interval: 0.01,
+                    jitter_secs: 0.002,
+                });
+            let run = |seed: MasterSeed| {
+                let mut layer = FaultLayer::new(Some(&plan), seed, 3);
+                (0..600)
+                    .map(|i| layer.report_fate(i % 3, (i / 3) as u64, |d| d > 0.2))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(run(MasterSeed(99)), run(MasterSeed(99)));
+            assert_ne!(run(MasterSeed(99)), run(MasterSeed(100)));
+        }
+
+        #[test]
+        fn bernoulli_loss_rate_matches_p() {
+            let plan = FaultPlan::none().with_loss(LossModel::bernoulli(0.2));
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 1);
+            let n = 50_000;
+            let lost = (0..n)
+                .filter(|&i| layer.report_fate(0, i, |_| false).is_missed())
+                .count();
+            let rate = lost as f64 / n as f64;
+            assert!((rate - 0.2).abs() < 0.01, "loss rate {rate} far from 0.2");
+            assert_eq!(layer.totals().reports_lost, lost as u64);
+        }
+
+        #[test]
+        fn burst_losses_cluster() {
+            // With rare burst entry, quick exit, and lossless good state,
+            // losses must come in runs: P(loss | previous loss) should be
+            // far above the marginal loss rate.
+            let plan = FaultPlan::none().with_loss(LossModel::burst(0.02, 0.3, 0.95));
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 1);
+            let fates: Vec<bool> = (0..100_000)
+                .map(|i| layer.report_fate(0, i, |_| false).is_missed())
+                .collect();
+            let marginal = fates.iter().filter(|&&l| l).count() as f64 / fates.len() as f64;
+            let pairs = fates.windows(2).filter(|w| w[0]).count();
+            let after_loss = fates.windows(2).filter(|w| w[0] && w[1]).count();
+            let conditional = after_loss as f64 / pairs as f64;
+            assert!(
+                conditional > 2.0 * marginal,
+                "losses did not cluster: P(loss|loss) = {conditional}, marginal = {marginal}"
+            );
+        }
+
+        #[test]
+        fn drift_accumulates_and_resets_on_hear_and_miss() {
+            let plan = FaultPlan::none().with_drift(ClockDrift {
+                rate_secs_per_interval: 0.1,
+                jitter_secs: 0.0,
+            });
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 1);
+            // Threshold 0.35: intervals 1..3 accumulate 0.1 each (heard
+            // resets), so every fate is Heard when polled each interval.
+            for i in 1..=10 {
+                assert_eq!(layer.report_fate(0, i, |d| d > 0.35), ReportFate::Heard);
+            }
+            // A long sleep (10 intervals) accumulates 1.0 > 0.35: missed.
+            assert_eq!(
+                layer.report_fate(0, 20, |d| d > 0.35),
+                ReportFate::DriftMissed
+            );
+            assert_eq!(layer.totals().drift_missed_reports, 1);
+            // The miss resynchronized the clock: next interval is fine.
+            assert_eq!(layer.report_fate(0, 21, |d| d > 0.35), ReportFate::Heard);
+        }
+
+        #[test]
+        fn clients_draw_from_independent_streams() {
+            let plan = FaultPlan::none().with_loss(LossModel::bernoulli(0.5));
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 2);
+            let a: Vec<_> = (0..64).map(|i| layer.report_fate(0, i, |_| false)).collect();
+            let mut layer2 = FaultLayer::new(Some(&plan), MasterSeed::TEST, 2);
+            let b: Vec<_> = (0..64).map(|i| layer2.report_fate(1, i, |_| false)).collect();
+            assert_ne!(a, b, "clients 0 and 1 drew identical fault schedules");
+        }
+
+        #[test]
+        fn uplink_failures_respect_p_fail() {
+            let plan = FaultPlan::none().with_uplink(UplinkFaults {
+                p_fail: 0.3,
+                max_attempts: 3,
+                backoff_base_bits: 128,
+            });
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 1);
+            assert_eq!(layer.uplink_model().unwrap().max_attempts, 3);
+            let n = 50_000;
+            let fails = (0..n).filter(|_| layer.uplink_attempt_fails(0)).count();
+            let rate = fails as f64 / n as f64;
+            assert!((rate - 0.3).abs() < 0.01, "fail rate {rate} far from 0.3");
+        }
+    }
+}

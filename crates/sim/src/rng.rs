@@ -41,6 +41,12 @@ pub enum StreamId {
         /// Caller-chosen tag.
         tag: u64,
     },
+    /// Fault-injection draws (loss, corruption, retry, drift) for mobile
+    /// unit `index`.
+    Faults {
+        /// Client index within the cell.
+        index: u64,
+    },
 }
 
 impl StreamId {
@@ -53,6 +59,7 @@ impl StreamId {
             StreamId::Signatures => (5, 0),
             StreamId::Database => (6, 0),
             StreamId::Custom { tag } => (7, tag),
+            StreamId::Faults { index } => (8, index),
         }
     }
 }
@@ -229,6 +236,33 @@ mod tests {
         let seed = MasterSeed(7);
         let mut a = seed.stream(StreamId::Queries { index: 1 });
         let mut b = seed.stream(StreamId::Queries { index: 2 });
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fault_streams_are_independent_of_existing_streams() {
+        let seed = MasterSeed(42);
+        // The fault stream for client i must collide with neither the
+        // client's other streams nor the Custom tag space.
+        for other in [
+            StreamId::Queries { index: 3 },
+            StreamId::Sleep { index: 3 },
+            StreamId::Hotspot { index: 3 },
+            StreamId::Custom { tag: 3 },
+            StreamId::Custom { tag: 8 },
+        ] {
+            let mut a = seed.stream(StreamId::Faults { index: 3 });
+            let mut b = seed.stream(other);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(same, 0, "Faults stream collided with {other:?}");
+        }
+    }
+
+    #[test]
+    fn fault_streams_differ_by_index() {
+        let seed = MasterSeed(7);
+        let mut a = seed.stream(StreamId::Faults { index: 0 });
+        let mut b = seed.stream(StreamId::Faults { index: 1 });
         assert_ne!(a.next_u64(), b.next_u64());
     }
 

@@ -299,6 +299,24 @@ impl BroadcastChannel {
         self.consume(FrameKind::Answer, a.bits)
     }
 
+    /// Charges `bits` of dead air against the interval budget without
+    /// recording any traffic: the channel is occupied during a retry
+    /// backoff, but nothing useful moves, so [`TrafficTotals`] must not
+    /// count it (the totals feed the paper's throughput figures, which
+    /// measure *delivered* bits). Fails when the interval cannot absorb
+    /// the wait, in which case the retrying exchange defers to the next
+    /// interval.
+    pub fn charge_backoff(&mut self, bits: u64) -> Result<(), ChannelError> {
+        if bits > self.budget.remaining() {
+            return Err(ChannelError::IntervalSaturated {
+                needed: bits,
+                remaining: self.budget.remaining(),
+            });
+        }
+        self.budget.used += bits;
+        Ok(())
+    }
+
     /// Sends an asynchronous per-item invalidation message (baselines).
     pub fn send_invalidation(&mut self, item: u64) -> Result<(), ChannelError> {
         let f = self.encode.frame(FramePayload::Invalidation { item });
@@ -412,6 +430,26 @@ mod tests {
         }
         assert_eq!(sent, 97);
         assert_eq!(c.query_exchanges_remaining(), 0);
+    }
+
+    #[test]
+    fn backoff_consumes_budget_but_not_traffic() {
+        let mut c = channel();
+        c.begin_interval();
+        c.charge_backoff(2048).unwrap();
+        assert_eq!(c.budget().used, 2048);
+        assert_eq!(c.totals().total_bits(), 0);
+        assert_eq!(c.totals().frames.total(), 0);
+        // The dead air crowds out real exchanges: 97 fit in an idle
+        // interval, two exchanges' worth of backoff leaves room for 95.
+        assert_eq!(c.query_exchanges_remaining(), 95);
+        // An over-budget backoff is rejected and charges nothing.
+        let used = c.budget().used;
+        assert!(matches!(
+            c.charge_backoff(1_000_000),
+            Err(ChannelError::IntervalSaturated { .. })
+        ));
+        assert_eq!(c.budget().used, used);
     }
 
     #[test]

@@ -115,6 +115,24 @@ impl ReportDelivery {
         }
     }
 
+    /// Whether a client whose local clock has drifted `drift_secs` past
+    /// the server clock misses the report entirely.
+    ///
+    /// Timer-synchronized delivery wakes the client `ε` (the clock-skew
+    /// bound) before `T_i`; the guarantee holds only while the true
+    /// skew stays within `ε`. Once accumulated drift exceeds the bound,
+    /// the client wakes after the report has started airing and cannot
+    /// decode it. Multicast delivery is immune: the NIC — not the
+    /// client's clock — wakes the CPU when the report frame arrives.
+    pub fn misses_with_drift(&self, drift_secs: f64) -> bool {
+        match self.mode {
+            DeliveryMode::TimerSynchronized { clock_skew_bound } => {
+                drift_secs > clock_skew_bound
+            }
+            DeliveryMode::Multicast { .. } => false,
+        }
+    }
+
     /// Worst-case lateness of the report relative to its schedule.
     pub fn worst_case_delay(&self, tx_time: SimDuration) -> SimDuration {
         match self.mode {
@@ -180,6 +198,18 @@ mod tests {
         let a = skewed.deliver(SimTime::ZERO, tx, &mut r);
         let b = exact.deliver(SimTime::ZERO, tx, &mut r);
         assert!(a.listening > b.listening);
+    }
+
+    #[test]
+    fn drift_beyond_skew_bound_misses_only_in_timer_mode() {
+        let timer = ReportDelivery::new(DeliveryMode::TimerSynchronized {
+            clock_skew_bound: 0.5,
+        });
+        assert!(!timer.misses_with_drift(0.0));
+        assert!(!timer.misses_with_drift(0.5)); // at the bound: still safe
+        assert!(timer.misses_with_drift(0.500001));
+        let multicast = ReportDelivery::new(DeliveryMode::Multicast { max_jitter: 3.0 });
+        assert!(!multicast.misses_with_drift(1e9)); // NIC wakes the CPU
     }
 
     #[test]

@@ -237,8 +237,15 @@ impl WireEncode {
     /// enough for unit tests; reports longer than 4 KiB spill into an
     /// 8-byte extended header).
     pub fn serialize(&self, frame: &Frame) -> Vec<u8> {
+        self.serialize_payload(&frame.payload)
+    }
+
+    /// Serializes a payload directly (the zero-copy broadcast path and
+    /// the fault injector's corruption check hold borrowed payloads,
+    /// never whole [`Frame`]s).
+    pub fn serialize_payload(&self, payload: &FramePayload) -> Vec<u8> {
         let mut w = BitWriter::new();
-        match &frame.payload {
+        match payload {
             FramePayload::TimestampReport {
                 report_ts_micros,
                 entries,
@@ -314,7 +321,7 @@ impl WireEncode {
                 w.put_bits(*item, self.id_bits());
             }
         }
-        let kind = match frame.payload {
+        let kind = match payload {
             FramePayload::TimestampReport { .. } => 0u8,
             FramePayload::AdaptiveTimestampReport { .. } => 6,
             FramePayload::HybridReport { .. } => 7,
@@ -346,6 +353,36 @@ impl WireEncode {
             FramePayload::Invalidation { .. } => FrameKind::Invalidation,
         }
     }
+}
+
+/// 64-bit FNV-1a checksum over a serialized frame.
+///
+/// Every frame is notionally transmitted with this trailer; a receiver
+/// whose recomputed checksum mismatches discards the frame and treats
+/// the report as *missed* — a corrupted invalidation list must never be
+/// half-applied (see DESIGN.md §10). FNV-1a detects every single-bit
+/// flip (each input bit feeds the multiply-xor chain), which the fault
+/// injector's corruption tests rely on; it is an error-detection code
+/// here, not a cryptographic one.
+#[inline]
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Flips bit `bit` (MSB-first within each byte) of a serialized frame,
+/// modelling a single-bit channel error. `bit` is taken modulo the
+/// buffer's bit length so any draw is in range.
+pub fn flip_bit(bytes: &mut [u8], bit: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let bit = bit % (bytes.len() as u64 * 8);
+    bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
 }
 
 /// Minimal MSB-first bit packer backing [`WireEncode::serialize`].
@@ -555,6 +592,54 @@ mod tests {
             assert_eq!(e.serialize(&f), e.serialize(&f));
             assert_eq!(WireEncode::kind(&f.payload), FrameKind::Report);
         }
+    }
+
+    #[test]
+    fn serialize_payload_matches_serialize() {
+        let e = enc();
+        let f = e.frame(FramePayload::TimestampReport {
+            report_ts_micros: 10,
+            entries: vec![(1, 5), (2, 9)],
+        });
+        assert_eq!(e.serialize(&f), e.serialize_payload(&f.payload));
+    }
+
+    #[test]
+    fn checksum_detects_every_single_bit_flip() {
+        let e = enc();
+        let bytes = e.serialize_payload(&FramePayload::TimestampReport {
+            report_ts_micros: 42,
+            entries: vec![(1, 5), (2, 9), (999, 77)],
+        });
+        let clean = checksum64(&bytes);
+        for bit in 0..(bytes.len() as u64 * 8) {
+            let mut corrupted = bytes.clone();
+            flip_bit(&mut corrupted, bit);
+            assert_ne!(
+                checksum64(&corrupted),
+                clean,
+                "flip of bit {bit} went undetected"
+            );
+            // Flipping back restores the frame and the checksum.
+            flip_bit(&mut corrupted, bit);
+            assert_eq!(corrupted, bytes);
+        }
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum64(&[1, 2]), checksum64(&[2, 1]));
+        assert_ne!(checksum64(&[0]), checksum64(&[0, 0]));
+    }
+
+    #[test]
+    fn flip_bit_wraps_out_of_range_draws() {
+        let mut a = vec![0u8; 4];
+        flip_bit(&mut a, 32); // == bit 0
+        assert_eq!(a, vec![0x80, 0, 0, 0]);
+        let mut empty: Vec<u8> = vec![];
+        flip_bit(&mut empty, 5); // no-op, no panic
+        assert!(empty.is_empty());
     }
 
     #[test]

@@ -23,7 +23,19 @@ cargo clippy --workspace --all-targets --features observe -- -D warnings
 echo "==> trace_run smoke (figure 3, quick settings, observed)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- 3 >/dev/null
 
+echo "==> cargo test --workspace (release, --features faults)"
+cargo test --workspace --release -q --features faults
+
+echo "==> cargo clippy --workspace -D warnings (--features faults)"
+cargo clippy --workspace --all-targets --features faults -- -D warnings
+
+echo "==> fault-matrix smoke (fig_loss: loss 0/0.05/0.2 x TS/AT/SIG + burst)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --features faults --bin fig_loss >/dev/null
+
 echo "==> bench smoke (criterion --test mode)"
 cargo bench -p sw-bench --bench hot_paths -- --test
+
+echo "==> bench smoke A/B: faults compiled in must not touch the hot paths"
+cargo bench -p sw-bench --bench hot_paths --features faults -- --test
 
 echo "All checks passed."
