@@ -1,0 +1,101 @@
+//! Microbenches for the mesh layer: the per-interval cost of stepping
+//! a sharded multi-cell simulation, and what the two mesh mechanisms —
+//! the migration barrier and the shared-backbone replicas — add on top
+//! of the single-cell driver the `hot_paths` bench covers.
+//!
+//! The interesting comparisons:
+//! - `single_cell` vs `mesh/ring4/stationary` at one thread: the
+//!   sharding envelope itself (barrier checks, per-shard error
+//!   surfacing) should cost ~nothing per interval when nobody moves.
+//! - `stationary` vs `markov` at the same size: the price of live
+//!   migration — husk detach, arrival attach, digest-history
+//!   comparison — paid only at barriers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sleepers::prelude::*;
+use std::hint::black_box;
+use sw_mesh::{CellGraph, MeshConfig, MeshSimulation, MobilityModel};
+use sw_sim::{MasterSeed, ParallelRunner};
+
+const STEPS: u64 = 20;
+
+fn base_config() -> CellConfig {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 2_000;
+    let params = params.with_s(0.4);
+    CellConfig::new(params)
+        .with_clients(8)
+        .with_hotspot_size(30)
+}
+
+fn mesh_config(graph: CellGraph, mobility: MobilityModel) -> MeshConfig {
+    MeshConfig::new(graph, base_config(), MasterSeed(0xBE_4C)).with_mobility(mobility)
+}
+
+/// A warmed-up mesh ready to step (construction and cache cold-start
+/// excluded from the measurement).
+fn warm_mesh(graph: CellGraph, mobility: MobilityModel, threads: usize) -> MeshSimulation {
+    let mut mesh = MeshSimulation::with_runner(
+        mesh_config(graph, mobility),
+        Strategy::BroadcastTimestamps,
+        ParallelRunner::new(threads),
+    )
+    .expect("valid mesh config");
+    mesh.run(10).expect("warm-up fits");
+    mesh
+}
+
+/// The headline number: wall time per simulated interval for a 4-cell
+/// ring, stationary vs migrating, sharded over 1 and 4 threads.
+fn bench_mesh_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_step");
+    for (label, mobility) in [
+        ("stationary", MobilityModel::Stationary),
+        ("markov_0.1", MobilityModel::Markov { rate: 0.1 }),
+    ] {
+        for threads in [1usize, 4] {
+            group.bench_function(format!("ring4/{label}/threads={threads}"), |b| {
+                b.iter_batched(
+                    || warm_mesh(CellGraph::ring(4), mobility, threads),
+                    |mut mesh| {
+                        for _ in 0..STEPS {
+                            mesh.step().expect("fits");
+                        }
+                        black_box(mesh);
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The baseline the envelope is judged against: the same cell config
+/// run through the plain single-cell driver — no barrier, no backbone.
+fn bench_single_cell_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mesh_step");
+    group.bench_function("single_cell_baseline", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = CellSimulation::new(
+                    base_config().with_seed(0xBE_4C),
+                    Strategy::BroadcastTimestamps,
+                )
+                .expect("valid config");
+                sim.run(10).expect("warm-up fits");
+                sim
+            },
+            |mut sim| {
+                for _ in 0..STEPS {
+                    black_box(sim.step().expect("fits"));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mesh_step, bench_single_cell_baseline);
+criterion_main!(benches);

@@ -80,6 +80,18 @@ pub struct CellConfig {
     /// nothing; with the `faults` cargo feature off any plan is ignored
     /// and the injector is a compile-time no-op either way.
     pub faults: Option<FaultPlan>,
+    /// Backbone seed for mesh membership. `None` — the default — means
+    /// the cell is standalone and derives *everything* from `seed`.
+    /// `Some(b)` marks the cell as one shard of a replicated-backbone
+    /// mesh: the database contents, the server's update process, and
+    /// the SIG subset family derive from `b` (shared by every shard)
+    /// while the per-client query/sleep/hotspot streams still derive
+    /// from the cell's own `seed`. Shards of one mesh therefore hold
+    /// identical database replicas seeing identical updates — the
+    /// precondition for a migrated cache entry to be meaningful at all
+    /// — and the cell keeps a rolling log of report digests so the
+    /// mesh can test the "report histories diverge" handoff clause.
+    pub backbone: Option<MasterSeed>,
 }
 
 impl CellConfig {
@@ -105,6 +117,7 @@ impl CellConfig {
             wake_mode: None,
             observe: None,
             faults: None,
+            backbone: None,
         }
     }
 
@@ -204,6 +217,21 @@ impl CellConfig {
         self
     }
 
+    /// Marks the cell as a mesh shard sharing the given backbone seed
+    /// (see the `backbone` field for exactly which streams move over).
+    /// Standalone runs never set this, which is what keeps every
+    /// pre-mesh artifact byte-identical.
+    pub fn with_backbone(mut self, backbone: MasterSeed) -> Self {
+        self.backbone = Some(backbone);
+        self
+    }
+
+    /// The seed the cell-independent machinery derives from: the
+    /// backbone seed for a mesh shard, the cell's own seed otherwise.
+    pub fn protocol_seed(&self) -> MasterSeed {
+        self.backbone.unwrap_or(self.seed)
+    }
+
     /// Mean sleep probability across the cell (profile-weighted under
     /// the cyclic assignment), used to auto-pick the wake mode.
     pub fn mean_sleep_probability(&self) -> f64 {
@@ -297,6 +325,15 @@ mod tests {
     #[should_panic(expected = "cannot be empty")]
     fn empty_sleep_profile_rejected() {
         let _ = CellConfig::new(ScenarioParams::scenario1()).with_sleep_profile(vec![]);
+    }
+
+    #[test]
+    fn protocol_seed_follows_backbone() {
+        let standalone = CellConfig::new(ScenarioParams::scenario1()).with_seed(7);
+        assert_eq!(standalone.protocol_seed(), MasterSeed(7));
+        let shard = standalone.clone().with_backbone(MasterSeed(99));
+        assert_eq!(shard.protocol_seed(), MasterSeed(99));
+        assert_eq!(shard.seed, MasterSeed(7), "client streams keep the cell seed");
     }
 
     #[test]

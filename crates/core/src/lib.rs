@@ -52,8 +52,8 @@ pub mod simulation;
 pub mod strategy;
 
 pub use config::{CellConfig, WakeMode};
-pub use metrics::SimulationReport;
-pub use simulation::{CellSimulation, SimulationError};
+pub use metrics::{MigrationStats, SimulationReport};
+pub use simulation::{CellSimulation, HandoffClient, SimulationError};
 pub use strategy::Strategy;
 
 /// Re-export: the analytical model (closed-form formulas of §4–§5).

@@ -11,6 +11,26 @@ use sw_wireless::{EnergyTotals, TrafficTotals};
 
 use crate::safety::SafetyStats;
 
+/// Handoff counters for a cell participating in a mesh. All zeros for
+/// a standalone cell — nothing here affects single-cell metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationStats {
+    /// Units that arrived from another cell.
+    pub migrations_in: u64,
+    /// Units that departed for another cell.
+    pub migrations_out: u64,
+    /// Arrivals whose carried cache was lost to the handoff — either
+    /// dropped at attach because the cells' report histories diverged,
+    /// or dropped by the unit's own strategy at the first report heard
+    /// in the new cell (AT always; TS when the transit gap exceeded
+    /// its window).
+    pub handoff_drops: u64,
+    /// Stateful baseline only: wake-up registrations by units that
+    /// migrated in (each costs a directed control message, the §2
+    /// per-cell state the paper charges the stateful server for).
+    pub cross_cell_registrations: u64,
+}
+
 /// Everything one simulation run measured.
 #[derive(Debug, Clone)]
 pub struct SimulationReport {
@@ -45,6 +65,8 @@ pub struct SimulationReport {
     pub energy: EnergyTotals,
     /// Safety-checker counters (all zeros unless enabled).
     pub safety: SafetyStats,
+    /// Handoff counters (all zeros for standalone cells).
+    pub migration: MigrationStats,
     /// Fault-injection counters (all zeros unless a plan is armed and
     /// the `faults` cargo feature is on).
     pub faults: FaultTotals,
@@ -159,6 +181,7 @@ mod tests {
             registration_messages: 0,
             energy: EnergyTotals::default(),
             safety: SafetyStats::default(),
+            migration: MigrationStats::default(),
             faults: FaultTotals::default(),
             interval_bits: 100_000.0,
             per_query_bits: 1024.0,

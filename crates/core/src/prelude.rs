@@ -7,7 +7,7 @@
 //! ```
 
 pub use crate::config::{CellConfig, WakeMode};
-pub use crate::metrics::SimulationReport;
+pub use crate::metrics::{MigrationStats, SimulationReport};
 pub use crate::simulation::{CellSimulation, SimulationError};
 pub use crate::strategy::Strategy;
 

@@ -36,7 +36,7 @@ use sw_server::{
     UpdateEngine, UplinkProcessor,
 };
 use sw_observe::{Recorder, Value};
-use sw_sim::{IntervalClock, RngStream, SimDuration, SimTime, StreamId};
+use sw_sim::{IntervalClock, MasterSeed, RngStream, SimDuration, SimTime, StreamId};
 use sw_wireless::frame::{checksum64, flip_bit};
 use sw_wireless::{
     BroadcastChannel, ChannelError, EnergyTotals, FramePayload, ReportDelivery, WireEncode,
@@ -44,7 +44,7 @@ use sw_wireless::{
 use sw_workload::HotspotSpec;
 
 use crate::config::{CellConfig, WakeMode};
-use crate::metrics::SimulationReport;
+use crate::metrics::{MigrationStats, SimulationReport};
 use crate::safety::{SafetyExpectation, SafetyStats, ValueHistory};
 use crate::strategy::Strategy;
 
@@ -248,6 +248,18 @@ impl WakeSchedule {
         }
     }
 
+    /// Extends the schedule for one appended client slot (mesh attach).
+    /// Scan mode must grow its wake vector; heap mode just pushes.
+    fn push_client(&mut self, idx: usize, wake: u64) {
+        match self {
+            WakeSchedule::Scan { wake_at } => {
+                debug_assert_eq!(wake_at.len(), idx, "attach appends, never inserts");
+                wake_at.push(wake);
+            }
+            WakeSchedule::Heap { .. } => self.schedule(idx, wake),
+        }
+    }
+
     /// Appends every unit due at interval `i` to `awake`, ascending by
     /// client index.
     fn pop_due(&mut self, i: u64, awake: &mut Vec<usize>) {
@@ -298,6 +310,36 @@ enum ExchangeOutcome {
     FaultDeferred,
 }
 
+/// A mobile unit in transit between two cells of a mesh, detached from
+/// its source cell and not yet attached to its destination.
+///
+/// The whole client travels: its cache, its strategy handler (so SIG's
+/// tracked signatures survive the move), its query and sleep streams,
+/// and its settled-interval bookkeeping. The mesh layer only ferries
+/// this between [`CellSimulation::detach_client`] and
+/// [`CellSimulation::attach_client`]; the contents stay private to the
+/// cell driver.
+pub struct HandoffClient {
+    mu: MobileUnit,
+    query_rng: RngStream,
+    sleep_rng: RngStream,
+    /// The interval the unit was scheduled to wake in at its source
+    /// cell (`u64::MAX` = never); attach clamps it forward to enforce
+    /// the transit blackout.
+    next_wake: u64,
+    /// Last interval whose sleep accounting was settled (the mesh's
+    /// cells share one absolute interval clock, so this carries over).
+    last_settled: u64,
+}
+
+impl HandoffClient {
+    /// Whether the traveling unit holds any cached entries (the mesh's
+    /// drop accounting peeks at this; contents stay private).
+    pub fn has_cache(&self) -> bool {
+        !self.mu.cache().is_empty()
+    }
+}
+
 /// One simulated cell.
 pub struct CellSimulation {
     config: CellConfig,
@@ -343,6 +385,38 @@ pub struct CellSimulation {
     delivery: ReportDelivery,
     delivery_rng: RngStream,
     energy: EnergyTotals,
+    /// `departed[idx]` = the unit in slot `idx` migrated away and the
+    /// slot holds an inert husk. Slots are never reused (index-parallel
+    /// vectors and heap entries must stay stable); arrivals append.
+    departed: Vec<bool>,
+    /// Number of `true` entries in `departed` (present population =
+    /// `clients.len() - departed_count`).
+    departed_count: usize,
+    /// Mirror of each unit's currently scheduled wake interval, so a
+    /// detach can read a sleeper's wake time (the heap can't be asked).
+    next_wake_hint: Vec<u64>,
+    /// `newly_migrated[idx]` = the unit arrived by handoff and has not
+    /// yet heard a report here; the first report heard decides whether
+    /// the handoff cost it its cache.
+    newly_migrated: Vec<bool>,
+    /// Next id to hand an arriving unit (ids stay unique within the
+    /// cell across any number of arrivals).
+    next_client_id: u64,
+    /// Handoff counters (all zero for standalone cells).
+    migration: MigrationStats,
+    /// Arrivals since the last step, for the mesh series column.
+    arrivals_since_step: u64,
+    /// Rolling log of `(interval, report checksum)` pairs, kept only
+    /// for mesh shards (`config.backbone` set): the mesh compares the
+    /// overlapping suffixes of two cells' logs to decide the "report
+    /// histories diverge" handoff clause. Never feeds back into the
+    /// simulation.
+    report_digests: VecDeque<(u64, u64)>,
+    /// Stateful baseline: control-message charges owed for clients that
+    /// disconnected by *leaving the cell* between intervals (the
+    /// registry is updated at detach; the channel can only be charged
+    /// once the next interval opens its budget).
+    deferred_control: Vec<u64>,
     /// Instrumentation. A compile-time no-op without the `observe`
     /// cargo feature; a one-branch no-op unless the config carries an
     /// observation label. Never consumes randomness and never feeds
@@ -364,7 +438,14 @@ impl CellSimulation {
         // starting window), one L for AT.
         let retention = latency.scaled((params.k as f64 + 2.0).max(4.0));
 
-        let mut db_rng = config.seed.stream(StreamId::Database);
+        // Cell-independent machinery (database contents, the update
+        // process, the SIG subset family) derives from the protocol
+        // seed: the cell's own seed when standalone, the shared
+        // backbone seed when the cell is a mesh shard — every shard
+        // then replicates the same database seeing the same updates,
+        // which is what makes a migrated cache entry meaningful.
+        let protocol_seed = config.protocol_seed();
+        let mut db_rng = protocol_seed.stream(StreamId::Database);
         let db = Database::new(params.n_items, |_| db_rng.next_u64(), retention);
         let history = config
             .check_safety
@@ -404,7 +485,7 @@ impl CellSimulation {
                     pending_ids: Vec::new(),
                 }
             }
-            other => ServerSide::Static(other.make_builder(&params, config.seed, &db)),
+            other => ServerSide::Static(other.make_builder(&params, protocol_seed, &db)),
         };
 
         let encode = WireEncode::new(
@@ -436,6 +517,7 @@ impl CellSimulation {
             }
         });
         let mut wake = WakeSchedule::new(wake_mode, config.n_clients);
+        let mut next_wake_hint = Vec::with_capacity(config.n_clients);
         let mut pending_disconnects = Vec::new();
         for idx in 0..config.n_clients as u64 {
             let mut hotspot_rng = config.seed.stream(StreamId::Hotspot { index: idx });
@@ -454,7 +536,7 @@ impl CellSimulation {
                 piggyback_hits: piggyback,
                 item_universe: Some(params.n_items),
             };
-            let handler = strategy.make_handler(&params, config.seed, &db);
+            let handler = strategy.make_handler(&params, protocol_seed, &db);
             let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
             let mut sleep_rng = config.seed.stream(StreamId::Sleep { index: idx });
             // Draw the unit's initial sleep run and schedule its first
@@ -473,6 +555,7 @@ impl CellSimulation {
                 1u64.saturating_add(k0)
             };
             wake.schedule(idx as usize, first_wake);
+            next_wake_hint.push(first_wake);
             clients.push(mu);
             query_rngs.push(query_rng);
             sleep_rngs.push(sleep_rng);
@@ -484,7 +567,10 @@ impl CellSimulation {
             None => Recorder::disabled(),
         };
         if obs.is_enabled() {
-            obs.series_schema(&[
+            // Mesh shards get one extra per-interval column: arrivals
+            // by handoff. Standalone schemas are unchanged, keeping
+            // every pre-mesh trace artifact byte-identical.
+            let mut schema = vec![
                 "awake",
                 "hits",
                 "misses",
@@ -496,7 +582,11 @@ impl CellSimulation {
                 "overflow",
                 "lost",
                 "retries",
-            ]);
+            ];
+            if config.backbone.is_some() {
+                schema.push("migrations");
+            }
+            obs.series_schema(&schema);
             // ItemTable layout census: every hashed entry is a dense
             // fast-path fallback activation.
             let dense = clients.iter().filter(|mu| mu.cache().is_dense()).count();
@@ -524,12 +614,13 @@ impl CellSimulation {
             );
         }
 
-        let mut update_rng = config.seed.stream(StreamId::Updates);
+        let mut update_rng = protocol_seed.stream(StreamId::Updates);
         let update_engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
 
         let delivery = ReportDelivery::new(config.delivery);
         let delivery_rng = config.seed.stream(StreamId::Custom { tag: 0xDE11 });
         let faults = FaultLayer::new(config.faults.as_ref(), config.seed, config.n_clients);
+        let n_slots = clients.len();
         Ok(CellSimulation {
             strategy,
             db,
@@ -555,6 +646,15 @@ impl CellSimulation {
             delivery,
             delivery_rng,
             energy: EnergyTotals::default(),
+            departed: vec![false; n_slots],
+            departed_count: 0,
+            next_wake_hint,
+            newly_migrated: vec![false; n_slots],
+            next_client_id: n_slots as u64,
+            migration: MigrationStats::default(),
+            arrivals_since_step: 0,
+            report_digests: VecDeque::new(),
+            deferred_control: Vec::new(),
             obs,
             config,
         })
@@ -696,6 +796,14 @@ impl CellSimulation {
         // old per-index loop's rng consumption order.
         let mut awake: Vec<usize> = Vec::new();
         self.wake.pop_due(i, &mut awake);
+        if self.departed_count > 0 {
+            // Departed slots are inert husks; heap mode can still pop
+            // their one stale pre-departure entry (heap entries can't
+            // be deleted), scan mode never schedules them. Filtering
+            // preserves the ascending-index order.
+            let departed = &self.departed;
+            awake.retain(|&idx| !departed[idx]);
+        }
         for &idx in &awake {
             // Lazily settle the sleep run that just ended.
             let slept = i - self.last_settled[idx] - 1;
@@ -710,8 +818,18 @@ impl CellSimulation {
             // one control message on the channel. Units that fell asleep
             // after the previous interval disconnect now, waking units
             // (re)connect — same transition count as observing every
-            // client's state each interval.
+            // client's state each interval. A unit that left the cell
+            // between intervals was disconnected in the registry at
+            // detach time; its control message is charged here, in the
+            // first interval with an open budget.
+            for id in self.deferred_control.drain(..) {
+                let _ = self.channel.send_invalidation(id); // control msg
+                self.registration_messages += 1;
+            }
             for idx in self.pending_disconnects.drain(..) {
+                if self.departed[idx] {
+                    continue; // already disconnected at detach
+                }
                 let id = self.clients[idx].id();
                 if registry.is_connected(id) {
                     registry.disconnect(id);
@@ -725,6 +843,13 @@ impl CellSimulation {
                     registry.connect(id);
                     let _ = self.channel.send_invalidation(id); // control msg
                     self.registration_messages += 1;
+                    if self.newly_migrated[idx] {
+                        // First registration with a server that has
+                        // never seen this unit: the stateful baseline's
+                        // per-handoff price.
+                        self.migration.cross_cell_registrations += 1;
+                        self.obs.add("cross_cell_registrations", 1);
+                    }
                 }
             }
         }
@@ -778,6 +903,18 @@ impl CellSimulation {
             self.report_bits_total += bits;
             bits
         };
+        if self.config.backbone.is_some() {
+            // Mesh shard: log this report's checksum so the mesh can
+            // compare two cells' recent report histories at a handoff.
+            // Pure bookkeeping over the already-built payload — no
+            // randomness, no feedback into the simulation.
+            let bytes = self.channel.encoder().serialize_payload(&payload);
+            self.report_digests.push_back((i, checksum64(&bytes)));
+            let retention = self.config.params.k as usize + 4;
+            while self.report_digests.len() > retention {
+                self.report_digests.pop_front();
+            }
+        }
 
         // 4. Awake clients hear the report / their invalidations and
         // answer the interval's queries.
@@ -884,8 +1021,29 @@ impl CellSimulation {
             } else {
                 None
             };
+            // A unit hearing its first report after a handoff: snapshot
+            // the cache it carried in, so a whole-cache drop triggered
+            // by this report is attributable to the cell switch (an
+            // empty carried cache has nothing to lose and counts no
+            // drop).
+            let migrated_pre_len = if self.newly_migrated[idx] {
+                Some(mu.cache().len())
+            } else {
+                None
+            };
             let outcome = mu.hear_report_and_answer(&payload);
             let mu_id = mu.id();
+            if let Some(pre_len) = migrated_pre_len {
+                self.newly_migrated[idx] = false;
+                let dropped_all = outcome
+                    .outcome
+                    .as_ref()
+                    .is_some_and(|po| po.dropped_all);
+                if dropped_all && pre_len > 0 {
+                    self.migration.handoff_drops += 1;
+                    self.obs.add("handoff_drops", 1);
+                }
+            }
             if observing {
                 if let Some(po) = &outcome.outcome {
                     obs_invalidated += po.invalidated.len() as u64;
@@ -941,8 +1099,9 @@ impl CellSimulation {
             let model = self.config.energy_model;
             let interval = SimDuration::from_secs(self.config.params.latency_secs);
             // One O(1) charge settles the whole sleeping population for
-            // this interval (sleep power is linear in time).
-            let asleep = self.clients.len() - awake.len();
+            // this interval (sleep power is linear in time). Departed
+            // slots are husks, not sleepers — nobody pays for them.
+            let asleep = self.clients.len() - self.departed_count - awake.len();
             if asleep > 0 {
                 self.energy
                     .add_sleep(&model, interval.scaled(asleep as f64));
@@ -1126,6 +1285,7 @@ impl CellSimulation {
                 self.obs.add("never_wake_draws", 1);
             }
             self.wake.schedule(idx, next_wake);
+            self.next_wake_hint[idx] = next_wake;
         }
 
         if observing {
@@ -1168,23 +1328,27 @@ impl CellSimulation {
             self.obs.record("awake_clients", awake.len() as u64);
             self.obs.record("uplinks_per_interval", uplinks);
             self.obs.record("used_bits", self.channel.budget().used);
-            self.obs.series_row(
-                i,
-                &[
-                    awake.len() as u64,
-                    obs_hits,
-                    obs_misses,
-                    uplinks,
-                    obs_invalidated,
-                    obs_drops,
-                    report_bits,
-                    self.channel.budget().used,
-                    overflow,
-                    ft.reports_missed_total() - faults_before.reports_missed_total(),
-                    ft.uplink_retries - faults_before.uplink_retries,
-                ],
-            );
+            let mut row = vec![
+                awake.len() as u64,
+                obs_hits,
+                obs_misses,
+                uplinks,
+                obs_invalidated,
+                obs_drops,
+                report_bits,
+                self.channel.budget().used,
+                overflow,
+                ft.reports_missed_total() - faults_before.reports_missed_total(),
+                ft.uplink_retries - faults_before.uplink_retries,
+            ];
+            if self.config.backbone.is_some() {
+                // The mesh series column: units that arrived by handoff
+                // at the barrier preceding this interval.
+                row.push(self.arrivals_since_step);
+            }
+            self.obs.series_row(i, &row);
         }
+        self.arrivals_since_step = 0;
 
         Ok(report_bits)
     }
@@ -1219,6 +1383,7 @@ impl CellSimulation {
         self.registration_messages = 0;
         self.energy = EnergyTotals::default();
         self.safety = SafetyStats::default();
+        self.migration = MigrationStats::default();
         // Counters only: the fault processes (burst state, drift) keep
         // evolving across the warm-up boundary, like every other
         // random stream.
@@ -1262,7 +1427,7 @@ impl CellSimulation {
         SimulationReport {
             strategy: self.strategy.name(),
             intervals: self.channel.intervals_elapsed(),
-            n_clients: self.clients.len(),
+            n_clients: self.clients.len() - self.departed_count,
             hit_events,
             miss_events,
             queries_posed,
@@ -1274,6 +1439,7 @@ impl CellSimulation {
             registration_messages: self.registration_messages,
             energy: self.energy,
             safety: self.safety,
+            migration: self.migration,
             faults: self.faults.totals(),
             interval_bits: params.latency_secs * params.bandwidth_bps as f64,
             per_query_bits: (params.query_bits + params.answer_bits) as f64,
@@ -1298,6 +1464,207 @@ impl CellSimulation {
             ServerSide::Adaptive { builder, .. } => Some(builder.windows().get(item)),
             _ => None,
         }
+    }
+
+    /// The interval index the next [`step`](Self::step) will simulate.
+    /// Mesh barriers use it as the shared absolute clock.
+    pub fn next_interval(&self) -> u64 {
+        // The clock's stored index is the last interval ticked.
+        self.clock.next_index() + 1
+    }
+
+    /// The cell's configuration.
+    pub fn config(&self) -> &CellConfig {
+        &self.config
+    }
+
+    /// Handoff counters accumulated so far (all zero for standalone
+    /// cells).
+    pub fn migration_stats(&self) -> MigrationStats {
+        self.migration
+    }
+
+    /// Number of units currently present (live slots, excluding
+    /// departed husks).
+    pub fn present_clients(&self) -> usize {
+        self.clients.len() - self.departed_count
+    }
+
+    /// The rolling `(interval, report checksum)` log (mesh shards only;
+    /// empty for standalone cells). Newest last.
+    pub fn report_digests(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.report_digests.iter().copied()
+    }
+
+    /// Whether two cells' report histories agree over the overlapping
+    /// suffix of their digest logs. This is the paper's "has the new
+    /// cell been broadcasting the same invalidation information?" test
+    /// behind the TS handoff rule: with a shared backbone the static
+    /// strategies' reports coincide and a migrating unit's window
+    /// arithmetic stays valid, but adaptive/quasi builders fold local
+    /// query feedback into their reports, so their histories (and hence
+    /// a traveler's assumptions) can genuinely diverge. No overlap —
+    /// e.g. one cell just started logging — counts as agreement: the
+    /// gap rule alone then decides, exactly as for a freshly woken
+    /// sleeper.
+    pub fn report_history_agrees(&self, other: &CellSimulation) -> bool {
+        let mut mine = self.report_digests.iter().rev().peekable();
+        let mut theirs = other.report_digests.iter().rev().peekable();
+        loop {
+            match (mine.peek(), theirs.peek()) {
+                (Some(&&(ia, da)), Some(&&(ib, db))) => {
+                    if ia == ib {
+                        if da != db {
+                            return false;
+                        }
+                        mine.next();
+                        theirs.next();
+                    } else if ia > ib {
+                        mine.next();
+                    } else {
+                        theirs.next();
+                    }
+                }
+                _ => return true,
+            }
+        }
+    }
+
+    /// Detaches the unit in slot `idx` for a handoff, returning the
+    /// traveling client. The slot is replaced by an inert husk (zero
+    /// query rate, permanently asleep, never scheduled) and marked
+    /// departed; slots are never reused, so every index-parallel vector
+    /// and outstanding heap entry stays valid.
+    ///
+    /// Under the stateful baseline the registry drops the unit
+    /// immediately (the server learns of the disconnect at the
+    /// boundary), but the directed control message it costs is charged
+    /// against the *next* interval's budget — the current one is
+    /// already settled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot already departed.
+    pub fn detach_client(&mut self, idx: usize) -> HandoffClient {
+        assert!(!self.departed[idx], "slot {idx} already departed");
+        // The husk: never queries, never wakes, caches nothing. Its
+        // RNG stream is a throwaway — the husk draws nothing, and the
+        // departing unit keeps its real streams.
+        let params = &self.config.params;
+        let husk_config = MuConfig {
+            id: u64::MAX,
+            hotspot: vec![0],
+            query_rate_per_item: 0.0,
+            sleep_probability: 1.0,
+            cache_capacity: self.config.cache_capacity,
+            piggyback_hits: false,
+            item_universe: Some(params.n_items),
+        };
+        let handler = Strategy::NoCache.make_handler(params, self.config.protocol_seed(), &self.db);
+        let mut throwaway = MasterSeed(0).stream(StreamId::Custom { tag: 0xDEAD });
+        let mut husk = MobileUnit::new(husk_config, handler, &mut throwaway);
+        husk.enter_sleep();
+
+        let mu = std::mem::replace(&mut self.clients[idx], husk);
+        let query_rng = std::mem::replace(
+            &mut self.query_rngs[idx],
+            MasterSeed(0).stream(StreamId::Custom { tag: 0xDEAD }),
+        );
+        let sleep_rng = std::mem::replace(
+            &mut self.sleep_rngs[idx],
+            MasterSeed(0).stream(StreamId::Custom { tag: 0xDEAD }),
+        );
+        let next_wake = self.next_wake_hint[idx];
+        self.departed[idx] = true;
+        self.departed_count += 1;
+        self.newly_migrated[idx] = false;
+        self.wake.schedule(idx, u64::MAX);
+        self.next_wake_hint[idx] = u64::MAX;
+        // A queued exchange belongs to the unit, not the slot; it
+        // re-queries from its destination cell at its next miss.
+        self.pending_uplinks.retain(|q| q.idx != idx);
+        self.pending_disconnects.retain(|&p| p != idx);
+        if let ServerSide::Stateful { registry, .. } = &mut self.server {
+            let id = mu.id();
+            if registry.is_connected(id) {
+                registry.disconnect(id);
+                self.deferred_control.push(id);
+            }
+        }
+        self.migration.migrations_out += 1;
+        self.obs.add("migrations_out", 1);
+        HandoffClient {
+            mu,
+            query_rng,
+            sleep_rng,
+            next_wake,
+            last_settled: self.last_settled[idx],
+        }
+    }
+
+    /// Attaches a traveling unit to this cell, appending a fresh slot,
+    /// and returns its new index.
+    ///
+    /// `histories_agree` is the caller's verdict on whether the source
+    /// and destination cells broadcast the same invalidation
+    /// information (see [`report_history_agrees`]
+    /// (Self::report_history_agrees)); when they diverge the carried
+    /// cache is unconditionally dropped — no report from *this* cell
+    /// can vouch for entries validated against a different history.
+    /// When the histories agree, the cache rides along and the unit's
+    /// own strategy rules decide its fate at the first report heard
+    /// here (the handoff is exactly a sleep gap: AT drops everything
+    /// regardless, TS keeps entries iff the gap stayed inside `w`, SIG
+    /// re-diagnoses by signature, the stateful baseline re-registers).
+    ///
+    /// The arrival enforces a one-interval transit blackout: the unit
+    /// cannot hear the report already in flight at the barrier it
+    /// crossed, so its first audible report is the following one.
+    pub fn attach_client(&mut self, h: HandoffClient, histories_agree: bool) -> usize {
+        let HandoffClient {
+            mut mu,
+            query_rng,
+            sleep_rng,
+            next_wake,
+            last_settled,
+        } = h;
+        let idx = self.clients.len();
+        let id = self.next_client_id;
+        self.next_client_id += 1;
+        mu.reassign_id(id);
+        if !histories_agree {
+            let dropped = mu.drop_cache_for_handoff();
+            if dropped > 0 {
+                self.migration.handoff_drops += 1;
+                self.obs.add("handoff_drops", 1);
+            }
+        }
+        // Transit blackout: the unit is in transit for the whole next
+        // interval (`clock.next_index()` is the index of the *last*
+        // report broadcast; the transit interval is the one after it)
+        // and misses that interval's report in both cells. It behaves
+        // exactly like a sleeper over the blackout — `newly_migrated`
+        // defers the drop-vs-keep verdict to its strategy at the first
+        // report it actually hears, which closes a gap of 2L.
+        let transit = self.clock.next_index() + 1;
+        let wake = next_wake.max(transit.saturating_add(1));
+        mu.enter_sleep();
+        self.clients.push(mu);
+        self.query_rngs.push(query_rng);
+        self.sleep_rngs.push(sleep_rng);
+        self.last_settled.push(last_settled.max(transit));
+        self.departed.push(false);
+        self.newly_migrated.push(true);
+        self.next_wake_hint.push(wake);
+        self.wake.push_client(idx, wake);
+        self.faults.push_client(self.config.seed, idx, transit);
+        // Stateful baseline: the new id registers at the unit's wake-up
+        // reconnect, like any returning sleeper — the reconnect loop
+        // sees an unknown id and charges the registration there.
+        self.migration.migrations_in += 1;
+        self.arrivals_since_step += 1;
+        self.obs.add("migrations", 1);
+        idx
     }
 }
 

@@ -32,4 +32,4 @@ pub mod runner;
 pub use figures::{FigureResult, FigureSpec, SimPoint, SimSettings};
 pub use plot::ascii_chart;
 pub use results::{write_json, ResultFile};
-pub use runner::{cell_seed, ParallelRunner};
+pub use runner::{cell_seed, mesh_seed, ParallelRunner};

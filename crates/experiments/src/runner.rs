@@ -1,177 +1,6 @@
-//! The parallel sweep runner.
-//!
-//! Every experiment in this workspace is a grid: (scenario × strategy ×
-//! x-value) cells, each an independent `CellSimulation` run with its own
-//! deterministically derived seed. [`ParallelRunner`] shards such grids
-//! across OS threads with a work-stealing index, preserving input order
-//! in the output. Because each cell's seed is a pure function of the
-//! cell (see [`cell_seed`]) and never of scheduling, results are
-//! bit-identical at any thread count — a property the determinism test
-//! in `tests/` pins across 1, 2, and 8 threads.
+//! Re-export shim: the parallel sweep runner moved to `sw_sim::runner`
+//! so the mesh layer (which must not depend on the experiment harness)
+//! can shard its live cells with the same machinery. Existing
+//! `sw_experiments::{cell_seed, ParallelRunner}` imports keep working.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Shards independent work items across threads, preserving order.
-#[derive(Debug, Clone, Copy)]
-pub struct ParallelRunner {
-    threads: usize,
-}
-
-impl Default for ParallelRunner {
-    fn default() -> Self {
-        Self::from_env()
-    }
-}
-
-impl ParallelRunner {
-    /// A runner with an explicit thread count (`0` = auto-detect).
-    pub fn new(threads: usize) -> Self {
-        let threads = if threads == 0 {
-            detected_parallelism()
-        } else {
-            threads
-        };
-        ParallelRunner { threads }
-    }
-
-    /// Thread count from `SW_THREADS`, else the machine's parallelism.
-    pub fn from_env() -> Self {
-        let threads = std::env::var("SW_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(detected_parallelism);
-        ParallelRunner { threads }
-    }
-
-    /// The configured thread count.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Runs `f` over every item, fanning across threads; `out[i]` is
-    /// `f(i, &items[i])`. Items are claimed by an atomic cursor, so
-    /// long cells do not convoy behind short ones; output order is the
-    /// input order regardless of which thread ran what.
-    ///
-    /// # Panics
-    /// Propagates the first worker panic.
-    pub fn run<I, O, F>(&self, items: &[I], f: F) -> Vec<O>
-    where
-        I: Sync,
-        O: Send,
-        F: Fn(usize, &I) -> O + Sync,
-    {
-        if items.is_empty() {
-            return Vec::new();
-        }
-        let workers = self.threads.min(items.len()).max(1);
-        if workers == 1 {
-            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
-        }
-        let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<O>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let out = f(i, &items[i]);
-                    *slots[i].lock().expect("unpoisoned slot") = Some(out);
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|s| {
-                s.into_inner()
-                    .expect("unpoisoned slot")
-                    .expect("every slot filled")
-            })
-            .collect()
-    }
-}
-
-fn detected_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Derives a per-cell seed from a master seed and the cell's coordinate
-/// words (e.g. `[x.to_bits(), strategy_tag]`). Pure in its inputs —
-/// never dependent on scheduling — which is what keeps sweep results
-/// thread-count-invariant. Uses SplitMix64-style mixing.
-pub fn cell_seed(master: u64, coords: &[u64]) -> u64 {
-    let mut state = master ^ 0xA076_1D64_78BD_642F;
-    for (i, &c) in coords.iter().enumerate() {
-        state = mix64(state ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i as u64 + 1));
-    }
-    mix64(state)
-}
-
-#[inline]
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_order_and_values() {
-        let items: Vec<u64> = (0..257).collect();
-        for threads in [1, 2, 8] {
-            let out = ParallelRunner::new(threads).run(&items, |i, &x| {
-                assert_eq!(i as u64, x);
-                x * 3 + 1
-            });
-            assert_eq!(out, items.iter().map(|x| x * 3 + 1).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn handles_empty_and_single() {
-        let r = ParallelRunner::new(4);
-        let empty: Vec<u64> = vec![];
-        assert!(r.run(&empty, |_, &x| x).is_empty());
-        assert_eq!(r.run(&[7u64], |_, &x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn thread_count_does_not_change_results() {
-        let items: Vec<u64> = (0..64).collect();
-        let baseline = ParallelRunner::new(1).run(&items, |i, &x| cell_seed(x, &[i as u64]));
-        for threads in [2, 8] {
-            let out = ParallelRunner::new(threads).run(&items, |i, &x| cell_seed(x, &[i as u64]));
-            assert_eq!(out, baseline, "{threads} threads");
-        }
-    }
-
-    #[test]
-    fn cell_seed_separates_coordinates() {
-        // Distinct coordinates must give distinct seeds (these are the
-        // actual collision pairs the old ad-hoc XOR seeding had: TS vs
-        // AT vs NC all have 2-letter names).
-        let a = cell_seed(1, &[0, 1]);
-        let b = cell_seed(1, &[0, 2]);
-        let c = cell_seed(1, &[1, 0]);
-        let d = cell_seed(1, &[0, 1, 0]);
-        assert_ne!(a, b);
-        assert_ne!(a, c);
-        assert_ne!(a, d);
-        assert_eq!(a, cell_seed(1, &[0, 1]));
-    }
-
-    #[test]
-    fn explicit_zero_means_auto() {
-        assert!(ParallelRunner::new(0).threads() >= 1);
-    }
-}
+pub use sw_sim::runner::{cell_seed, mesh_seed, ParallelRunner};

@@ -151,3 +151,163 @@ fn fault_schedules_are_byte_identical_across_thread_counts() {
         );
     }
 }
+
+// ---- faults composing with mobility --------------------------------
+
+/// A lighter hostile plan for the mesh soak: report loss plus clock
+/// drift (the uplink/corruption axes are already pinned by the
+/// single-cell soak above, and the mesh adds nothing to them).
+#[cfg(feature = "faults")]
+fn mesh_hostile_plan() -> FaultPlan {
+    FaultPlan::none()
+        .with_loss(LossModel::burst(0.08, 0.35, 0.9))
+        .with_drift(ClockDrift {
+            rate_secs_per_interval: 0.02,
+            jitter_secs: 0.01,
+        })
+}
+
+#[cfg(feature = "faults")]
+fn mesh_soak_config(strategy_tag: u64) -> sw_mesh::MeshConfig {
+    use sw_mesh::{CellGraph, MeshConfig, MobilityModel};
+    use sw_sim::{mesh_seed, MasterSeed};
+
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 200;
+    params.lambda = 0.05;
+    params.mu = 1e-3;
+    params.k = 10;
+    let base = CellConfig::new(params.with_s(0.4))
+        .with_clients(8)
+        .with_hotspot_size(20)
+        .with_delivery(DeliveryMode::TimerSynchronized {
+            clock_skew_bound: 0.1,
+        })
+        .with_faults(mesh_hostile_plan())
+        .with_safety_checking()
+        // Free when the `observe` feature is off; with it, exposes the
+        // SIG diagnosis counters (`sig_false_alarms`) the pins below
+        // cover in the observe+faults build.
+        .with_observe("mesh-soak");
+    let seed = MasterSeed(mesh_seed(0x50AC_3E5B, &[strategy_tag]));
+    MeshConfig::new(CellGraph::ring(3), base, seed)
+        .with_mobility(MobilityModel::Markov { rate: 0.05 })
+}
+
+/// The mesh soak: 5 000 intervals of burst loss and clock drift
+/// *composing* with Markov mobility — faulty gaps and handoff gaps
+/// interleave freely. Never-stale strategies (TS, AT) must survive
+/// with zero violations (the armed safety checker aborts the run
+/// otherwise, so completing is the proof); SIG is allowed signature
+/// collisions, and — because the whole mesh is a pure function of its
+/// master seed — its diagnosis counters are pinned to exact values
+/// rather than bounds. `SW_FAST=1` shortens the soak and keeps only
+/// the invariant checks (the pins hold for the full horizon only).
+#[cfg(feature = "faults")]
+#[test]
+fn five_thousand_interval_mesh_soak_composes_faults_with_mobility() {
+    let fast = std::env::var("SW_FAST").is_ok();
+    let intervals = if fast { 1_000 } else { 5_000 };
+
+    for (strategy, tag) in [
+        (Strategy::BroadcastTimestamps, 1u64),
+        (Strategy::AmnesicTerminals, 2),
+        (Strategy::Signatures, 3),
+    ] {
+        let mut mesh = sw_mesh::MeshSimulation::new(mesh_soak_config(tag), strategy)
+            .expect("valid mesh config");
+        // A never-stale strategy that validated a stale entry — after
+        // a lost report, a drifted wake-up, or a handoff — aborts here
+        // with SimulationError::SafetyViolated.
+        let report = mesh
+            .run(intervals)
+            .unwrap_or_else(|e| panic!("{strategy:?} mesh soak aborted: {e}"));
+
+        assert!(report.migrations > 0, "{strategy:?}: mobility must fire");
+        let missed: u64 = report
+            .cells
+            .iter()
+            .map(|c| c.faults.reports_missed_total())
+            .sum();
+        assert!(
+            missed > 100,
+            "{strategy:?}: the soak must actually miss reports (got {missed})"
+        );
+        let checked: u64 = report.cells.iter().map(|c| c.safety.entries_checked).sum();
+        assert!(checked > 0);
+        for cell in &report.cells {
+            cell.safety
+                .verify(strategy.safety_expectation())
+                .unwrap_or_else(|e| panic!("{strategy:?} broke its safety contract: {e}"));
+        }
+        if !matches!(strategy, Strategy::Signatures) {
+            assert_eq!(
+                report.safety_violations(),
+                0,
+                "{strategy:?} must never validate a stale entry under faults + mobility"
+            );
+        }
+
+        // The SIG pins: collision and false-alarm accounting is a pure
+        // function of the master seed, so exact equality is the test.
+        if matches!(strategy, Strategy::Signatures) && !fast {
+            assert_eq!(
+                report.migrations, MESH_SOAK_SIG_MIGRATIONS,
+                "SIG soak: migration schedule drifted"
+            );
+            assert_eq!(
+                report.safety_violations(),
+                MESH_SOAK_SIG_COLLISIONS,
+                "SIG soak: signature-collision count drifted"
+            );
+            assert_eq!(
+                report.migration().handoff_drops,
+                MESH_SOAK_SIG_HANDOFF_DROPS,
+                "SIG soak: handoff-drop count drifted"
+            );
+            assert_eq!(
+                checked, MESH_SOAK_SIG_ENTRIES_CHECKED,
+                "SIG soak: safety-checker coverage drifted"
+            );
+            assert_eq!(
+                missed, MESH_SOAK_SIG_REPORTS_MISSED,
+                "SIG soak: fault schedule drifted"
+            );
+            // The false-alarm half lives in the observe layer and is
+            // only recorded in the observe+faults build.
+            #[cfg(feature = "observe")]
+            {
+                let false_alarms: u64 = report
+                    .cells
+                    .iter()
+                    .map(|c| {
+                        c.observe
+                            .as_ref()
+                            .map_or(0, |snap| snap.counter("sig_false_alarms"))
+                    })
+                    .sum();
+                assert_eq!(
+                    false_alarms, MESH_SOAK_SIG_FALSE_ALARMS,
+                    "SIG soak: false-alarm count drifted"
+                );
+            }
+        }
+    }
+}
+
+/// Pinned counters for the full 5 000-interval SIG mesh soak. These
+/// are regression pins, not derived quantities: any change to the RNG
+/// stream layout, the fault schedule, the mobility walk, or the
+/// handoff rules shows up here first.
+#[cfg(feature = "faults")]
+const MESH_SOAK_SIG_MIGRATIONS: u64 = 6_066;
+#[cfg(feature = "faults")]
+const MESH_SOAK_SIG_COLLISIONS: u64 = 0;
+#[cfg(feature = "faults")]
+const MESH_SOAK_SIG_HANDOFF_DROPS: u64 = 0;
+#[cfg(feature = "faults")]
+const MESH_SOAK_SIG_ENTRIES_CHECKED: u64 = 2_315_309;
+#[cfg(feature = "faults")]
+const MESH_SOAK_SIG_REPORTS_MISSED: u64 = 13_696;
+#[cfg(all(feature = "faults", feature = "observe"))]
+const MESH_SOAK_SIG_FALSE_ALARMS: u64 = 32_004;

@@ -353,6 +353,26 @@ impl FaultLayer {
         }
     }
 
+    /// Appends fault state for one newly attached client slot — the
+    /// mesh grows a cell's population on arrival, and slots are never
+    /// reused. Draws come from `StreamId::Faults { index: slot }`, so
+    /// the arrival's fault schedule is a pure function of the cell
+    /// seed and the slot index, like everything else. `interval` seeds
+    /// the drift accounting: the unit resynchronized in transit, so
+    /// drift accrues from its arrival interval, not from zero.
+    #[allow(unused_variables)]
+    pub fn push_client(&mut self, seed: MasterSeed, slot: usize, interval: u64) {
+        #[cfg(feature = "faults")]
+        if let Some(inner) = self.inner.as_deref_mut() {
+            inner
+                .streams
+                .push(seed.stream(StreamId::Faults { index: slot as u64 }));
+            inner.in_burst.push(false);
+            inner.drift_secs.push(0.0);
+            inner.last_interval.push(interval);
+        }
+    }
+
     /// True when faults are compiled in *and* a non-empty plan is set.
     /// Compile-time `false` without the feature, so guarded call sites
     /// vanish entirely.

@@ -1,0 +1,154 @@
+//! The cell adjacency graph.
+//!
+//! Cells are numbered `0..n`; an edge means a mobile unit can hand off
+//! directly between the two cells. The graph is undirected and fixed
+//! for the lifetime of a mesh — the paper's environment is a static
+//! arrangement of cells served by stationary MSSs, with only the
+//! *units* moving.
+
+/// An undirected graph over `n` cells. Neighbor lists are kept sorted
+/// ascending so every iteration order downstream is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellGraph {
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl CellGraph {
+    /// A graph over `n` cells with the given undirected edges.
+    /// Self-loops and duplicate edges are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n == 0`, an endpoint is out of range, an edge is a
+    /// self-loop, or an edge appears twice.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "a mesh needs at least one cell");
+        let mut adjacency = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} cells");
+            assert_ne!(a, b, "self-loop on cell {a}");
+            assert!(
+                !adjacency[a].contains(&b),
+                "duplicate edge ({a}, {b})"
+            );
+            adjacency[a].push(b);
+            adjacency[b].push(a);
+        }
+        for list in &mut adjacency {
+            list.sort_unstable();
+        }
+        CellGraph { adjacency }
+    }
+
+    /// `n` cells in a path: `0 — 1 — … — n−1`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// `n` cells in a cycle (a line for `n < 3` — a 2-ring would be a
+    /// duplicate edge).
+    pub fn ring(n: usize) -> Self {
+        if n < 3 {
+            return Self::line(n);
+        }
+        let mut edges: Vec<_> = (1..n).map(|i| (i - 1, i)).collect();
+        edges.push((n - 1, 0));
+        Self::from_edges(n, &edges)
+    }
+
+    /// A `w × h` 4-connected grid, cell `(x, y)` at index `y·w + x`.
+    pub fn grid(w: usize, h: usize) -> Self {
+        assert!(w > 0 && h > 0, "grid needs positive dimensions");
+        let mut edges = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                let i = y * w + x;
+                if x + 1 < w {
+                    edges.push((i, i + 1));
+                }
+                if y + 1 < h {
+                    edges.push((i, i + w));
+                }
+            }
+        }
+        Self::from_edges(w * h, &edges)
+    }
+
+    /// Every pair of cells adjacent.
+    pub fn complete(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// The cells reachable from `cell` in one handoff, ascending.
+    pub fn neighbors(&self, cell: usize) -> &[usize] {
+        &self.adjacency[cell]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_endpoints_have_one_neighbor() {
+        let g = CellGraph::line(4);
+        assert_eq!(g.n_cells(), 4);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[2]);
+    }
+
+    #[test]
+    fn ring_wraps_and_degenerates_to_line() {
+        let g = CellGraph::ring(4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(3), &[0, 2]);
+        let two = CellGraph::ring(2);
+        assert_eq!(two.neighbors(0), &[1]);
+        assert_eq!(two.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn grid_connectivity() {
+        let g = CellGraph::grid(3, 2);
+        assert_eq!(g.n_cells(), 6);
+        // Corner, edge, and the middle of the top row.
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[0, 2, 4]);
+        assert_eq!(g.neighbors(4), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn complete_graph_is_all_pairs() {
+        let g = CellGraph::complete(4);
+        for c in 0..4 {
+            let expected: Vec<_> = (0..4).filter(|&o| o != c).collect();
+            assert_eq!(g.neighbors(c), expected.as_slice());
+        }
+    }
+
+    #[test]
+    fn single_cell_has_no_neighbors() {
+        let g = CellGraph::complete(1);
+        assert_eq!(g.n_cells(), 1);
+        assert!(g.neighbors(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        CellGraph::from_edges(2, &[(1, 1)]);
+    }
+}

@@ -26,6 +26,16 @@
 //! are inherently non-deterministic, so they are quarantined in
 //! [`ObserveSnapshot::timings`] and surface only in the summary table,
 //! never in the trace or the series.
+//!
+//! **Multi-cell runs.** The mesh layer (`sw-mesh`) gives each shard
+//! its own recorder labelled `<label>/cell<N>`, so per-cell traces
+//! never interleave and can be merged or diffed offline. Mesh cells
+//! additionally record the migration counter family — `migrations`
+//! (arrivals), `migrations_out`, `handoff_drops`,
+//! `cross_cell_registrations` — and append a per-interval `migrations`
+//! series column (arrivals settled at the preceding barrier);
+//! `trace_run -- mesh` writes one trace and series per cell plus a
+//! combined summary.
 
 pub mod event;
 pub mod hist;

@@ -20,7 +20,11 @@
 //!   updates at rate μ) and the per-interval Bernoulli sleep process
 //!   (probability `s` of being disconnected in an interval);
 //! * [`stats`] — streaming statistics (Welford mean/variance, counters,
-//!   fixed-bucket histograms) used by the metrics layer.
+//!   fixed-bucket histograms) used by the metrics layer;
+//! * [`runner`] — the order-preserving parallel sweep runner
+//!   ([`ParallelRunner`]) and the two deterministic seed-derivation
+//!   domains ([`cell_seed`] for figure sweeps, [`mesh_seed`] for mesh
+//!   shards).
 //!
 //! All randomness is deterministic given a master seed, which makes the
 //! integration tests and the figure-regeneration experiments replayable.
@@ -31,11 +35,13 @@
 pub mod event;
 pub mod process;
 pub mod rng;
+pub mod runner;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventQueue, ScheduledEvent};
 pub use process::{BernoulliIntervalProcess, IntervalClock, PoissonProcess};
 pub use rng::{MasterSeed, RngStream, StreamId};
+pub use runner::{cell_seed, mesh_seed, ParallelRunner};
 pub use stats::{Counter, Histogram, RatioEstimator, Welford};
 pub use time::{SimDuration, SimTime};

@@ -47,6 +47,15 @@ pub enum StreamId {
         /// Client index within the cell.
         index: u64,
     },
+    /// Mobility draws (cell-crossing decisions and destination picks)
+    /// for the mesh-global client `index`. Appended for the mesh layer:
+    /// single-cell runs never touch it, so every pre-mesh stream — and
+    /// therefore every committed figure artifact — is unchanged.
+    Mobility {
+        /// Global client index within the mesh (home cell × per-cell
+        /// population + home slot).
+        index: u64,
+    },
 }
 
 impl StreamId {
@@ -60,6 +69,7 @@ impl StreamId {
             StreamId::Database => (6, 0),
             StreamId::Custom { tag } => (7, tag),
             StreamId::Faults { index } => (8, index),
+            StreamId::Mobility { index } => (9, index),
         }
     }
 }
@@ -256,6 +266,35 @@ mod tests {
             let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
             assert_eq!(same, 0, "Faults stream collided with {other:?}");
         }
+    }
+
+    #[test]
+    fn mobility_streams_are_independent_of_existing_streams() {
+        let seed = MasterSeed(42);
+        // The mobility stream for global client g must collide with
+        // neither the same-index per-client streams nor the tag spaces
+        // that could alias its discriminant.
+        for other in [
+            StreamId::Queries { index: 3 },
+            StreamId::Sleep { index: 3 },
+            StreamId::Hotspot { index: 3 },
+            StreamId::Faults { index: 3 },
+            StreamId::Custom { tag: 3 },
+            StreamId::Custom { tag: 9 },
+        ] {
+            let mut a = seed.stream(StreamId::Mobility { index: 3 });
+            let mut b = seed.stream(other);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(same, 0, "Mobility stream collided with {other:?}");
+        }
+    }
+
+    #[test]
+    fn mobility_streams_differ_by_index() {
+        let seed = MasterSeed(7);
+        let mut a = seed.stream(StreamId::Mobility { index: 0 });
+        let mut b = seed.stream(StreamId::Mobility { index: 1 });
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]

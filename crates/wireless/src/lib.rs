@@ -17,6 +17,14 @@
 //! agree. [`delivery`] models §9's two addressing schemes (precise timer
 //! synchronization à la PRMA/MACAW vs multicast-address wakeup à la
 //! Ethernet/CDPD) and their client listening-cost consequences.
+//!
+//! **One channel per cell.** A [`BroadcastChannel`] is strictly
+//! cell-local: it never carries a bit for a unit in another cell. The
+//! mesh layer (`sw-mesh`) instantiates one per shard, which is what
+//! makes the cells independently steppable between migration barriers;
+//! a unit in transit between cells is on *no* channel for that
+//! interval, and the resulting report gap — not any cross-cell
+//! signalling — is what the caching strategies react to.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

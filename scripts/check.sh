@@ -29,13 +29,30 @@ cargo test --workspace --release -q --features faults
 echo "==> cargo clippy --workspace -D warnings (--features faults)"
 cargo clippy --workspace --all-targets --features faults -- -D warnings
 
+echo "==> cargo test --workspace (release, --features observe,faults)"
+# The combined build pins the observe-side SIG counters of the mesh
+# fault soak (fault_soak.rs) on top of both single-feature configs.
+cargo test --workspace --release -q --features observe,faults
+
 echo "==> fault-matrix smoke (fig_loss: loss 0/0.05/0.2 x TS/AT/SIG + burst)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features faults --bin fig_loss >/dev/null
+
+echo "==> mesh smoke (fig_mesh: migration-rate sweep, paper-consistent ordering asserted)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_mesh >/dev/null
+
+echo "==> figure artifact A/B guard: mesh seed domain must not move results/fig3.json"
+cargo test --release -q -p sw-experiments --test fig3_regression -- --ignored
 
 echo "==> bench smoke (criterion --test mode)"
 cargo bench -p sw-bench --bench hot_paths -- --test
 
 echo "==> bench smoke A/B: faults compiled in must not touch the hot paths"
 cargo bench -p sw-bench --bench hot_paths --features faults -- --test
+
+echo "==> bench smoke: mesh_step (sharded envelope vs single-cell baseline)"
+# The A/B guard for the mesh PR: hot_paths above exercises only the
+# single-cell driver and must stay green untouched; mesh_step measures
+# what the sharded envelope and the migration barrier add on top.
+cargo bench -p sw-bench --bench mesh_step -- --test
 
 echo "All checks passed."
