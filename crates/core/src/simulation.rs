@@ -536,7 +536,7 @@ impl CellSimulation {
                 piggyback_hits: piggyback,
                 item_universe: Some(params.n_items),
             };
-            let handler = strategy.make_handler(&params, protocol_seed, &db);
+            let handler = strategy.make_handler(&params, protocol_seed);
             let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
             let mut sleep_rng = config.seed.stream(StreamId::Sleep { index: idx });
             // Draw the unit's initial sleep run and schedule its first
@@ -1560,7 +1560,7 @@ impl CellSimulation {
             piggyback_hits: false,
             item_universe: Some(params.n_items),
         };
-        let handler = Strategy::NoCache.make_handler(params, self.config.protocol_seed(), &self.db);
+        let handler = Strategy::NoCache.make_handler(params, self.config.protocol_seed());
         let mut throwaway = MasterSeed(0).stream(StreamId::Custom { tag: 0xDEAD });
         let mut husk = MobileUnit::new(husk_config, handler, &mut throwaway);
         husk.enter_sleep();

@@ -130,7 +130,13 @@ impl Strategy {
     ///
     /// Adaptive TS is *not* constructed here — it needs the controller
     /// wiring the simulation owns; see `simulation::ServerSide`.
-    pub(crate) fn make_builder(
+    ///
+    /// Public because the live runtime (`sw-live`) constructs the same
+    /// builder/handler pairs the simulation does — the simulator is the
+    /// executable spec of the daemon, so both must derive identical
+    /// protocol state from a shared seed. Panics (`unreachable!`) for
+    /// the driver-constructed strategies (adaptive TS, stateful).
+    pub fn make_builder(
         &self,
         params: &ScenarioParams,
         seed: MasterSeed,
@@ -189,11 +195,14 @@ impl Strategy {
     }
 
     /// Builds one client's report handler.
-    pub(crate) fn make_handler(
+    ///
+    /// Public for the same reason as [`Strategy::make_builder`]: a live
+    /// MU must process reports with exactly the handler the simulated
+    /// MU would use.
+    pub fn make_handler(
         &self,
         params: &ScenarioParams,
         seed: MasterSeed,
-        db: &Database,
     ) -> Box<dyn ReportHandler + Send> {
         let latency = SimDuration::from_secs(params.latency_secs);
         match self {
@@ -208,7 +217,6 @@ impl Strategy {
                     SigPlan::DEFAULT_K,
                 );
                 let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
-                let _ = db; // handler derives everything from the shared plan
                 Box::new(SigHandler::new(sw_signature::SyndromeDecoder::new(
                     family, plan,
                 )))
@@ -284,7 +292,7 @@ mod tests {
             Strategy::NoCache,
         ] {
             let b = s.make_builder(&params, MasterSeed::TEST, &d);
-            let h = s.make_handler(&params, MasterSeed::TEST, &d);
+            let h = s.make_handler(&params, MasterSeed::TEST);
             assert_eq!(b.name(), h.name(), "strategy {s:?}");
         }
     }

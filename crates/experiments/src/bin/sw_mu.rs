@@ -1,0 +1,83 @@
+//! `sw-mu` — a live mobile-unit client.
+//!
+//! Connects to a running `sw-serve`, registers over TCP, listens for
+//! UDP invalidation reports, and runs the real [`sw_client`] cache
+//! against them: queries buffered until the next heard report, misses
+//! answered over the TCP uplink, per-strategy recovery on missed
+//! frames.
+//!
+//! Usage:
+//!
+//! ```text
+//! sw-mu --server ADDR [--index N] [--rx-drop P] [--audit]
+//!       [--strategy ts|at|sig|hyb] [--clients N] [--n-items N]
+//!       [--update-rate MU] [--s S] [--hotspot N] [--seed HEX]
+//!       [--observe LABEL]
+//! ```
+//!
+//! The cell flags must match the server's: both sides derive their
+//! deterministic streams from the same `CellConfig`. Exits 0 after the
+//! server halts the session, printing a one-line client summary.
+
+use std::net::SocketAddr;
+use std::process::exit;
+
+use sw_experiments::live_cli::{parse_cell_args, take_flag, take_switch};
+use sw_live::{run_mu, MuOptions};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let server: SocketAddr = take_flag(&mut args, "--server")
+        .unwrap_or_else(|| die("--server ADDR is required"))
+        .parse()
+        .unwrap_or_else(|e| die(&format!("--server: {e}")));
+    let index: usize = take_flag(&mut args, "--index")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--index: {e}"))))
+        .unwrap_or(0);
+    let rx_drop: f64 = take_flag(&mut args, "--rx-drop")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--rx-drop: {e}"))))
+        .unwrap_or(0.0);
+    let audit_cache = take_switch(&mut args, "--audit");
+    let cell = parse_cell_args(&mut args).unwrap_or_else(|e| die(&e));
+    if !args.is_empty() {
+        die(&format!("unrecognized arguments: {args:?}"));
+    }
+    if index >= cell.config.n_clients {
+        die(&format!(
+            "--index {index} out of range for --clients {}",
+            cell.config.n_clients
+        ));
+    }
+
+    let opts = MuOptions { rx_drop, audit_cache };
+    match run_mu(server, &cell.config, cell.strategy, index, opts) {
+        Ok(report) => {
+            let s = &report.stats;
+            println!(
+                "mu {} ({}): {} intervals ({} awake), {} queries \
+                 ({} hits, {} misses), {} reports heard, {} missed, \
+                 {} invalidated, {} cache drops",
+                report.index,
+                cell.strategy.name(),
+                report.rows.len(),
+                s.intervals_awake,
+                s.queries_posed,
+                s.hit_events,
+                s.miss_events,
+                report.reports_heard,
+                report.reports_missed,
+                s.items_invalidated,
+                s.cache_drops,
+            );
+            if let Some(snap) = report.observe {
+                println!("{}", sw_observe::summary(&snap));
+            }
+        }
+        Err(e) => die(&format!("session failed: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sw-mu: {msg}");
+    exit(2);
+}

@@ -1,0 +1,91 @@
+//! `sw-serve` — the live invalidation-report daemon.
+//!
+//! Boots a [`sw_live::LiveServer`]: TCP registration/uplink listener
+//! plus a UDP broadcast ticker emitting one invalidation report per
+//! interval, built by the same report builders the simulator uses.
+//!
+//! Usage:
+//!
+//! ```text
+//! sw-serve [--port N] [--intervals N] [--interval-ms N] [--lockstep]
+//!          [--announce FILE]
+//!          [--strategy ts|at|sig|hyb] [--clients N] [--n-items N]
+//!          [--update-rate MU] [--s S] [--hotspot N] [--seed HEX]
+//!          [--observe LABEL]
+//! ```
+//!
+//! The bound address is printed to stdout as `listening ADDR` before
+//! the first report goes out; `--announce FILE` additionally writes
+//! the bare `ADDR` to `FILE` so scripts can poll for it (the smoke leg
+//! of `scripts/check.sh` does exactly that). The daemon exits after
+//! `--intervals` reports and prints a one-line session summary.
+
+use std::net::SocketAddr;
+use std::process::exit;
+
+use sw_experiments::live_cli::{parse_cell_args, take_flag, take_switch};
+use sw_live::{LiveOptions, LiveServer};
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let port: u16 = take_flag(&mut args, "--port")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--port: {e}"))))
+        .unwrap_or(0);
+    let intervals: u64 = take_flag(&mut args, "--intervals")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--intervals: {e}"))))
+        .unwrap_or(600);
+    let interval_ms: u64 = take_flag(&mut args, "--interval-ms")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--interval-ms: {e}"))))
+        .unwrap_or(100);
+    let lockstep = take_switch(&mut args, "--lockstep");
+    let announce = take_flag(&mut args, "--announce");
+    let cell = parse_cell_args(&mut args).unwrap_or_else(|e| die(&e));
+    if !args.is_empty() {
+        die(&format!("unrecognized arguments: {args:?}"));
+    }
+
+    let bind: SocketAddr = ([127, 0, 0, 1], port).into();
+    let opts = if lockstep {
+        LiveOptions::lockstep(intervals)
+    } else {
+        LiveOptions::paced(intervals, interval_ms)
+    }
+    .with_bind(bind);
+
+    let handle = LiveServer::spawn(cell.config, cell.strategy, opts)
+        .unwrap_or_else(|e| die(&format!("could not start server: {e}")));
+    let addr = handle.addr();
+    println!("listening {addr}");
+    if let Some(path) = announce {
+        if let Err(e) = std::fs::write(&path, format!("{addr}\n")) {
+            eprintln!("sw-serve: could not write announce file {path}: {e}");
+            handle.shutdown();
+            let _ = handle.wait();
+            exit(1);
+        }
+    }
+
+    match handle.wait() {
+        Ok(report) => {
+            println!(
+                "served {} intervals ({}): {} datagrams, {} report bytes, \
+                 {} updates, {} uplink answers",
+                report.intervals,
+                cell.strategy.name(),
+                report.datagrams_sent,
+                report.report_bytes,
+                report.updates_applied,
+                report.uplink_answers,
+            );
+            if let Some(snap) = report.observe {
+                println!("{}", sw_observe::summary(&snap));
+            }
+        }
+        Err(e) => die(&format!("session failed: {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sw-serve: {msg}");
+    exit(2);
+}

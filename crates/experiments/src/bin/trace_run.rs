@@ -3,12 +3,15 @@
 //! series CSV, and the end-of-run summary table.
 //!
 //! Usage: `cargo run --release -p sw-experiments --features observe \
-//!   --bin trace_run -- [figure|mesh]` (defaults to figure 3;
+//!   --bin trace_run -- [figure|mesh|live]` (defaults to figure 3;
 //!   `SW_FAST=1` uses the quick settings). Figure artifacts land in
 //! `results/` as `trace_fig<N>.trace.ndjson`, `trace_fig<N>.series.csv`,
 //! and `trace_fig<N>.summary.txt`; the `mesh` argument traces a 2-cell
 //! mesh with Markov mobility instead, writing per-cell artifacts
-//! (`trace_mesh.cell<C>.*`) plus one combined summary. Mesh traces
+//! (`trace_mesh.cell<C>.*`) plus one combined summary; the `live`
+//! argument runs a real `sw-live` session over loopback sockets in
+//! lockstep pacing and writes its merged server+client trace
+//! (`trace_live.*`). Mesh traces
 //! carry the handoff counter family (`migrations`, `migrations_out`,
 //! `handoff_drops`, `cross_cell_registrations`) and a per-cell
 //! `migrations` series column.
@@ -97,6 +100,81 @@ fn trace_mesh(fast: bool) {
     }
 }
 
+/// Runs a real `sw-live` session — TCP registration, UDP report
+/// datagrams, uplink round-trips over loopback sockets — in lockstep
+/// pacing, and writes its combined trace (server recorder merged with
+/// every mobile unit's, in index order) through the same observe
+/// tooling as the figure and mesh traces.
+fn trace_live(fast: bool) {
+    use sw_live::{run_mu, LiveOptions, LiveServer, MuOptions};
+
+    let intervals = if fast { 80 } else { 320 };
+    let clients = 6;
+    let mut params = ScenarioParams::scenario1().with_s(0.4);
+    params.n_items = 400;
+    params.mu = 2e-3;
+    params.k = 10;
+    let mut config = CellConfig::new(params)
+        .with_clients(clients)
+        .with_hotspot_size(20)
+        .with_seed(0x11FE_7ACE)
+        .with_observe("live");
+    if let Some(plan) = fault_plan() {
+        config = config.with_faults(plan);
+    }
+    eprintln!("tracing live session: {clients} MUs, TS, lockstep, {intervals} intervals ...");
+
+    let handle = LiveServer::spawn(
+        config.clone(),
+        Strategy::BroadcastTimestamps,
+        LiveOptions::lockstep(intervals),
+    )
+    .expect("spawn live server");
+    let addr = handle.addr();
+    // A seeded receiver-side drop rate so the recovery path runs and
+    // the `report_missed` event family shows up in the NDJSON trace.
+    let opts = MuOptions {
+        rx_drop: 0.08,
+        ..MuOptions::default()
+    };
+    let workers: Vec<_> = (0..clients)
+        .map(|idx| {
+            let config = config.clone();
+            std::thread::spawn(move || {
+                run_mu(addr, &config, Strategy::BroadcastTimestamps, idx, opts)
+            })
+        })
+        .collect();
+    let reports: Vec<_> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread").expect("client session"))
+        .collect();
+    let server = handle.wait().expect("server session");
+
+    let Some(mut snap) = server.observe else {
+        no_observe_bail("live");
+    };
+    for report in reports {
+        let Some(mu_snap) = report.observe else {
+            no_observe_bail("live");
+        };
+        snap.merge(mu_snap);
+    }
+
+    let summary = sw_observe::summary(&snap);
+    println!("{summary}");
+    for (suffix, body) in [
+        ("trace.ndjson", snap.to_ndjson()),
+        ("series.csv", snap.series_csv()),
+        ("summary.txt", summary),
+    ] {
+        match write_text(&format!("trace_live.{suffix}"), &body) {
+            Ok(f) => println!("wrote {}", f.path.display()),
+            Err(e) => eprintln!("could not write trace_live.{suffix}: {e}"),
+        }
+    }
+}
+
 fn main() {
     let arg = std::env::args().nth(1);
     let fast = std::env::var("SW_FAST").is_ok();
@@ -104,9 +182,13 @@ fn main() {
         trace_mesh(fast);
         return;
     }
+    if arg.as_deref() == Some("live") {
+        trace_live(fast);
+        return;
+    }
 
     let figure: u8 = arg
-        .map(|a| a.parse().expect("argument must be `mesh` or a figure in 3..=8"))
+        .map(|a| a.parse().expect("argument must be `mesh`, `live`, or a figure in 3..=8"))
         .unwrap_or(3);
     let mut settings = if fast {
         SimSettings::quick()

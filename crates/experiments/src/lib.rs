@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod live_cli;
 pub mod plot;
 pub mod results;
 pub mod runner;

@@ -1,0 +1,103 @@
+//! Shared flag parsing for the `sw-serve` / `sw-mu` binaries.
+//!
+//! Both sides of a live session must build the *same* [`CellConfig`]
+//! — the client derives its query/sleep/fault streams from it, the
+//! server its database/update/signature streams — so both binaries
+//! accept the same cell flags and this module owns their meaning.
+
+use sleepers::{CellConfig, Strategy};
+use sw_workload::ScenarioParams;
+
+/// Cell flags common to `sw-serve` and `sw-mu`.
+#[derive(Debug, Clone)]
+pub struct LiveCellArgs {
+    /// The assembled cell configuration.
+    pub config: CellConfig,
+    /// The broadcast strategy.
+    pub strategy: Strategy,
+}
+
+/// Parses `--strategy/--clients/--n-items/--lambda/--update-rate/--s/
+/// --seed/--hotspot/--observe` out of `args`, consuming the flags it
+/// recognizes and leaving the rest for the caller. Unrecognized
+/// `--flags` with values are left in place.
+pub fn parse_cell_args(args: &mut Vec<String>) -> Result<LiveCellArgs, String> {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 500;
+    params.mu = 1e-3;
+    let mut strategy = Strategy::BroadcastTimestamps;
+    let mut clients = 4usize;
+    let mut hotspot = 25usize;
+    let mut seed = 0x11FE_5EEDu64;
+    let mut observe: Option<String> = None;
+
+    let mut rest = Vec::with_capacity(args.len());
+    let mut it = std::mem::take(args).into_iter();
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--strategy" => {
+                strategy = match take()?.as_str() {
+                    "ts" => Strategy::BroadcastTimestamps,
+                    "at" => Strategy::AmnesicTerminals,
+                    "sig" => Strategy::Signatures,
+                    "hyb" => Strategy::HybridSig { hot_count: 50 },
+                    other => return Err(format!("unknown strategy {other} (ts|at|sig|hyb)")),
+                }
+            }
+            "--clients" => clients = take()?.parse().map_err(|e| format!("--clients: {e}"))?,
+            "--n-items" => {
+                params.n_items = take()?.parse().map_err(|e| format!("--n-items: {e}"))?
+            }
+            "--lambda" => params.lambda = take()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--update-rate" => {
+                params.mu = take()?.parse().map_err(|e| format!("--update-rate: {e}"))?
+            }
+            "--s" => params.s = take()?.parse().map_err(|e| format!("--s: {e}"))?,
+            "--hotspot" => hotspot = take()?.parse().map_err(|e| format!("--hotspot: {e}"))?,
+            "--seed" => {
+                let v = take()?;
+                seed = u64::from_str_radix(v.trim_start_matches("0x"), 16)
+                    .or_else(|_| v.parse())
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--observe" => observe = Some(take()?),
+            _ => rest.push(flag),
+        }
+    }
+    *args = rest;
+
+    let mut config = CellConfig::new(params)
+        .with_clients(clients)
+        .with_hotspot_size(hotspot)
+        .with_seed(seed);
+    if let Some(label) = observe {
+        config = config.with_observe(&label);
+    }
+    Ok(LiveCellArgs { config, strategy })
+}
+
+/// Pulls the value of one `--flag value` pair out of `args`, if
+/// present.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let at = args.iter().position(|a| a == flag)?;
+    if at + 1 >= args.len() {
+        return None;
+    }
+    args.remove(at);
+    Some(args.remove(at))
+}
+
+/// True iff the bare `--flag` is present (and removes it).
+pub fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(at) => {
+            args.remove(at);
+            true
+        }
+        None => false,
+    }
+}

@@ -1,0 +1,631 @@
+//! The live mobile-unit: a real `crates/client` cache behind real
+//! sockets.
+//!
+//! [`LiveMu`] is the transport-free core: it replicates, stream for
+//! stream, the per-client construction and per-interval call sequence
+//! of `CellSimulation` (hotspot draw, query generation, the strategy's
+//! report handler, the sleep-run schedule, and — when armed — the
+//! fault layer's per-client fate draws), so that a live unit fed the
+//! same seed and the same report bytes makes byte-identical decisions
+//! to its simulated twin. That identity is what the conformance
+//! harness pins (see [`crate::conformance`]).
+//!
+//! [`run_mu`] wraps the core in the actual transport: a TCP control
+//! connection to `sw-serve` (registration, uplink queries, lockstep
+//! barriers) and a UDP socket listening for the periodic invalidation
+//! reports. Queries buffer in the unit until the next heard report
+//! answers them locally or sends them uplink — the paper's latency
+//! rule (§2) — and a missed or corrupt report triggers the strategy's
+//! own recovery at the next intact one.
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use sleepers::safety::ValueHistory;
+use sleepers::{CellConfig, Strategy};
+use sw_client::handler::{time_from_micros, time_to_micros};
+use sw_client::{MobileUnit, MuConfig, MuStats};
+use sw_faults::{FaultLayer, ReportFate};
+use sw_observe::{ObserveSnapshot, Recorder};
+use sw_server::uplink::{PiggybackInfo, QueryAnswer};
+use sw_sim::{IntervalClock, RngStream, SimDuration, StreamId};
+use sw_wireless::frame::{
+    checksum64, flip_bit, open_frame, seal_frame, FramePayload, WireDecodeError, WireEncode,
+};
+use sw_wireless::ReportDelivery;
+use sw_workload::HotspotSpec;
+
+use crate::proto::{DecisionRow, Msg};
+
+/// Rng-stream tag for the live-level receive-drop injector (soak
+/// tests): deliberately *not* a `StreamId::Faults` stream, so it can
+/// model OS-level datagram loss without touching the decision streams.
+const RX_DROP_TAG: u64 = 0xD809_0000;
+
+/// Transport-free replica of one simulated client.
+///
+/// Construction consumes exactly the streams the simulator consumes
+/// for client `index` (hotspot, query, sleep, and the fault streams),
+/// and each method mirrors one phase of `CellSimulation::step` for
+/// that client. Timestamps cross the wire as integer microseconds and
+/// convert back via [`time_from_micros`], which round-trips exactly
+/// whenever `L·10⁶` is integral.
+pub struct LiveMu {
+    mu: MobileUnit,
+    query_rng: RngStream,
+    sleep_rng: RngStream,
+    faults: FaultLayer,
+    delivery: ReportDelivery,
+    clock: IntervalClock,
+    encode: WireEncode,
+    index: usize,
+    next_wake: u64,
+    last_settled: u64,
+    prev: MuStats,
+}
+
+impl LiveMu {
+    /// Builds the unit exactly as `CellSimulation::new` builds client
+    /// `index` of this configuration: same stream ids, same draw
+    /// order, same initial sleep run.
+    pub fn new(cfg: &CellConfig, strategy: Strategy, index: usize) -> Self {
+        let params = cfg.params;
+        let idx = index as u64;
+        let spec = HotspotSpec::new(params.n_items, cfg.hotspot_size, cfg.popularity);
+        let mut hotspot_rng = cfg.seed.stream(StreamId::Hotspot { index: idx });
+        let hotspot = spec.draw(&mut hotspot_rng);
+        let mut query_rng = cfg.seed.stream(StreamId::Queries { index: idx });
+        let sleep_probability = match &cfg.sleep_profile {
+            Some(profile) => profile[index % profile.len()],
+            None => params.s,
+        };
+        let mu_config = MuConfig {
+            id: idx,
+            hotspot,
+            query_rate_per_item: params.lambda,
+            sleep_probability,
+            cache_capacity: cfg.cache_capacity,
+            piggyback_hits: cfg.piggyback_hits,
+            item_universe: Some(params.n_items),
+        };
+        let handler = strategy.make_handler(&params, cfg.protocol_seed());
+        let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
+        let mut sleep_rng = cfg.seed.stream(StreamId::Sleep { index: idx });
+        let k0 = mu.draw_sleep_run(&mut sleep_rng);
+        if k0 > 0 {
+            mu.enter_sleep();
+        }
+        let next_wake = if k0 == u64::MAX {
+            u64::MAX
+        } else {
+            1u64.saturating_add(k0)
+        };
+        let prev = mu.stats();
+        Self {
+            mu,
+            query_rng,
+            sleep_rng,
+            // The full-fleet layer (same per-client streams as the
+            // simulator's); this unit only ever consumes slot `index`.
+            faults: FaultLayer::new(cfg.faults.as_ref(), cfg.seed, cfg.n_clients),
+            delivery: ReportDelivery::new(cfg.delivery),
+            clock: IntervalClock::new(SimDuration::from_secs(params.latency_secs)),
+            encode: WireEncode::new(
+                params.n_items,
+                params.timestamp_bits,
+                params.query_bits,
+                params.answer_bits,
+            ),
+            index,
+            next_wake,
+            last_settled: 0,
+            prev,
+        }
+    }
+
+    /// First interval the unit will be awake for (`u64::MAX`: never).
+    pub fn next_wake(&self) -> u64 {
+        self.next_wake
+    }
+
+    /// The report timestamp the server stamps on interval `i`'s
+    /// report, in wire microseconds — the tag live receivers filter
+    /// stale datagrams by.
+    pub fn expected_report_micros(&self, i: u64) -> u64 {
+        time_to_micros(self.clock.report_time(i))
+    }
+
+    /// The all-zero decision row an asleep interval contributes.
+    pub fn asleep_row(&self, i: u64) -> DecisionRow {
+        DecisionRow {
+            interval: i,
+            ..DecisionRow::default()
+        }
+    }
+
+    /// Opens interval `i` for an awake unit: lazily credits the sleep
+    /// run that just ended and generates the interval's query arrivals
+    /// — the simulator's phase 1 for this client.
+    pub fn begin_interval(&mut self, i: u64) {
+        debug_assert!(i >= self.next_wake, "begin_interval before the scheduled wake");
+        self.prev = self.mu.stats();
+        let slept = i - self.last_settled - 1;
+        if slept > 0 {
+            self.mu.credit_asleep_intervals(slept);
+        }
+        self.last_settled = i;
+        let from = self.clock.report_time(i - 1);
+        let to = self.clock.report_time(i);
+        self.mu.begin_awake_interval(from, to, &mut self.query_rng);
+    }
+
+    /// Draws this interval's delivery fate from the unit's own fault
+    /// stream (always [`ReportFate::Heard`] when no plan is armed) —
+    /// the simulator's phase-4 pre-listen draw.
+    pub fn report_fate(&mut self, i: u64) -> ReportFate {
+        if !self.faults.is_active() {
+            return ReportFate::Heard;
+        }
+        let delivery = self.delivery;
+        self.faults
+            .report_fate(self.index, i, |drift| delivery.misses_with_drift(drift))
+    }
+
+    /// Processes a received report *frame* (datagram minus checksum
+    /// trailer) under the drawn fate. A `Corrupted` fate flips the
+    /// same bit the simulator would flip in these bytes, verifies the
+    /// checksum catches it, and misses the report; `Heard` decodes and
+    /// applies it, returning the uplink requests the report could not
+    /// satisfy locally.
+    pub fn hear_frame(
+        &mut self,
+        frame: &[u8],
+        fate: ReportFate,
+    ) -> Result<Vec<(u64, Option<PiggybackInfo>)>, WireDecodeError> {
+        match fate {
+            ReportFate::Corrupted => {
+                let clean = checksum64(frame);
+                let mut damaged = frame.to_vec();
+                let bit = self
+                    .faults
+                    .corrupt_bit_index(self.index, damaged.len() as u64 * 8);
+                flip_bit(&mut damaged, bit);
+                if checksum64(&damaged) == clean {
+                    self.faults.note_undetected_corruption();
+                }
+                self.mu.miss_report();
+                Ok(Vec::new())
+            }
+            ReportFate::Lost | ReportFate::DriftMissed => {
+                self.mu.miss_report();
+                Ok(Vec::new())
+            }
+            ReportFate::Heard => {
+                let decoded = self.encode.deserialize(frame)?;
+                let outcome = self.mu.hear_report_and_answer(&decoded.payload);
+                Ok(outcome.uplink_requests)
+            }
+        }
+    }
+
+    /// Records a report that never arrived (loss, drift, a receive
+    /// timeout): pending queries stay queued for the next report.
+    pub fn miss_report(&mut self) {
+        self.mu.miss_report();
+    }
+
+    /// Serializes and seals an uplink query frame for `item`.
+    pub fn query_frame(&self, item: u64) -> Vec<u8> {
+        let payload = FramePayload::UplinkQuery {
+            client: self.index as u64,
+            item,
+        };
+        seal_frame(self.encode.serialize_payload(&payload))
+    }
+
+    /// Opens, decodes, and installs an uplink answer datagram.
+    pub fn install_answer_frame(&mut self, datagram: &[u8]) -> Result<(), WireDecodeError> {
+        let frame = open_frame(datagram)?;
+        let decoded = self.encode.deserialize(frame)?;
+        let FramePayload::QueryAnswer {
+            item,
+            value,
+            ts_micros,
+        } = decoded.payload
+        else {
+            return Err(WireDecodeError::Malformed("expected a query answer"));
+        };
+        self.mu.install_answer(QueryAnswer {
+            item,
+            value,
+            timestamp: time_from_micros(ts_micros),
+        });
+        Ok(())
+    }
+
+    /// Closes interval `i`: computes the decision row from the stat
+    /// deltas, then draws the next sleep run and schedules the wake —
+    /// the simulator's phase 8 for this client.
+    pub fn end_interval(&mut self, i: u64) -> DecisionRow {
+        let s = self.mu.stats();
+        let row = DecisionRow {
+            interval: i,
+            awake: true,
+            heard: s.reports_missed == self.prev.reports_missed,
+            queries: s.queries_posed - self.prev.queries_posed,
+            hits: s.hit_events - self.prev.hit_events,
+            misses: s.miss_events - self.prev.miss_events,
+            invalidated: s.items_invalidated - self.prev.items_invalidated,
+            drops: s.cache_drops - self.prev.cache_drops,
+        };
+        let k = self.mu.draw_sleep_run(&mut self.sleep_rng);
+        if k > 0 {
+            self.mu.enter_sleep();
+        }
+        self.next_wake = if k == u64::MAX {
+            u64::MAX
+        } else {
+            (i + 1).saturating_add(k)
+        };
+        row
+    }
+
+    /// Cumulative client statistics.
+    pub fn stats(&self) -> MuStats {
+        self.mu.stats()
+    }
+
+    /// The cell's wire-encoding parameters.
+    pub fn encoder(&self) -> WireEncode {
+        self.encode
+    }
+
+    /// Snapshot of every cache entry as `(item, value, wire-micros
+    /// validity timestamp)` — the live analogue of the simulator's
+    /// phase-6 safety sweep, audited against the server's
+    /// [`ValueHistory`] after the run.
+    pub fn cache_snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let cache = self.mu.cache();
+        cache
+            .sorted_items()
+            .into_iter()
+            .map(|item| {
+                let entry = cache.peek(item).expect("iterating cached items");
+                (item, entry.value, time_to_micros(entry.timestamp))
+            })
+            .collect()
+    }
+}
+
+/// One audited cache entry from one awake interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAuditRow {
+    /// Interval the snapshot was taken at.
+    pub interval: u64,
+    /// Cached item.
+    pub item: u64,
+    /// Cached value.
+    pub value: u64,
+    /// Validity timestamp, wire microseconds.
+    pub ts_micros: u64,
+}
+
+/// Audits recorded cache entries against the server's value history;
+/// returns `(entries_checked, violations)` — the live analogue of the
+/// simulator's `SafetyStats`.
+pub fn audit_against_history(history: &ValueHistory, audit: &[CacheAuditRow]) -> (u64, u64) {
+    let mut violations = 0u64;
+    for row in audit {
+        if !history.is_consistent(row.item, row.value, time_from_micros(row.ts_micros)) {
+            violations += 1;
+        }
+    }
+    (audit.len() as u64, violations)
+}
+
+/// Options for [`run_mu`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MuOptions {
+    /// Probability of deliberately dropping each interval's report
+    /// datagram at the receiver (seeded, live-level; models OS-side
+    /// UDP loss for the soak test). Zero disables.
+    pub rx_drop: f64,
+    /// Record a per-interval cache snapshot for the staleness audit.
+    pub audit_cache: bool,
+}
+
+/// What one live client brings home.
+pub struct LiveMuReport {
+    /// Fleet index.
+    pub index: usize,
+    /// One decision row per interval, `1..=intervals`.
+    pub rows: Vec<DecisionRow>,
+    /// Cumulative client statistics.
+    pub stats: MuStats,
+    /// Cache snapshots, when [`MuOptions::audit_cache`] was set.
+    pub audit: Vec<CacheAuditRow>,
+    /// Reports received intact over the socket.
+    pub reports_heard: u64,
+    /// Awake intervals with no intact report (lost, dropped, corrupt,
+    /// or timed out).
+    pub reports_missed: u64,
+    /// Instrumentation snapshot (`observe` feature + configured label).
+    pub observe: Option<ObserveSnapshot>,
+}
+
+/// How long past the nominal broadcast instant a paced client keeps
+/// listening before declaring the report missed.
+fn paced_grace(interval: Duration) -> Duration {
+    interval / 2
+}
+
+fn other_err(what: String) -> io::Error {
+    io::Error::other(what)
+}
+
+/// Runs one live client session against an `sw-serve` daemon at
+/// `server`: registers, listens for every report it is awake for,
+/// answers queries from cache or uplink, and plays the strategy's own
+/// recovery on every miss. Returns once the server halts the session.
+///
+/// `cfg`/`strategy`/`index` must match the server's configuration —
+/// the client derives its query/sleep/fault streams from them, which
+/// is exactly what makes the session reproducible.
+pub fn run_mu(
+    server: SocketAddr,
+    cfg: &CellConfig,
+    strategy: Strategy,
+    index: usize,
+    opts: MuOptions,
+) -> io::Result<LiveMuReport> {
+    let mut obs = match &cfg.observe {
+        Some(label) => Recorder::enabled(format!("{label}.mu{index}")),
+        None => Recorder::disabled(),
+    };
+    let mut live = LiveMu::new(cfg, strategy, index);
+    let mut rx_drop_rng = (opts.rx_drop > 0.0)
+        .then(|| cfg.seed.stream(StreamId::Custom { tag: RX_DROP_TAG ^ index as u64 }));
+
+    let tcp = TcpStream::connect(server)?;
+    tcp.set_nodelay(true)?;
+    let udp = UdpSocket::bind(("127.0.0.1", 0))?;
+    let udp_port = udp.local_addr()?.port();
+    let mut reader = BufReader::new(tcp.try_clone()?);
+    let writer = Arc::new(Mutex::new(BufWriter::new(tcp)));
+    let send = |msg: &Msg| -> io::Result<()> {
+        msg.write_to(&mut *writer.lock().expect("writer lock poisoned"))
+    };
+
+    send(&Msg::Hello {
+        index: index as u32,
+        udp_port,
+    })?;
+    let (interval_ms, intervals, lockstep) = match Msg::read_from(&mut reader)? {
+        Msg::Welcome {
+            interval_ms,
+            intervals,
+            lockstep,
+        } => (interval_ms, intervals, lockstep),
+        other => return Err(other_err(format!("expected Welcome, got {other:?}"))),
+    };
+    let interval = Duration::from_millis(interval_ms.max(1));
+    let t0 = Instant::now();
+
+    let mut rows = Vec::with_capacity(intervals as usize);
+    let mut reports_heard = 0u64;
+    let mut reports_missed = 0u64;
+    let mut audit = Vec::new();
+    // A datagram for a future interval, pulled off the socket while
+    // hunting for the current one (paced mode only).
+    let mut lookahead: Option<(u64, Vec<u8>)> = None;
+    let mut halted = false;
+
+    'session: for i in 1..=intervals {
+        if lockstep {
+            match Msg::read_from(&mut reader)? {
+                Msg::Start { interval } if interval == i => {}
+                Msg::Halt => break 'session,
+                other => return Err(other_err(format!("expected Start({i}), got {other:?}"))),
+            }
+        }
+        if i < live.next_wake() {
+            // Asleep: no listening, no rng draws — the simulator's
+            // sleepers cost nothing per interval either.
+            let row = live.asleep_row(i);
+            rows.push(row);
+            if lockstep {
+                send(&Msg::Done { row })?;
+            } else {
+                sleep_until(t0 + interval * i as u32);
+            }
+            continue;
+        }
+
+        live.begin_interval(i);
+        let fate = live.report_fate(i);
+        let expected = live.expected_report_micros(i);
+        // Live-level receive drop (soak): the datagram is simply never
+        // read; a fate that already missed the report skips the socket
+        // too (the bytes go stale and are discarded by timestamp). A
+        // corruption fate still needs the real bytes to flip.
+        let dropped_rx = match rx_drop_rng.as_mut() {
+            Some(rng) => rng.uniform() < opts.rx_drop,
+            None => false,
+        };
+        let wants_bytes = fate == ReportFate::Heard && !dropped_rx || fate == ReportFate::Corrupted;
+        let deadline = if lockstep {
+            Instant::now() + Duration::from_secs(5)
+        } else {
+            t0 + interval * i as u32 + paced_grace(interval)
+        };
+        let datagram = if wants_bytes {
+            recv_report(&udp, live.encoder(), expected, deadline, &mut lookahead)?
+        } else {
+            None
+        };
+        let requests = match &datagram {
+            Some(frame) => live
+                .hear_frame(frame, fate)
+                .map_err(|e| other_err(format!("undecodable report: {e}")))?,
+            None => {
+                live.miss_report();
+                Vec::new()
+            }
+        };
+        let heard = datagram.is_some() && fate == ReportFate::Heard;
+        if heard {
+            reports_heard += 1;
+        } else {
+            reports_missed += 1;
+            obs.event(i, "report_missed", &[]);
+        }
+        for (item, _piggyback) in requests {
+            // Piggybacked hit histories are an adaptive-strategy input;
+            // the live wire carries the plain query (static strategies
+            // never read them server-side).
+            send(&Msg::Query {
+                frame: live.query_frame(item),
+            })?;
+            match Msg::read_from(&mut reader)? {
+                Msg::Answer { frame } => live
+                    .install_answer_frame(&frame)
+                    .map_err(|e| other_err(format!("undecodable answer: {e}")))?,
+                Msg::Halt => {
+                    halted = true;
+                    break 'session;
+                }
+                other => return Err(other_err(format!("expected Answer, got {other:?}"))),
+            }
+        }
+        let row = live.end_interval(i);
+        rows.push(row);
+        if opts.audit_cache {
+            audit.extend(live.cache_snapshot().into_iter().map(|(item, value, ts)| {
+                CacheAuditRow {
+                    interval: i,
+                    item,
+                    value,
+                    ts_micros: ts,
+                }
+            }));
+        }
+        if lockstep {
+            send(&Msg::Done { row })?;
+        }
+    }
+    if !halted {
+        let _ = send(&Msg::Bye);
+    }
+
+    let stats = live.stats();
+    if obs.is_enabled() {
+        obs.add("queries", stats.queries_posed);
+        obs.add("hits", stats.hit_events);
+        obs.add("misses", stats.miss_events);
+        obs.add("reports_heard", reports_heard);
+        obs.add("reports_missed", reports_missed);
+        obs.add("cache_drops", stats.cache_drops);
+        obs.add("items_invalidated", stats.items_invalidated);
+    }
+    Ok(LiveMuReport {
+        index,
+        rows,
+        stats,
+        audit,
+        reports_heard,
+        reports_missed,
+        observe: obs.snapshot(),
+    })
+}
+
+/// Pulls datagrams off the socket until one decodes to a report
+/// stamped `expected` micros, the deadline passes, or a *future*
+/// report shows up (stashed in `lookahead`; the current one is then
+/// declared missed). Stale or undecodable datagrams are discarded.
+fn recv_report(
+    udp: &UdpSocket,
+    encode: WireEncode,
+    expected: u64,
+    deadline: Instant,
+    lookahead: &mut Option<(u64, Vec<u8>)>,
+) -> io::Result<Option<Vec<u8>>> {
+    if let Some((ts, _)) = lookahead {
+        if *ts == expected {
+            return Ok(lookahead.take().map(|(_, frame)| frame));
+        }
+        if *ts > expected {
+            return Ok(None);
+        }
+        *lookahead = None;
+    }
+    // UDP bounds a datagram at 64 KiB; a live report must fit one
+    // (the paper's reports are small by design — §3 sizes them in
+    // hundreds of bits; even a full Scenario-1 TS window is ~4 KiB).
+    let mut buf = vec![0u8; 1 << 16];
+    loop {
+        let now = Instant::now();
+        let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+        else {
+            return Ok(None);
+        };
+        udp.set_read_timeout(Some(remaining))?;
+        let n = match udp.recv(&mut buf) {
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e),
+        };
+        let Ok(frame) = open_frame(&buf[..n]) else {
+            continue; // line noise: failed the checksum
+        };
+        let Some(ts) = report_stamp_micros(&encode, frame) else {
+            continue; // not a report frame
+        };
+        match ts.cmp(&expected) {
+            std::cmp::Ordering::Equal => return Ok(Some(frame.to_vec())),
+            std::cmp::Ordering::Less => continue, // stale: slept/missed past it
+            std::cmp::Ordering::Greater => {
+                *lookahead = Some((ts, frame.to_vec()));
+                return Ok(None);
+            }
+        }
+    }
+}
+
+/// Decodes a frame far enough to read a report's timestamp stamp —
+/// the tag live receivers discard stale datagrams by. `None` for
+/// non-report traffic or undecodable bytes (reports are small by
+/// design, §3, so the full decode is cheap).
+fn report_stamp_micros(encode: &WireEncode, frame: &[u8]) -> Option<u64> {
+    match encode.deserialize(frame).ok()?.payload {
+        FramePayload::TimestampReport {
+            report_ts_micros, ..
+        }
+        | FramePayload::AmnesicReport {
+            report_ts_micros, ..
+        }
+        | FramePayload::SignatureReport {
+            report_ts_micros, ..
+        }
+        | FramePayload::AdaptiveTimestampReport {
+            report_ts_micros, ..
+        }
+        | FramePayload::HybridReport {
+            report_ts_micros, ..
+        } => Some(report_ts_micros),
+        _ => None,
+    }
+}
+
+fn sleep_until(at: Instant) {
+    let now = Instant::now();
+    if let Some(d) = at.checked_duration_since(now) {
+        std::thread::sleep(d);
+    }
+}

@@ -1,0 +1,383 @@
+//! The TCP control protocol between `sw-serve` and its clients.
+//!
+//! Everything that is *not* the broadcast report rides a plain
+//! length-prefixed TCP connection: client registration, uplink query
+//! exchanges (the paper's point-to-point fallback channel, §2), update
+//! ingestion, and the lockstep barrier the conformance harness uses to
+//! replace wall-clock pacing with deterministic turn-taking.
+//!
+//! Message layout: `u32` big-endian body length, then a one-byte tag,
+//! then the tag-specific body. Uplink queries and answers carry a
+//! *sealed wire frame* — the same checksummed bytes
+//! ([`sw_wireless::frame::seal_frame`]) the simulator charges to the
+//! channel — so the codec under test on the UDP path is also the codec
+//! on the TCP path.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single control message, far above any real frame
+/// (a full 10⁶-item report is ~8 MB; queries and rows are tens of
+/// bytes). Guards the length prefix against garbage peers.
+pub const MAX_MESSAGE: usize = 64 << 20;
+
+/// One client's decisions for one broadcast interval — the unit of the
+/// sim-vs-live conformance comparison. Every counter is the delta of
+/// the corresponding [`sw_client::MuStats`] field across the interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecisionRow {
+    /// The broadcast interval index `i` (report time `T_i = i·L`).
+    pub interval: u64,
+    /// Whether the unit was awake for this interval.
+    pub awake: bool,
+    /// Whether an intact report was heard (always `false` when asleep).
+    pub heard: bool,
+    /// Queries posed during the interval.
+    pub queries: u64,
+    /// Query events answered from cache at the report.
+    pub hits: u64,
+    /// Query events that went uplink.
+    pub misses: u64,
+    /// Items invalidated by the report.
+    pub invalidated: u64,
+    /// Whole-cache drops (AT disconnection rule, TS window overrun).
+    pub drops: u64,
+}
+
+impl DecisionRow {
+    /// Serialized width: interval + flags byte + five counters.
+    pub const WIRE_LEN: usize = 8 + 1 + 5 * 8;
+
+    /// Fixed-width big-endian encoding; decision logs are compared as
+    /// the concatenation of these.
+    pub fn to_bytes(&self) -> [u8; Self::WIRE_LEN] {
+        let mut out = [0u8; Self::WIRE_LEN];
+        out[0..8].copy_from_slice(&self.interval.to_be_bytes());
+        out[8] = (self.awake as u8) | ((self.heard as u8) << 1);
+        for (slot, v) in [
+            self.queries,
+            self.hits,
+            self.misses,
+            self.invalidated,
+            self.drops,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out[9 + slot * 8..17 + slot * 8].copy_from_slice(&v.to_be_bytes());
+        }
+        out
+    }
+
+    /// Inverse of [`DecisionRow::to_bytes`].
+    pub fn from_bytes(b: &[u8]) -> io::Result<Self> {
+        if b.len() != Self::WIRE_LEN {
+            return Err(bad_data("decision row length"));
+        }
+        let word = |i: usize| u64::from_be_bytes(b[i..i + 8].try_into().unwrap());
+        if b[8] & !0b11 != 0 {
+            return Err(bad_data("decision row flags"));
+        }
+        Ok(Self {
+            interval: word(0),
+            awake: b[8] & 1 != 0,
+            heard: b[8] & 2 != 0,
+            queries: word(9),
+            hits: word(17),
+            misses: word(25),
+            invalidated: word(33),
+            drops: word(41),
+        })
+    }
+}
+
+/// Concatenates rows into the byte string two logs are compared as.
+pub fn encode_rows(rows: &[DecisionRow]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rows.len() * DecisionRow::WIRE_LEN);
+    for r in rows {
+        out.extend_from_slice(&r.to_bytes());
+    }
+    out
+}
+
+/// A control message, either direction. Tags `0x0_` flow client →
+/// server, `0x8_`/`0x9_` server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Registration: the client's fleet index and the UDP port it
+    /// listens for reports on (the server targets `peer_ip:udp_port`).
+    Hello {
+        /// Index into the configured fleet, `0..n_clients`.
+        index: u32,
+        /// Client-bound UDP report port.
+        udp_port: u16,
+    },
+    /// An uplink query: a sealed `FramePayload::UplinkQuery` frame.
+    Query {
+        /// Sealed datagram bytes (frame + checksum trailer).
+        frame: Vec<u8>,
+    },
+    /// An external update to ingest: the daemon path for feeding the
+    /// database from outside (applied at the next report tick).
+    Publish {
+        /// Item to update.
+        item: u64,
+        /// New value.
+        value: u64,
+    },
+    /// Lockstep barrier: the client finished the named interval; the
+    /// row is its decision record for the conformance log.
+    Done {
+        /// The finished interval's decision record.
+        row: DecisionRow,
+    },
+    /// Clean client departure.
+    Bye,
+    /// Registration accepted; session parameters.
+    Welcome {
+        /// Real milliseconds between report broadcasts (paced mode).
+        interval_ms: u64,
+        /// Total broadcast intervals the session will run.
+        intervals: u64,
+        /// `true`: TCP barrier pacing; `false`: wall-clock pacing.
+        lockstep: bool,
+    },
+    /// An uplink answer: a sealed `FramePayload::QueryAnswer` frame.
+    Answer {
+        /// Sealed datagram bytes (frame + checksum trailer).
+        frame: Vec<u8>,
+    },
+    /// Lockstep barrier: interval `interval`'s report has been
+    /// broadcast; process it and reply [`Msg::Done`].
+    Start {
+        /// The interval to process.
+        interval: u64,
+    },
+    /// Session over; the client should drain and disconnect.
+    Halt,
+}
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_QUERY: u8 = 0x02;
+const TAG_PUBLISH: u8 = 0x03;
+const TAG_DONE: u8 = 0x04;
+const TAG_BYE: u8 = 0x05;
+const TAG_WELCOME: u8 = 0x81;
+const TAG_ANSWER: u8 = 0x82;
+const TAG_START: u8 = 0x90;
+const TAG_HALT: u8 = 0x91;
+
+fn bad_data(what: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed {what}"))
+}
+
+impl Msg {
+    fn body(&self) -> Vec<u8> {
+        match self {
+            Msg::Hello { index, udp_port } => {
+                let mut b = vec![TAG_HELLO];
+                b.extend_from_slice(&index.to_be_bytes());
+                b.extend_from_slice(&udp_port.to_be_bytes());
+                b
+            }
+            Msg::Query { frame } => {
+                let mut b = vec![TAG_QUERY];
+                b.extend_from_slice(frame);
+                b
+            }
+            Msg::Publish { item, value } => {
+                let mut b = vec![TAG_PUBLISH];
+                b.extend_from_slice(&item.to_be_bytes());
+                b.extend_from_slice(&value.to_be_bytes());
+                b
+            }
+            Msg::Done { row } => {
+                let mut b = vec![TAG_DONE];
+                b.extend_from_slice(&row.to_bytes());
+                b
+            }
+            Msg::Bye => vec![TAG_BYE],
+            Msg::Welcome {
+                interval_ms,
+                intervals,
+                lockstep,
+            } => {
+                let mut b = vec![TAG_WELCOME];
+                b.extend_from_slice(&interval_ms.to_be_bytes());
+                b.extend_from_slice(&intervals.to_be_bytes());
+                b.push(*lockstep as u8);
+                b
+            }
+            Msg::Answer { frame } => {
+                let mut b = vec![TAG_ANSWER];
+                b.extend_from_slice(frame);
+                b
+            }
+            Msg::Start { interval } => {
+                let mut b = vec![TAG_START];
+                b.extend_from_slice(&interval.to_be_bytes());
+                b
+            }
+            Msg::Halt => vec![TAG_HALT],
+        }
+    }
+
+    fn parse(body: &[u8]) -> io::Result<Msg> {
+        let (&tag, rest) = body.split_first().ok_or_else(|| bad_data("empty message"))?;
+        let word = |b: &[u8], i: usize| u64::from_be_bytes(b[i..i + 8].try_into().unwrap());
+        match tag {
+            TAG_HELLO => {
+                if rest.len() != 6 {
+                    return Err(bad_data("hello"));
+                }
+                Ok(Msg::Hello {
+                    index: u32::from_be_bytes(rest[0..4].try_into().unwrap()),
+                    udp_port: u16::from_be_bytes(rest[4..6].try_into().unwrap()),
+                })
+            }
+            TAG_QUERY => Ok(Msg::Query {
+                frame: rest.to_vec(),
+            }),
+            TAG_PUBLISH => {
+                if rest.len() != 16 {
+                    return Err(bad_data("publish"));
+                }
+                Ok(Msg::Publish {
+                    item: word(rest, 0),
+                    value: word(rest, 8),
+                })
+            }
+            TAG_DONE => Ok(Msg::Done {
+                row: DecisionRow::from_bytes(rest)?,
+            }),
+            TAG_BYE => Ok(Msg::Bye),
+            TAG_WELCOME => {
+                if rest.len() != 17 || rest[16] > 1 {
+                    return Err(bad_data("welcome"));
+                }
+                Ok(Msg::Welcome {
+                    interval_ms: word(rest, 0),
+                    intervals: word(rest, 8),
+                    lockstep: rest[16] == 1,
+                })
+            }
+            TAG_ANSWER => Ok(Msg::Answer {
+                frame: rest.to_vec(),
+            }),
+            TAG_START => {
+                if rest.len() != 8 {
+                    return Err(bad_data("start"));
+                }
+                Ok(Msg::Start {
+                    interval: word(rest, 0),
+                })
+            }
+            TAG_HALT => Ok(Msg::Halt),
+            other => Err(bad_data(&format!("message tag {other:#04x}"))),
+        }
+    }
+
+    /// Writes the message (length prefix + body) and flushes.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let body = self.body();
+        w.write_all(&(body.len() as u32).to_be_bytes())?;
+        w.write_all(&body)?;
+        w.flush()
+    }
+
+    /// Reads one message. An EOF before the length prefix maps to
+    /// `ErrorKind::UnexpectedEof` (a peer hanging up mid-session).
+    pub fn read_from<R: Read>(r: &mut R) -> io::Result<Msg> {
+        let mut len = [0u8; 4];
+        r.read_exact(&mut len)?;
+        let len = u32::from_be_bytes(len) as usize;
+        if len == 0 || len > MAX_MESSAGE {
+            return Err(bad_data("message length"));
+        }
+        let mut body = vec![0u8; len];
+        r.read_exact(&mut body)?;
+        Msg::parse(&body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_through_a_byte_pipe() {
+        let all = vec![
+            Msg::Hello {
+                index: 7,
+                udp_port: 40_123,
+            },
+            Msg::Query {
+                frame: vec![1, 2, 3],
+            },
+            Msg::Publish {
+                item: 42,
+                value: u64::MAX,
+            },
+            Msg::Done {
+                row: DecisionRow {
+                    interval: 9,
+                    awake: true,
+                    heard: false,
+                    queries: 3,
+                    hits: 1,
+                    misses: 2,
+                    invalidated: 4,
+                    drops: 1,
+                },
+            },
+            Msg::Bye,
+            Msg::Welcome {
+                interval_ms: 50,
+                intervals: 100,
+                lockstep: true,
+            },
+            Msg::Answer { frame: vec![9; 40] },
+            Msg::Start { interval: 12 },
+            Msg::Halt,
+        ];
+        let mut pipe = Vec::new();
+        for m in &all {
+            m.write_to(&mut pipe).unwrap();
+        }
+        let mut cursor = io::Cursor::new(pipe);
+        for m in &all {
+            assert_eq!(&Msg::read_from(&mut cursor).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn decision_rows_encode_fixed_width() {
+        let row = DecisionRow {
+            interval: u64::MAX,
+            awake: true,
+            heard: true,
+            queries: 1,
+            hits: 2,
+            misses: 3,
+            invalidated: 4,
+            drops: 5,
+        };
+        let bytes = row.to_bytes();
+        assert_eq!(bytes.len(), DecisionRow::WIRE_LEN);
+        assert_eq!(DecisionRow::from_bytes(&bytes).unwrap(), row);
+        assert!(DecisionRow::from_bytes(&bytes[..40]).is_err());
+        let mut bad = bytes;
+        bad[8] = 0xFF;
+        assert!(DecisionRow::from_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn garbage_messages_fail_cleanly() {
+        assert!(Msg::parse(&[]).is_err());
+        assert!(Msg::parse(&[0x77]).is_err());
+        assert!(Msg::parse(&[TAG_HELLO, 1]).is_err());
+        let mut short = io::Cursor::new(vec![0, 0, 0, 9, TAG_BYE]);
+        assert!(Msg::read_from(&mut short).is_err());
+        let mut huge = io::Cursor::new((u32::MAX).to_be_bytes().to_vec());
+        assert!(Msg::read_from(&mut huge).is_err());
+    }
+}

@@ -1,0 +1,627 @@
+//! The live invalidation-report server (`sw-serve`'s engine).
+//!
+//! One daemon per cell, stateless toward its clients exactly as the
+//! paper prescribes (§2): it never tracks who is listening, what they
+//! cache, or when they sleep. It owns the database, ingests updates
+//! (a seeded in-process update engine and/or `Publish` messages over
+//! TCP), and every `L` milliseconds builds one invalidation report via
+//! the *same* `crates/server` report builders the simulator uses and
+//! broadcasts it as one sealed UDP datagram per registered receiver.
+//! Uplink queries arrive over TCP and are answered from the current
+//! database state stamped with the current report-tick time — the
+//! simulator's `UplinkProcessor::answer` rule.
+//!
+//! Threading model: one accept thread, one connection thread per
+//! client (registration, uplink answers, barrier collection), and one
+//! ticker thread that owns the report cadence. All server state lives
+//! in a single mutex (`Core`); the only cross-thread signals are the
+//! registration condvar (all clients present → session starts) and
+//! the lockstep barrier condvar (all clients done → next interval).
+//!
+//! Pacing is either wall-clock (`Pace::Paced`, the daemon mode) or a
+//! TCP barrier (`Pace::Lockstep`, the conformance mode, where the
+//! session advances exactly one interval at a time with no timers at
+//! all — determinism does not race the scheduler).
+
+use std::io::{self, BufReader, BufWriter};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sleepers::safety::ValueHistory;
+use sleepers::{CellConfig, Strategy};
+use sw_client::handler::time_to_micros;
+use sw_observe::{ObserveSnapshot, Recorder};
+use sw_server::database::Database;
+use sw_server::report::ReportBuilder;
+use sw_server::update::UpdateEngine;
+use sw_server::uplink::UplinkProcessor;
+use sw_sim::{IntervalClock, RngStream, SimDuration, StreamId};
+use sw_wireless::frame::{open_frame, seal_frame, FramePayload, WireEncode};
+
+use crate::proto::{DecisionRow, Msg};
+
+/// How the session advances from one report interval to the next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pace {
+    /// Deterministic TCP barrier: broadcast, `Start`, wait for every
+    /// client's `Done`. No wall clock anywhere — conformance mode.
+    Lockstep,
+    /// Wall-clock cadence: report `i` airs at `t₀ + i·interval`.
+    Paced {
+        /// Real milliseconds between broadcasts (the live `L`).
+        interval_ms: u64,
+    },
+}
+
+/// Session options for [`LiveServer::spawn`].
+#[derive(Debug, Clone, Copy)]
+pub struct LiveOptions {
+    /// Total broadcast intervals before the server halts the session.
+    pub intervals: u64,
+    /// Pacing mode.
+    pub pace: Pace,
+    /// How long to wait for the full fleet to register.
+    pub registration_timeout: Duration,
+    /// TCP address to listen on (port 0: ephemeral; read the bound
+    /// port back from [`ServerHandle::addr`]).
+    pub bind: SocketAddr,
+}
+
+impl LiveOptions {
+    fn new(intervals: u64, pace: Pace) -> Self {
+        Self {
+            intervals,
+            pace,
+            registration_timeout: Duration::from_secs(30),
+            bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+        }
+    }
+
+    /// Lockstep (conformance) session over `intervals` intervals.
+    pub fn lockstep(intervals: u64) -> Self {
+        Self::new(intervals, Pace::Lockstep)
+    }
+
+    /// Wall-clock session: `intervals` reports, one every
+    /// `interval_ms` real milliseconds.
+    pub fn paced(intervals: u64, interval_ms: u64) -> Self {
+        Self::new(intervals, Pace::Paced { interval_ms })
+    }
+
+    /// Listens on a fixed address instead of an ephemeral port.
+    pub fn with_bind(mut self, bind: SocketAddr) -> Self {
+        self.bind = bind;
+        self
+    }
+}
+
+/// End-of-session accounting from the server side.
+pub struct LiveServerReport {
+    /// Intervals actually broadcast.
+    pub intervals: u64,
+    /// Report datagrams sent (one per registered client per interval).
+    pub datagrams_sent: u64,
+    /// Total sealed report bytes broadcast.
+    pub report_bytes: u64,
+    /// Updates applied by the seeded update engine.
+    pub updates_applied: u64,
+    /// Updates ingested over TCP (`Publish`).
+    pub publishes_applied: u64,
+    /// Uplink queries answered.
+    pub uplink_answers: u64,
+    /// Lockstep only: every client's decision rows, by fleet index.
+    pub rows: Vec<Vec<DecisionRow>>,
+    /// The value history for post-run staleness audits, when the
+    /// config enabled safety checking.
+    pub history: Option<ValueHistory>,
+    /// Instrumentation snapshot (`observe` feature + configured label).
+    pub observe: Option<ObserveSnapshot>,
+}
+
+/// Server state guarded by one mutex: the database and everything that
+/// must mutate atomically with it.
+struct Core {
+    db: Database,
+    history: Option<ValueHistory>,
+    builder: Box<dyn ReportBuilder + Send>,
+    uplink: UplinkProcessor,
+    engine: UpdateEngine,
+    update_rng: RngStream,
+    pending_publishes: Vec<(u64, u64)>,
+    /// The current report-tick time; uplink answers are stamped with
+    /// it (the simulator answers interval `i`'s queries at `t_i`).
+    now: sw_sim::SimTime,
+    updates_applied: u64,
+    publishes_applied: u64,
+    uplink_answers: u64,
+}
+
+/// One registered client: where its reports go and how to reach it
+/// over TCP.
+#[derive(Clone)]
+struct Peer {
+    udp: SocketAddr,
+    writer: Arc<Mutex<BufWriter<TcpStream>>>,
+}
+
+#[derive(Default)]
+struct Registry {
+    slots: Vec<Option<Peer>>,
+    registered: usize,
+}
+
+struct BarrierState {
+    done: Vec<bool>,
+    rows: Vec<Vec<DecisionRow>>,
+}
+
+struct Shared {
+    core: Mutex<Core>,
+    reg: Mutex<Registry>,
+    reg_cv: Condvar,
+    bar: Mutex<BarrierState>,
+    bar_cv: Condvar,
+    stop: AtomicBool,
+    encode: WireEncode,
+    n_items: u64,
+    n_clients: usize,
+}
+
+/// Spawner for a live report server.
+pub struct LiveServer;
+
+/// A running server session: its bound TCP address plus the handles to
+/// collect its report or shut it down early.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    ticker: JoinHandle<io::Result<LiveServerReport>>,
+    accept: JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The TCP address clients connect (and send `Hello`) to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests an early stop: the ticker exits at its next check and
+    /// the accept loop unblocks.
+    pub fn shutdown(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.reg_cv.notify_all();
+        self.shared.bar_cv.notify_all();
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the session to finish and returns the server report.
+    pub fn wait(self) -> io::Result<LiveServerReport> {
+        let result = self
+            .ticker
+            .join()
+            .unwrap_or_else(|_| Err(io::Error::other("server ticker panicked")));
+        // The ticker set `stop` on its way out; poke the accept loop
+        // off `accept()` so its thread can be joined.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept.join();
+        result
+    }
+}
+
+impl LiveServer {
+    /// Binds an ephemeral TCP port on loopback and spawns the session
+    /// threads. The session starts once all `cfg.n_clients` clients
+    /// have registered, runs `opts.intervals` report intervals, then
+    /// halts every client and returns its report via
+    /// [`ServerHandle::wait`].
+    ///
+    /// Only the static broadcast strategies are servable — TS, AT,
+    /// SIG, and hybrid — matching the report builders a stateless
+    /// server can run (§2: the server knows nothing about its
+    /// clients; the adaptive/stateful variants need feedback state the
+    /// live wire does not carry).
+    pub fn spawn(
+        cfg: CellConfig,
+        strategy: Strategy,
+        opts: LiveOptions,
+    ) -> io::Result<ServerHandle> {
+        if !matches!(
+            strategy,
+            Strategy::BroadcastTimestamps
+                | Strategy::AmnesicTerminals
+                | Strategy::Signatures
+                | Strategy::HybridSig { .. }
+        ) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("strategy {} is not servable live", strategy.name()),
+            ));
+        }
+        cfg.validate()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let params = cfg.params;
+        let latency = SimDuration::from_secs(params.latency_secs);
+        let retention = latency.scaled((params.k as f64 + 2.0).max(4.0));
+        let protocol_seed = cfg.protocol_seed();
+        let mut db_rng = protocol_seed.stream(StreamId::Database);
+        let db = Database::new(params.n_items, |_| db_rng.next_u64(), retention);
+        let history = cfg
+            .check_safety
+            .then(|| ValueHistory::new(params.n_items, |i| db.value(i)));
+        let builder = strategy.make_builder(&params, protocol_seed, &db);
+        let mut update_rng = protocol_seed.stream(StreamId::Updates);
+        let engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
+        let encode = WireEncode::new(
+            params.n_items,
+            params.timestamp_bits,
+            params.query_bits,
+            params.answer_bits,
+        );
+
+        let listener = TcpListener::bind(opts.bind)?;
+        let addr = listener.local_addr()?;
+        let n_clients = cfg.n_clients;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(Core {
+                db,
+                history,
+                builder,
+                uplink: UplinkProcessor::with_universe(params.n_items),
+                engine,
+                update_rng,
+                pending_publishes: Vec::new(),
+                now: sw_sim::SimTime::from_secs(0.0),
+                updates_applied: 0,
+                publishes_applied: 0,
+                uplink_answers: 0,
+            }),
+            reg: Mutex::new(Registry {
+                slots: vec![None; n_clients],
+                registered: 0,
+            }),
+            reg_cv: Condvar::new(),
+            bar: Mutex::new(BarrierState {
+                done: vec![false; n_clients],
+                rows: vec![Vec::new(); n_clients],
+            }),
+            bar_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            encode,
+            n_items: params.n_items,
+            n_clients,
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || accept_loop(listener, shared))
+        };
+        let ticker = {
+            let shared = Arc::clone(&shared);
+            let obs = match &cfg.observe {
+                Some(label) => Recorder::enabled(format!("{label}.server")),
+                None => Recorder::disabled(),
+            };
+            thread::spawn(move || ticker_loop(shared, latency, opts, obs))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            ticker,
+            accept,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(&shared);
+        // Connection threads exit when their client hangs up; a
+        // straggler at shutdown holds only an Arc.
+        thread::spawn(move || {
+            let _ = conn_loop(stream, shared);
+        });
+    }
+}
+
+/// Services one client connection: registration, uplink answers,
+/// publish ingestion, and barrier rows.
+fn conn_loop(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
+    stream.set_nodelay(true)?;
+    let peer_ip: IpAddr = stream.peer_addr()?.ip();
+    let reader = stream.try_clone()?;
+    let writer = Arc::new(Mutex::new(BufWriter::new(stream)));
+    let mut reader = BufReader::new(reader);
+    let mut my_index: Option<usize> = None;
+    // A read error is a hangup (or garbage): drop the connection.
+    while let Ok(msg) = Msg::read_from(&mut reader) {
+        match msg {
+            Msg::Hello { index, udp_port } => {
+                let idx = index as usize;
+                let mut reg = shared.reg.lock().expect("registry lock");
+                if idx >= reg.slots.len() || reg.slots[idx].is_some() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("bad or duplicate client index {idx}"),
+                    ));
+                }
+                reg.slots[idx] = Some(Peer {
+                    udp: SocketAddr::new(peer_ip, udp_port),
+                    writer: Arc::clone(&writer),
+                });
+                reg.registered += 1;
+                my_index = Some(idx);
+                shared.reg_cv.notify_all();
+            }
+            Msg::Query { frame } => {
+                let inner = open_frame(&frame)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let decoded = shared
+                    .encode
+                    .deserialize(inner)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+                let FramePayload::UplinkQuery { item, .. } = decoded.payload else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "expected an uplink query frame",
+                    ));
+                };
+                let answer = {
+                    let mut core = shared.core.lock().expect("core lock");
+                    let core = &mut *core;
+                    let answer = core.uplink.answer(&core.db, item, core.now, None);
+                    core.uplink_answers += 1;
+                    answer
+                };
+                let payload = FramePayload::QueryAnswer {
+                    item: answer.item,
+                    value: answer.value,
+                    ts_micros: time_to_micros(answer.timestamp),
+                };
+                let datagram = seal_frame(shared.encode.serialize_payload(&payload));
+                Msg::Answer { frame: datagram }
+                    .write_to(&mut *writer.lock().expect("writer lock"))?;
+            }
+            Msg::Publish { item, value } => {
+                if item >= shared.n_items {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("publish for item {item} outside the universe"),
+                    ));
+                }
+                let mut core = shared.core.lock().expect("core lock");
+                core.pending_publishes.push((item, value));
+            }
+            Msg::Done { row } => {
+                let Some(idx) = my_index else {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "Done before Hello",
+                    ));
+                };
+                let mut bar = shared.bar.lock().expect("barrier lock");
+                bar.rows[idx].push(row);
+                bar.done[idx] = true;
+                shared.bar_cv.notify_all();
+            }
+            Msg::Bye => break,
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected client message {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Advances one tick's worth of simulated time on the database: seeded
+/// update-engine arrivals in `(from, t_i]`, then TCP-published updates
+/// stamped at `t_i`, then the report build.
+fn build_tick(core: &mut Core, i: u64, from: sw_sim::SimTime, t_i: sw_sim::SimTime) -> FramePayload {
+    let recs = core
+        .engine
+        .advance(&mut core.db, from, t_i, &mut core.update_rng);
+    for rec in &recs {
+        core.builder.on_update(rec);
+        if let Some(h) = core.history.as_mut() {
+            h.record(rec);
+        }
+    }
+    core.updates_applied += recs.len() as u64;
+    let published: Vec<(u64, u64)> = core.pending_publishes.drain(..).collect();
+    for (item, value) in published {
+        let rec = core.db.apply_update(item, value, t_i);
+        core.builder.on_update(&rec);
+        if let Some(h) = core.history.as_mut() {
+            h.record(&rec);
+        }
+        core.publishes_applied += 1;
+    }
+    let payload = core.builder.build(i, t_i, &core.db);
+    core.db.prune_log(t_i);
+    core.now = t_i;
+    payload
+}
+
+fn ticker_loop(
+    shared: Arc<Shared>,
+    latency: SimDuration,
+    opts: LiveOptions,
+    mut obs: Recorder,
+) -> io::Result<LiveServerReport> {
+    // Phase 1: wait for the full fleet.
+    let peers: Vec<Peer> = {
+        let deadline = Instant::now() + opts.registration_timeout;
+        let mut reg = shared.reg.lock().expect("registry lock");
+        while reg.registered < shared.n_clients {
+            if shared.stop.load(Ordering::SeqCst) {
+                return Err(io::Error::other("stopped before registration completed"));
+            }
+            if Instant::now() >= deadline {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "{}/{} clients registered within {:?}",
+                        reg.registered, shared.n_clients, opts.registration_timeout
+                    ),
+                ));
+            }
+            let (guard, _) = shared
+                .reg_cv
+                .wait_timeout(reg, Duration::from_millis(50))
+                .expect("registry lock");
+            reg = guard;
+        }
+        reg.slots
+            .iter()
+            .map(|slot| slot.clone().expect("fully registered"))
+            .collect()
+    };
+
+    let (interval_ms, lockstep) = match opts.pace {
+        Pace::Lockstep => (0, true),
+        Pace::Paced { interval_ms } => (interval_ms, false),
+    };
+    for peer in &peers {
+        Msg::Welcome {
+            interval_ms,
+            intervals: opts.intervals,
+            lockstep,
+        }
+        .write_to(&mut *peer.writer.lock().expect("writer lock"))?;
+    }
+    let t0 = Instant::now();
+    let udp = UdpSocket::bind(("0.0.0.0", 0))?;
+    let mut clock = IntervalClock::new(latency);
+    let mut datagrams_sent = 0u64;
+    let mut report_bytes = 0u64;
+    let mut intervals_run = 0u64;
+    if obs.is_enabled() {
+        obs.series_schema(&["report_bits", "updates", "answers"]);
+        obs.add("clients_registered", peers.len() as u64);
+    }
+    let mut prev_answers = 0u64;
+    let mut prev_updates = 0u64;
+
+    // Phase 2: the broadcast cadence.
+    'run: for _ in 0..opts.intervals {
+        let (i, t_i) = clock.tick();
+        let from = clock.report_time(i - 1);
+        if let Pace::Paced { interval_ms } = opts.pace {
+            let due = t0 + Duration::from_millis(interval_ms) * i as u32;
+            while let Some(remaining) = due
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break 'run;
+                }
+                thread::sleep(remaining.min(Duration::from_millis(5)));
+            }
+        }
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let (payload, answers_now, updates_now) = {
+            let _span = obs.span("report_build");
+            let mut core = shared.core.lock().expect("core lock");
+            let p = build_tick(&mut core, i, from, t_i);
+            (p, core.uplink_answers, core.updates_applied)
+        };
+        let datagram = {
+            let _span = obs.span("report_encode");
+            seal_frame(shared.encode.serialize_payload(&payload))
+        };
+        {
+            let _span = obs.span("udp_send");
+            for peer in &peers {
+                if udp.send_to(&datagram, peer.udp).is_ok() {
+                    datagrams_sent += 1;
+                }
+            }
+        }
+        report_bytes += datagram.len() as u64;
+        intervals_run = i;
+        if obs.is_enabled() {
+            obs.add("reports_built", 1);
+            obs.series_row(
+                i,
+                &[
+                    datagram.len() as u64 * 8,
+                    updates_now - prev_updates,
+                    answers_now - prev_answers,
+                ],
+            );
+            prev_updates = updates_now;
+            prev_answers = answers_now;
+        }
+
+        if lockstep {
+            for peer in &peers {
+                Msg::Start { interval: i }
+                    .write_to(&mut *peer.writer.lock().expect("writer lock"))?;
+            }
+            let deadline = Instant::now() + Duration::from_secs(60);
+            let mut bar = shared.bar.lock().expect("barrier lock");
+            while !bar.done.iter().all(|&d| d) {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break 'run;
+                }
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("lockstep barrier stalled at interval {i}"),
+                    ));
+                }
+                let (guard, _) = shared
+                    .bar_cv
+                    .wait_timeout(bar, Duration::from_millis(50))
+                    .expect("barrier lock");
+                bar = guard;
+            }
+            bar.done.iter_mut().for_each(|d| *d = false);
+        }
+    }
+
+    // Phase 3: halt. Paced clients may still be mid-interval; give
+    // them one interval of grace to finish their uplink exchanges
+    // before the halt lands.
+    if let Pace::Paced { interval_ms } = opts.pace {
+        thread::sleep(Duration::from_millis(interval_ms));
+    }
+    for peer in &peers {
+        let _ = Msg::Halt.write_to(&mut *peer.writer.lock().expect("writer lock"));
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+
+    let rows = {
+        let mut bar = shared.bar.lock().expect("barrier lock");
+        std::mem::take(&mut bar.rows)
+    };
+    let mut core = shared.core.lock().expect("core lock");
+    if obs.is_enabled() {
+        obs.add("updates_applied", core.updates_applied);
+        obs.add("publishes_applied", core.publishes_applied);
+        obs.add("uplink_answers", core.uplink_answers);
+        obs.add("report_bytes", report_bytes);
+    }
+    Ok(LiveServerReport {
+        intervals: intervals_run,
+        datagrams_sent,
+        report_bytes,
+        updates_applied: core.updates_applied,
+        publishes_applied: core.publishes_applied,
+        uplink_answers: core.uplink_answers,
+        rows,
+        history: core.history.take(),
+        observe: obs.snapshot(),
+    })
+}

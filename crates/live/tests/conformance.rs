@@ -1,0 +1,86 @@
+//! The acceptance gate: same seed + same update schedule ⇒
+//! byte-identical per-client decision logs between `CellSimulation`
+//! and the live stack, for TS, AT, and SIG (plus the hybrid report,
+//! and — with the `faults` feature — under injected downlink loss and
+//! corruption against real datagram bytes).
+
+use sleepers::{CellConfig, Strategy};
+use sw_live::check_conformance;
+use sw_workload::ScenarioParams;
+
+/// A fleet small enough that the simulated channel never saturates
+/// (saturation would defer answers the live TCP uplink delivers
+/// immediately — `check_conformance` rejects such runs instead of
+/// comparing them).
+fn small_cell(s: f64) -> CellConfig {
+    let mut params = ScenarioParams::scenario1().with_s(s);
+    params.n_items = 300;
+    params.mu = 2e-3;
+    params.k = 10;
+    CellConfig::new(params)
+        .with_clients(6)
+        .with_hotspot_size(15)
+        .with_seed(0x11FE_C0DE)
+}
+
+fn assert_conforms(cfg: &CellConfig, strategy: Strategy, intervals: u64) {
+    let outcome = check_conformance(cfg, strategy, intervals)
+        .unwrap_or_else(|e| panic!("{} conformance failed: {e}", strategy.name()));
+    // The harness already compared the encodings; sanity-check the
+    // logs are non-trivial (somebody was awake and decided something).
+    let decided: u64 = outcome
+        .sim
+        .iter()
+        .flatten()
+        .map(|r| r.queries + r.hits + r.misses)
+        .sum();
+    assert!(decided > 0, "a trivial log conforms vacuously");
+}
+
+#[test]
+fn ts_decision_logs_are_byte_identical() {
+    assert_conforms(&small_cell(0.4), Strategy::BroadcastTimestamps, 48);
+}
+
+#[test]
+fn at_decision_logs_are_byte_identical() {
+    assert_conforms(&small_cell(0.6), Strategy::AmnesicTerminals, 48);
+}
+
+#[test]
+fn sig_decision_logs_are_byte_identical() {
+    assert_conforms(&small_cell(0.4), Strategy::Signatures, 32);
+}
+
+#[test]
+fn hybrid_decision_logs_are_byte_identical() {
+    assert_conforms(&small_cell(0.5), Strategy::HybridSig { hot_count: 40 }, 32);
+}
+
+/// Sleep-heavy fleets exercise the gap-recovery paths (TS window
+/// overruns, AT whole-cache drops) rather than the steady state.
+#[test]
+fn sleeper_heavy_ts_and_at_conform() {
+    let cfg = small_cell(0.9);
+    assert_conforms(&cfg, Strategy::BroadcastTimestamps, 40);
+    assert_conforms(&cfg, Strategy::AmnesicTerminals, 40);
+}
+
+/// With fault injection compiled in, the live client draws the same
+/// per-client loss/corruption fates the simulator draws — corruption
+/// flipping a bit of the *received datagram's* frame bytes — and the
+/// decision logs must still match row for row.
+#[cfg(feature = "faults")]
+#[test]
+fn faulty_downlink_decision_logs_are_byte_identical() {
+    use sleepers::faults::compiled_in;
+    use sw_faults::{FaultPlan, LossModel};
+    assert!(compiled_in());
+    let plan = FaultPlan::none()
+        .with_loss(LossModel::bernoulli(0.15))
+        .with_corruption(0.10);
+    let cfg = small_cell(0.4).with_faults(plan);
+    assert_conforms(&cfg, Strategy::BroadcastTimestamps, 40);
+    assert_conforms(&cfg, Strategy::AmnesicTerminals, 40);
+    assert_conforms(&cfg, Strategy::Signatures, 28);
+}

@@ -232,12 +232,28 @@ impl WireEncode {
         Frame { payload, bits }
     }
 
-    /// Serializes a frame into bytes. The length is `2 + ⌈bits/8⌉`
-    /// (2-byte header carrying kind + a 15-bit length-in-bits field is
-    /// enough for unit tests; reports longer than 4 KiB spill into an
-    /// 8-byte extended header).
+    /// Serializes a frame into bytes: a fixed 10-byte header (kind,
+    /// wire version, body length in *bits*), a per-kind extension
+    /// header where the body alone is ambiguous (entry counts that a
+    /// byte length cannot recover — see [`WireEncode::deserialize`]),
+    /// and the bit-packed body padded to a whole byte. The total length
+    /// is `10 + ext + ⌈bits/8⌉`; the header is excluded from analytical
+    /// accounting to match the paper, which charges payloads only.
     pub fn serialize(&self, frame: &Frame) -> Vec<u8> {
         self.serialize_payload(&frame.payload)
+    }
+
+    /// Extension-header length in bytes for a frame kind: counts the
+    /// decoder cannot recover from the bit length alone. Adaptive
+    /// reports carry the window-exception count, SIG reports the
+    /// signature width `g`, hybrid reports both the hot-id count and
+    /// `g`.
+    fn ext_header_len(kind: u8) -> usize {
+        match kind {
+            2 | 6 => 4,
+            7 => 8,
+            _ => 0,
+        }
     }
 
     /// Serializes a payload directly (the zero-copy broadcast path and
@@ -331,13 +347,237 @@ impl WireEncode {
             FramePayload::QueryAnswer { .. } => 4,
             FramePayload::Invalidation { .. } => 5,
         };
+        let bits = w.bits_written();
         let body = w.finish();
-        let mut out = Vec::with_capacity(body.len() + 10);
+        let mut out = Vec::with_capacity(body.len() + 10 + Self::ext_header_len(kind));
         out.push(kind);
-        out.push(0); // reserved / version
-        out.extend_from_slice(&(body.len() as u64).to_be_bytes());
+        out.push(WIRE_VERSION);
+        out.extend_from_slice(&bits.to_be_bytes());
+        match payload {
+            FramePayload::SignatureReport { sig_bits, .. } => {
+                out.extend_from_slice(&sig_bits.to_be_bytes());
+            }
+            FramePayload::AdaptiveTimestampReport {
+                window_exceptions, ..
+            } => {
+                out.extend_from_slice(&(window_exceptions.len() as u32).to_be_bytes());
+            }
+            FramePayload::HybridReport {
+                hot_ids, sig_bits, ..
+            } => {
+                out.extend_from_slice(&(hot_ids.len() as u32).to_be_bytes());
+                out.extend_from_slice(&sig_bits.to_be_bytes());
+            }
+            _ => {}
+        }
         out.extend_from_slice(&body);
         out
+    }
+
+    /// Decodes a serialized frame back into the payload it was built
+    /// from — the missing half of the wire layer, used by the live
+    /// runtime's real receivers (`sw-live`).
+    ///
+    /// The decoder is total: any input either yields a payload or a
+    /// [`WireDecodeError`]; it never panics and never half-applies.
+    /// Every structural claim the header makes is checked against the
+    /// actual buffer — exact overall length, entry widths dividing the
+    /// body bit length, zero padding in the final partial byte, zero
+    /// pad bits in over-wide (> 64 bit) timestamp fields — so a
+    /// truncated or bit-flipped frame that slips past the outer
+    /// [`checksum64`] trailer still fails cleanly here in almost all
+    /// cases. `serialize ∘ deserialize ≡ id` for every [`FramePayload`]
+    /// variant (pinned by the round-trip suite in
+    /// `crates/wireless/tests/wire_roundtrip.rs`).
+    pub fn deserialize(&self, bytes: &[u8]) -> Result<Frame, WireDecodeError> {
+        if bytes.len() < 10 {
+            return Err(WireDecodeError::Truncated {
+                needed: 10,
+                got: bytes.len(),
+            });
+        }
+        let kind = bytes[0];
+        let version = bytes[1];
+        if version != WIRE_VERSION {
+            return Err(WireDecodeError::UnsupportedVersion(version));
+        }
+        if !matches!(kind, 0..=7) {
+            return Err(WireDecodeError::UnknownKind(kind));
+        }
+        let bits = u64::from_be_bytes(bytes[2..10].try_into().expect("8 bytes"));
+        let ext_len = Self::ext_header_len(kind);
+        let body_bytes = (bits / 8 + u64::from(bits % 8 != 0))
+            .try_into()
+            .map_err(|_| WireDecodeError::Malformed("bit length exceeds addressable size"))?;
+        let expected: usize = 10usize
+            .checked_add(ext_len)
+            .and_then(|n| n.checked_add(body_bytes))
+            .ok_or(WireDecodeError::Malformed("bit length exceeds addressable size"))?;
+        if bytes.len() < expected {
+            return Err(WireDecodeError::Truncated {
+                needed: expected,
+                got: bytes.len(),
+            });
+        }
+        if bytes.len() > expected {
+            return Err(WireDecodeError::TrailingBytes {
+                expected,
+                got: bytes.len(),
+            });
+        }
+        let ext = &bytes[10..10 + ext_len];
+        let mut r = BitReader::new(&bytes[10 + ext_len..], bits);
+        let id_w = self.id_bits();
+        let ts_w = self.timestamp_bits;
+        let entry_w = id_w as u64 + ts_w as u64;
+        // Reports lead with the report timestamp; short bodies are
+        // structurally impossible.
+        let report_header = |bits: u64| -> Result<u64, WireDecodeError> {
+            bits.checked_sub(ts_w as u64)
+                .ok_or(WireDecodeError::Malformed("body shorter than report timestamp"))
+        };
+        let payload = match kind {
+            0 => {
+                let rem = report_header(bits)?;
+                if rem % entry_w != 0 {
+                    return Err(WireDecodeError::Malformed("TS body not a whole entry count"));
+                }
+                let report_ts_micros = r.get_bits(ts_w)?;
+                let mut entries = Vec::with_capacity((rem / entry_w) as usize);
+                for _ in 0..rem / entry_w {
+                    entries.push((r.get_bits(id_w)?, r.get_bits(ts_w)?));
+                }
+                FramePayload::TimestampReport {
+                    report_ts_micros,
+                    entries,
+                }
+            }
+            1 => {
+                let rem = report_header(bits)?;
+                if rem % id_w as u64 != 0 {
+                    return Err(WireDecodeError::Malformed("AT body not a whole id count"));
+                }
+                let report_ts_micros = r.get_bits(ts_w)?;
+                let mut ids = Vec::with_capacity((rem / id_w as u64) as usize);
+                for _ in 0..rem / id_w as u64 {
+                    ids.push(r.get_bits(id_w)?);
+                }
+                FramePayload::AmnesicReport {
+                    report_ts_micros,
+                    ids,
+                }
+            }
+            2 => {
+                let sig_bits = u32::from_be_bytes(ext.try_into().expect("4 bytes"));
+                if sig_bits == 0 {
+                    return Err(WireDecodeError::Malformed("zero signature width"));
+                }
+                let word_w = sig_bits.min(64);
+                let rem = report_header(bits)?;
+                if rem % word_w as u64 != 0 {
+                    return Err(WireDecodeError::Malformed("SIG body not a whole word count"));
+                }
+                let report_ts_micros = r.get_bits(ts_w)?;
+                let mut signatures = Vec::with_capacity((rem / word_w as u64) as usize);
+                for _ in 0..rem / word_w as u64 {
+                    signatures.push(r.get_bits(word_w)?);
+                }
+                FramePayload::SignatureReport {
+                    report_ts_micros,
+                    sig_bits,
+                    signatures: Arc::new(signatures),
+                }
+            }
+            6 => {
+                let n_exc = u32::from_be_bytes(ext.try_into().expect("4 bytes")) as u64;
+                let exc_w = id_w as u64 + 16;
+                let exc_bits = n_exc
+                    .checked_mul(exc_w)
+                    .ok_or(WireDecodeError::Malformed("exception count overflows"))?;
+                let rem = report_header(bits)?
+                    .checked_sub(exc_bits)
+                    .ok_or(WireDecodeError::Malformed("exception table exceeds body"))?;
+                if rem % entry_w != 0 {
+                    return Err(WireDecodeError::Malformed("TS body not a whole entry count"));
+                }
+                let report_ts_micros = r.get_bits(ts_w)?;
+                let mut entries = Vec::with_capacity((rem / entry_w) as usize);
+                for _ in 0..rem / entry_w {
+                    entries.push((r.get_bits(id_w)?, r.get_bits(ts_w)?));
+                }
+                let mut window_exceptions = Vec::with_capacity(n_exc as usize);
+                for _ in 0..n_exc {
+                    window_exceptions.push((r.get_bits(id_w)?, r.get_bits(16)? as u32));
+                }
+                FramePayload::AdaptiveTimestampReport {
+                    report_ts_micros,
+                    entries,
+                    window_exceptions,
+                }
+            }
+            7 => {
+                let n_hot = u32::from_be_bytes(ext[..4].try_into().expect("4 bytes")) as u64;
+                let sig_bits = u32::from_be_bytes(ext[4..].try_into().expect("4 bytes"));
+                if sig_bits == 0 {
+                    return Err(WireDecodeError::Malformed("zero signature width"));
+                }
+                let word_w = sig_bits.min(64);
+                let hot_bits = n_hot
+                    .checked_mul(id_w as u64)
+                    .ok_or(WireDecodeError::Malformed("hot-id count overflows"))?;
+                let rem = report_header(bits)?
+                    .checked_sub(hot_bits)
+                    .ok_or(WireDecodeError::Malformed("hot-id list exceeds body"))?;
+                if rem % word_w as u64 != 0 {
+                    return Err(WireDecodeError::Malformed("SIG body not a whole word count"));
+                }
+                let report_ts_micros = r.get_bits(ts_w)?;
+                let mut hot_ids = Vec::with_capacity(n_hot as usize);
+                for _ in 0..n_hot {
+                    hot_ids.push(r.get_bits(id_w)?);
+                }
+                let mut signatures = Vec::with_capacity((rem / word_w as u64) as usize);
+                for _ in 0..rem / word_w as u64 {
+                    signatures.push(r.get_bits(word_w)?);
+                }
+                FramePayload::HybridReport {
+                    report_ts_micros,
+                    hot_ids,
+                    sig_bits,
+                    signatures: Arc::new(signatures),
+                }
+            }
+            3 => {
+                if bits != 32 + id_w as u64 {
+                    return Err(WireDecodeError::Malformed("bad uplink-query length"));
+                }
+                FramePayload::UplinkQuery {
+                    client: r.get_bits(32)?,
+                    item: r.get_bits(id_w)?,
+                }
+            }
+            4 => {
+                if bits != id_w as u64 + 128 {
+                    return Err(WireDecodeError::Malformed("bad query-answer length"));
+                }
+                FramePayload::QueryAnswer {
+                    item: r.get_bits(id_w)?,
+                    value: r.get_bits(64)?,
+                    ts_micros: r.get_bits(64)?,
+                }
+            }
+            5 => {
+                if bits != id_w as u64 {
+                    return Err(WireDecodeError::Malformed("bad invalidation length"));
+                }
+                FramePayload::Invalidation {
+                    item: r.get_bits(id_w)?,
+                }
+            }
+            _ => unreachable!("kind range checked above"),
+        };
+        r.finish()?;
+        Ok(self.frame(payload))
     }
 
     /// The [`FrameKind`] of a payload.
@@ -385,11 +625,94 @@ pub fn flip_bit(bytes: &mut [u8], bit: u64) {
     bytes[(bit / 8) as usize] ^= 0x80 >> (bit % 8);
 }
 
+/// Wire format version stamped into byte 1 of every frame header.
+/// Version 1 stores the body length in *bits* (version 0 stored bytes,
+/// which cannot recover entry counts on decode) plus the per-kind
+/// extension headers.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Why a serialized frame failed to decode.
+///
+/// A decoder error means the frame is *discarded whole* — the receiving
+/// strategy treats the report as missed and runs its own gap-recovery
+/// rule at the next intact report; nothing is ever half-applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireDecodeError {
+    /// Fewer bytes than the header demands.
+    Truncated {
+        /// Bytes the header (or the fixed prefix) requires.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// More bytes than the header accounts for.
+    TrailingBytes {
+        /// Bytes the header accounts for.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Unrecognized kind byte.
+    UnknownKind(u8),
+    /// Wire version this decoder does not speak.
+    UnsupportedVersion(u8),
+    /// The [`checksum64`] trailer does not match the frame bytes.
+    ChecksumMismatch,
+    /// A structural invariant of the claimed kind does not hold.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireDecodeError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, got {got}")
+            }
+            WireDecodeError::TrailingBytes { expected, got } => {
+                write!(f, "trailing bytes: frame accounts for {expected}, got {got}")
+            }
+            WireDecodeError::UnknownKind(k) => write!(f, "unknown frame kind {k}"),
+            WireDecodeError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireDecodeError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            WireDecodeError::Malformed(why) => write!(f, "malformed frame: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireDecodeError {}
+
+/// Appends the [`checksum64`] trailer (big-endian) to a serialized
+/// frame, producing the datagram actually put on the wire.
+pub fn seal_frame(mut frame: Vec<u8>) -> Vec<u8> {
+    let sum = checksum64(&frame);
+    frame.extend_from_slice(&sum.to_be_bytes());
+    frame
+}
+
+/// Verifies and strips the [`checksum64`] trailer of a received
+/// datagram, returning the frame bytes. A mismatch means the datagram
+/// was damaged in flight; the caller must treat the report as missed.
+pub fn open_frame(datagram: &[u8]) -> Result<&[u8], WireDecodeError> {
+    if datagram.len() < 8 {
+        return Err(WireDecodeError::Truncated {
+            needed: 8,
+            got: datagram.len(),
+        });
+    }
+    let (frame, trailer) = datagram.split_at(datagram.len() - 8);
+    let declared = u64::from_be_bytes(trailer.try_into().expect("8 bytes"));
+    if checksum64(frame) != declared {
+        return Err(WireDecodeError::ChecksumMismatch);
+    }
+    Ok(frame)
+}
+
 /// Minimal MSB-first bit packer backing [`WireEncode::serialize`].
 struct BitWriter {
     buf: Vec<u8>,
     cur: u8,
     filled: u32,
+    bits: u64,
 }
 
 impl BitWriter {
@@ -398,7 +721,14 @@ impl BitWriter {
             buf: Vec::new(),
             cur: 0,
             filled: 0,
+            bits: 0,
         }
+    }
+
+    /// Exact number of bits written so far (the serialized header's
+    /// length field; the final byte's padding is not counted).
+    fn bits_written(&self) -> u64 {
+        self.bits
     }
 
     /// Writes the low `width` bits of `value`, MSB first. `width` beyond
@@ -418,6 +748,7 @@ impl BitWriter {
     fn push_bit(&mut self, bit: bool) {
         self.cur = (self.cur << 1) | bit as u8;
         self.filled += 1;
+        self.bits += 1;
         if self.filled == 8 {
             self.buf.push(self.cur);
             self.cur = 0;
@@ -431,6 +762,65 @@ impl BitWriter {
             self.buf.push(self.cur);
         }
         self.buf
+    }
+}
+
+/// MSB-first bit unpacker backing [`WireEncode::deserialize`]; the
+/// mirror of [`BitWriter`]. Bounded by the header's declared bit
+/// length, never by the byte buffer alone, so padding bits cannot be
+/// misread as data.
+struct BitReader<'a> {
+    body: &'a [u8],
+    pos: u64,
+    bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(body: &'a [u8], bits: u64) -> Self {
+        BitReader { body, pos: 0, bits }
+    }
+
+    /// Reads the next `width`-bit field MSB first, returning its low 64
+    /// bits. For fields wider than 64 bits the leading pad must be zero
+    /// (the writer only ever emits zeros there) — anything else is a
+    /// damaged frame.
+    fn get_bits(&mut self, width: u32) -> Result<u64, WireDecodeError> {
+        if self.bits - self.pos < width as u64 {
+            return Err(WireDecodeError::Malformed("field extends past declared length"));
+        }
+        let pad = width.saturating_sub(64);
+        for _ in 0..pad {
+            if self.take_bit() {
+                return Err(WireDecodeError::Malformed("nonzero pad in over-wide field"));
+            }
+        }
+        let mut v = 0u64;
+        for _ in 0..width.min(64) {
+            v = (v << 1) | self.take_bit() as u64;
+        }
+        Ok(v)
+    }
+
+    #[inline]
+    fn take_bit(&mut self) -> bool {
+        let byte = self.body[(self.pos / 8) as usize];
+        let bit = byte & (0x80 >> (self.pos % 8)) != 0;
+        self.pos += 1;
+        bit
+    }
+
+    /// Asserts the declared bit length was consumed exactly and the
+    /// final byte's padding bits are all zero.
+    fn finish(self) -> Result<(), WireDecodeError> {
+        debug_assert_eq!(self.pos, self.bits, "decoder arithmetic consumes bits exactly");
+        let tail = self.bits % 8;
+        if tail != 0 {
+            let last = self.body[(self.bits / 8) as usize];
+            if last & (0xFF >> tail) != 0 {
+                return Err(WireDecodeError::Malformed("nonzero final-byte padding"));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -656,6 +1046,97 @@ mod tests {
         let mut w = BitWriter::new();
         w.put_bits(0b1, 1);
         assert_eq!(w.finish(), vec![0b1000_0000]);
+    }
+
+    #[test]
+    fn deserialize_inverts_serialize_on_each_kind() {
+        let e = enc();
+        let payloads = vec![
+            FramePayload::TimestampReport {
+                report_ts_micros: 42_000_000,
+                entries: vec![(1, 5), (2, 9), (999, 77)],
+            },
+            FramePayload::AmnesicReport {
+                report_ts_micros: 7,
+                ids: vec![0, 999],
+            },
+            FramePayload::AdaptiveTimestampReport {
+                report_ts_micros: 3,
+                entries: vec![(4, 8)],
+                window_exceptions: vec![(7, 50), (9, 1)],
+            },
+            FramePayload::SignatureReport {
+                report_ts_micros: 11,
+                sig_bits: 16,
+                signatures: Arc::new(vec![0xFFFF, 0, 0xABCD]),
+            },
+            FramePayload::HybridReport {
+                report_ts_micros: 13,
+                hot_ids: vec![5, 6],
+                sig_bits: 16,
+                signatures: Arc::new(vec![1, 2, 3]),
+            },
+            FramePayload::UplinkQuery { client: 3, item: 9 },
+            FramePayload::QueryAnswer {
+                item: 5,
+                value: u64::MAX,
+                ts_micros: 123,
+            },
+            FramePayload::Invalidation { item: 1000 - 1 },
+        ];
+        for p in payloads {
+            let bytes = e.serialize_payload(&p);
+            let back = e.deserialize(&bytes).expect("round trip");
+            assert_eq!(back.payload, p);
+            assert_eq!(back.bits, e.payload_bits(&p));
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_structural_damage() {
+        let e = enc();
+        let bytes = e.serialize_payload(&FramePayload::AmnesicReport {
+            report_ts_micros: 42,
+            ids: vec![1, 2, 3],
+        });
+        // Truncated at every length below the full frame.
+        for cut in 0..bytes.len() {
+            assert!(e.deserialize(&bytes[..cut]).is_err(), "cut {cut} accepted");
+        }
+        // Trailing garbage.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert_eq!(
+            e.deserialize(&long),
+            Err(WireDecodeError::TrailingBytes {
+                expected: bytes.len(),
+                got: bytes.len() + 1
+            })
+        );
+        // Unknown kind and future version.
+        let mut k = bytes.clone();
+        k[0] = 9;
+        assert_eq!(e.deserialize(&k), Err(WireDecodeError::UnknownKind(9)));
+        let mut v = bytes.clone();
+        v[1] = 0;
+        assert_eq!(e.deserialize(&v), Err(WireDecodeError::UnsupportedVersion(0)));
+    }
+
+    #[test]
+    fn seal_and_open_round_trip_and_catch_damage() {
+        let e = enc();
+        let frame = e.serialize_payload(&FramePayload::Invalidation { item: 17 });
+        let datagram = seal_frame(frame.clone());
+        assert_eq!(open_frame(&datagram).expect("clean"), &frame[..]);
+        for bit in 0..(datagram.len() as u64 * 8) {
+            let mut damaged = datagram.clone();
+            flip_bit(&mut damaged, bit);
+            assert_eq!(open_frame(&damaged), Err(WireDecodeError::ChecksumMismatch));
+        }
+        assert!(matches!(
+            open_frame(&datagram[..4]),
+            Err(WireDecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

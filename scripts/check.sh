@@ -23,6 +23,29 @@ cargo clippy --workspace --all-targets --features observe -- -D warnings
 echo "==> trace_run smoke (figure 3, quick settings, observed)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- 3 >/dev/null
 
+echo "==> trace_run smoke (live session, lockstep, merged server+client trace)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- live >/dev/null
+
+echo "==> live smoke (sw-serve on an ephemeral port, one sw-mu round, clean shutdown)"
+live_addr_file=$(mktemp)
+rm -f "$live_addr_file"
+./target/release/sw-serve --port 0 --clients 1 --intervals 10 --interval-ms 20 \
+    --announce "$live_addr_file" >/dev/null &
+live_serve_pid=$!
+live_tries=0
+while [ ! -s "$live_addr_file" ]; do
+    live_tries=$((live_tries + 1))
+    if [ "$live_tries" -gt 100 ]; then
+        echo "sw-serve never announced its address" >&2
+        kill "$live_serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+./target/release/sw-mu --server "$(cat "$live_addr_file")" --index 0 --clients 1 >/dev/null
+wait "$live_serve_pid"
+rm -f "$live_addr_file"
+
 echo "==> cargo test --workspace (release, --features faults)"
 cargo test --workspace --release -q --features faults
 

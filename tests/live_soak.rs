@@ -1,0 +1,146 @@
+//! Thirty-second loopback soak of the live runtime.
+//!
+//! One real `sw-serve` session per strategy (TS, AT, SIG — run in
+//! parallel threads), each with 8 mobile units over real TCP/UDP
+//! loopback sockets, wall-clock pacing, genuine sleep/wake timers (the
+//! units' seeded sleep runs translate into real intervals of radio
+//! silence), and seeded receiver-side UDP drops on top.
+//!
+//! The assertion is the paper's consistency contract under all of
+//! that: auditing every cache entry of every awake interval against
+//! the server's value history finds **zero stale entries** for the
+//! never-stale strategies (TS, AT) and at most the diagnosis bound for
+//! SIG (§6's controlled false-validation risk).
+
+use std::net::SocketAddr;
+use std::thread;
+
+use sleepers::{CellConfig, Strategy};
+use sw_live::{audit_against_history, run_mu, LiveMuReport, LiveOptions, LiveServer, MuOptions};
+use sw_workload::ScenarioParams;
+
+// ~30 seconds of wall clock: the three strategy stacks run in
+// parallel, each pacing 580 broadcast intervals at 50 real ms.
+const CLIENTS: usize = 8;
+const INTERVALS: u64 = 580;
+const INTERVAL_MS: u64 = 50;
+const RX_DROP: f64 = 0.15;
+
+fn soak_cell(seed: u64) -> CellConfig {
+    let mut params = ScenarioParams::scenario1().with_s(0.5);
+    params.n_items = 200;
+    // Update-heavy relative to the paper's defaults, so invalidations
+    // and restamps actually exercise the recovery paths.
+    params.mu = 4e-3;
+    params.k = 8;
+    CellConfig::new(params)
+        .with_clients(CLIENTS)
+        .with_hotspot_size(20)
+        .with_seed(seed)
+        .with_safety_checking()
+}
+
+struct SoakOutcome {
+    strategy: Strategy,
+    entries_checked: u64,
+    violations: u64,
+    reports_heard: u64,
+    reports_missed: u64,
+    queries: u64,
+}
+
+fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
+    let handle = LiveServer::spawn(cfg.clone(), strategy, LiveOptions::paced(INTERVALS, INTERVAL_MS))
+        .expect("spawn live server");
+    let addr: SocketAddr = handle.addr();
+    let opts = MuOptions {
+        rx_drop: RX_DROP,
+        audit_cache: true,
+    };
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|idx| {
+            let cfg = cfg.clone();
+            thread::spawn(move || run_mu(addr, &cfg, strategy, idx, opts))
+        })
+        .collect();
+    let reports: Vec<LiveMuReport> = workers
+        .into_iter()
+        .map(|w| w.join().expect("client thread").expect("client session"))
+        .collect();
+    let server = handle.wait().expect("server session");
+    assert_eq!(server.intervals, INTERVALS, "{}: truncated session", strategy.name());
+    let history = server
+        .history
+        .expect("safety checking was on; the server kept a value history");
+
+    let mut entries_checked = 0;
+    let mut violations = 0;
+    let mut reports_heard = 0;
+    let mut reports_missed = 0;
+    let mut queries = 0;
+    for report in &reports {
+        let (checked, bad) = audit_against_history(&history, &report.audit);
+        entries_checked += checked;
+        violations += bad;
+        reports_heard += report.reports_heard;
+        reports_missed += report.reports_missed;
+        queries += report.stats.queries_posed;
+    }
+    SoakOutcome {
+        strategy,
+        entries_checked,
+        violations,
+        reports_heard,
+        reports_missed,
+        queries,
+    }
+}
+
+#[test]
+fn live_soak_never_stale_under_drops_and_sleep() {
+    let stacks = [
+        (Strategy::BroadcastTimestamps, 0x50AC_0001u64),
+        (Strategy::AmnesicTerminals, 0x50AC_0002),
+        (Strategy::Signatures, 0x50AC_0003),
+    ];
+    let outcomes: Vec<SoakOutcome> = stacks
+        .map(|(strategy, seed)| thread::spawn(move || run_soak(soak_cell(seed), strategy)))
+        .into_iter()
+        .map(|t| t.join().expect("soak stack"))
+        .collect();
+
+    for o in &outcomes {
+        let name = o.strategy.name();
+        eprintln!(
+            "{name}: {} queries, {} reports heard, {} missed, \
+             {} cache entries audited, {} stale",
+            o.queries, o.reports_heard, o.reports_missed, o.entries_checked, o.violations
+        );
+        // The soak must have actually soaked: queries flowed, reports
+        // were heard, and the drop injector really dropped some.
+        assert!(o.queries > 0, "{name}: no queries posed");
+        assert!(o.reports_heard > 0, "{name}: no report ever heard");
+        assert!(
+            o.reports_missed > 0,
+            "{name}: rx-drop injection never fired ({RX_DROP} over \
+             {INTERVALS} intervals x {CLIENTS} clients)"
+        );
+        assert!(o.entries_checked > 0, "{name}: nothing was ever cached");
+        match o.strategy {
+            // Never-stale strategies: the contract is absolute.
+            Strategy::BroadcastTimestamps | Strategy::AmnesicTerminals => assert_eq!(
+                o.violations, 0,
+                "{name}: stale cache entries in a never-stale strategy"
+            ),
+            // SIG validates by diagnosis; its false-validation rate is
+            // bounded, not zero (§6).
+            _ => {
+                let rate = o.violations as f64 / o.entries_checked as f64;
+                assert!(
+                    rate <= Strategy::SIG_VIOLATION_BOUND,
+                    "{name}: stale rate {rate:.4} above the diagnosis bound"
+                );
+            }
+        }
+    }
+}
