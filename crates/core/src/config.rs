@@ -32,6 +32,32 @@ pub enum WakeMode {
     Heap,
 }
 
+/// Which storage layout holds the client fleet's mutable state.
+///
+/// Both layouts simulate the identical model and produce bit-identical
+/// reports (pinned by the equivalence suite); the choice is purely a
+/// memory-layout/performance trade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetBackend {
+    /// One [`sw_client::MobileUnit`] struct per client: caches are
+    /// per-client item tables, handlers are boxed trait objects. The
+    /// fully general backend — required for the driver-constructed
+    /// strategies (adaptive TS, quasi-delay, stateful), bounded caches,
+    /// piggybacking, and mesh shards (whose units migrate as whole
+    /// structs).
+    Units,
+    /// Struct-of-arrays: per-item cache timestamps, values, and
+    /// validity bitmaps for *all* clients live in dense parallel
+    /// vectors strided by the hotspot size (a client can only ever
+    /// cache items it queries, and it only queries its hotspot), with
+    /// per-client strategy state held in typed columns instead of
+    /// boxed handlers. One report sweep is a cache-friendly linear
+    /// scan, and memory scales with `clients × hotspot` instead of
+    /// `clients × n_items` — the layout that makes 10⁵–10⁶-client
+    /// cells tractable.
+    Columnar,
+}
+
 /// Full configuration of one simulated cell.
 #[derive(Debug, Clone)]
 pub struct CellConfig {
@@ -80,6 +106,20 @@ pub struct CellConfig {
     /// nothing; with the `faults` cargo feature off any plan is ignored
     /// and the injector is a compile-time no-op either way.
     pub faults: Option<FaultPlan>,
+    /// Worker-thread count for the intra-cell report sweep. `None` —
+    /// the default — resolves from `SW_THREADS`, falling back to the
+    /// machine's parallelism. Any value (including 1) produces
+    /// bit-identical results: the sweep partitions the awake set into
+    /// disjoint contiguous ranges, the report is shared immutably, and
+    /// every random draw happens outside the parallel section.
+    pub sweep_threads: Option<usize>,
+    /// Client-state storage backend. `None` — the default — picks the
+    /// columnar struct-of-arrays fleet whenever the configuration is
+    /// eligible (static report strategies, unbounded caches, no
+    /// piggybacking, standalone cell) and the per-unit struct fleet
+    /// otherwise. Both backends are bit-identical; the explicit
+    /// settings exist for A/B equivalence tests.
+    pub fleet: Option<FleetBackend>,
     /// Backbone seed for mesh membership. `None` — the default — means
     /// the cell is standalone and derives *everything* from `seed`.
     /// `Some(b)` marks the cell as one shard of a replicated-backbone
@@ -117,6 +157,8 @@ impl CellConfig {
             wake_mode: None,
             observe: None,
             faults: None,
+            sweep_threads: None,
+            fleet: None,
             backbone: None,
         }
     }
@@ -214,6 +256,23 @@ impl CellConfig {
     /// anything; the schedule is a pure function of the master seed).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
+        self
+    }
+
+    /// Pins the intra-cell report-sweep worker count (tests and
+    /// benches; normal runs resolve it from `SW_THREADS`/the machine).
+    /// Bit-identical at any value.
+    pub fn with_sweep_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "sweep needs at least one worker");
+        self.sweep_threads = Some(threads);
+        self
+    }
+
+    /// Forces the client-state storage backend (A/B equivalence tests;
+    /// normal runs pick automatically). Forcing `Columnar` on an
+    /// ineligible configuration is a construction error.
+    pub fn with_fleet(mut self, backend: FleetBackend) -> Self {
+        self.fleet = Some(backend);
         self
     }
 

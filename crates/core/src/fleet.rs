@@ -1,0 +1,1096 @@
+//! Columnar client fleet: struct-of-arrays mobile-unit state.
+//!
+//! The boxed-[`sw_client::MobileUnit`] fleet stores each client's cache
+//! as a dense `n_items`-wide table behind a trait-object handler. That
+//! layout is exact but hostile to the hot path: one report sweep visits
+//! a thousand heap-scattered caches, each a universe-sized vector of
+//! `Option<CacheEntry>`, and at 10⁵–10⁶ clients per cell the per-client
+//! tables alone dwarf RAM (a million 2000-item dense caches ≈ 48 GB).
+//!
+//! This module keeps the *same observable semantics* in parallel
+//! columns. The enabling invariant is that a client's cache is always a
+//! subset of its hotspot: queries draw only hotspot items, and entries
+//! are installed only by answers to queries. So every client owns a
+//! fixed block of `H = hotspot_size` *slots*, one per hotspot item in
+//! ascending id order, and the whole fleet is six flat vectors indexed
+//! by `client * H + slot`:
+//!
+//! * `slot_items` — the hotspot, sorted (slot → item id);
+//! * `valid` — one bit per slot (cached or not), `⌈H/64⌉` words/client;
+//! * `values`, `stamps` — the cached value and validity timestamp;
+//! * plus per-client scalars (stats, `T_l`, awake flag, pending
+//!   queries, the query/sleep processes).
+//!
+//! One report sweep is then a cache-friendly linear scan over the slot
+//! block, and disjoint client ranges of the columns can be swept by
+//! parallel workers with no aliasing. Slot order is ascending item id,
+//! which is exactly the iteration order of the dense `ItemTable` cache
+//! — the per-strategy kernels below therefore produce *bit-identical*
+//! outcomes (same invalidation lists in the same order, same stats,
+//! same uplink requests) as the `MobileUnit` path. The equivalence is
+//! pinned by `tests/columnar_equivalence.rs` and, transitively, by the
+//! figure-3 regression artifact, which now runs on this backend.
+//!
+//! Eligibility is decided by the simulation driver: static report
+//! builders only (TS/AT/SIG/NC/HYB/GR), unbounded caches, no piggyback
+//! histories, standalone cells (no mesh backbone). Everything else
+//! stays on the boxed-unit fleet.
+
+use std::sync::Arc;
+
+use sw_client::handler::{time_from_micros, time_to_micros};
+use sw_client::{IntervalReport, MuStats, PendingQuery, ProcessOutcome};
+use sw_server::{GroupMap, HotSet, ItemId, QueryAnswer};
+use sw_signature::{CombinedSignature, SyndromeDecoder};
+use sw_sim::{BernoulliIntervalProcess, PoissonProcess, RngStream, SimDuration, SimTime};
+use sw_wireless::FramePayload;
+
+/// Strategy-specific machinery shared by every client of the fleet
+/// (none of it is per-client except the SIG tracking columns, which
+/// live in [`SigColumns`] so the report sweep can borrow the two
+/// disjointly).
+pub(crate) enum ColumnarSpec {
+    /// §3.1 TS: window `w = k·L`.
+    Ts {
+        /// The window `w`.
+        window: SimDuration,
+    },
+    /// §3.2 AT: drop on any gap longer than `L`.
+    At {
+        /// The broadcast latency `L`.
+        latency: SimDuration,
+    },
+    /// §4.2 NC: never retain anything.
+    NoCache,
+    /// §10 group-granular AT.
+    Group {
+        /// The broadcast latency `L`.
+        latency: SimDuration,
+        /// The shared item → group partition.
+        map: GroupMap,
+    },
+    /// §3.3 SIG: syndrome decoding over tracked subset signatures.
+    Sig {
+        /// The shared decoder (family + plan).
+        decoder: SyndromeDecoder,
+    },
+    /// §10 hybrid: hot items AT-style, cold items SIG-style.
+    Hybrid {
+        /// The broadcast latency `L` (hot-half gap rule).
+        latency: SimDuration,
+        /// The shared hot set.
+        hot: HotSet,
+        /// The shared cold-half decoder.
+        decoder: SyndromeDecoder,
+    },
+}
+
+impl ColumnarSpec {
+    fn decoder(&self) -> Option<&SyndromeDecoder> {
+        match self {
+            ColumnarSpec::Sig { decoder } | ColumnarSpec::Hybrid { decoder, .. } => Some(decoder),
+            _ => None,
+        }
+    }
+}
+
+/// Per-client SIG/HYB tracking state, columnar: `m` signature slots per
+/// client (mirroring `SigHandler::tracked`), the tracked count, the
+/// last-heard report share, and the unmatched-subset telemetry.
+struct SigColumns {
+    m: usize,
+    /// Tracked combined signature per subset, stride `m` per client.
+    tracked: Vec<Option<CombinedSignature>>,
+    tracked_count: Vec<usize>,
+    /// The signatures of the last heard report (an `Arc` share of the
+    /// broadcast payload, as in `SigHandler::last_report`).
+    last_report: Vec<Arc<Vec<CombinedSignature>>>,
+    last_unmatched: Vec<u32>,
+}
+
+/// The AT-family gap tolerance: `L` plus the same relative epsilon the
+/// boxed handlers use.
+fn gap_limit(latency: SimDuration) -> SimDuration {
+    latency + SimDuration::from_secs(latency.as_secs() * 1e-9)
+}
+
+/// The columnar client fleet. See the module docs for the layout.
+pub(crate) struct ColumnarFleet {
+    n: usize,
+    /// Hotspot size `H` = slots per client.
+    h: usize,
+    /// Validity bitmap words per client.
+    words: usize,
+    /// Hotspot in *draw order*, stride `h` (query draws map a uniform
+    /// index through this, exactly like `MuConfig::hotspot`).
+    hotspot_draw: Vec<ItemId>,
+    /// Hotspot in ascending id order, stride `h` (slot → item).
+    slot_items: Vec<ItemId>,
+    /// Validity bitmap, stride `words`.
+    valid: Vec<u64>,
+    /// Cached values, stride `h`.
+    values: Vec<u64>,
+    /// Validity timestamps `t_x`, stride `h`.
+    stamps: Vec<SimTime>,
+    /// Live slot count per client (= `cache.len()`).
+    cached: Vec<u32>,
+    t_l: Vec<Option<SimTime>>,
+    awake: Vec<bool>,
+    pending: Vec<Vec<PendingQuery>>,
+    stats: Vec<MuStats>,
+    queries: Vec<PoissonProcess>,
+    sleep: Vec<BernoulliIntervalProcess>,
+    spec: ColumnarSpec,
+    sig: Option<SigColumns>,
+}
+
+impl ColumnarFleet {
+    /// Creates an empty fleet; clients are appended by
+    /// [`Self::push_client`] in the constructor's per-index loop, so
+    /// the rng draw order matches the boxed-unit path exactly.
+    pub(crate) fn new(hotspot_size: usize, spec: ColumnarSpec) -> Self {
+        assert!(hotspot_size > 0, "hotspot cannot be empty");
+        let sig = spec.decoder().map(|d| {
+            let m = d.plan().m as usize;
+            SigColumns {
+                m,
+                tracked: Vec::new(),
+                tracked_count: Vec::new(),
+                last_report: Vec::new(),
+                last_unmatched: Vec::new(),
+            }
+        });
+        ColumnarFleet {
+            n: 0,
+            h: hotspot_size,
+            words: hotspot_size.div_ceil(64),
+            hotspot_draw: Vec::new(),
+            slot_items: Vec::new(),
+            valid: Vec::new(),
+            values: Vec::new(),
+            stamps: Vec::new(),
+            cached: Vec::new(),
+            t_l: Vec::new(),
+            awake: Vec::new(),
+            pending: Vec::new(),
+            stats: Vec::new(),
+            queries: Vec::new(),
+            sleep: Vec::new(),
+            spec,
+            sig,
+        }
+    }
+
+    /// Appends one client, consuming exactly the draws
+    /// `MobileUnit::new` would: one exponential from `query_rng` for
+    /// the Poisson query process's first arrival. The hotspot arrives
+    /// in draw order and is sorted into slot order here.
+    pub(crate) fn push_client(
+        &mut self,
+        hotspot: Vec<ItemId>,
+        query_rate_per_item: f64,
+        sleep_probability: f64,
+        query_rng: &mut RngStream,
+    ) {
+        assert_eq!(hotspot.len(), self.h, "fleet hotspots must share one size");
+        let total_rate = query_rate_per_item * hotspot.len() as f64;
+        let mut sorted = hotspot.clone();
+        sorted.sort_unstable();
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "hotspot draws must be distinct for the slot mapping"
+        );
+        self.hotspot_draw.extend_from_slice(&hotspot);
+        self.slot_items.extend_from_slice(&sorted);
+        self.valid.extend(std::iter::repeat_n(0u64, self.words));
+        self.values.extend(std::iter::repeat_n(0u64, self.h));
+        self.stamps.extend(std::iter::repeat_n(SimTime::ZERO, self.h));
+        self.cached.push(0);
+        self.t_l.push(None);
+        self.awake.push(true);
+        self.pending.push(Vec::new());
+        self.stats.push(MuStats::default());
+        self.queries.push(PoissonProcess::new(total_rate, query_rng));
+        self.sleep.push(BernoulliIntervalProcess::new(sleep_probability));
+        if let Some(sig) = &mut self.sig {
+            sig.tracked.extend(std::iter::repeat_n(None, sig.m));
+            sig.tracked_count.push(0);
+            sig.last_report.push(Arc::new(Vec::new()));
+            sig.last_unmatched.push(0);
+        }
+        self.n += 1;
+    }
+
+    /// Number of clients.
+    pub(crate) fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether client `idx` is awake this interval.
+    pub(crate) fn is_awake(&self, idx: usize) -> bool {
+        self.awake[idx]
+    }
+
+    /// Stats snapshot for client `idx`.
+    pub(crate) fn stats(&self, idx: usize) -> MuStats {
+        self.stats[idx]
+    }
+
+    /// Iterates all per-client stats (report aggregation).
+    pub(crate) fn stats_iter(&self) -> impl Iterator<Item = &MuStats> + '_ {
+        self.stats.iter()
+    }
+
+    /// Zeroes every client's stats (warm-up reset).
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats.fill(MuStats::default());
+    }
+
+    /// Marks client `idx` asleep.
+    pub(crate) fn enter_sleep(&mut self, idx: usize) {
+        self.awake[idx] = false;
+    }
+
+    /// Credits `k` asleep intervals (lazy settlement at wake-up).
+    pub(crate) fn credit_asleep_intervals(&mut self, idx: usize, k: u64) {
+        self.stats[idx].intervals_asleep += k;
+    }
+
+    /// Draws client `idx`'s next sleep run.
+    pub(crate) fn draw_sleep_run(&self, idx: usize, rng: &mut RngStream) -> u64 {
+        self.sleep[idx].draw_sleep_run(rng)
+    }
+
+    /// Unmatched-subset telemetry from the last processed report
+    /// (SIG/HYB only, mirroring `ReportHandler::last_unmatched_subsets`).
+    pub(crate) fn last_unmatched_subsets(&self, idx: usize) -> Option<u32> {
+        self.sig.as_ref().map(|s| s.last_unmatched[idx])
+    }
+
+    /// Starts interval `(from, to]` for awake client `idx`: generates
+    /// this interval's query arrivals into its pending list, consuming
+    /// `query_rng` exactly like `MobileUnit::begin_awake_interval`.
+    pub(crate) fn begin_awake_interval(
+        &mut self,
+        idx: usize,
+        from: SimTime,
+        to: SimTime,
+        query_rng: &mut RngStream,
+    ) {
+        self.awake[idx] = true;
+        let stats = &mut self.stats[idx];
+        stats.intervals_awake += 1;
+        let base = idx * self.h;
+        for at in self.queries[idx].arrivals_in(from, to, query_rng) {
+            let j = query_rng.uniform_index(self.h as u64) as usize;
+            let item = self.hotspot_draw[base + j];
+            self.pending[idx].push(PendingQuery { item, posed_at: at });
+            stats.queries_posed += 1;
+        }
+    }
+
+    /// Slot of `item` in client `idx`'s hotspot block, if any.
+    fn slot_of(&self, idx: usize, item: ItemId) -> Option<usize> {
+        let block = &self.slot_items[idx * self.h..idx * self.h + self.h];
+        block.binary_search(&item).ok()
+    }
+
+    /// Installs an uplink answer: cache the fresh copy under the
+    /// request's server timestamp and (SIG/HYB) adopt tracking for the
+    /// item's subsets from the last heard report.
+    pub(crate) fn install_answer(&mut self, idx: usize, answer: QueryAnswer) {
+        let slot = self
+            .slot_of(idx, answer.item)
+            .expect("uplink answers only items the client queried, i.e. hotspot items");
+        let word = idx * self.words + slot / 64;
+        let bit = 1u64 << (slot % 64);
+        if self.valid[word] & bit == 0 {
+            self.valid[word] |= bit;
+            self.cached[idx] += 1;
+        }
+        self.values[idx * self.h + slot] = answer.value;
+        self.stamps[idx * self.h + slot] = answer.timestamp;
+        match &self.spec {
+            ColumnarSpec::Sig { decoder } => {
+                let sig = self.sig.as_mut().expect("SIG fleet has sig columns");
+                sig.adopt_tracking(idx, answer.item, decoder);
+            }
+            ColumnarSpec::Hybrid { hot, decoder, .. } if !hot.contains(answer.item) => {
+                let sig = self.sig.as_mut().expect("HYB fleet has sig columns");
+                sig.adopt_tracking(idx, answer.item, decoder);
+            }
+            _ => {}
+        }
+    }
+
+    /// Records a listened-for-but-missed report (fault injection).
+    pub(crate) fn miss_report(&mut self, idx: usize) {
+        assert!(
+            self.awake[idx],
+            "a sleeping unit was not listening for the report"
+        );
+        self.stats[idx].reports_missed += 1;
+    }
+
+    /// Visits every cached entry as `(item, value, timestamp)` in
+    /// client order, items ascending — the iteration order of the
+    /// boxed-unit safety check.
+    pub(crate) fn for_each_cached_entry<F: FnMut(ItemId, u64, SimTime)>(&self, mut f: F) {
+        for idx in 0..self.n {
+            let base = idx * self.h;
+            for slot in 0..self.h {
+                if self.valid[idx * self.words + slot / 64] & (1 << (slot % 64)) != 0 {
+                    f(
+                        self.slot_items[base + slot],
+                        self.values[base + slot],
+                        self.stamps[base + slot],
+                    );
+                }
+            }
+        }
+    }
+
+    /// The whole-fleet report sweep: every listening client (the
+    /// `heard` awake-slots, client indices `awake[slot]` ascending)
+    /// applies the shared payload and answers its pending queries.
+    /// Pure per-client work — no randomness, no shared mutation — so
+    /// when `threads > 1` and the listening set is large enough the
+    /// columns are split at client boundaries into contiguous chunks
+    /// and swept by scoped workers; results are returned in ascending
+    /// order either way, bit-identical at any worker count.
+    pub(crate) fn sweep(
+        &mut self,
+        heard: &[usize],
+        awake: &[usize],
+        payload: &FramePayload,
+        observing: bool,
+        threads: usize,
+        par_min: usize,
+    ) -> Vec<super::simulation::SweepItem> {
+        let prepared = PreparedReport::new(&self.spec, payload);
+        let h = self.h;
+        let words = self.words;
+        if threads > 1 && heard.len() >= par_min {
+            let workers = threads.min(heard.len());
+            let chunk_len = heard.len().div_ceil(workers);
+            let mut out = Vec::with_capacity(heard.len());
+            // Progressively split every mutable column at the chunk's
+            // last client index; read-only columns are shared whole.
+            let slot_items = &self.slot_items;
+            let awake_flags = &self.awake;
+            let mut valid = &mut self.valid[..];
+            let mut stamps = &mut self.stamps[..];
+            let mut cached = &mut self.cached[..];
+            let mut t_l = &mut self.t_l[..];
+            let mut pending = &mut self.pending[..];
+            let mut stats = &mut self.stats[..];
+            let mut sig_cols = self.sig.as_mut().map(|s| {
+                (
+                    s.m,
+                    &mut s.tracked[..],
+                    &mut s.tracked_count[..],
+                    &mut s.last_report[..],
+                    &mut s.last_unmatched[..],
+                )
+            });
+            let mut base = 0usize;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for chunk in heard.chunks(chunk_len) {
+                    let last_idx = awake[*chunk.last().expect("chunks are non-empty")];
+                    let take = last_idx + 1 - base;
+                    let (valid_c, valid_r) = valid.split_at_mut(take * words);
+                    valid = valid_r;
+                    let (stamps_c, stamps_r) = stamps.split_at_mut(take * h);
+                    stamps = stamps_r;
+                    let (cached_c, cached_r) = cached.split_at_mut(take);
+                    cached = cached_r;
+                    let (t_l_c, t_l_r) = t_l.split_at_mut(take);
+                    t_l = t_l_r;
+                    let (pending_c, pending_r) = pending.split_at_mut(take);
+                    pending = pending_r;
+                    let (stats_c, stats_r) = stats.split_at_mut(take);
+                    stats = stats_r;
+                    let sig_chunk = match &mut sig_cols {
+                        Some((m, tracked, count, last, unmatched)) => {
+                            let m = *m;
+                            let (tr_c, tr_r) = std::mem::take(tracked).split_at_mut(take * m);
+                            *tracked = tr_r;
+                            let (ct_c, ct_r) = std::mem::take(count).split_at_mut(take);
+                            *count = ct_r;
+                            let (lr_c, lr_r) = std::mem::take(last).split_at_mut(take);
+                            *last = lr_r;
+                            let (um_c, um_r) = std::mem::take(unmatched).split_at_mut(take);
+                            *unmatched = um_r;
+                            Some(SigChunk {
+                                m,
+                                tracked: tr_c,
+                                tracked_count: ct_c,
+                                last_report: lr_c,
+                                last_unmatched: um_c,
+                            })
+                        }
+                        None => None,
+                    };
+                    let mut view = ChunkView {
+                        base,
+                        h,
+                        words,
+                        slot_items,
+                        awake: awake_flags,
+                        valid: valid_c,
+                        stamps: stamps_c,
+                        cached: cached_c,
+                        t_l: t_l_c,
+                        pending: pending_c,
+                        stats: stats_c,
+                        sig: sig_chunk,
+                    };
+                    base = last_idx + 1;
+                    let prepared = &prepared;
+                    handles.push(scope.spawn(move || {
+                        let mut items = Vec::with_capacity(chunk.len());
+                        for &slot in chunk {
+                            let idx = awake[slot];
+                            items.push(sweep_client(&mut view, prepared, idx, slot, observing));
+                        }
+                        items
+                    }));
+                }
+                for handle in handles {
+                    out.extend(handle.join().expect("columnar sweep worker panicked"));
+                }
+            });
+            out
+        } else {
+            let mut view = ChunkView {
+                base: 0,
+                h,
+                words,
+                slot_items: &self.slot_items,
+                awake: &self.awake,
+                valid: &mut self.valid,
+                stamps: &mut self.stamps,
+                cached: &mut self.cached,
+                t_l: &mut self.t_l,
+                pending: &mut self.pending,
+                stats: &mut self.stats,
+                sig: self.sig.as_mut().map(|s| SigChunk {
+                    m: s.m,
+                    tracked: &mut s.tracked,
+                    tracked_count: &mut s.tracked_count,
+                    last_report: &mut s.last_report,
+                    last_unmatched: &mut s.last_unmatched,
+                }),
+            };
+            heard
+                .iter()
+                .map(|&slot| {
+                    let idx = awake[slot];
+                    sweep_client(&mut view, &prepared, idx, slot, observing)
+                })
+                .collect()
+        }
+    }
+}
+
+impl SigColumns {
+    /// `SigHandler::on_fetch`: start tracking the fetched item's
+    /// subsets from the last heard report.
+    fn adopt_tracking(&mut self, idx: usize, item: ItemId, decoder: &SyndromeDecoder) {
+        let last = &self.last_report[idx];
+        if last.is_empty() {
+            return; // fetched before any report was heard
+        }
+        let tracked = &mut self.tracked[idx * self.m..(idx + 1) * self.m];
+        for j in decoder.family().subsets_of(item) {
+            let slot = &mut tracked[j as usize];
+            if slot.is_none() {
+                *slot = Some(last[j as usize]);
+                self.tracked_count[idx] += 1;
+            }
+        }
+    }
+}
+
+/// Per-interval report digest hoisted out of the per-client loop: the
+/// payload fields every client reads, parsed (and, where the boxed
+/// handlers sort a per-client copy, sorted) exactly once.
+enum PreparedReport<'a> {
+    Ts {
+        t_i: SimTime,
+        window: SimDuration,
+        /// Ascending by item id (the builders emit them sorted; the
+        /// hand-built-payload fallback sorts a copy once).
+        entries: std::borrow::Cow<'a, [(u64, u64)]>,
+    },
+    At {
+        t_i: SimTime,
+        limit: SimDuration,
+        ids: &'a [u64],
+    },
+    Nc {
+        t_i: SimTime,
+    },
+    Group {
+        t_i: SimTime,
+        limit: SimDuration,
+        map: GroupMap,
+        /// Changed group ids, sorted.
+        changed: Vec<u64>,
+    },
+    Sig {
+        t_i: SimTime,
+        decoder: &'a SyndromeDecoder,
+        signatures: &'a Arc<Vec<CombinedSignature>>,
+    },
+    Hybrid {
+        t_i: SimTime,
+        limit: SimDuration,
+        hot: &'a HotSet,
+        hot_ids: &'a [u64],
+        decoder: &'a SyndromeDecoder,
+        signatures: &'a Arc<Vec<CombinedSignature>>,
+    },
+}
+
+impl<'a> PreparedReport<'a> {
+    fn new(spec: &'a ColumnarSpec, payload: &'a FramePayload) -> Self {
+        match spec {
+            ColumnarSpec::Ts { window } => {
+                let (report_ts_micros, entries) = match payload {
+                    FramePayload::TimestampReport {
+                        report_ts_micros,
+                        entries,
+                    } => (*report_ts_micros, entries),
+                    other => panic!("TS handler fed a non-TS report: {other:?}"),
+                };
+                let entries = if entries.windows(2).all(|w| w[0].0 < w[1].0) {
+                    std::borrow::Cow::Borrowed(entries.as_slice())
+                } else {
+                    let mut v = entries.clone();
+                    v.sort_unstable_by_key(|&(item, _)| item);
+                    std::borrow::Cow::Owned(v)
+                };
+                PreparedReport::Ts {
+                    t_i: time_from_micros(report_ts_micros),
+                    window: *window,
+                    entries,
+                }
+            }
+            ColumnarSpec::At { latency } => {
+                let (report_ts_micros, ids) = match payload {
+                    FramePayload::AmnesicReport {
+                        report_ts_micros,
+                        ids,
+                    } => (*report_ts_micros, ids),
+                    other => panic!("AT handler fed a non-AT report: {other:?}"),
+                };
+                PreparedReport::At {
+                    t_i: time_from_micros(report_ts_micros),
+                    limit: gap_limit(*latency),
+                    ids,
+                }
+            }
+            ColumnarSpec::NoCache => {
+                let t_i = match payload {
+                    FramePayload::AmnesicReport {
+                        report_ts_micros, ..
+                    }
+                    | FramePayload::TimestampReport {
+                        report_ts_micros, ..
+                    }
+                    | FramePayload::SignatureReport {
+                        report_ts_micros, ..
+                    } => time_from_micros(*report_ts_micros),
+                    other => panic!("NC handler fed a non-report frame: {other:?}"),
+                };
+                PreparedReport::Nc { t_i }
+            }
+            ColumnarSpec::Group { latency, map } => {
+                let (report_ts_micros, ids) = match payload {
+                    FramePayload::AmnesicReport {
+                        report_ts_micros,
+                        ids,
+                    } => (*report_ts_micros, ids),
+                    other => panic!("group handler fed a wrong report: {other:?}"),
+                };
+                let mut changed = ids.clone();
+                changed.sort_unstable();
+                PreparedReport::Group {
+                    t_i: time_from_micros(report_ts_micros),
+                    limit: gap_limit(*latency),
+                    map: *map,
+                    changed,
+                }
+            }
+            ColumnarSpec::Sig { decoder } => {
+                let (report_ts_micros, signatures) = match payload {
+                    FramePayload::SignatureReport {
+                        report_ts_micros,
+                        signatures,
+                        ..
+                    } => (*report_ts_micros, signatures),
+                    other => panic!("SIG handler fed a non-SIG report: {other:?}"),
+                };
+                PreparedReport::Sig {
+                    t_i: time_from_micros(report_ts_micros),
+                    decoder,
+                    signatures,
+                }
+            }
+            ColumnarSpec::Hybrid {
+                latency,
+                hot,
+                decoder,
+            } => {
+                let (report_ts_micros, hot_ids, signatures) = match payload {
+                    FramePayload::HybridReport {
+                        report_ts_micros,
+                        hot_ids,
+                        signatures,
+                        ..
+                    } => (*report_ts_micros, hot_ids, signatures),
+                    other => panic!("hybrid handler fed a wrong report: {other:?}"),
+                };
+                PreparedReport::Hybrid {
+                    t_i: time_from_micros(report_ts_micros),
+                    limit: gap_limit(*latency),
+                    hot,
+                    hot_ids,
+                    decoder,
+                    signatures,
+                }
+            }
+        }
+    }
+
+    fn report_time(&self) -> SimTime {
+        match self {
+            PreparedReport::Ts { t_i, .. }
+            | PreparedReport::At { t_i, .. }
+            | PreparedReport::Nc { t_i }
+            | PreparedReport::Group { t_i, .. }
+            | PreparedReport::Sig { t_i, .. }
+            | PreparedReport::Hybrid { t_i, .. } => *t_i,
+        }
+    }
+}
+
+/// SIG columns of one contiguous client chunk.
+struct SigChunk<'a> {
+    m: usize,
+    tracked: &'a mut [Option<CombinedSignature>],
+    tracked_count: &'a mut [usize],
+    last_report: &'a mut [Arc<Vec<CombinedSignature>>],
+    last_unmatched: &'a mut [u32],
+}
+
+/// A contiguous client range of the fleet's columns, local indices
+/// rebased by `base`. One chunk per sweep worker; chunks never alias.
+struct ChunkView<'a> {
+    base: usize,
+    h: usize,
+    words: usize,
+    slot_items: &'a [ItemId],
+    awake: &'a [bool],
+    valid: &'a mut [u64],
+    stamps: &'a mut [SimTime],
+    cached: &'a mut [u32],
+    t_l: &'a mut [Option<SimTime>],
+    pending: &'a mut [Vec<PendingQuery>],
+    stats: &'a mut [MuStats],
+    sig: Option<SigChunk<'a>>,
+}
+
+impl ChunkView<'_> {
+    fn is_valid(&self, local: usize, slot: usize) -> bool {
+        self.valid[local * self.words + slot / 64] & (1 << (slot % 64)) != 0
+    }
+
+    fn clear_slot(&mut self, local: usize, slot: usize) {
+        self.valid[local * self.words + slot / 64] &= !(1 << (slot % 64));
+        self.cached[local] -= 1;
+    }
+
+    fn clear_cache(&mut self, local: usize) {
+        self.valid[local * self.words..(local + 1) * self.words].fill(0);
+        self.cached[local] = 0;
+    }
+
+    fn item(&self, idx: usize, slot: usize) -> ItemId {
+        // slot_items is the full shared column, indexed by the global
+        // client index.
+        self.slot_items[idx * self.h + slot]
+    }
+
+    fn slot_of(&self, idx: usize, item: ItemId) -> Option<usize> {
+        self.slot_items[idx * self.h..(idx + 1) * self.h]
+            .binary_search(&item)
+            .ok()
+    }
+
+    /// Cached item ids of client `idx`, ascending (= the dense cache's
+    /// `sorted_items`).
+    fn cached_items(&self, local: usize, idx: usize) -> Vec<ItemId> {
+        let mut out = Vec::with_capacity(self.cached[local] as usize);
+        for slot in 0..self.h {
+            if self.is_valid(local, slot) {
+                out.push(self.item(idx, slot));
+            }
+        }
+        out
+    }
+
+    fn restamp_all(&mut self, local: usize, t_i: SimTime) {
+        for slot in 0..self.h {
+            if self.is_valid(local, slot) {
+                self.stamps[local * self.h + slot] = t_i;
+            }
+        }
+    }
+}
+
+/// One client's share of the report sweep: the columnar transcription
+/// of `MobileUnit::hear_report_and_answer` (strategy processing,
+/// latency accounting, hit/miss events, deduplicated uplink requests).
+/// `idx` is the global client index, `local = idx - view.base` its
+/// position inside the chunk.
+fn sweep_client(
+    view: &mut ChunkView<'_>,
+    prepared: &PreparedReport<'_>,
+    idx: usize,
+    awake_slot: usize,
+    observing: bool,
+) -> super::simulation::SweepItem {
+    assert!(view.awake[idx], "a sleeping unit cannot hear a report");
+    let local = idx - view.base;
+    let pre = if observing {
+        Some((view.stats[local], view.t_l[local]))
+    } else {
+        None
+    };
+    let outcome = process_report(view, prepared, local, idx);
+    let t_i = outcome.report_time;
+    let stats = &mut view.stats[local];
+    for q in &view.pending[local] {
+        let lat = t_i.saturating_duration_since(q.posed_at).as_secs();
+        stats.latency_sum_secs += lat;
+        if lat > stats.latency_max_secs {
+            stats.latency_max_secs = lat;
+        }
+    }
+    view.t_l[local] = Some(t_i);
+    if outcome.dropped_all {
+        stats.cache_drops += 1;
+    }
+    stats.items_invalidated += outcome.invalidated.len() as u64;
+    // Answer Q_i: one event per distinct pending item.
+    let mut seen: Vec<ItemId> = view.pending[local].iter().map(|q| q.item).collect();
+    seen.sort_unstable();
+    seen.dedup();
+    let mut uplink = Vec::new();
+    for item in seen {
+        let hit = view
+            .slot_of(idx, item)
+            .is_some_and(|slot| view.is_valid(local, slot));
+        if hit {
+            view.stats[local].hit_events += 1;
+        } else {
+            view.stats[local].miss_events += 1;
+            // Piggyback histories are ineligible for the columnar
+            // fleet, so the uplink request never carries one.
+            uplink.push((item, None));
+        }
+    }
+    view.pending[local].clear();
+    super::simulation::SweepItem {
+        slot: awake_slot,
+        pre,
+        migrated_pre_len: None,
+        outcome: IntervalReport {
+            awake: true,
+            outcome: Some(outcome),
+            uplink_requests: uplink,
+        },
+    }
+}
+
+/// The strategy kernels: each arm is a line-for-line transcription of
+/// the corresponding `ReportHandler::process` over the slot block.
+fn process_report(
+    view: &mut ChunkView<'_>,
+    prepared: &PreparedReport<'_>,
+    local: usize,
+    idx: usize,
+) -> ProcessOutcome {
+    let t_i = prepared.report_time();
+    match prepared {
+        PreparedReport::Ts {
+            window, entries, ..
+        } => {
+            let gap_too_large = match view.t_l[local] {
+                Some(t_l) => t_i.saturating_duration_since(t_l) > *window,
+                None => view.cached[local] > 0, // never heard a report: nothing provable
+            };
+            if gap_too_large {
+                view.clear_cache(local);
+                return ProcessOutcome {
+                    report_time: t_i,
+                    dropped_all: true,
+                    invalidated: Vec::new(),
+                    revalidated: 0,
+                };
+            }
+            let mut invalidated = Vec::new();
+            for slot in 0..view.h {
+                if !view.is_valid(local, slot) {
+                    continue;
+                }
+                let item = view.item(idx, slot);
+                let cached_micros = time_to_micros(view.stamps[local * view.h + slot]);
+                match entries
+                    .binary_search_by_key(&item, |&(reported_item, _)| reported_item)
+                    .ok()
+                    .map(|ix| entries[ix].1)
+                {
+                    Some(t_j) if cached_micros < t_j => {
+                        view.clear_slot(local, slot);
+                        invalidated.push(item);
+                    }
+                    _ => view.stamps[local * view.h + slot] = t_i,
+                }
+            }
+            // Slot order is ascending item id, so `invalidated` is
+            // already sorted — same output as the dense-cache walk.
+            let revalidated = view.cached[local] as usize;
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated,
+                revalidated,
+            }
+        }
+        PreparedReport::At { limit, ids, .. } => {
+            let gap_too_large = match view.t_l[local] {
+                Some(t_l) => t_i.saturating_duration_since(t_l) > *limit,
+                None => view.cached[local] > 0,
+            };
+            if gap_too_large {
+                view.clear_cache(local);
+                return ProcessOutcome {
+                    report_time: t_i,
+                    dropped_all: true,
+                    invalidated: Vec::new(),
+                    revalidated: 0,
+                };
+            }
+            let mut invalidated = Vec::new();
+            for &item in *ids {
+                if let Some(slot) = view.slot_of(idx, item) {
+                    if view.is_valid(local, slot) {
+                        view.clear_slot(local, slot);
+                        invalidated.push(item);
+                    }
+                }
+            }
+            view.restamp_all(local, t_i);
+            let revalidated = view.cached[local] as usize;
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated,
+                revalidated,
+            }
+        }
+        PreparedReport::Nc { .. } => {
+            view.clear_cache(local);
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated: Vec::new(),
+                revalidated: 0,
+            }
+        }
+        PreparedReport::Group {
+            limit,
+            map,
+            changed,
+            ..
+        } => {
+            let gap_too_large = match view.t_l[local] {
+                Some(t_l) => t_i.saturating_duration_since(t_l) > *limit,
+                None => view.cached[local] > 0,
+            };
+            if gap_too_large {
+                view.clear_cache(local);
+                return ProcessOutcome {
+                    report_time: t_i,
+                    dropped_all: true,
+                    invalidated: Vec::new(),
+                    revalidated: 0,
+                };
+            }
+            let mut invalidated = Vec::new();
+            for slot in 0..view.h {
+                if !view.is_valid(local, slot) {
+                    continue;
+                }
+                let item = view.item(idx, slot);
+                if changed.binary_search(&map.group_of(item)).is_ok() {
+                    view.clear_slot(local, slot);
+                    invalidated.push(item);
+                } else {
+                    view.stamps[local * view.h + slot] = t_i;
+                }
+            }
+            let revalidated = view.cached[local] as usize;
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated,
+                revalidated,
+            }
+        }
+        PreparedReport::Sig {
+            decoder,
+            signatures,
+            ..
+        } => {
+            let cached_items = view.cached_items(local, idx);
+            let sig = view.sig.as_mut().expect("SIG sweep has sig columns");
+            let m = sig.m;
+            let tracked = &sig.tracked[local * m..(local + 1) * m];
+            let diagnosis =
+                decoder.diagnose(&cached_items, |j| tracked[j as usize], signatures);
+            sig.last_unmatched[local] = diagnosis.unmatched_subsets;
+            for &item in &diagnosis.invalidated {
+                let slot = view
+                    .slot_of(idx, item)
+                    .expect("diagnosed items come from the cache");
+                view.clear_slot(local, slot);
+            }
+            // Re-scope tracking to the surviving cache and adopt the
+            // broadcast signatures.
+            let sig = view.sig.as_mut().expect("SIG sweep has sig columns");
+            sig.tracked[local * m..(local + 1) * m].fill(None);
+            sig.tracked_count[local] = 0;
+            for slot in 0..view.h {
+                if view.valid[local * view.words + slot / 64] & (1 << (slot % 64)) == 0 {
+                    continue;
+                }
+                let item = view.slot_items[idx * view.h + slot];
+                let sig = view.sig.as_mut().expect("SIG sweep has sig columns");
+                for j in decoder.family().subsets_of(item) {
+                    let cell = &mut sig.tracked[local * m + j as usize];
+                    if cell.is_none() {
+                        sig.tracked_count[local] += 1;
+                    }
+                    *cell = Some(signatures[j as usize]);
+                }
+            }
+            view.restamp_all(local, t_i);
+            let sig = view.sig.as_mut().expect("SIG sweep has sig columns");
+            sig.last_report[local] = Arc::clone(signatures);
+            let revalidated = view.cached[local] as usize;
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated: diagnosis.invalidated,
+                revalidated,
+            }
+        }
+        PreparedReport::Hybrid {
+            limit,
+            hot,
+            hot_ids,
+            decoder,
+            signatures,
+            ..
+        } => {
+            let mut invalidated = Vec::new();
+            // Hot half: AT semantics, scoped to hot items only.
+            let missed_report = match view.t_l[local] {
+                Some(t_l) => t_i.saturating_duration_since(t_l) > *limit,
+                None => true,
+            };
+            if missed_report {
+                for slot in 0..view.h {
+                    if !view.is_valid(local, slot) {
+                        continue;
+                    }
+                    let item = view.item(idx, slot);
+                    if hot.contains(item) {
+                        view.clear_slot(local, slot);
+                        invalidated.push(item);
+                    }
+                }
+            } else {
+                for &item in *hot_ids {
+                    if let Some(slot) = view.slot_of(idx, item) {
+                        if view.is_valid(local, slot) {
+                            view.clear_slot(local, slot);
+                            invalidated.push(item);
+                        }
+                    }
+                }
+            }
+            // Cold half: SIG semantics over the remaining cached items.
+            let cold_items: Vec<ItemId> = {
+                let mut out = Vec::with_capacity(view.cached[local] as usize);
+                for slot in 0..view.h {
+                    if view.is_valid(local, slot) {
+                        let item = view.item(idx, slot);
+                        if !hot.contains(item) {
+                            out.push(item);
+                        }
+                    }
+                }
+                out
+            };
+            let sig = view.sig.as_mut().expect("HYB sweep has sig columns");
+            let m = sig.m;
+            let tracked = &sig.tracked[local * m..(local + 1) * m];
+            let diagnosis =
+                decoder.diagnose(&cold_items, |j| tracked[j as usize], signatures);
+            sig.last_unmatched[local] = diagnosis.unmatched_subsets;
+            for &item in &diagnosis.invalidated {
+                let slot = view
+                    .slot_of(idx, item)
+                    .expect("diagnosed items come from the cache");
+                view.clear_slot(local, slot);
+                invalidated.push(item);
+            }
+            let sig = view.sig.as_mut().expect("HYB sweep has sig columns");
+            sig.tracked[local * m..(local + 1) * m].fill(None);
+            sig.tracked_count[local] = 0;
+            for slot in 0..view.h {
+                if view.valid[local * view.words + slot / 64] & (1 << (slot % 64)) == 0 {
+                    continue;
+                }
+                let item = view.slot_items[idx * view.h + slot];
+                if hot.contains(item) {
+                    continue;
+                }
+                let sig = view.sig.as_mut().expect("HYB sweep has sig columns");
+                for j in decoder.family().subsets_of(item) {
+                    let cell = &mut sig.tracked[local * m + j as usize];
+                    if cell.is_none() {
+                        sig.tracked_count[local] += 1;
+                    }
+                    *cell = Some(signatures[j as usize]);
+                }
+            }
+            let sig = view.sig.as_mut().expect("HYB sweep has sig columns");
+            sig.last_report[local] = Arc::clone(signatures);
+            view.restamp_all(local, t_i);
+            let revalidated = view.cached[local] as usize;
+            ProcessOutcome {
+                report_time: t_i,
+                dropped_all: false,
+                invalidated,
+                revalidated,
+            }
+        }
+    }
+}

@@ -45,13 +45,14 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub(crate) mod fleet;
 pub mod metrics;
 pub mod prelude;
 pub mod safety;
 pub mod simulation;
 pub mod strategy;
 
-pub use config::{CellConfig, WakeMode};
+pub use config::{CellConfig, FleetBackend, WakeMode};
 pub use metrics::{MigrationStats, SimulationReport};
 pub use simulation::{CellSimulation, HandoffClient, SimulationError};
 pub use strategy::Strategy;

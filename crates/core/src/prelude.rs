@@ -6,7 +6,7 @@
 //! let _ = CellConfig::new(params);
 //! ```
 
-pub use crate::config::{CellConfig, WakeMode};
+pub use crate::config::{CellConfig, FleetBackend, WakeMode};
 pub use crate::metrics::{MigrationStats, SimulationReport};
 pub use crate::simulation::{CellSimulation, SimulationError};
 pub use crate::strategy::Strategy;

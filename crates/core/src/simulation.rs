@@ -23,12 +23,12 @@
 //!    runs at the boundary.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use sw_adaptive::{
     AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
 };
-use sw_client::{MobileUnit, MuConfig};
+use sw_client::{IntervalReport, MobileUnit, MuConfig, MuStats};
 use sw_faults::{FaultLayer, ReportFate};
 use sw_quasi::ObligationTracker;
 use sw_server::{
@@ -43,7 +43,8 @@ use sw_wireless::{
 };
 use sw_workload::HotspotSpec;
 
-use crate::config::{CellConfig, WakeMode};
+use crate::config::{CellConfig, FleetBackend, WakeMode};
+use crate::fleet::ColumnarFleet;
 use crate::metrics::{MigrationStats, SimulationReport};
 use crate::safety::{SafetyExpectation, SafetyStats, ValueHistory};
 use crate::strategy::Strategy;
@@ -297,6 +298,63 @@ struct QueuedExchange {
     piggyback: Option<PiggybackInfo>,
 }
 
+/// Per-client output of the (possibly parallel) report sweep. The
+/// sweep applies the shared report to disjoint client ranges; the
+/// items are then merged sequentially in ascending client order, so
+/// every channel charge, random draw, and observation event happens in
+/// the same order at any worker count.
+pub(crate) struct SweepItem {
+    /// Position in the interval's awake set.
+    pub(crate) slot: usize,
+    /// Pre-processing stats snapshot and last-heard-report time
+    /// (captured only when observing; feeds the per-interval series
+    /// and the false-alarm analysis).
+    pub(crate) pre: Option<(MuStats, Option<SimTime>)>,
+    /// Cache length carried into the first report after a handoff
+    /// (`Some` only for newly migrated units; always `None` on the
+    /// columnar fleet, which never hosts migrations).
+    pub(crate) migrated_pre_len: Option<usize>,
+    /// What the client did with the report and which fetches it needs.
+    pub(crate) outcome: IntervalReport,
+}
+
+/// Below this many listening clients the parallel sweep is not worth
+/// its thread hand-off; the sequential path runs instead. Purely a
+/// performance threshold — both paths are bit-identical.
+const SWEEP_PAR_MIN: usize = 256;
+
+/// One client's share of the report sweep: apply the shared payload,
+/// answer pending queries, and record what the merge pass needs. Reads
+/// and writes only `mu` — no shared state, no randomness — which is
+/// what lets the sweep fan out over disjoint client ranges.
+fn sweep_client(
+    mu: &mut MobileUnit,
+    slot: usize,
+    observing: bool,
+    migrated: bool,
+    payload: &FramePayload,
+) -> SweepItem {
+    // Pre-processing snapshot for the per-interval series; the
+    // last-report time is the false-alarm reference point (§6).
+    let pre = if observing {
+        Some((mu.stats(), mu.last_report_heard()))
+    } else {
+        None
+    };
+    // A unit hearing its first report after a handoff: snapshot the
+    // cache it carried in, so a whole-cache drop triggered by this
+    // report is attributable to the cell switch (an empty carried
+    // cache has nothing to lose and counts no drop).
+    let migrated_pre_len = if migrated { Some(mu.cache().len()) } else { None };
+    let outcome = mu.hear_report_and_answer(payload);
+    SweepItem {
+        slot,
+        pre,
+        migrated_pre_len,
+        outcome,
+    }
+}
+
 /// How one uplink exchange attempt sequence ended.
 enum ExchangeOutcome {
     /// Transmitted, answered, and installed in the client's cache.
@@ -351,6 +409,13 @@ pub struct CellSimulation {
     channel: BroadcastChannel,
     clock: IntervalClock,
     clients: Vec<MobileUnit>,
+    /// The columnar client backend (`Some` = the fleet's state lives in
+    /// struct-of-arrays columns and `clients` is empty). Chosen at
+    /// construction when the configuration is eligible — static report
+    /// strategies, unbounded caches, no piggybacking, no mesh backbone
+    /// — or forced either way by `config.fleet`. Bit-identical to the
+    /// boxed-unit fleet (pinned by the columnar-equivalence suite).
+    columnar: Option<ColumnarFleet>,
     /// The next interval in which each currently-sleeping (or
     /// yet-unprocessed) unit is awake. The per-interval loop takes
     /// exactly the awake set from it — heap-backed sleeper cells never
@@ -376,6 +441,20 @@ pub struct CellSimulation {
     /// phase. Normally empty: the simulated fleet sits far below
     /// channel capacity.
     pending_uplinks: VecDeque<QueuedExchange>,
+    /// Worker count for the intra-cell report sweep (phase 4b).
+    /// Resolved once at construction from the config (or
+    /// `SW_THREADS`/machine parallelism); results are bit-identical at
+    /// any value, so this is purely a throughput knob.
+    sweep_threads: usize,
+    /// Mirror of `pending_uplinks` as a membership set, so the
+    /// duplicate-fetch check is O(1) instead of a queue scan. Under a
+    /// saturated cold start the queue holds tens of thousands of
+    /// entries and every fresh miss consults this check — the linear
+    /// scan made those intervals quadratic. Entries for departed
+    /// clients are tombstones: they stay queued (and in this set) until
+    /// the FIFO drain reaches and discards them, so a mesh detach costs
+    /// O(1) instead of an O(queue) retain.
+    queued_exchanges: HashSet<(usize, ItemId)>,
     /// Deterministic fault injector. A zero-sized compile-time no-op
     /// without the `faults` cargo feature; one null check per interval
     /// when compiled in but unarmed. Draws only from
@@ -506,7 +585,44 @@ impl CellSimulation {
                 }
             );
         let stateful = matches!(strategy, Strategy::Stateful);
-        let mut clients = Vec::with_capacity(config.n_clients);
+        // Columnar fleet eligibility: static report builders whose
+        // per-client state is exactly (cache, T_l) — no bounded-cache
+        // LRU clocks, no piggyback histories, no mesh handoffs moving
+        // whole units between cells. Everything else keeps the boxed
+        // `MobileUnit` fleet. `config.fleet` forces the choice either
+        // way (the equivalence suite runs both on the same config).
+        let columnar_spec = if config.backbone.is_none()
+            && config.cache_capacity.is_none()
+            && !piggyback
+        {
+            strategy.columnar_spec(&params, protocol_seed)
+        } else {
+            None
+        };
+        let use_columnar = match config.fleet {
+            Some(FleetBackend::Units) => false,
+            Some(FleetBackend::Columnar) => {
+                if columnar_spec.is_none() {
+                    return Err(SimulationError::InvalidConfig(format!(
+                        "the columnar fleet cannot host this configuration \
+                         (strategy {}, capacity {:?}, piggyback {}, backbone {:?})",
+                        strategy.name(),
+                        config.cache_capacity,
+                        piggyback,
+                        config.backbone,
+                    )));
+                }
+                true
+            }
+            None => columnar_spec.is_some(),
+        };
+        let mut columnar = if use_columnar {
+            let spec = columnar_spec.expect("eligibility was just checked");
+            Some(ColumnarFleet::new(config.hotspot_size, spec))
+        } else {
+            None
+        };
+        let mut clients = Vec::with_capacity(if use_columnar { 0 } else { config.n_clients });
         let mut sleep_rngs = Vec::with_capacity(config.n_clients);
         let mut query_rngs = Vec::with_capacity(config.n_clients);
         let wake_mode = config.wake_mode.unwrap_or_else(|| {
@@ -527,28 +643,45 @@ impl CellSimulation {
                 Some(profile) => profile[idx as usize % profile.len()],
                 None => params.s,
             };
-            let mu_config = MuConfig {
-                id: idx,
-                hotspot,
-                query_rate_per_item: params.lambda,
-                sleep_probability,
-                cache_capacity: config.cache_capacity,
-                piggyback_hits: piggyback,
-                item_universe: Some(params.n_items),
-            };
-            let handler = strategy.make_handler(&params, protocol_seed);
-            let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
             let mut sleep_rng = config.seed.stream(StreamId::Sleep { index: idx });
             // Draw the unit's initial sleep run and schedule its first
             // awake interval; units starting asleep are not visited
-            // again until they wake.
-            let k0 = mu.draw_sleep_run(&mut sleep_rng);
-            if k0 > 0 {
-                mu.enter_sleep();
-                if stateful {
-                    pending_disconnects.push(idx as usize);
+            // again until they wake. Both fleet backends consume the
+            // exact same draws here (one exponential from the query
+            // stream, one geometric from the sleep stream), so the
+            // backend choice never perturbs the streams.
+            let k0 = match &mut columnar {
+                Some(fleet) => {
+                    fleet.push_client(hotspot, params.lambda, sleep_probability, &mut query_rng);
+                    let k0 = fleet.draw_sleep_run(idx as usize, &mut sleep_rng);
+                    if k0 > 0 {
+                        fleet.enter_sleep(idx as usize);
+                    }
+                    k0
                 }
-            }
+                None => {
+                    let mu_config = MuConfig {
+                        id: idx,
+                        hotspot,
+                        query_rate_per_item: params.lambda,
+                        sleep_probability,
+                        cache_capacity: config.cache_capacity,
+                        piggyback_hits: piggyback,
+                        item_universe: Some(params.n_items),
+                    };
+                    let handler = strategy.make_handler(&params, protocol_seed);
+                    let mut mu = MobileUnit::new(mu_config, handler, &mut query_rng);
+                    let k0 = mu.draw_sleep_run(&mut sleep_rng);
+                    if k0 > 0 {
+                        mu.enter_sleep();
+                        if stateful {
+                            pending_disconnects.push(idx as usize);
+                        }
+                    }
+                    clients.push(mu);
+                    k0
+                }
+            };
             let first_wake = if k0 == u64::MAX {
                 u64::MAX
             } else {
@@ -556,11 +689,10 @@ impl CellSimulation {
             };
             wake.schedule(idx as usize, first_wake);
             next_wake_hint.push(first_wake);
-            clients.push(mu);
             query_rngs.push(query_rng);
             sleep_rngs.push(sleep_rng);
         }
-        let last_settled = vec![0u64; clients.len()];
+        let last_settled = vec![0u64; config.n_clients];
 
         let mut obs = match &config.observe {
             Some(label) => Recorder::enabled(label.clone()),
@@ -588,10 +720,15 @@ impl CellSimulation {
             }
             obs.series_schema(&schema);
             // ItemTable layout census: every hashed entry is a dense
-            // fast-path fallback activation.
-            let dense = clients.iter().filter(|mu| mu.cache().is_dense()).count();
+            // fast-path fallback activation. Columnar slot blocks are
+            // dense by construction.
+            let dense = if use_columnar {
+                config.n_clients
+            } else {
+                clients.iter().filter(|mu| mu.cache().is_dense()).count()
+            };
             obs.add("cache_dense_layouts", dense as u64);
-            obs.add("cache_hashed_fallbacks", (clients.len() - dense) as u64);
+            obs.add("cache_hashed_fallbacks", (config.n_clients - dense) as u64);
             obs.event(
                 0,
                 "sim_start",
@@ -620,7 +757,7 @@ impl CellSimulation {
         let delivery = ReportDelivery::new(config.delivery);
         let delivery_rng = config.seed.stream(StreamId::Custom { tag: 0xDE11 });
         let faults = FaultLayer::new(config.faults.as_ref(), config.seed, config.n_clients);
-        let n_slots = clients.len();
+        let n_slots = config.n_clients;
         Ok(CellSimulation {
             strategy,
             db,
@@ -630,6 +767,7 @@ impl CellSimulation {
             channel,
             clock: IntervalClock::new(latency),
             clients,
+            columnar,
             wake,
             last_settled,
             pending_disconnects,
@@ -642,6 +780,10 @@ impl CellSimulation {
             registration_messages: 0,
             safety: SafetyStats::default(),
             pending_uplinks: VecDeque::new(),
+            sweep_threads: config
+                .sweep_threads
+                .unwrap_or_else(|| sw_sim::ParallelRunner::from_env().threads()),
+            queued_exchanges: HashSet::new(),
             faults,
             delivery,
             delivery_rng,
@@ -670,22 +812,68 @@ impl CellSimulation {
         &self.db
     }
 
-    /// Read access to the client fleet (tests).
+    /// Read access to the boxed client fleet (tests). Empty when the
+    /// cell runs the columnar backend — use [`Self::client_slots`] and
+    /// [`Self::client_stats`] for backend-independent access.
     pub fn clients(&self) -> &[MobileUnit] {
         &self.clients
+    }
+
+    /// Number of client slots in the cell, including departed husks
+    /// (slot indices are stable; arrivals append).
+    pub fn client_slots(&self) -> usize {
+        match &self.columnar {
+            Some(fleet) => fleet.len(),
+            None => self.clients.len(),
+        }
+    }
+
+    /// Stats snapshot of the client in slot `idx`, on either fleet
+    /// backend (a departed slot reports the zeroed husk stats).
+    pub fn client_stats(&self, idx: usize) -> MuStats {
+        match &self.columnar {
+            Some(fleet) => fleet.stats(idx),
+            None => self.clients[idx].stats(),
+        }
+    }
+
+    /// Whether the cell runs the columnar client backend.
+    pub fn is_columnar(&self) -> bool {
+        self.columnar.is_some()
+    }
+
+    fn mu_id(&self, idx: usize) -> u64 {
+        match &self.columnar {
+            // Columnar cells are standalone: slots are never reassigned,
+            // so the id a boxed unit would carry is just the slot index.
+            Some(_) => idx as u64,
+            None => self.clients[idx].id(),
+        }
+    }
+
+    fn mu_is_awake(&self, idx: usize) -> bool {
+        match &self.columnar {
+            Some(fleet) => fleet.is_awake(idx),
+            None => self.clients[idx].is_awake(),
+        }
+    }
+
+    /// Uplink exchanges currently deferred behind the channel budget
+    /// (diagnostic: a persistently growing queue means the cell is
+    /// provisioned below its steady-state uplink demand).
+    pub fn pending_uplink_len(&self) -> usize {
+        self.pending_uplinks.len()
     }
 
     /// Whether an identical exchange is already queued for `idx`. A
     /// client re-querying an item it is still waiting for must not
     /// enqueue (or be served) a second copy of the same fetch.
     fn exchange_queued(&self, idx: usize, item: ItemId) -> bool {
-        self.pending_uplinks
-            .iter()
-            .any(|q| q.idx == idx && q.item == item)
+        self.queued_exchanges.contains(&(idx, item))
     }
 
     fn enqueue_exchange(&mut self, idx: usize, item: ItemId, piggyback: Option<PiggybackInfo>) {
-        if !self.exchange_queued(idx, item) {
+        if self.queued_exchanges.insert((idx, item)) {
             self.pending_uplinks
                 .push_back(QueuedExchange { idx, item, piggyback });
         }
@@ -712,7 +900,7 @@ impl CellSimulation {
         i: u64,
         t_i: SimTime,
     ) -> ExchangeOutcome {
-        let mu_id = self.clients[idx].id();
+        let mu_id = self.mu_id(idx);
         let uplink_model = self.faults.uplink_model();
         let max_attempts = uplink_model.map_or(1, |m| m.max_attempts);
         let mut attempt = 1u32;
@@ -764,7 +952,10 @@ impl CellSimulation {
             // Registration rides the uplink query for free.
             registry.register_cache(mu_id, item);
         }
-        self.clients[idx].install_answer(answer);
+        match &mut self.columnar {
+            Some(fleet) => fleet.install_answer(idx, answer),
+            None => self.clients[idx].install_answer(answer),
+        }
         ExchangeOutcome::Done
     }
 
@@ -807,11 +998,21 @@ impl CellSimulation {
         for &idx in &awake {
             // Lazily settle the sleep run that just ended.
             let slept = i - self.last_settled[idx] - 1;
-            if slept > 0 {
-                self.clients[idx].credit_asleep_intervals(slept);
-            }
             self.last_settled[idx] = i;
-            self.clients[idx].begin_awake_interval(from, t_i, &mut self.query_rngs[idx]);
+            match &mut self.columnar {
+                Some(fleet) => {
+                    if slept > 0 {
+                        fleet.credit_asleep_intervals(idx, slept);
+                    }
+                    fleet.begin_awake_interval(idx, from, t_i, &mut self.query_rngs[idx]);
+                }
+                None => {
+                    if slept > 0 {
+                        self.clients[idx].credit_asleep_intervals(slept);
+                    }
+                    self.clients[idx].begin_awake_interval(from, t_i, &mut self.query_rngs[idx]);
+                }
+            }
         }
         if let ServerSide::Stateful { registry, .. } = &mut self.server {
             // Clients announce connects/disconnects; each transition is
@@ -929,13 +1130,23 @@ impl CellSimulation {
             let mut queue = std::mem::take(&mut self.pending_uplinks);
             let mut stalled = false;
             while let Some(q) = queue.pop_front() {
-                if stalled || !self.clients[q.idx].is_awake() {
+                if self.departed[q.idx] {
+                    // Tombstone: the client left the cell while its
+                    // fetch waited. Nobody is listening for the answer;
+                    // discard instead of serving or re-queuing.
+                    self.queued_exchanges.remove(&(q.idx, q.item));
+                    continue;
+                }
+                if stalled || !self.mu_is_awake(q.idx) {
                     self.pending_uplinks.push_back(q);
                     continue;
                 }
                 let slot = awake
                     .binary_search(&q.idx)
                     .expect("an awake client is always in the interval's awake set");
+                // Drop the membership mark before the attempt: a
+                // deferral re-queues (and re-marks) the same exchange.
+                self.queued_exchanges.remove(&(q.idx, q.item));
                 match self.attempt_uplink_exchange(q.idx, q.item, q.piggyback, i, t_i) {
                     ExchangeOutcome::Done => uplink_counts[slot] += 1,
                     // Already re-queued by the attempt; keep the
@@ -950,16 +1161,21 @@ impl CellSimulation {
         // connection-oriented link (its consistency story depends on
         // it, §2).
         let faults_active = self.faults.is_active() && !is_stateful;
+        // 4b. Decide every client's report fate first: drift (woke too
+        // late), loss (fade-out), or corruption (checksum failure) all
+        // mean the strategy's recovery path runs at the *next* intact
+        // report, exactly as the paper prescribes for a unit that slept
+        // through reports. Fates consume the per-client fault streams
+        // in ascending index order — the same per-client draw sequence
+        // as the old interleaved loop (a client's fate draw always
+        // precedes its uplink-retry draws) — and splitting them out
+        // leaves the report sweep below entirely free of randomness.
+        let mut heard: Vec<usize> = Vec::with_capacity(awake.len());
         // Serialized report + checksum, computed lazily at most once
         // per interval, only when a corruption fate needs real bytes to
         // flip.
         let mut wire_check: Option<(Vec<u8>, u64)> = None;
         for (slot, &idx) in awake.iter().enumerate() {
-            // Decide whether this client receives the report at all:
-            // drift (woke too late), loss (fade-out), or corruption
-            // (checksum failure) all mean the strategy's recovery path
-            // runs at the *next* intact report, exactly as the paper
-            // prescribes for a unit that slept through reports.
             if faults_active {
                 let delivery = self.delivery;
                 let fate = self
@@ -985,7 +1201,10 @@ impl CellSimulation {
                             self.faults.note_undetected_corruption();
                         }
                     }
-                    self.clients[idx].miss_report();
+                    match &mut self.columnar {
+                        Some(fleet) => fleet.miss_report(idx),
+                        None => self.clients[idx].miss_report(),
+                    }
                     if observing {
                         self.obs.event(
                             i,
@@ -1010,30 +1229,88 @@ impl CellSimulation {
                     continue;
                 }
             }
-            let mu = &mut self.clients[idx];
-            // Pre-processing snapshot for the per-interval series. The
-            // last-report time is the false-alarm reference point: an
-            // invalidation is *false* iff the item did not actually
-            // change since this client last heard a report (SIG's
-            // diagnosis risk, §6).
-            let pre = if observing {
-                Some((mu.stats(), mu.last_report_heard()))
+            heard.push(slot);
+        }
+
+        // 4c. The report sweep: every listening client applies the one
+        // shared payload to its own cache and collects its fetch list.
+        // The sweep touches only per-client state and draws no
+        // randomness, so it fans out over disjoint contiguous client
+        // ranges when the cell is big enough — bit-identical at any
+        // worker count because the per-client work is independent and
+        // the results are merged in ascending order below.
+        let results: Vec<SweepItem> = if let Some(fleet) = &mut self.columnar {
+            fleet.sweep(
+                &heard,
+                &awake,
+                &payload,
+                observing,
+                self.sweep_threads,
+                SWEEP_PAR_MIN,
+            )
+        } else if self.sweep_threads > 1 && heard.len() >= SWEEP_PAR_MIN {
+                let workers = self.sweep_threads.min(heard.len());
+                let chunk_len = heard.len().div_ceil(workers);
+                let newly_migrated = &self.newly_migrated;
+                let payload_ref = &payload;
+                let awake_ref = &awake;
+                let mut rest: &mut [MobileUnit] = &mut self.clients;
+                let mut base = 0usize;
+                let mut out: Vec<SweepItem> = Vec::with_capacity(heard.len());
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(workers);
+                    for chunk in heard.chunks(chunk_len) {
+                        let last_idx = awake_ref[*chunk.last().expect("chunks are non-empty")];
+                        let (mine, tail) = rest.split_at_mut(last_idx + 1 - base);
+                        let mine_base = base;
+                        rest = tail;
+                        base = last_idx + 1;
+                        handles.push(scope.spawn(move || {
+                            let mut items = Vec::with_capacity(chunk.len());
+                            for &slot in chunk {
+                                let idx = awake_ref[slot];
+                                items.push(sweep_client(
+                                    &mut mine[idx - mine_base],
+                                    slot,
+                                    observing,
+                                    newly_migrated[idx],
+                                    payload_ref,
+                                ));
+                            }
+                            items
+                        }));
+                    }
+                    for h in handles {
+                        out.extend(h.join().expect("sweep worker panicked"));
+                    }
+                });
+                out
             } else {
-                None
+                heard
+                    .iter()
+                    .map(|&slot| {
+                        let idx = awake[slot];
+                        sweep_client(
+                            &mut self.clients[idx],
+                            slot,
+                            observing,
+                            self.newly_migrated[idx],
+                            &payload,
+                        )
+                    })
+                    .collect()
             };
-            // A unit hearing its first report after a handoff: snapshot
-            // the cache it carried in, so a whole-cache drop triggered
-            // by this report is attributable to the cell switch (an
-            // empty carried cache has nothing to lose and counts no
-            // drop).
-            let migrated_pre_len = if self.newly_migrated[idx] {
-                Some(mu.cache().len())
-            } else {
-                None
-            };
-            let outcome = mu.hear_report_and_answer(&payload);
-            let mu_id = mu.id();
-            if let Some(pre_len) = migrated_pre_len {
+
+        // 4d. Sequential merge in ascending client order: handoff drop
+        // accounting, observation deltas, and the uplink exchanges —
+        // everything that charges the shared channel, draws randomness,
+        // or emits events.
+        for sw in results {
+            let slot = sw.slot;
+            let idx = awake[slot];
+            let outcome = sw.outcome;
+            let mu_id = self.mu_id(idx);
+            if let Some(pre_len) = sw.migrated_pre_len {
                 self.newly_migrated[idx] = false;
                 let dropped_all = outcome
                     .outcome
@@ -1048,7 +1325,11 @@ impl CellSimulation {
                 if let Some(po) = &outcome.outcome {
                     obs_invalidated += po.invalidated.len() as u64;
                     obs_drops += po.dropped_all as u64;
-                    if let Some((_, Some(t_l))) = &pre {
+                    // The last-report time is the false-alarm reference
+                    // point: an invalidation is *false* iff the item did
+                    // not actually change since this client last heard a
+                    // report (SIG's diagnosis risk, §6).
+                    if let Some((_, Some(t_l))) = &sw.pre {
                         for &item in &po.invalidated {
                             if self.db.updated_at(item) <= *t_l {
                                 obs_false_alarms += 1;
@@ -1056,7 +1337,11 @@ impl CellSimulation {
                         }
                     }
                 }
-                if let Some(u) = self.clients[idx].last_unmatched_subsets() {
+                let unmatched = match &self.columnar {
+                    Some(fleet) => fleet.last_unmatched_subsets(idx),
+                    None => self.clients[idx].last_unmatched_subsets(),
+                };
+                if let Some(u) = unmatched {
                     obs_unmatched += u as u64;
                 }
             }
@@ -1083,8 +1368,8 @@ impl CellSimulation {
                     ExchangeOutcome::FaultDeferred => {}
                 }
             }
-            if let Some((pre_stats, _)) = pre {
-                let s = self.clients[idx].stats();
+            if let Some((pre_stats, _)) = sw.pre {
+                let s = self.client_stats(idx);
                 obs_hits += s.hit_events - pre_stats.hit_events;
                 obs_misses += s.miss_events - pre_stats.miss_events;
             }
@@ -1101,7 +1386,7 @@ impl CellSimulation {
             // One O(1) charge settles the whole sleeping population for
             // this interval (sleep power is linear in time). Departed
             // slots are husks, not sleepers — nobody pays for them.
-            let asleep = self.clients.len() - self.departed_count - awake.len();
+            let asleep = self.client_slots() - self.departed_count - awake.len();
             if asleep > 0 {
                 self.energy
                     .add_sleep(&model, interval.scaled(asleep as f64));
@@ -1151,12 +1436,22 @@ impl CellSimulation {
         // 6. Safety invariant: every cache entry's value must match the
         // item's historical value at the entry's validity timestamp.
         if let Some(history) = &self.history {
-            for mu in &self.clients {
-                for item in mu.cache().sorted_items() {
-                    let entry = mu.cache().peek(item).expect("iterating cached items");
+            match &self.columnar {
+                Some(fleet) => fleet.for_each_cached_entry(|item, value, timestamp| {
                     self.safety.entries_checked += 1;
-                    if !history.is_consistent(item, entry.value, entry.timestamp) {
+                    if !history.is_consistent(item, value, timestamp) {
                         self.safety.violations += 1;
+                    }
+                }),
+                None => {
+                    for mu in &self.clients {
+                        for item in mu.cache().sorted_items() {
+                            let entry = mu.cache().peek(item).expect("iterating cached items");
+                            self.safety.entries_checked += 1;
+                            if !history.is_consistent(item, entry.value, entry.timestamp) {
+                                self.safety.violations += 1;
+                            }
+                        }
                     }
                 }
             }
@@ -1269,13 +1564,25 @@ impl CellSimulation {
         // interval i+1+k (and, stateful, disconnects at i+1). Units
         // drawing the never-wake sentinel leave the schedule for good.
         for &idx in &awake {
-            let k = self.clients[idx].draw_sleep_run(&mut self.sleep_rngs[idx]);
-            if k > 0 {
-                self.clients[idx].enter_sleep();
-                if is_stateful {
-                    self.pending_disconnects.push(idx);
+            let k = match &mut self.columnar {
+                Some(fleet) => {
+                    let k = fleet.draw_sleep_run(idx, &mut self.sleep_rngs[idx]);
+                    if k > 0 {
+                        fleet.enter_sleep(idx);
+                    }
+                    k
                 }
-            }
+                None => {
+                    let k = self.clients[idx].draw_sleep_run(&mut self.sleep_rngs[idx]);
+                    if k > 0 {
+                        self.clients[idx].enter_sleep();
+                        if is_stateful {
+                            self.pending_disconnects.push(idx);
+                        }
+                    }
+                    k
+                }
+            };
             let next_wake = if k == u64::MAX {
                 u64::MAX
             } else {
@@ -1368,8 +1675,13 @@ impl CellSimulation {
     /// to 1, Eq. 9's `1/(1−h)` amplifies even a 1% cold-cache miss
     /// inflation severalfold.
     pub fn reset_metrics(&mut self) {
-        for mu in &mut self.clients {
-            mu.reset_stats();
+        match &mut self.columnar {
+            Some(fleet) => fleet.reset_stats(),
+            None => {
+                for mu in &mut self.clients {
+                    mu.reset_stats();
+                }
+            }
         }
         // Sleep runs straddling the reset must not credit their
         // pre-reset intervals into the fresh stats.
@@ -1415,19 +1727,22 @@ impl CellSimulation {
         let mut queries_posed = 0;
         let mut cache_drops = 0;
         let mut items_invalidated = 0;
-        for mu in &self.clients {
-            let s = mu.stats();
+        let mut tally = |s: &MuStats| {
             hit_events += s.hit_events;
             miss_events += s.miss_events;
             queries_posed += s.queries_posed;
             cache_drops += s.cache_drops;
             items_invalidated += s.items_invalidated;
+        };
+        match &self.columnar {
+            Some(fleet) => fleet.stats_iter().for_each(&mut tally),
+            None => self.clients.iter().for_each(|mu| tally(&mu.stats())),
         }
         let params = &self.config.params;
         SimulationReport {
             strategy: self.strategy.name(),
             intervals: self.channel.intervals_elapsed(),
-            n_clients: self.clients.len() - self.departed_count,
+            n_clients: self.client_slots() - self.departed_count,
             hit_events,
             miss_events,
             queries_posed,
@@ -1487,7 +1802,7 @@ impl CellSimulation {
     /// Number of units currently present (live slots, excluding
     /// departed husks).
     pub fn present_clients(&self) -> usize {
-        self.clients.len() - self.departed_count
+        self.client_slots() - self.departed_count
     }
 
     /// The rolling `(interval, report checksum)` log (mesh shards only;
@@ -1546,6 +1861,11 @@ impl CellSimulation {
     ///
     /// Panics if the slot already departed.
     pub fn detach_client(&mut self, idx: usize) -> HandoffClient {
+        assert!(
+            self.columnar.is_none(),
+            "handoffs move whole boxed units; mesh shards (backbone set) \
+             never construct the columnar fleet"
+        );
         assert!(!self.departed[idx], "slot {idx} already departed");
         // The husk: never queries, never wakes, caches nothing. Its
         // RNG stream is a throwaway — the husk draws nothing, and the
@@ -1581,8 +1901,11 @@ impl CellSimulation {
         self.wake.schedule(idx, u64::MAX);
         self.next_wake_hint[idx] = u64::MAX;
         // A queued exchange belongs to the unit, not the slot; it
-        // re-queries from its destination cell at its next miss.
-        self.pending_uplinks.retain(|q| q.idx != idx);
+        // re-queries from its destination cell at its next miss. The
+        // queue entries become tombstones (`departed[idx]` is set) that
+        // the FIFO drain discards when it reaches them — detaching is
+        // O(1) in the queue length where it used to be a full retain
+        // scan, which went quadratic for mesh detaches at large fleets.
         self.pending_disconnects.retain(|&p| p != idx);
         if let ServerSide::Stateful { registry, .. } = &mut self.server {
             let id = mu.id();
@@ -1621,6 +1944,11 @@ impl CellSimulation {
     /// cannot hear the report already in flight at the barrier it
     /// crossed, so its first audible report is the following one.
     pub fn attach_client(&mut self, h: HandoffClient, histories_agree: bool) -> usize {
+        assert!(
+            self.columnar.is_none(),
+            "handoffs move whole boxed units; mesh shards (backbone set) \
+             never construct the columnar fleet"
+        );
         let HandoffClient {
             mut mu,
             query_rng,

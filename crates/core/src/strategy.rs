@@ -251,6 +251,64 @@ impl Strategy {
             )),
         }
     }
+
+    /// Builds the fleet-shared kernel state for the columnar client
+    /// backend — the same window/latency/decoder/hot-set/group-map a
+    /// [`Strategy::make_handler`] call would embed in each boxed
+    /// handler, constructed once. Returns `None` for the strategies
+    /// whose handlers carry driver-wired per-client state (adaptive TS,
+    /// quasi-delay, stateful): those stay on boxed units.
+    pub(crate) fn columnar_spec(
+        &self,
+        params: &ScenarioParams,
+        seed: MasterSeed,
+    ) -> Option<crate::fleet::ColumnarSpec> {
+        use crate::fleet::ColumnarSpec;
+        let latency = SimDuration::from_secs(params.latency_secs);
+        match self {
+            Strategy::BroadcastTimestamps => {
+                assert!(params.k >= 1, "TS window multiple k must be at least 1");
+                Some(ColumnarSpec::Ts {
+                    window: latency.scaled(params.k as f64),
+                })
+            }
+            Strategy::AmnesicTerminals => Some(ColumnarSpec::At { latency }),
+            Strategy::Signatures => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                Some(ColumnarSpec::Sig {
+                    decoder: sw_signature::SyndromeDecoder::new(family, plan),
+                })
+            }
+            Strategy::NoCache => Some(ColumnarSpec::NoCache),
+            Strategy::HybridSig { hot_count } => {
+                let plan = SigPlan::new(
+                    params.f,
+                    params.g,
+                    params.n_items,
+                    params.sig_delta,
+                    SigPlan::DEFAULT_K,
+                );
+                let family = SubsetFamily::new(sig_seed(seed), plan.m, plan.f);
+                Some(ColumnarSpec::Hybrid {
+                    latency,
+                    hot: HotSet::top_by_rank((*hot_count).min(params.n_items)),
+                    decoder: sw_signature::SyndromeDecoder::new(family, plan),
+                })
+            }
+            Strategy::GroupReports { groups } => Some(ColumnarSpec::Group {
+                latency,
+                map: GroupMap::new(params.n_items, (*groups).clamp(1, params.n_items)),
+            }),
+            Strategy::AdaptiveTs { .. } | Strategy::QuasiDelay { .. } | Strategy::Stateful => None,
+        }
+    }
 }
 
 /// The SIG subset-family seed both sides derive from the master seed.

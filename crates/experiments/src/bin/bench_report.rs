@@ -1,24 +1,41 @@
 //! Machine-readable performance report (`BENCH_report.json`).
 //!
-//! Two wall-clock measurements of the hot-path overhaul:
+//! Three wall-clock measurements of the hot-path overhaul:
 //!
 //! 1. **Figure grid**: the Figure-3 sweep grid (x × strategy cells)
 //!    through [`ParallelRunner`] at 1 thread vs all available threads.
 //!    Cells are independent and identically seeded either way (the
 //!    determinism tests pin byte-identical output), so the speedup is
 //!    the runner's parallel efficiency × available cores.
-//! 2. **Per-interval loop**: the current cell driver (dense per-item
-//!    tables, single-pass report handlers, hybrid sleeper skip-list,
-//!    zero-copy report charge) vs a faithful re-creation of the
-//!    pre-overhaul loop — the seed's three-lookup TS report handler,
-//!    hashed per-item caches, and a per-interval deep clone of the
-//!    payload — swept over the sleep probability `s`.
-//!    The legacy driver runs *less* total machinery than the simulator
-//!    (no channel/energy accounting), so the reported speedup is a
-//!    conservative lower bound.
+//! 2. **Per-interval loop**: the current cell driver (columnar
+//!    struct-of-arrays fleet, single-pass prepared report kernels,
+//!    wake-run scheduling, zero-copy report charge) vs a re-creation
+//!    of the pre-overhaul loop — the seed's three-lookup TS report
+//!    handler, hashed per-item caches, and a per-interval deep clone
+//!    of the payload — swept over the sleep probability `s`.
 //!
-//! Usage: `cargo run --release -p sw-experiments --bin bench_report`
-//! (optionally `SW_BENCH_INTERVALS=N` to change the horizon).
+//!    Both drivers consume the *identical* random streams
+//!    (`Hotspot{idx}`/`Queries{idx}`/`Sleep{idx}` per client,
+//!    `Database`/`Updates` from the protocol seed) and the channel is
+//!    given enough bandwidth that it never defers an exchange, so the
+//!    two runs execute the same workload — enforced, not assumed: the
+//!    measured windows must agree exactly on (queries, hits, misses)
+//!    or the bench aborts. Earlier revisions drew legacy hotspots and
+//!    queries from different streams and ran the current driver
+//!    through its cold-start saturation transient, which is why their
+//!    hit ratios diverged (0.68 cumulative vs 0.99): the 0.68 was a
+//!    cumulative average dragged down by a queue-draining start-up
+//!    phase the legacy driver never modeled.
+//! 3. **Scale runs**: the columnar sweep at 100k (and, outside gate
+//!    mode, 1M) clients in one cell, timed at 1 sweep thread vs all
+//!    available — the intra-cell parallel speedup.
+//!
+//! Usage: `cargo run --release -p sw-experiments --bin bench_report`.
+//! Knobs: `SW_BENCH_INTERVALS` / `SW_BENCH_WARMUP` /
+//! `SW_BENCH_CLIENTS` / `SW_BENCH_LAMBDA_SCALE`.
+//! `SW_BENCH_GATE=1` runs only the s = 0.5 leg (no artifact rewrite)
+//! and exits nonzero if the current driver is slower than the legacy
+//! loop — the regression gate wired into `scripts/check.sh`.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -27,8 +44,9 @@ use sleepers::client::handler::{time_from_micros, time_to_micros};
 use sleepers::client::{Cache, MobileUnit, MuConfig, ProcessOutcome, ReportHandler};
 use sleepers::prelude::*;
 use sleepers::server::{Database, ItemId, ReportBuilder, TsBuilder, UpdateEngine, UplinkProcessor};
-use sleepers::sim::{MasterSeed, SimDuration, SimTime, StreamId};
+use sleepers::sim::{SimDuration, SimTime, StreamId};
 use sleepers::wireless::FramePayload;
+use sleepers::workload::HotspotSpec;
 use sw_experiments::figures::{run_figure, FigureSpec, SimSettings};
 
 const CLIENTS: usize = 1_000;
@@ -37,51 +55,94 @@ const N_ITEMS: u64 = 2_000;
 const HOTSPOT: usize = 30;
 /// Swept sleep probabilities: workaholic cell → paper's sleeper cell.
 const SLEEPS: [f64; 3] = [0.5, 0.9, 0.99];
+const SEED: u64 = 11;
 
-fn client_count() -> usize {
-    std::env::var("SW_BENCH_CLIENTS")
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(CLIENTS)
+        .unwrap_or(default)
+}
+
+fn client_count() -> usize {
+    env_u64("SW_BENCH_CLIENTS", CLIENTS as u64) as usize
 }
 
 fn horizon_intervals() -> u64 {
-    std::env::var("SW_BENCH_INTERVALS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(400)
+    env_u64("SW_BENCH_INTERVALS", 400)
+}
+
+/// Unmeasured intervals discarded before timing/counting starts. Long
+/// enough that every client has been awake, filled its hot spot, and
+/// settled into the TS steady state.
+fn warmup_intervals() -> u64 {
+    env_u64("SW_BENCH_WARMUP", 120)
+}
+
+fn gate_mode() -> bool {
+    std::env::var("SW_BENCH_GATE").is_ok_and(|v| v != "0")
 }
 
 fn bench_params(sleep_s: f64) -> ScenarioParams {
     let mut p = ScenarioParams::scenario1();
     p.n_items = N_ITEMS;
-    // Headroom so the TS report fits the broadcast interval at this
-    // item count; this is a throughput bench, not a figure run.
-    p.bandwidth_bps *= 2;
+    // Wide-open channel: the cold-start fetch burst (≈ awake clients ×
+    // hot-spot items exchanges) must clear within its own interval, so
+    // the channel never defers an exchange and the legacy driver —
+    // which has no channel — sees the exact same install schedule.
+    // This is the precondition for the workload-identity assertion.
+    p.bandwidth_bps *= 2_048;
     if let Ok(scale) = std::env::var("SW_BENCH_LAMBDA_SCALE") {
         p.lambda *= scale.parse::<f64>().unwrap_or(1.0);
     }
     p.with_s(sleep_s)
 }
 
-/// The current per-interval loop: the real cell driver. With
+/// What a measured window observed, for the workload-identity check.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+struct Counts {
+    queries: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Counts {
+    fn hit_ratio(&self) -> f64 {
+        if self.hits + self.misses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / (self.hits + self.misses) as f64
+        }
+    }
+}
+
+/// The current per-interval loop: the real cell driver (columnar fleet
+/// auto-selected for this TS configuration). Warm-up intervals are run
+/// and discarded, then the measured horizon is timed. With
 /// `SW_OBSERVE=1` (and the `observe` cargo feature) the run also
 /// records a per-interval series and writes it next to the JSON
 /// report — the timing then deliberately includes the recorder, which
 /// is how observation overhead itself gets measured.
-fn run_current(sleep_s: f64, intervals: u64) -> (f64, f64) {
+fn run_current(sleep_s: f64, warmup: u64, intervals: u64) -> (f64, Counts) {
     let mut cfg = CellConfig::new(bench_params(sleep_s))
         .with_clients(client_count())
         .with_hotspot_size(HOTSPOT)
-        .with_seed(11);
+        .with_seed(SEED);
     if std::env::var("SW_OBSERVE").is_ok() {
         cfg = cfg.with_observe(format!("bench:s={sleep_s}"));
     }
     let mut sim =
         CellSimulation::new(cfg, Strategy::BroadcastTimestamps).expect("bench cell constructs");
+    sim.run(warmup).expect("bench warmup runs");
+    sim.reset_metrics();
     let start = Instant::now();
     let report = sim.run(intervals).expect("bench cell runs");
     let secs = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.overflow_exchanges, 0,
+        "the bench channel must never defer an exchange (s={sleep_s}); \
+         widen the bandwidth headroom"
+    );
     if let Some(snap) = &report.observe {
         match sw_experiments::results::write_text(
             &format!("BENCH_series_s{sleep_s}.csv"),
@@ -91,14 +152,19 @@ fn run_current(sleep_s: f64, intervals: u64) -> (f64, f64) {
             Err(e) => eprintln!("could not write bench series: {e}"),
         }
     }
-    (secs, report.hit_ratio())
+    let counts = Counts {
+        queries: report.queries_posed,
+        hits: report.hit_events,
+        misses: report.miss_events,
+    };
+    (secs, counts)
 }
 
 /// The seed's `TsHandler::process`, verbatim: a per-report hash map of
 /// the entries, then a `sorted_items` walk doing a `peek` plus a
 /// `restamp`/`remove` per cached item — an id-vector allocation and
 /// three table lookups per entry, all replaced in the overhaul by one
-/// `retain_entries` pass over a binary-searched slice.
+/// single-pass walk over a prepared, binary-searched slice.
 struct SeedTsHandler {
     window: SimDuration,
 }
@@ -159,29 +225,44 @@ impl ReportHandler for SeedTsHandler {
 }
 
 /// The pre-overhaul per-interval loop, re-created from the seed's
-/// `step()`: every client visited every interval (one Bernoulli sleep
-/// draw plus bookkeeping each), hashed per-item caches
+/// `step()`: a full-fleet scan every interval, hashed per-item caches
 /// (`item_universe: None`), the seed's three-lookup TS report
 /// processing, and a per-interval deep clone of the payload into the
 /// wire frame.
-fn run_legacy(sleep_s: f64, intervals: u64) -> (f64, f64) {
+///
+/// Unlike earlier revisions of this bench, the driver consumes the
+/// *same* streams the cell driver does — `Hotspot{idx}` through
+/// [`HotspotSpec`], `Queries{idx}` into [`MobileUnit::new`] and the
+/// arrival draws, `Sleep{idx}` for whole sleep runs, and the protocol
+/// seed's `Database`/`Updates` streams — so both drivers run one
+/// workload and their measured windows must agree exactly.
+fn run_legacy(sleep_s: f64, warmup: u64, intervals: u64) -> (f64, Counts) {
     let params = bench_params(sleep_s);
     let latency = SimDuration::from_secs(params.latency_secs);
-    let mut db = Database::new(N_ITEMS, |i| i * 13 + 5, latency.scaled(params.k as f64 + 2.0));
-    let mut update_rng = MasterSeed(11).stream(StreamId::Updates);
+    // Same retention the cell driver derives: cover the TS window kL.
+    let retention = latency.scaled((params.k as f64 + 2.0).max(4.0));
+    let mut db_rng = MasterSeed(SEED).stream(StreamId::Database);
+    let mut db = Database::new(N_ITEMS, |_| db_rng.next_u64(), retention);
+    let mut update_rng = MasterSeed(SEED).stream(StreamId::Updates);
     let mut engine = UpdateEngine::new(N_ITEMS, params.mu, &mut update_rng);
     let mut builder = TsBuilder::new(latency, params.k);
     let mut uplink = UplinkProcessor::new();
+    let spec = HotspotSpec::new(N_ITEMS, HOTSPOT, Popularity::Uniform);
 
-    let n_clients = client_count() as u64;
-    let mut clients: Vec<MobileUnit> = (0..n_clients)
+    let n_clients = client_count();
+    let mut query_rngs = Vec::with_capacity(n_clients);
+    let mut sleep_rngs = Vec::with_capacity(n_clients);
+    // Interval index at which each client next wakes (u64::MAX: never).
+    let mut next_wake = Vec::with_capacity(n_clients);
+    let mut clients: Vec<MobileUnit> = (0..n_clients as u64)
         .map(|id| {
-            let mut rng = MasterSeed(11).stream(StreamId::Queries { index: id });
-            let hotspot = rng.sample_distinct(N_ITEMS, HOTSPOT);
+            let mut hotspot_rng = MasterSeed(SEED).stream(StreamId::Hotspot { index: id });
+            let hotspot = spec.draw(&mut hotspot_rng);
+            let mut query_rng = MasterSeed(SEED).stream(StreamId::Queries { index: id });
             let handler: Box<dyn ReportHandler + Send> = Box::new(SeedTsHandler {
                 window: latency.scaled(params.k as f64),
             });
-            MobileUnit::new(
+            let mut mu = MobileUnit::new(
                 MuConfig {
                     id,
                     hotspot,
@@ -192,53 +273,109 @@ fn run_legacy(sleep_s: f64, intervals: u64) -> (f64, f64) {
                     item_universe: None,
                 },
                 handler,
-                &mut rng,
-            )
+                &mut query_rng,
+            );
+            let mut sleep_rng = MasterSeed(SEED).stream(StreamId::Sleep { index: id });
+            let k0 = mu.draw_sleep_run(&mut sleep_rng);
+            if k0 > 0 {
+                mu.enter_sleep();
+            }
+            next_wake.push(1u64.saturating_add(k0));
+            query_rngs.push(query_rng);
+            sleep_rngs.push(sleep_rng);
+            mu
         })
         .collect();
-    let mut sleep_rngs: Vec<_> = (0..n_clients)
-        .map(|id| MasterSeed(11).stream(StreamId::Sleep { index: id }))
-        .collect();
-    let mut query_rngs: Vec<_> = (0..n_clients)
-        .map(|id| MasterSeed(11).stream(StreamId::Custom { tag: id }))
-        .collect();
 
-    let start = Instant::now();
-    for i in 1..=intervals {
+    let mut measuring = false;
+    let mut start = Instant::now();
+    let mut secs = 0.0;
+    for i in 1..=warmup + intervals {
+        if i == warmup + 1 {
+            for mu in &mut clients {
+                mu.reset_stats();
+            }
+            measuring = true;
+            start = Instant::now();
+        }
         let from = SimTime::from_secs((i - 1) as f64 * params.latency_secs);
         let to = SimTime::from_secs(i as f64 * params.latency_secs);
         engine.advance(&mut db, from, to, &mut update_rng);
         let payload = builder.build(i, to, &db);
         // Old loop: the payload was deep-cloned into the wire frame
-        // every interval (signatures included, pre-`Arc`).
+        // every interval (pre-`Arc`, pre-zero-copy charge).
         let frame_copy = std::hint::black_box(payload.clone());
         drop(frame_copy);
+        // Old loop: a full-fleet scan every interval. (The sleep draws
+        // themselves come as whole runs from the same `Sleep{idx}`
+        // streams the cell driver consumes — the workload identity
+        // requires it — so the scan is cheaper here than the seed's
+        // per-sleeper coin flip was, making the speedups conservative.)
         for (idx, client) in clients.iter_mut().enumerate() {
-            // Old loop: every client touched every interval.
-            client.begin_interval(from, to, &mut sleep_rngs[idx], &mut query_rngs[idx]);
-            if !client.is_awake() {
-                let _ = client.skip_report();
+            if next_wake[idx] != i {
                 continue;
             }
+            client.begin_awake_interval(from, to, &mut query_rngs[idx]);
             let outcome = client.hear_report_and_answer(&payload);
             for (item, _) in outcome.uplink_requests {
                 let ans = uplink.answer(&db, item, to, None);
                 client.install_answer(ans);
             }
+            let k = client.draw_sleep_run(&mut sleep_rngs[idx]);
+            if k > 0 {
+                client.enter_sleep();
+            }
+            next_wake[idx] = if k == u64::MAX { u64::MAX } else { i + 1 + k };
         }
         db.prune_log(to);
     }
-    let secs = start.elapsed().as_secs_f64();
+    if measuring {
+        secs = start.elapsed().as_secs_f64();
+    }
 
-    let (hits, misses) = clients.iter().fold((0u64, 0u64), |(h, m), c| {
-        (h + c.stats().hit_events, m + c.stats().miss_events)
-    });
-    let ratio = if hits + misses == 0 {
-        0.0
-    } else {
-        hits as f64 / (hits + misses) as f64
-    };
-    (secs, ratio)
+    let counts = clients.iter().fold(
+        Counts {
+            queries: 0,
+            hits: 0,
+            misses: 0,
+        },
+        |acc, c| {
+            let s = c.stats();
+            Counts {
+                queries: acc.queries + s.queries_posed,
+                hits: acc.hits + s.hit_events,
+                misses: acc.misses + s.miss_events,
+            }
+        },
+    );
+    (secs, counts)
+}
+
+/// Columnar sweep at fleet scale: one cell, `clients` units, timed per
+/// interval at a given sweep-thread count. Bandwidth and query rate
+/// scale with the fleet so the per-client workload shape is preserved
+/// without the channel deferring exchanges.
+fn run_at_scale(clients: usize, threads: usize, warmup: u64, intervals: u64) -> (f64, f64) {
+    let mut params = bench_params(0.5);
+    params.bandwidth_bps *= (clients as u64 / 1_000).max(1);
+    // Tame the raw query volume (λ·H·L = 30 per awake client-interval
+    // at scenario-1 rates): the scale runs measure fleet-sweep
+    // throughput, not query generation.
+    params.lambda *= if clients >= 1_000_000 { 0.05 } else { 0.1 };
+    let cfg = CellConfig::new(params)
+        .with_clients(clients)
+        .with_hotspot_size(HOTSPOT)
+        .with_seed(SEED)
+        .with_sweep_threads(threads);
+    let mut sim =
+        CellSimulation::new(cfg, Strategy::BroadcastTimestamps).expect("scale cell constructs");
+    sim.run(warmup).expect("scale warmup runs");
+    sim.reset_metrics();
+    let start = Instant::now();
+    let report = sim.run(intervals).expect("scale cell runs");
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(report.overflow_exchanges, 0, "scale channel saturated");
+    (secs / intervals as f64 * 1e6, report.hit_ratio())
 }
 
 fn time_figure_grid(threads: &str) -> (f64, usize) {
@@ -251,11 +388,58 @@ fn time_figure_grid(threads: &str) -> (f64, usize) {
     (secs, result.simulated.len())
 }
 
+/// One sleep-probability leg: both drivers, workload identity
+/// asserted, speedup computed.
+fn per_interval_leg(s: f64, warmup: u64, intervals: u64) -> (serde_json::Value, f64) {
+    eprintln!("per-interval loop at s={s}, current driver, {warmup}+{intervals} intervals ...");
+    let (current_secs, current) = run_current(s, warmup, intervals);
+    eprintln!("per-interval loop at s={s}, legacy-style driver, {warmup}+{intervals} intervals ...");
+    let (legacy_secs, legacy) = run_legacy(s, warmup, intervals);
+    assert_eq!(
+        current, legacy,
+        "the two drivers must execute the same workload at s={s}; \
+         a stream or scheduling divergence crept back in"
+    );
+    let speedup = legacy_secs / current_secs;
+    let leg = serde_json::json!({
+        "sleep_probability": s,
+        "legacy_us_per_interval": legacy_secs / intervals as f64 * 1e6,
+        "current_us_per_interval": current_secs / intervals as f64 * 1e6,
+        "single_thread_speedup": speedup,
+        "hit_ratio": current.hit_ratio(),
+        "workload_match": true,
+        "queries": current.queries,
+    });
+    (leg, speedup)
+}
+
 fn main() {
     let intervals = horizon_intervals();
+    let warmup = warmup_intervals();
     let auto_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+
+    if gate_mode() {
+        // The check.sh regression gate: one leg, hard threshold, no
+        // artifact rewrite.
+        let (leg, speedup) = per_interval_leg(0.5, warmup, intervals);
+        let pretty = serde_json::to_string_pretty(&leg).expect("serializes");
+        // The gate writes its own artifact instead of clobbering the
+        // committed full report with a single-leg run.
+        std::fs::write("BENCH_gate.json", &pretty).expect("writes BENCH_gate.json");
+        println!("{pretty}");
+        if speedup < 1.0 {
+            eprintln!(
+                "BENCH GATE FAILED: current driver is {:.2}x the legacy loop at s=0.5 \
+                 (must be >= 1.0x)",
+                speedup
+            );
+            std::process::exit(1);
+        }
+        eprintln!("bench gate passed: {speedup:.2}x vs legacy at s=0.5");
+        return;
+    }
 
     eprintln!("figure grid (fig 3, quick settings), 1 thread ...");
     let (grid_1, cells) = time_figure_grid("1");
@@ -264,17 +448,36 @@ fn main() {
 
     let mut sweep = Vec::new();
     for s in SLEEPS {
-        eprintln!("per-interval loop at s={s}, current driver, {intervals} intervals ...");
-        let (current_secs, current_h) = run_current(s, intervals);
-        eprintln!("per-interval loop at s={s}, legacy-style driver, {intervals} intervals ...");
-        let (legacy_secs, legacy_h) = run_legacy(s, intervals);
-        sweep.push(serde_json::json!({
-            "sleep_probability": s,
-            "legacy_us_per_interval": legacy_secs / intervals as f64 * 1e6,
-            "current_us_per_interval": current_secs / intervals as f64 * 1e6,
-            "single_thread_speedup": legacy_secs / current_secs,
-            "legacy_hit_ratio": legacy_h,
-            "current_hit_ratio": current_h,
+        let (leg, _) = per_interval_leg(s, warmup, intervals);
+        sweep.push(leg);
+    }
+
+    let mut scale = Vec::new();
+    for &clients in &[100_000usize, 1_000_000] {
+        let (scale_warmup, scale_intervals) = if clients >= 1_000_000 {
+            (5u64, 10u64)
+        } else {
+            (10, 20)
+        };
+        eprintln!("scale run: {clients} clients, 1 sweep thread ...");
+        let (us_1, hit) = run_at_scale(clients, 1, scale_warmup, scale_intervals);
+        // On a single-core host the "all threads" leg is the identical
+        // configuration; rerunning it would report run-to-run variance
+        // as a parallel speedup.
+        let us_auto = if auto_threads > 1 {
+            eprintln!("scale run: {clients} clients, {auto_threads} sweep thread(s) ...");
+            run_at_scale(clients, auto_threads, scale_warmup, scale_intervals).0
+        } else {
+            us_1
+        };
+        scale.push(serde_json::json!({
+            "clients": clients,
+            "intervals": scale_intervals,
+            "threads_1_us_per_interval": us_1,
+            "threads_auto": auto_threads,
+            "threads_auto_us_per_interval": us_auto,
+            "parallel_speedup": us_1 / us_auto,
+            "hit_ratio": hit,
         }));
     }
 
@@ -294,14 +497,29 @@ fn main() {
             "strategy": "TS",
             "clients": client_count(),
             "n_items": N_ITEMS,
+            "warmup_intervals": warmup,
             "intervals": intervals,
             "sweep": serde_json::Value::Array(sweep),
-            "note": "legacy driver re-creates the pre-overhaul loop (seed report \
-                     handler, hashed caches, per-interval deep payload clone) with \
-                     LESS total machinery than the simulator, so the speedups are \
-                     conservative; the win concentrates where caches are full and \
-                     reports do real work (s=0.5) and compresses toward s=1, where \
-                     both drivers touch little per interval",
+            "note": "both drivers consume identical random streams on a channel \
+                     wide enough never to defer an exchange; each leg asserts the \
+                     measured windows saw the same (queries, hits, misses), so the \
+                     timings compare one workload. The legacy driver re-creates the \
+                     pre-overhaul costs (seed TS handler's per-client hash map, \
+                     hashed caches, per-interval deep payload clone, full-fleet \
+                     scan) but skips the simulator's channel/energy/safety \
+                     accounting, so the speedups are conservative",
+        }),
+        "scale": serde_json::json!({
+            "strategy": "TS",
+            "sleep_probability": 0.5,
+            "n_items": N_ITEMS,
+            "runs": serde_json::Value::Array(scale),
+            "note": "columnar intra-cell sweep at fleet scale; parallel speedup \
+                     tracks available cores (exactly 1.0 on a 1-core host, where \
+                     the all-threads leg is the same configuration and is not \
+                     rerun — the chunked sweep is byte-identical at any thread \
+                     count, so the figure is the headroom, not a simulation \
+                     change)",
         }),
         "microbenches": "cargo bench -p sw-bench --bench hot_paths",
     });

@@ -1,0 +1,42 @@
+//! Hot-path zero-cost guard probe.
+//!
+//! Runs one fixed, deterministic hot-path workload — a TS cell big
+//! enough that the per-interval sweep dominates — and prints the
+//! measured µs/interval as a bare number on stdout.
+//!
+//! `scripts/check.sh` builds this binary twice (feature-off, and with
+//! `observe,faults` compiled in but disabled at runtime), interleaves
+//! several rounds of each, and fails the check if the feature-armed
+//! build's best round is more than 5% slower than the feature-off
+//! build's: the "zero-cost disabled path" contract, enforced instead
+//! of eyeballed. The workload is identical in both builds (neither a
+//! fault plan nor an observe label is configured, and disabled
+//! instrumentation consumes no randomness), so any gap is pure
+//! compiled-in overhead.
+
+use std::time::Instant;
+
+use sleepers::prelude::*;
+
+fn main() {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 2_000;
+    // Non-saturating channel: measure the sweep, not queue churn.
+    params.bandwidth_bps *= 2_048;
+    let params = params.with_s(0.2);
+    let cfg = CellConfig::new(params)
+        .with_clients(2_000)
+        .with_hotspot_size(30)
+        .with_seed(17)
+        .with_sweep_threads(1);
+    let mut sim =
+        CellSimulation::new(cfg, Strategy::BroadcastTimestamps).expect("guard cell constructs");
+    sim.run(20).expect("guard warmup runs");
+    sim.reset_metrics();
+    let intervals = 60u64;
+    let start = Instant::now();
+    let report = sim.run(intervals).expect("guard cell runs");
+    let us = start.elapsed().as_secs_f64() / intervals as f64 * 1e6;
+    assert_eq!(report.overflow_exchanges, 0, "guard channel saturated");
+    println!("{us:.1}");
+}

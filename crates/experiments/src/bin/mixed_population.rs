@@ -69,12 +69,12 @@ fn main() {
         let mut lat_sum_work = 0.0;
         let mut queries_work = 0u64;
         let mut lat_max: f64 = 0.0;
-        for mu in sim.clients() {
-            let s = mu.stats();
-            let bucket = if mu.id() % 2 == 0 { &mut work } else { &mut sleep };
+        for idx in 0..sim.client_slots() {
+            let s = sim.client_stats(idx);
+            let bucket = if idx % 2 == 0 { &mut work } else { &mut sleep };
             bucket.0 += s.hit_events;
             bucket.1 += s.miss_events;
-            if mu.id() % 2 == 0 {
+            if idx % 2 == 0 {
                 lat_sum_work += s.latency_sum_secs;
                 queries_work += s.queries_posed;
             }

@@ -132,12 +132,12 @@ pub fn sim_decision_log(
 ) -> Result<Vec<Vec<DecisionRow>>, ConformanceError> {
     let mut sim = CellSimulation::new(cfg.clone(), strategy)?;
     let n = cfg.n_clients;
-    let mut prev: Vec<MuStats> = sim.clients().iter().map(|mu| mu.stats()).collect();
+    let mut prev: Vec<MuStats> = (0..n).map(|idx| sim.client_stats(idx)).collect();
     let mut rows: Vec<Vec<DecisionRow>> = vec![Vec::with_capacity(intervals as usize); n];
     for i in 1..=intervals {
         sim.step()?;
         for (idx, log) in rows.iter_mut().enumerate() {
-            let s = sim.clients()[idx].stats();
+            let s = sim.client_stats(idx);
             log.push(row_from_deltas(i, &prev[idx], &s));
             prev[idx] = s;
         }

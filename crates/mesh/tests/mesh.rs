@@ -76,6 +76,31 @@ fn mesh_runs_are_identical_across_thread_counts() {
     assert_eq!(single, run(8));
 }
 
+/// Acceptance: the *intra-cell* parallel report sweep is invisible in
+/// a mesh too — shards host boxed units (handoffs move whole units,
+/// so the columnar fleet never constructs there), and the chunked
+/// sweep must be byte-identical at any worker count even while
+/// clients migrate. Fleets are sized so the parallel path actually
+/// engages (it fans out at ≥ 256 listening clients per cell).
+#[test]
+fn mesh_sweep_thread_count_is_invisible() {
+    let run = |sweep_threads: usize| {
+        let base = base_config(0.1)
+            .with_clients(400)
+            .with_sweep_threads(sweep_threads);
+        let config = MeshConfig::new(CellGraph::line(2), base, MasterSeed(49))
+            .with_mobility(MobilityModel::Markov { rate: 0.05 });
+        let mut mesh =
+            MeshSimulation::new(config, Strategy::BroadcastTimestamps).unwrap();
+        let report = mesh.run(40).unwrap();
+        assert!(report.migrations > 0, "mobility must actually fire");
+        format!("{report:?}")
+    };
+    let single = run(1);
+    assert_eq!(single, run(2), "2 sweep threads changed a mesh run");
+    assert_eq!(single, run(8), "8 sweep threads changed a mesh run");
+}
+
 /// Migration accounting is conserved: every accepted migration is one
 /// departure in the source cell and one arrival in the destination.
 #[test]

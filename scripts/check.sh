@@ -72,6 +72,45 @@ cargo bench -p sw-bench --bench hot_paths -- --test
 echo "==> bench smoke A/B: faults compiled in must not touch the hot paths"
 cargo bench -p sw-bench --bench hot_paths --features faults -- --test
 
+echo "==> hot-path zero-cost guard: observe+faults compiled in must stay within 5%"
+# Build the probe twice — feature-off, then with observe+faults armed
+# at compile time (both disabled at runtime) — and interleave rounds.
+# The best-of-N comparison makes the A/B a hard guard on the
+# zero-cost disabled path instead of an eyeballed smoke.
+cargo build --release -q -p sw-experiments --bin hot_guard
+hot_off_bin=$(mktemp)
+cp target/release/hot_guard "$hot_off_bin"
+chmod +x "$hot_off_bin"
+cargo build --release -q -p sw-experiments --features observe,faults --bin hot_guard
+hot_off=""
+hot_on=""
+for _ in 1 2 3 4 5; do
+    hot_off="$hot_off $("$hot_off_bin")"
+    hot_on="$hot_on $(target/release/hot_guard)"
+done
+rm -f "$hot_off_bin"
+echo "   feature-off rounds (us/interval):$hot_off"
+echo "   feature-on  rounds (us/interval):$hot_on"
+awk -v off="$hot_off" -v on="$hot_on" 'BEGIN {
+    split(off, a, " "); split(on, b, " ");
+    min_off = a[1]; for (i in a) if (a[i] + 0 < min_off) min_off = a[i] + 0;
+    min_on = b[1]; for (i in b) if (b[i] + 0 < min_on) min_on = b[i] + 0;
+    ratio = min_on / min_off;
+    printf "   best feature-off %.1f us, best feature-on %.1f us (ratio %.3f)\n",
+        min_off, min_on, ratio;
+    if (ratio > 1.05) {
+        printf "HOT-PATH GUARD FAILED: features compiled in cost %.1f%% (> 5%%)\n",
+            (ratio - 1) * 100 > "/dev/stderr";
+        exit 1;
+    }
+}'
+
+echo "==> bench gate: current driver must beat the legacy loop at s=0.5"
+# Regenerates the s=0.5 comparison (BENCH_gate.json) on identical
+# random streams and fails if single_thread_speedup drops below 1.0x,
+# so the PR 3-5 per-interval regression cannot silently recur.
+SW_BENCH_GATE=1 cargo run --release -q -p sw-experiments --bin bench_report >/dev/null
+
 echo "==> bench smoke: mesh_step (sharded envelope vs single-cell baseline)"
 # The A/B guard for the mesh PR: hot_paths above exercises only the
 # single-cell driver and must stay green untouched; mesh_step measures

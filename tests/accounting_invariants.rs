@@ -33,7 +33,9 @@ fn run(strategy: Strategy, s: f64, mu: f64, seed: u64) -> (SimulationReport, u64
         .with_seed(seed);
     let mut sim = CellSimulation::new(cfg, strategy).expect("valid");
     let report = sim.run(60).expect("fits");
-    let posed: u64 = sim.clients().iter().map(|m| m.stats().queries_posed).sum();
+    let posed: u64 = (0..sim.client_slots())
+        .map(|idx| sim.client_stats(idx).queries_posed)
+        .sum();
     (report, posed)
 }
 

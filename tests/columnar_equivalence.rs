@@ -1,0 +1,184 @@
+//! The columnar-fleet oracle: the struct-of-arrays client backend must
+//! be observably indistinguishable from the boxed-`MobileUnit` fleet —
+//! same report, same per-client stats, same safety and fault counters —
+//! for every eligible strategy, at any sweep worker count, with and
+//! without faults armed. "Indistinguishable" is checked the blunt way:
+//! the full `Debug` rendering of the simulation report and of every
+//! client's stats must match byte for byte.
+
+use sleepers_workaholics::prelude::*;
+
+const ELIGIBLE: &[Strategy] = &[
+    Strategy::BroadcastTimestamps,
+    Strategy::AmnesicTerminals,
+    Strategy::Signatures,
+    Strategy::NoCache,
+    Strategy::HybridSig { hot_count: 30 },
+    Strategy::GroupReports { groups: 20 },
+];
+
+fn base_config(n_clients: usize, s: f64, seed: u64) -> CellConfig {
+    let mut params = ScenarioParams::scenario1();
+    params.n_items = 400;
+    params.lambda = 0.04;
+    params.bandwidth_bps = 40_000; // headroom: equivalence, not capacity
+    let params = params.with_s(s);
+    CellConfig::new(params)
+        .with_clients(n_clients)
+        .with_hotspot_size(24)
+        .with_seed(seed)
+}
+
+/// Runs a config+strategy on one fleet backend and renders everything
+/// observable.
+fn fingerprint(cfg: CellConfig, strategy: Strategy, intervals: u64) -> (String, Vec<String>) {
+    let mut sim = CellSimulation::new(cfg, strategy).expect("valid config");
+    sim.run(intervals).expect("report fits");
+    let per_client = (0..sim.client_slots())
+        .map(|idx| format!("{:?}", sim.client_stats(idx)))
+        .collect();
+    (format!("{:?}", sim.report()), per_client)
+}
+
+#[test]
+fn columnar_matches_units_for_every_eligible_strategy() {
+    for &strategy in ELIGIBLE {
+        let units = fingerprint(
+            base_config(40, 0.4, 77).with_fleet(FleetBackend::Units),
+            strategy,
+            80,
+        );
+        let columnar = fingerprint(
+            base_config(40, 0.4, 77).with_fleet(FleetBackend::Columnar),
+            strategy,
+            80,
+        );
+        assert_eq!(
+            units.0, columnar.0,
+            "{} report diverged between fleet backends",
+            strategy.name()
+        );
+        assert_eq!(
+            units.1, columnar.1,
+            "{} per-client stats diverged between fleet backends",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn columnar_matches_units_under_faults() {
+    // Loss + corruption + drift + flaky uplinks: the full fault
+    // gauntlet must hit both backends identically (fates are decided
+    // before the sweep, from per-client streams).
+    let plan = FaultPlan::none()
+        .with_loss(LossModel::burst(0.05, 0.4, 0.8))
+        .with_corruption(0.02)
+        .with_uplink(UplinkFaults {
+            p_fail: 0.1,
+            max_attempts: 3,
+            backoff_base_bits: 64,
+        })
+        .with_drift(ClockDrift {
+            rate_secs_per_interval: 0.3,
+            jitter_secs: 0.5,
+        });
+    for &strategy in &[Strategy::BroadcastTimestamps, Strategy::Signatures] {
+        let units = fingerprint(
+            base_config(40, 0.4, 99)
+                .with_faults(plan)
+                .with_fleet(FleetBackend::Units),
+            strategy,
+            80,
+        );
+        let columnar = fingerprint(
+            base_config(40, 0.4, 99)
+                .with_faults(plan)
+                .with_fleet(FleetBackend::Columnar),
+            strategy,
+            80,
+        );
+        assert_eq!(
+            units.0, columnar.0,
+            "{} faulted report diverged between fleet backends",
+            strategy.name()
+        );
+        assert_eq!(units.1, columnar.1, "{} faulted stats diverged", strategy.name());
+    }
+}
+
+#[test]
+fn sweep_thread_count_is_invisible() {
+    // Big enough that the parallel path actually engages (the sweep
+    // fans out at ≥ 256 listening clients), on both backends.
+    for backend in [FleetBackend::Units, FleetBackend::Columnar] {
+        let mut baseline: Option<(String, Vec<String>)> = None;
+        for threads in [1usize, 2, 8] {
+            let got = fingerprint(
+                base_config(500, 0.2, 31)
+                    .with_fleet(backend)
+                    .with_sweep_threads(threads),
+                Strategy::BroadcastTimestamps,
+                40,
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    assert_eq!(
+                        want.0, got.0,
+                        "{backend:?} report changed at {threads} sweep threads"
+                    );
+                    assert_eq!(
+                        want.1, got.1,
+                        "{backend:?} per-client stats changed at {threads} sweep threads"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eligible_configs_default_to_columnar() {
+    for &strategy in ELIGIBLE {
+        let sim = CellSimulation::new(base_config(8, 0.3, 5), strategy).unwrap();
+        assert!(
+            sim.is_columnar(),
+            "{} should auto-select the columnar fleet",
+            strategy.name()
+        );
+    }
+}
+
+#[test]
+fn ineligible_configs_stay_on_boxed_units() {
+    // Driver-wired strategies.
+    for strategy in [
+        Strategy::Stateful,
+        Strategy::QuasiDelay { alpha_intervals: 3 },
+        Strategy::AdaptiveTs {
+            method: FeedbackMethod::Method2,
+            eval_period: 10,
+            step: 1,
+        },
+    ] {
+        let sim = CellSimulation::new(base_config(8, 0.3, 5), strategy).unwrap();
+        assert!(!sim.is_columnar(), "{} must stay boxed", strategy.name());
+    }
+    // Bounded caches carry LRU state the columns don't model.
+    let sim = CellSimulation::new(
+        base_config(8, 0.3, 5).with_cache_capacity(10),
+        Strategy::BroadcastTimestamps,
+    )
+    .unwrap();
+    assert!(!sim.is_columnar(), "bounded caches must stay boxed");
+    // Forcing the columnar backend onto an ineligible config is a
+    // loud configuration error, not a silent fallback.
+    let err = CellSimulation::new(
+        base_config(8, 0.3, 5)
+            .with_cache_capacity(10)
+            .with_fleet(FleetBackend::Columnar),
+        Strategy::BroadcastTimestamps,
+    );
+    assert!(matches!(err, Err(SimulationError::InvalidConfig(_))));
+}

@@ -120,12 +120,11 @@ fn synchronous_latency_is_bounded_by_l() {
     sim.run(300).unwrap();
     let mut total_lat = 0.0;
     let mut total_q = 0u64;
-    for mu in sim.clients() {
-        let s = mu.stats();
+    for idx in 0..sim.client_slots() {
+        let s = sim.client_stats(idx);
         assert!(
             s.latency_max_secs <= params.latency_secs + 1e-9,
-            "client {} saw latency {} > L",
-            mu.id(),
+            "client {idx} saw latency {} > L",
             s.latency_max_secs
         );
         total_lat += s.latency_sum_secs;
