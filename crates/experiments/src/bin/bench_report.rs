@@ -413,6 +413,38 @@ fn per_interval_leg(s: f64, warmup: u64, intervals: u64) -> (serde_json::Value, 
     (leg, speedup)
 }
 
+/// The short git revision the binary is benchmarked at, `"unknown"`
+/// outside a git checkout.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Run metadata stamped into both artifacts: a bench number is only
+/// interpretable against the host's core count, the revision it ran
+/// at, and which instrumentation features were compiled in.
+fn run_metadata(auto_threads: usize) -> serde_json::Value {
+    let mut features = Vec::new();
+    if cfg!(feature = "observe") {
+        features.push("observe");
+    }
+    if cfg!(feature = "faults") {
+        features.push("faults");
+    }
+    serde_json::json!({
+        "available_parallelism": auto_threads,
+        "git_rev": git_rev(),
+        "features": features,
+        "profile": if cfg!(debug_assertions) { "dev" } else { "release" },
+    })
+}
+
 fn main() {
     let intervals = horizon_intervals();
     let warmup = warmup_intervals();
@@ -424,7 +456,11 @@ fn main() {
         // The check.sh regression gate: one leg, hard threshold, no
         // artifact rewrite.
         let (leg, speedup) = per_interval_leg(0.5, warmup, intervals);
-        let pretty = serde_json::to_string_pretty(&leg).expect("serializes");
+        let gate = serde_json::json!({
+            "host": run_metadata(auto_threads),
+            "leg": leg,
+        });
+        let pretty = serde_json::to_string_pretty(&gate).expect("serializes");
         // The gate writes its own artifact instead of clobbering the
         // committed full report with a single-leg run.
         std::fs::write("BENCH_gate.json", &pretty).expect("writes BENCH_gate.json");
@@ -482,7 +518,7 @@ fn main() {
     }
 
     let report = serde_json::json!({
-        "host": serde_json::json!({ "available_parallelism": auto_threads }),
+        "host": run_metadata(auto_threads),
         "figure_grid": serde_json::json!({
             "figure": 3,
             "cells": cells,

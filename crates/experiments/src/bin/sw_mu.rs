@@ -10,10 +10,16 @@
 //!
 //! ```text
 //! sw-mu --server ADDR [--index N] [--rx-drop P] [--audit]
+//!       [--flight N] [--storm N] [--flight-dir DIR]
 //!       [--strategy ts|at|sig|hyb] [--clients N] [--n-items N]
 //!       [--update-rate MU] [--s S] [--hotspot N] [--seed HEX]
 //!       [--observe LABEL]
 //! ```
+//!
+//! `--flight N` keeps the last N intervals in a flight-recorder ring;
+//! `--storm N` dumps that ring to `--flight-dir` (NDJSON) after N
+//! consecutive missed reports — post-mortem forensics for a unit that
+//! fell off the broadcast.
 //!
 //! The cell flags must match the server's: both sides derive their
 //! deterministic streams from the same `CellConfig`. Exits 0 after the
@@ -38,6 +44,13 @@ fn main() {
         .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--rx-drop: {e}"))))
         .unwrap_or(0.0);
     let audit_cache = take_switch(&mut args, "--audit");
+    let flight_capacity: usize = take_flag(&mut args, "--flight")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--flight: {e}"))))
+        .unwrap_or(0);
+    let storm_threshold: u64 = take_flag(&mut args, "--storm")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--storm: {e}"))))
+        .unwrap_or(0);
+    let flight_dir = take_flag(&mut args, "--flight-dir").map(std::path::PathBuf::from);
     let cell = parse_cell_args(&mut args).unwrap_or_else(|e| die(&e));
     if !args.is_empty() {
         die(&format!("unrecognized arguments: {args:?}"));
@@ -49,7 +62,14 @@ fn main() {
         ));
     }
 
-    let opts = MuOptions { rx_drop, audit_cache };
+    let opts = MuOptions {
+        rx_drop,
+        audit_cache,
+        flight_capacity,
+        storm_threshold,
+        flight_dir,
+        ..MuOptions::default()
+    };
     match run_mu(server, &cell.config, cell.strategy, index, opts) {
         Ok(report) => {
             let s = &report.stats;

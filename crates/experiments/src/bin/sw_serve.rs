@@ -9,6 +9,8 @@
 //! ```text
 //! sw-serve [--port N] [--intervals N] [--interval-ms N] [--lockstep]
 //!          [--announce FILE]
+//!          [--metrics-port N] [--metrics-announce FILE]
+//!          [--flight N] [--flight-dir DIR]
 //!          [--strategy ts|at|sig|hyb] [--clients N] [--n-items N]
 //!          [--update-rate MU] [--s S] [--hotspot N] [--seed HEX]
 //!          [--observe LABEL]
@@ -17,14 +19,24 @@
 //! The bound address is printed to stdout as `listening ADDR` before
 //! the first report goes out; `--announce FILE` additionally writes
 //! the bare `ADDR` to `FILE` so scripts can poll for it (the smoke leg
-//! of `scripts/check.sh` does exactly that). The daemon exits after
-//! `--intervals` reports and prints a one-line session summary.
+//! of `scripts/check.sh` does exactly that). `--metrics-port` arms the
+//! ops plane: `GET /metrics` (Prometheus text), `/healthz`, and
+//! `/snapshot.json` on that port for the session's lifetime, announced
+//! as `metrics ADDR` (and to `--metrics-announce FILE`).
+//!
+//! `--flight N` keeps the last N broadcast ticks in a flight-recorder
+//! ring. On SIGTERM the daemon stops the session cleanly, prints its
+//! summary, and — when `--flight-dir` is set — dumps the ring as
+//! NDJSON forensics before exiting.
 
 use std::net::SocketAddr;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use sw_experiments::live_cli::{parse_cell_args, take_flag, take_switch};
-use sw_live::{LiveOptions, LiveServer};
+use sw_live::{arm_termination_flag, LiveOptions, LiveServer};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,18 +51,29 @@ fn main() {
         .unwrap_or(100);
     let lockstep = take_switch(&mut args, "--lockstep");
     let announce = take_flag(&mut args, "--announce");
+    let metrics_port: Option<u16> = take_flag(&mut args, "--metrics-port")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--metrics-port: {e}"))));
+    let metrics_announce = take_flag(&mut args, "--metrics-announce");
+    let flight: usize = take_flag(&mut args, "--flight")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--flight: {e}"))))
+        .unwrap_or(0);
+    let flight_dir = take_flag(&mut args, "--flight-dir").map(std::path::PathBuf::from);
     let cell = parse_cell_args(&mut args).unwrap_or_else(|e| die(&e));
     if !args.is_empty() {
         die(&format!("unrecognized arguments: {args:?}"));
     }
 
     let bind: SocketAddr = ([127, 0, 0, 1], port).into();
-    let opts = if lockstep {
+    let mut opts = if lockstep {
         LiveOptions::lockstep(intervals)
     } else {
         LiveOptions::paced(intervals, interval_ms)
     }
-    .with_bind(bind);
+    .with_bind(bind)
+    .with_flight_capacity(flight);
+    if let Some(mp) = metrics_port {
+        opts = opts.with_metrics(([127, 0, 0, 1], mp).into());
+    }
 
     let handle = LiveServer::spawn(cell.config, cell.strategy, opts)
         .unwrap_or_else(|e| die(&format!("could not start server: {e}")));
@@ -64,8 +87,40 @@ fn main() {
             exit(1);
         }
     }
+    if let Some(maddr) = handle.metrics_addr() {
+        println!("metrics {maddr}");
+        if let Some(path) = metrics_announce {
+            if let Err(e) = std::fs::write(&path, format!("{maddr}\n")) {
+                eprintln!("sw-serve: could not write metrics announce file {path}: {e}");
+            }
+        }
+    }
 
-    match handle.wait() {
+    // The SIGTERM watcher: a `kill` stops the session cleanly (partial
+    // summary, flight dump) instead of vaporizing it.
+    let term = arm_termination_flag();
+    let stopper = handle.stopper();
+    let session_over = Arc::new(AtomicBool::new(false));
+    let watcher = {
+        let session_over = Arc::clone(&session_over);
+        std::thread::spawn(move || loop {
+            if term.load(Ordering::Relaxed) {
+                eprintln!("sw-serve: SIGTERM; stopping the session");
+                stopper.stop();
+                return true;
+            }
+            if session_over.load(Ordering::Relaxed) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        })
+    };
+
+    let result = handle.wait();
+    session_over.store(true, Ordering::Relaxed);
+    let terminated = watcher.join().expect("signal watcher thread");
+
+    match result {
         Ok(report) => {
             println!(
                 "served {} intervals ({}): {} datagrams, {} report bytes, \
@@ -77,6 +132,19 @@ fn main() {
                 report.updates_applied,
                 report.uplink_answers,
             );
+            if terminated {
+                if let Some(dir) = flight_dir {
+                    let path = dir.join("sw-flight-server.ndjson");
+                    let reason = format!(
+                        "SIGTERM after {} of {} intervals",
+                        report.intervals, intervals
+                    );
+                    match report.flight.dump(&path, &reason) {
+                        Ok(n) => println!("flight ring ({n} B) -> {}", path.display()),
+                        Err(e) => eprintln!("sw-serve: flight dump failed: {e}"),
+                    }
+                }
+            }
             if let Some(snap) = report.observe {
                 println!("{}", sw_observe::summary(&snap));
             }

@@ -140,6 +140,7 @@ fn trace_live(fast: bool) {
     let workers: Vec<_> = (0..clients)
         .map(|idx| {
             let config = config.clone();
+            let opts = opts.clone();
             std::thread::spawn(move || {
                 run_mu(addr, &config, Strategy::BroadcastTimestamps, idx, opts)
             })

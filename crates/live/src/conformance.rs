@@ -22,6 +22,7 @@
 //!   and corruption; uplink TCP is reliable by construction).
 
 use std::io;
+use std::net::SocketAddr;
 use std::thread;
 
 use sleepers::{CellConfig, CellSimulation, SimulationError, Strategy};
@@ -159,12 +160,36 @@ pub fn live_decision_log(
     strategy: Strategy,
     intervals: u64,
 ) -> Result<Vec<Vec<DecisionRow>>, ConformanceError> {
-    let handle = LiveServer::spawn(cfg.clone(), strategy, LiveOptions::lockstep(intervals))?;
+    live_decision_log_with(
+        cfg,
+        strategy,
+        LiveOptions::lockstep(intervals),
+        MuOptions::default(),
+        |_| {},
+    )
+}
+
+/// [`live_decision_log`] with explicit server/client options. Must be
+/// a lockstep session (the barrier is what makes the rows
+/// deterministic). `on_spawn` runs once the server is up, receiving
+/// its metrics address when [`LiveOptions::metrics_bind`] armed one —
+/// the hook a test uses to scrape `/metrics` *while* the conformance
+/// session runs.
+pub fn live_decision_log_with(
+    cfg: &CellConfig,
+    strategy: Strategy,
+    opts: LiveOptions,
+    mu_opts: MuOptions,
+    on_spawn: impl FnOnce(Option<SocketAddr>),
+) -> Result<Vec<Vec<DecisionRow>>, ConformanceError> {
+    let handle = LiveServer::spawn(cfg.clone(), strategy, opts)?;
     let addr = handle.addr();
+    on_spawn(handle.metrics_addr());
     let workers: Vec<_> = (0..cfg.n_clients)
         .map(|idx| {
             let cfg = cfg.clone();
-            thread::spawn(move || run_mu(addr, &cfg, strategy, idx, MuOptions::default()))
+            let mu_opts = mu_opts.clone();
+            thread::spawn(move || run_mu(addr, &cfg, strategy, idx, mu_opts))
         })
         .collect();
     let mut rows = Vec::with_capacity(cfg.n_clients);

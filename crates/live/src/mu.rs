@@ -20,6 +20,7 @@
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -28,7 +29,9 @@ use sleepers::{CellConfig, Strategy};
 use sw_client::handler::{time_from_micros, time_to_micros};
 use sw_client::{MobileUnit, MuConfig, MuStats};
 use sw_faults::{FaultLayer, ReportFate};
+use sw_observe::event::Value;
 use sw_observe::{ObserveSnapshot, Recorder};
+use sw_ops::{FlightRecorder, MetricsHub, Published};
 use sw_server::uplink::{PiggybackInfo, QueryAnswer};
 use sw_sim::{IntervalClock, RngStream, SimDuration, StreamId};
 use sw_wireless::frame::{
@@ -326,7 +329,7 @@ pub fn audit_against_history(history: &ValueHistory, audit: &[CacheAuditRow]) ->
 }
 
 /// Options for [`run_mu`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MuOptions {
     /// Probability of deliberately dropping each interval's report
     /// datagram at the receiver (seeded, live-level; models OS-side
@@ -334,6 +337,23 @@ pub struct MuOptions {
     pub rx_drop: f64,
     /// Record a per-interval cache snapshot for the staleness audit.
     pub audit_cache: bool,
+    /// Flight-recorder ring size: the last `flight_capacity` intervals
+    /// of decision rows and report fates, kept for a crash dump. 0
+    /// (the default) disables the ring.
+    pub flight_capacity: usize,
+    /// Dump the flight ring after this many *consecutive* missed
+    /// reports — a fault storm, the live failure mode worth forensics.
+    /// 0 (the default) never triggers; the dump fires at most once per
+    /// session and needs [`MuOptions::flight_dir`] set.
+    pub storm_threshold: u64,
+    /// Directory the fault-storm dump (`sw-flight-mu<index>.ndjson`)
+    /// is written to. `None` disables the automatic dump (the ring is
+    /// still returned in [`LiveMuReport::flight`]).
+    pub flight_dir: Option<PathBuf>,
+    /// A metrics hub to publish per-interval client gauges to (hit
+    /// ratio, reports heard/missed, staleness window). `None` (the
+    /// default) publishes nothing.
+    pub metrics: Option<Arc<MetricsHub>>,
 }
 
 /// What one live client brings home.
@@ -353,6 +373,9 @@ pub struct LiveMuReport {
     pub reports_missed: u64,
     /// Instrumentation snapshot (`observe` feature + configured label).
     pub observe: Option<ObserveSnapshot>,
+    /// The client's flight ring: the last
+    /// [`MuOptions::flight_capacity`] intervals of decision facts.
+    pub flight: FlightRecorder,
 }
 
 /// How long past the nominal broadcast instant a paced client keeps
@@ -421,6 +444,36 @@ pub fn run_mu(
     // hunting for the current one (paced mode only).
     let mut lookahead: Option<(u64, Vec<u8>)> = None;
     let mut halted = false;
+    let mut flight = FlightRecorder::new(opts.flight_capacity);
+    // Fault-storm forensics: count *consecutive* missed reports, dump
+    // the ring once when the run crosses the configured threshold.
+    let mut consecutive_missed = 0u64;
+    let mut storm_dumped = false;
+    let mut last_heard_interval = 0u64;
+    let index_label = index.to_string();
+    let publish_tick = |i: u64, heard: u64, missed: u64, window: u64, awake: bool, s: &MuStats| {
+        let Some(hub) = opts.metrics.as_ref() else {
+            return;
+        };
+        let answered = s.hit_events + s.miss_events;
+        let hit_ratio = if answered == 0 {
+            0.0
+        } else {
+            s.hit_events as f64 / answered as f64
+        };
+        hub.publish(
+            Published::at(i)
+                .label("role", "mu")
+                .label("index", index_label.clone())
+                .label("strategy", strategy.name())
+                .gauge("awake", if awake { 1.0 } else { 0.0 })
+                .gauge("cache_hit_ratio", hit_ratio)
+                .gauge("reports_heard", heard as f64)
+                .gauge("reports_missed", missed as f64)
+                .gauge("staleness_window", window as f64)
+                .gauge("queries", s.queries_posed as f64),
+        );
+    };
 
     'session: for i in 1..=intervals {
         if lockstep {
@@ -435,6 +488,15 @@ pub fn run_mu(
             // sleepers cost nothing per interval either.
             let row = live.asleep_row(i);
             rows.push(row);
+            flight.push(i, "decision", &[("awake", Value::U64(0))]);
+            publish_tick(
+                i,
+                reports_heard,
+                reports_missed,
+                i - last_heard_interval,
+                false,
+                &live.stats(),
+            );
             if lockstep {
                 send(&Msg::Done { row })?;
             } else {
@@ -477,9 +539,48 @@ pub fn run_mu(
         let heard = datagram.is_some() && fate == ReportFate::Heard;
         if heard {
             reports_heard += 1;
+            consecutive_missed = 0;
+            last_heard_interval = i;
         } else {
             reports_missed += 1;
             obs.event(i, "report_missed", &[]);
+            consecutive_missed += 1;
+            flight.push(
+                i,
+                "report_missed",
+                &[("consecutive", Value::U64(consecutive_missed))],
+            );
+            if opts.storm_threshold > 0
+                && consecutive_missed >= opts.storm_threshold
+                && !storm_dumped
+            {
+                storm_dumped = true;
+                flight.push(
+                    i,
+                    "fault_storm",
+                    &[
+                        ("consecutive", Value::U64(consecutive_missed)),
+                        ("threshold", Value::U64(opts.storm_threshold)),
+                    ],
+                );
+                if let Some(dir) = opts.flight_dir.as_deref() {
+                    let path = dir.join(format!("sw-flight-mu{index}.ndjson"));
+                    let reason = format!(
+                        "fault storm: {consecutive_missed} consecutive missed \
+                         reports at interval {i}"
+                    );
+                    match flight.dump(&path, &reason) {
+                        Ok(n) => eprintln!(
+                            "mu{index}: fault storm; dumped {n}-byte flight ring to {}",
+                            path.display()
+                        ),
+                        Err(e) => eprintln!(
+                            "mu{index}: fault storm; flight dump to {} failed: {e}",
+                            path.display()
+                        ),
+                    }
+                }
+            }
         }
         for (item, _piggyback) in requests {
             // Piggybacked hit histories are an adaptive-strategy input;
@@ -501,6 +602,27 @@ pub fn run_mu(
         }
         let row = live.end_interval(i);
         rows.push(row);
+        flight.push(
+            i,
+            "decision",
+            &[
+                ("awake", Value::U64(1)),
+                ("heard", Value::U64(row.heard as u64)),
+                ("queries", Value::U64(row.queries)),
+                ("hits", Value::U64(row.hits)),
+                ("misses", Value::U64(row.misses)),
+                ("invalidated", Value::U64(row.invalidated)),
+                ("drops", Value::U64(row.drops)),
+            ],
+        );
+        publish_tick(
+            i,
+            reports_heard,
+            reports_missed,
+            i - last_heard_interval,
+            true,
+            &live.stats(),
+        );
         if opts.audit_cache {
             audit.extend(live.cache_snapshot().into_iter().map(|(item, value, ts)| {
                 CacheAuditRow {
@@ -537,6 +659,7 @@ pub fn run_mu(
         reports_heard,
         reports_missed,
         observe: obs.snapshot(),
+        flight,
     })
 }
 

@@ -33,7 +33,9 @@ use std::time::{Duration, Instant};
 use sleepers::safety::ValueHistory;
 use sleepers::{CellConfig, Strategy};
 use sw_client::handler::time_to_micros;
+use sw_observe::event::Value;
 use sw_observe::{ObserveSnapshot, Recorder};
+use sw_ops::{FlightRecorder, MetricsExporter, MetricsHub, Published};
 use sw_server::database::Database;
 use sw_server::report::ReportBuilder;
 use sw_server::update::UpdateEngine;
@@ -68,6 +70,16 @@ pub struct LiveOptions {
     /// TCP address to listen on (port 0: ephemeral; read the bound
     /// port back from [`ServerHandle::addr`]).
     pub bind: SocketAddr,
+    /// When set, serve a live metrics plane (`/metrics`, `/healthz`,
+    /// `/snapshot.json`) on this address for the session's lifetime
+    /// (port 0: ephemeral; read it back from
+    /// [`ServerHandle::metrics_addr`]). `None` (the default) compiles
+    /// the session exactly as before — no listener, no publishing.
+    pub metrics_bind: Option<SocketAddr>,
+    /// Flight-recorder ring size: the last `flight_capacity` intervals
+    /// of per-tick facts kept for a crash dump. 0 (the default)
+    /// disables the ring.
+    pub flight_capacity: usize,
 }
 
 impl LiveOptions {
@@ -77,6 +89,8 @@ impl LiveOptions {
             pace,
             registration_timeout: Duration::from_secs(30),
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
+            metrics_bind: None,
+            flight_capacity: 0,
         }
     }
 
@@ -94,6 +108,18 @@ impl LiveOptions {
     /// Listens on a fixed address instead of an ephemeral port.
     pub fn with_bind(mut self, bind: SocketAddr) -> Self {
         self.bind = bind;
+        self
+    }
+
+    /// Serves the metrics plane on `bind` for the session's lifetime.
+    pub fn with_metrics(mut self, bind: SocketAddr) -> Self {
+        self.metrics_bind = Some(bind);
+        self
+    }
+
+    /// Keeps the last `capacity` intervals in the flight ring.
+    pub fn with_flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
         self
     }
 }
@@ -119,6 +145,10 @@ pub struct LiveServerReport {
     pub history: Option<ValueHistory>,
     /// Instrumentation snapshot (`observe` feature + configured label).
     pub observe: Option<ObserveSnapshot>,
+    /// The server's flight ring: the last
+    /// [`LiveOptions::flight_capacity`] intervals of per-tick facts,
+    /// ready to dump as NDJSON if the session ended badly.
+    pub flight: FlightRecorder,
 }
 
 /// Server state guarded by one mutex: the database and everything that
@@ -177,6 +207,7 @@ pub struct LiveServer;
 /// collect its report or shut it down early.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics: Option<SocketAddr>,
     shared: Arc<Shared>,
     ticker: JoinHandle<io::Result<LiveServerReport>>,
     accept: JoinHandle<()>,
@@ -188,13 +219,26 @@ impl ServerHandle {
         self.addr
     }
 
+    /// The metrics endpoint address, when
+    /// [`LiveOptions::metrics_bind`] asked for one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics
+    }
+
     /// Requests an early stop: the ticker exits at its next check and
     /// the accept loop unblocks.
     pub fn shutdown(&self) {
-        self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.reg_cv.notify_all();
-        self.shared.bar_cv.notify_all();
-        let _ = TcpStream::connect(self.addr);
+        self.stopper().stop();
+    }
+
+    /// A clonable, `Send` handle that can request the stop from
+    /// another thread (a signal watcher, a deadline timer) while this
+    /// handle blocks in [`ServerHandle::wait`].
+    pub fn stopper(&self) -> Stopper {
+        Stopper {
+            addr: self.addr,
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// Waits for the session to finish and returns the server report.
@@ -208,6 +252,24 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept.join();
         result
+    }
+}
+
+/// A detached stop trigger for a running session (see
+/// [`ServerHandle::stopper`]).
+#[derive(Clone)]
+pub struct Stopper {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Stopper {
+    /// Requests the session stop; idempotent, safe from any thread.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.reg_cv.notify_all();
+        self.shared.bar_cv.notify_all();
+        let _ = TcpStream::connect(self.addr);
     }
 }
 
@@ -294,6 +356,20 @@ impl LiveServer {
             n_clients,
         });
 
+        // The metrics plane, when asked for: the exporter thread serves
+        // immutable views the ticker publishes once per interval. The
+        // exporter handle moves into the ticker thread so the endpoint
+        // lives exactly as long as the session.
+        let metrics = match opts.metrics_bind {
+            Some(bind) => {
+                let hub = MetricsHub::new();
+                let exporter = MetricsExporter::bind(bind, Arc::clone(&hub))?;
+                Some((hub, exporter))
+            }
+            None => None,
+        };
+        let metrics_addr = metrics.as_ref().map(|(_, e)| e.addr());
+
         let accept = {
             let shared = Arc::clone(&shared);
             thread::spawn(move || accept_loop(listener, shared))
@@ -304,10 +380,12 @@ impl LiveServer {
                 Some(label) => Recorder::enabled(format!("{label}.server")),
                 None => Recorder::disabled(),
             };
-            thread::spawn(move || ticker_loop(shared, latency, opts, obs))
+            let strategy_name = strategy.name();
+            thread::spawn(move || ticker_loop(shared, latency, opts, obs, strategy_name, metrics))
         };
         Ok(ServerHandle {
             addr,
+            metrics: metrics_addr,
             shared,
             ticker,
             accept,
@@ -456,6 +534,8 @@ fn ticker_loop(
     latency: SimDuration,
     opts: LiveOptions,
     mut obs: Recorder,
+    strategy_name: &'static str,
+    metrics: Option<(Arc<MetricsHub>, MetricsExporter)>,
 ) -> io::Result<LiveServerReport> {
     // Phase 1: wait for the full fleet.
     let peers: Vec<Peer> = {
@@ -510,6 +590,37 @@ fn ticker_loop(
     }
     let mut prev_answers = 0u64;
     let mut prev_updates = 0u64;
+    let mut flight = FlightRecorder::new(opts.flight_capacity);
+    // Publishes one immutable view of this tick for scrapers; gauges
+    // cover the uninstrumented build, the attached recorder snapshot
+    // adds the full counter/histogram plane when `observe` is on.
+    let publish_tick = |i: u64,
+                            obs: &Recorder,
+                            queue_depth: usize,
+                            build: Duration,
+                            fanout: Duration,
+                            datagrams: u64,
+                            bytes: u64,
+                            answers: u64,
+                            updates: u64| {
+        let Some((hub, _)) = metrics.as_ref() else {
+            return;
+        };
+        hub.publish(
+            Published::at(i)
+                .label("role", "server")
+                .label("strategy", strategy_name)
+                .gauge("mu_registered", peers.len() as f64)
+                .gauge("uplink_queue_depth", queue_depth as f64)
+                .gauge("report_build_seconds", build.as_secs_f64())
+                .gauge("udp_fanout_seconds", fanout.as_secs_f64())
+                .gauge("datagrams_sent", datagrams as f64)
+                .gauge("report_bytes", bytes as f64)
+                .gauge("uplink_answers", answers as f64)
+                .gauge("updates_applied", updates as f64)
+                .snapshot(obs.snapshot()),
+        );
+    };
 
     // Phase 2: the broadcast cadence.
     'run: for _ in 0..opts.intervals {
@@ -530,16 +641,20 @@ fn ticker_loop(
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let (payload, answers_now, updates_now) = {
+        let build_started = Instant::now();
+        let (payload, queue_depth, answers_now, updates_now) = {
             let _span = obs.span("report_build");
             let mut core = shared.core.lock().expect("core lock");
+            let depth = core.pending_publishes.len();
             let p = build_tick(&mut core, i, from, t_i);
-            (p, core.uplink_answers, core.updates_applied)
+            (p, depth, core.uplink_answers, core.updates_applied)
         };
         let datagram = {
             let _span = obs.span("report_encode");
             seal_frame(shared.encode.serialize_payload(&payload))
         };
+        let build_elapsed = build_started.elapsed();
+        let fanout_started = Instant::now();
         {
             let _span = obs.span("udp_send");
             for peer in &peers {
@@ -548,6 +663,7 @@ fn ticker_loop(
                 }
             }
         }
+        let fanout_elapsed = fanout_started.elapsed();
         report_bytes += datagram.len() as u64;
         intervals_run = i;
         if obs.is_enabled() {
@@ -560,9 +676,32 @@ fn ticker_loop(
                     answers_now - prev_answers,
                 ],
             );
-            prev_updates = updates_now;
-            prev_answers = answers_now;
         }
+        flight.push(
+            i,
+            "report",
+            &[
+                ("bytes", Value::U64(datagram.len() as u64)),
+                ("updates", Value::U64(updates_now - prev_updates)),
+                ("answers", Value::U64(answers_now - prev_answers)),
+                ("queue_depth", Value::U64(queue_depth as u64)),
+                ("build_us", Value::U64(build_elapsed.as_micros() as u64)),
+                ("fanout_us", Value::U64(fanout_elapsed.as_micros() as u64)),
+            ],
+        );
+        prev_updates = updates_now;
+        prev_answers = answers_now;
+        publish_tick(
+            i,
+            &obs,
+            queue_depth,
+            build_elapsed,
+            fanout_elapsed,
+            datagrams_sent,
+            report_bytes,
+            answers_now,
+            updates_now,
+        );
 
         if lockstep {
             for peer in &peers {
@@ -613,6 +752,22 @@ fn ticker_loop(
         obs.add("uplink_answers", core.uplink_answers);
         obs.add("report_bytes", report_bytes);
     }
+    // One last view so a scraper that polls right at session end sees
+    // the final totals, then tear the endpoint down with the session.
+    publish_tick(
+        intervals_run,
+        &obs,
+        core.pending_publishes.len(),
+        Duration::ZERO,
+        Duration::ZERO,
+        datagrams_sent,
+        report_bytes,
+        core.uplink_answers,
+        core.updates_applied,
+    );
+    if let Some((_, mut exporter)) = metrics {
+        exporter.shutdown();
+    }
     Ok(LiveServerReport {
         intervals: intervals_run,
         datagrams_sent,
@@ -623,5 +778,6 @@ fn ticker_loop(
         rows,
         history: core.history.take(),
         observe: obs.snapshot(),
+        flight,
     })
 }

@@ -66,6 +66,79 @@ fn sleeper_heavy_ts_and_at_conform() {
     assert_conforms(&cfg, Strategy::AmnesicTerminals, 40);
 }
 
+/// Arming the ops plane must not perturb the session: with the metrics
+/// exporter serving `/metrics` — and a scraper hammering it *during*
+/// the lockstep run — plus flight recorders on both sides, the live
+/// decision log is still byte-identical to the simulator's.
+#[test]
+fn conformance_holds_with_metrics_exporter_polling() {
+    use sw_live::conformance::{live_decision_log_with, sim_decision_log};
+    use sw_live::{encode_rows, LiveOptions, MuOptions};
+
+    let cfg = small_cell(0.4);
+    let strategy = Strategy::BroadcastTimestamps;
+    let intervals = 40;
+    let sim = sim_decision_log(&cfg, strategy, intervals).expect("sim reference");
+
+    let opts = LiveOptions::lockstep(intervals)
+        .with_metrics(std::net::SocketAddr::from(([127, 0, 0, 1], 0)))
+        .with_flight_capacity(16);
+    let mu_opts = MuOptions {
+        flight_capacity: 8,
+        ..MuOptions::default()
+    };
+    let mut scraper = None;
+    let live = live_decision_log_with(&cfg, strategy, opts, mu_opts, |metrics| {
+        let addr = metrics.expect("metrics_bind was set");
+        scraper = Some(std::thread::spawn(move || {
+            let timeout = std::time::Duration::from_secs(2);
+            let mut pages = 0u64;
+            // Poll until the exporter dies with the session.
+            while let Ok(page) = sw_ops::http::get(addr, "/metrics", timeout) {
+                assert!(page.contains("sw_interval"), "malformed page: {page}");
+                pages += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            pages
+        }));
+    })
+    .expect("live session with exporter armed");
+
+    for (idx, (s_rows, l_rows)) in sim.iter().zip(&live).enumerate() {
+        assert_eq!(
+            encode_rows(s_rows),
+            encode_rows(l_rows),
+            "client {idx} diverged under an armed exporter"
+        );
+    }
+    let pages = scraper
+        .expect("on_spawn ran")
+        .join()
+        .expect("scraper thread");
+    assert!(pages > 0, "the scraper never got a page mid-run");
+}
+
+/// Observation must be a pure read: with the `observe` feature
+/// compiled in, an observing session's decision log is byte-identical
+/// to the unobserved session's.
+#[cfg(feature = "observe")]
+#[test]
+fn observing_session_decides_identically() {
+    use sw_live::encode_rows;
+
+    let strategy = Strategy::BroadcastTimestamps;
+    let plain = check_conformance(&small_cell(0.4), strategy, 40).expect("plain run");
+    let observed = check_conformance(&small_cell(0.4).with_observe("conf"), strategy, 40)
+        .expect("observing run");
+    for (idx, (p_rows, o_rows)) in plain.live.iter().zip(&observed.live).enumerate() {
+        assert_eq!(
+            encode_rows(p_rows),
+            encode_rows(o_rows),
+            "client {idx}: observation perturbed the decisions"
+        );
+    }
+}
+
 /// With fault injection compiled in, the live client draws the same
 /// per-client loss/corruption fates the simulator draws — corruption
 /// flipping a bit of the *received datagram's* frame bytes — and the

@@ -1,0 +1,92 @@
+//! Graceful-termination hook: one atomic flag set from SIGTERM.
+//!
+//! A daemon that dies mid-`kill` loses its flight ring; one that
+//! watches this flag can halt the session, dump forensics, and exit
+//! with a clean report. The handler body is a single relaxed store —
+//! the only thing an async-signal-safe handler may do — and the flag
+//! is process-global, so arming is idempotent and every watcher sees
+//! the same bit.
+//!
+//! The workspace vendors no `libc` crate, so on Unix the hook declares
+//! the one symbol it needs (`signal`) against the C library `std`
+//! already links. On other platforms arming is a no-op and the flag
+//! simply never sets (the daemon still exits by session end).
+
+use std::sync::atomic::AtomicBool;
+
+/// The process-global termination flag; set once SIGTERM is received
+/// after [`arm_termination_flag`] has run.
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // ISO C `signal`, from the libc `std` already links. The
+        // handler address crosses as `usize` — the only portable-enough
+        // representation without a libc crate.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Async-signal-safe: one relaxed store, nothing else.
+        super::TERMINATED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn arm() {
+        // SAFETY: installing an `extern "C"` handler whose body is a
+        // single atomic store is async-signal-safe; `signal` itself is
+        // only ever handed a valid function pointer.
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn arm() {}
+}
+
+/// Installs the SIGTERM handler (idempotent) and returns the flag to
+/// poll. On non-Unix targets the flag is returned un-armed and never
+/// sets.
+pub fn arm_termination_flag() -> &'static AtomicBool {
+    imp::arm();
+    &TERMINATED
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[allow(unsafe_code)]
+    mod raise {
+        extern "C" {
+            fn raise(signum: i32) -> i32;
+        }
+
+        pub fn sigterm() {
+            // SAFETY: raising a signal whose handler was just installed.
+            unsafe {
+                raise(15);
+            }
+        }
+    }
+
+    #[test]
+    fn sigterm_sets_the_flag() {
+        let flag = arm_termination_flag();
+        // Arming twice is fine.
+        let again = arm_termination_flag();
+        assert!(std::ptr::eq(flag, again));
+        assert!(!flag.load(Ordering::Relaxed));
+        raise::sigterm();
+        assert!(flag.load(Ordering::Relaxed), "handler stored the flag");
+    }
+}

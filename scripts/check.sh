@@ -26,25 +26,42 @@ SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trac
 echo "==> trace_run smoke (live session, lockstep, merged server+client trace)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- live >/dev/null
 
-echo "==> live smoke (sw-serve on an ephemeral port, one sw-mu round, clean shutdown)"
+echo "==> live smoke (sw-serve + metrics plane, one sw-mu round, sw-top --once, clean shutdown)"
 live_addr_file=$(mktemp)
-rm -f "$live_addr_file"
-./target/release/sw-serve --port 0 --clients 1 --intervals 10 --interval-ms 20 \
-    --announce "$live_addr_file" >/dev/null &
+live_metrics_file=$(mktemp)
+rm -f "$live_addr_file" "$live_metrics_file"
+./target/release/sw-serve --port 0 --clients 1 --intervals 30 --interval-ms 20 \
+    --announce "$live_addr_file" \
+    --metrics-port 0 --metrics-announce "$live_metrics_file" --flight 16 >/dev/null &
 live_serve_pid=$!
 live_tries=0
-while [ ! -s "$live_addr_file" ]; do
+while [ ! -s "$live_addr_file" ] || [ ! -s "$live_metrics_file" ]; do
     live_tries=$((live_tries + 1))
     if [ "$live_tries" -gt 100 ]; then
-        echo "sw-serve never announced its address" >&2
+        echo "sw-serve never announced its addresses" >&2
         kill "$live_serve_pid" 2>/dev/null || true
         exit 1
     fi
     sleep 0.1
 done
-./target/release/sw-mu --server "$(cat "$live_addr_file")" --index 0 --clients 1 >/dev/null
+./target/release/sw-mu --server "$(cat "$live_addr_file")" --index 0 --clients 1 >/dev/null &
+live_mu_pid=$!
+live_metrics_addr=$(cat "$live_metrics_file")
+# The ops plane must answer while the session runs: health, a
+# well-formed Prometheus page, and one sw-top frame.
+if command -v curl >/dev/null 2>&1; then
+    [ "$(curl -sf "http://$live_metrics_addr/healthz")" = "ok" ] || {
+        echo "metrics /healthz did not answer ok" >&2; exit 1; }
+    curl -sf "http://$live_metrics_addr/metrics" | grep -q '^sw_interval' || {
+        echo "metrics /metrics is missing sw_interval" >&2; exit 1; }
+else
+    echo "   curl not found; probing via sw-top only"
+fi
+./target/release/sw-top --metrics "$live_metrics_addr" --once | grep -q 'sw-top' || {
+    echo "sw-top --once produced no dashboard frame" >&2; exit 1; }
+wait "$live_mu_pid"
 wait "$live_serve_pid"
-rm -f "$live_addr_file"
+rm -f "$live_addr_file" "$live_metrics_file"
 
 echo "==> cargo test --workspace (release, --features faults)"
 cargo test --workspace --release -q --features faults

@@ -138,6 +138,112 @@ fn sweep_thread_count_is_invisible() {
     }
 }
 
+/// Runs a config+strategy with the recorder armed and renders every
+/// deterministic observation artifact (trace, series, counters, value
+/// histograms) as one string.
+#[cfg(feature = "observe")]
+fn observe_digest(cfg: CellConfig, strategy: Strategy, intervals: u64) -> String {
+    let mut sim = CellSimulation::new(cfg.with_observe("equiv"), strategy).expect("valid config");
+    sim.run(intervals).expect("report fits");
+    sim.report()
+        .observe
+        .expect("observing run snapshots")
+        .deterministic_digest()
+}
+
+/// The telemetry oracle: with the recorder armed, the columnar fleet
+/// must emit the byte-identical deterministic observation digest the
+/// boxed fleet emits — same counters, same per-interval series, same
+/// event trace, same value histograms — for every eligible strategy.
+#[cfg(feature = "observe")]
+#[test]
+fn observe_snapshots_match_across_backends() {
+    for &strategy in ELIGIBLE {
+        let units = observe_digest(
+            base_config(40, 0.4, 77).with_fleet(FleetBackend::Units),
+            strategy,
+            80,
+        );
+        let columnar = observe_digest(
+            base_config(40, 0.4, 77).with_fleet(FleetBackend::Columnar),
+            strategy,
+            80,
+        );
+        assert_eq!(
+            units, columnar,
+            "{} observe digest diverged between fleet backends",
+            strategy.name()
+        );
+    }
+}
+
+/// Same oracle under the full fault gauntlet: the fault event family
+/// (lost/corrupted/drift counters, report_missed events, drop-on-gap
+/// accounting) must be backend-invariant too.
+#[cfg(all(feature = "observe", feature = "faults"))]
+#[test]
+fn observe_snapshots_match_across_backends_under_faults() {
+    let plan = FaultPlan::none()
+        .with_loss(LossModel::burst(0.05, 0.4, 0.8))
+        .with_corruption(0.02)
+        .with_uplink(UplinkFaults {
+            p_fail: 0.1,
+            max_attempts: 3,
+            backoff_base_bits: 64,
+        })
+        .with_drift(ClockDrift {
+            rate_secs_per_interval: 0.3,
+            jitter_secs: 0.5,
+        });
+    for &strategy in &[Strategy::BroadcastTimestamps, Strategy::Signatures] {
+        let units = observe_digest(
+            base_config(40, 0.4, 99)
+                .with_faults(plan)
+                .with_fleet(FleetBackend::Units),
+            strategy,
+            80,
+        );
+        let columnar = observe_digest(
+            base_config(40, 0.4, 99)
+                .with_faults(plan)
+                .with_fleet(FleetBackend::Columnar),
+            strategy,
+            80,
+        );
+        assert_eq!(
+            units, columnar,
+            "{} faulted observe digest diverged between fleet backends",
+            strategy.name()
+        );
+    }
+}
+
+/// The digest must also be invariant to the sweep worker count, on both
+/// backends, with the parallel path actually engaged (≥ 256 listeners).
+#[cfg(feature = "observe")]
+#[test]
+fn observe_snapshots_ignore_sweep_threads() {
+    for backend in [FleetBackend::Units, FleetBackend::Columnar] {
+        let mut baseline: Option<String> = None;
+        for threads in [1usize, 2, 8] {
+            let got = observe_digest(
+                base_config(500, 0.2, 31)
+                    .with_fleet(backend)
+                    .with_sweep_threads(threads),
+                Strategy::BroadcastTimestamps,
+                40,
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => assert_eq!(
+                    want, &got,
+                    "{backend:?} observe digest changed at {threads} sweep threads"
+                ),
+            }
+        }
+    }
+}
+
 #[test]
 fn eligible_configs_default_to_columnar() {
     for &strategy in ELIGIBLE {

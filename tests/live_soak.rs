@@ -16,7 +16,10 @@ use std::net::SocketAddr;
 use std::thread;
 
 use sleepers::{CellConfig, Strategy};
-use sw_live::{audit_against_history, run_mu, LiveMuReport, LiveOptions, LiveServer, MuOptions};
+use sw_live::{
+    audit_against_history, run_mu, FlightRecorder, LiveMuReport, LiveOptions, LiveServer,
+    MuOptions,
+};
 use sw_workload::ScenarioParams;
 
 // ~30 seconds of wall clock: the three strategy stacks run in
@@ -47,6 +50,23 @@ struct SoakOutcome {
     reports_heard: u64,
     reports_missed: u64,
     queries: u64,
+    flights: Vec<FlightRecorder>,
+}
+
+/// A failing audit dumps every unit's flight ring before the assert
+/// fires — the NDJSON shows what each unit decided in the intervals
+/// leading up to the stale entry.
+fn dump_flights(o: &SoakOutcome) {
+    let name = o.strategy.name();
+    let dir = std::env::temp_dir();
+    for (idx, ring) in o.flights.iter().enumerate() {
+        let path = dir.join(format!("sw-soak-{name}-mu{idx}.ndjson"));
+        let reason = format!("{}: {} stale cache entries in audit", name, o.violations);
+        match ring.dump(&path, &reason) {
+            Ok(bytes) => eprintln!("{name}: mu{idx} flight ring ({bytes} B) -> {}", path.display()),
+            Err(e) => eprintln!("{name}: mu{idx} flight dump failed: {e}"),
+        }
+    }
 }
 
 fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
@@ -56,10 +76,16 @@ fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
     let opts = MuOptions {
         rx_drop: RX_DROP,
         audit_cache: true,
+        // Keep a forensic ring per unit: if the audit below finds a
+        // stale entry, the dump shows what each unit decided leading
+        // up to it.
+        flight_capacity: 64,
+        ..MuOptions::default()
     };
     let workers: Vec<_> = (0..CLIENTS)
         .map(|idx| {
             let cfg = cfg.clone();
+            let opts = opts.clone();
             thread::spawn(move || run_mu(addr, &cfg, strategy, idx, opts))
         })
         .collect();
@@ -78,13 +104,15 @@ fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
     let mut reports_heard = 0;
     let mut reports_missed = 0;
     let mut queries = 0;
-    for report in &reports {
+    let mut flights = Vec::with_capacity(reports.len());
+    for report in reports {
         let (checked, bad) = audit_against_history(&history, &report.audit);
         entries_checked += checked;
         violations += bad;
         reports_heard += report.reports_heard;
         reports_missed += report.reports_missed;
         queries += report.stats.queries_posed;
+        flights.push(report.flight);
     }
     SoakOutcome {
         strategy,
@@ -93,6 +121,7 @@ fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
         reports_heard,
         reports_missed,
         queries,
+        flights,
     }
 }
 
@@ -128,14 +157,22 @@ fn live_soak_never_stale_under_drops_and_sleep() {
         assert!(o.entries_checked > 0, "{name}: nothing was ever cached");
         match o.strategy {
             // Never-stale strategies: the contract is absolute.
-            Strategy::BroadcastTimestamps | Strategy::AmnesicTerminals => assert_eq!(
-                o.violations, 0,
-                "{name}: stale cache entries in a never-stale strategy"
-            ),
+            Strategy::BroadcastTimestamps | Strategy::AmnesicTerminals => {
+                if o.violations > 0 {
+                    dump_flights(o);
+                }
+                assert_eq!(
+                    o.violations, 0,
+                    "{name}: stale cache entries in a never-stale strategy"
+                );
+            }
             // SIG validates by diagnosis; its false-validation rate is
             // bounded, not zero (§6).
             _ => {
                 let rate = o.violations as f64 / o.entries_checked as f64;
+                if rate > Strategy::SIG_VIOLATION_BOUND {
+                    dump_flights(o);
+                }
                 assert!(
                     rate <= Strategy::SIG_VIOLATION_BOUND,
                     "{name}: stale rate {rate:.4} above the diagnosis bound"
