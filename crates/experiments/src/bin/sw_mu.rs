@@ -9,12 +9,21 @@
 //! Usage:
 //!
 //! ```text
-//! sw-mu --server ADDR [--index N] [--rx-drop P] [--audit]
+//! sw-mu --server ADDR[,ADDR...] [--index N] [--rx-drop P] [--audit]
+//!       [--reconnect-after N]
 //!       [--flight N] [--storm N] [--flight-dir DIR]
 //!       [--strategy ts|at|sig|hyb] [--clients N] [--n-items N]
 //!       [--update-rate MU] [--s S] [--hotspot N] [--seed HEX]
 //!       [--observe LABEL]
 //! ```
+//!
+//! `--server` takes a comma-separated rotation: the first address is
+//! dialed at startup, the full list is the successor roster of a
+//! replicated fleet (`sw-serve --ha-node`). When the broadcaster goes
+//! quiet for `--reconnect-after` consecutive intervals (default 2
+//! with a rotation), the unit re-registers through the rotation with
+//! bounded exponential backoff and rides the takeover — the blackout
+//! is just ordinary missed reports to the caching strategy.
 //!
 //! `--flight N` keeps the last N intervals in a flight-recorder ring;
 //! `--storm N` dumps that ring to `--flight-dir` (NDJSON) after N
@@ -33,10 +42,18 @@ use sw_live::{run_mu, MuOptions};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let server: SocketAddr = take_flag(&mut args, "--server")
-        .unwrap_or_else(|| die("--server ADDR is required"))
-        .parse()
-        .unwrap_or_else(|e| die(&format!("--server: {e}")));
+    let servers: Vec<SocketAddr> = take_flag(&mut args, "--server")
+        .unwrap_or_else(|| die("--server ADDR[,ADDR...] is required"))
+        .split(',')
+        .map(|a| a.parse().unwrap_or_else(|e| die(&format!("--server {a}: {e}"))))
+        .collect();
+    let server = servers[0];
+    let reconnect_after: u64 = take_flag(&mut args, "--reconnect-after")
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|e| die(&format!("--reconnect-after: {e}")))
+        })
+        .unwrap_or(0);
     let index: usize = take_flag(&mut args, "--index")
         .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--index: {e}"))))
         .unwrap_or(0);
@@ -68,6 +85,8 @@ fn main() {
         flight_capacity,
         storm_threshold,
         flight_dir,
+        successors: if servers.len() > 1 { servers } else { Vec::new() },
+        reconnect_after,
         ..MuOptions::default()
     };
     match run_mu(server, &cell.config, cell.strategy, index, opts) {
@@ -89,6 +108,12 @@ fn main() {
                 s.items_invalidated,
                 s.cache_drops,
             );
+            if report.reconnects > 0 {
+                println!(
+                    "mu {}: re-registered {} time(s) through the successor rotation",
+                    report.index, report.reconnects
+                );
+            }
             if let Some(snap) = report.observe {
                 println!("{}", sw_observe::summary(&snap));
             }

@@ -9,13 +9,18 @@
 //! Usage:
 //!
 //! ```text
-//! sw-top --metrics ADDR [--interval-ms N] [--once]
+//! sw-top --metrics ADDR[,ADDR...] [--interval-ms N] [--retries N] [--once]
 //! ```
 //!
 //! `--once` prints a single snapshot and exits (the CI smoke mode);
-//! otherwise the screen refreshes every `--interval-ms` (default 500)
-//! until the endpoint disappears — which is how a session ending
-//! looks from the outside.
+//! otherwise the screen refreshes every `--interval-ms` (default 500).
+//! A failed poll is not the end: the dashboard shows a
+//! `DISCONNECTED (n attempts)` banner and retries, rotating through
+//! the `--metrics` list — so when a replicated fleet's primary dies,
+//! sw-top reattaches to the successor's exporter and the header's
+//! epoch/role line shows the takeover. Only after `--retries`
+//! consecutive failures (default 10) does it conclude the session is
+//! over and exit.
 
 use std::fmt::Write as _;
 use std::net::SocketAddr;
@@ -95,9 +100,22 @@ fn render(addr: SocketAddr, page: &str) -> String {
         .find(|s| s.name == "sw_interval")
         .map(|s| s.value.as_str())
         .unwrap_or("?");
+    // Cluster view, present only when the server runs replicated
+    // (`sw-serve --ha-node`): the primary epoch and whether this
+    // node is the one broadcasting.
+    let gauge_value = |name: &str| gauges.iter().find(|s| s.name == name).map(|s| &s.value);
+    let ha = gauge_value("sw_ha_epoch").map(|epoch| {
+        let primary = gauge_value("sw_ha_role")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0)
+            >= 1.0;
+        let ha_role = if primary { "PRIMARY" } else { "replica" };
+        format!(" — epoch {epoch} {ha_role}")
+    });
     let _ = writeln!(
         out,
-        "sw-top — {addr} — {role}/{strategy} — interval {interval}"
+        "sw-top — {addr} — {role}/{strategy} — interval {interval}{}",
+        ha.unwrap_or_default()
     );
     let _ = writeln!(out, "{:—<64}", "");
     let width = gauges
@@ -120,13 +138,17 @@ fn render(addr: SocketAddr, page: &str) -> String {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let addr: SocketAddr = take_flag(&mut args, "--metrics")
-        .unwrap_or_else(|| die("--metrics ADDR is required"))
-        .parse()
-        .unwrap_or_else(|e| die(&format!("--metrics: {e}")));
+    let addrs: Vec<SocketAddr> = take_flag(&mut args, "--metrics")
+        .unwrap_or_else(|| die("--metrics ADDR[,ADDR...] is required"))
+        .split(',')
+        .map(|a| a.parse().unwrap_or_else(|e| die(&format!("--metrics {a}: {e}"))))
+        .collect();
     let interval_ms: u64 = take_flag(&mut args, "--interval-ms")
         .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--interval-ms: {e}"))))
         .unwrap_or(500);
+    let retries: u32 = take_flag(&mut args, "--retries")
+        .map(|v| v.parse().unwrap_or_else(|e| die(&format!("--retries: {e}"))))
+        .unwrap_or(10);
     let once = take_switch(&mut args, "--once");
     if !args.is_empty() {
         die(&format!("unrecognized arguments: {args:?}"));
@@ -134,10 +156,14 @@ fn main() {
 
     let timeout = Duration::from_secs(2);
     let mut seen_any = false;
+    let mut attempts = 0u32;
+    let mut at = 0usize;
     loop {
+        let addr = addrs[at % addrs.len()];
         match sw_ops::http::get(addr, "/metrics", timeout) {
             Ok(page) => {
                 seen_any = true;
+                attempts = 0;
                 if once {
                     print!("{}", render(addr, &page));
                     return;
@@ -148,11 +174,25 @@ fn main() {
                 let _ = std::io::stdout().flush();
             }
             Err(e) if once => die(&format!("GET {addr}/metrics: {e}")),
-            Err(_) if seen_any => {
-                println!("sw-top: endpoint {addr} gone; session over");
-                return;
+            Err(e) => {
+                // Not the end of the world: the primary may have just
+                // crashed. Rotate to the next exporter (the announced
+                // successor carries the session forward) and keep
+                // polling until the retry budget is gone.
+                attempts += 1;
+                if attempts > retries {
+                    if seen_any {
+                        println!("sw-top: endpoint gone after {attempts} attempts; session over");
+                        return;
+                    }
+                    die(&format!("GET {addr}/metrics: {e}"));
+                }
+                at += 1;
+                println!(
+                    "sw-top: DISCONNECTED ({attempts} attempts) — retrying {}",
+                    addrs[at % addrs.len()]
+                );
             }
-            Err(e) => die(&format!("GET {addr}/metrics: {e}")),
         }
         std::thread::sleep(Duration::from_millis(interval_ms));
     }

@@ -1,0 +1,139 @@
+//! End-to-end SIGTERM coverage for the `sw-serve` daemon: a paced
+//! session killed mid-run must land cleanly — partial summary on
+//! stdout, exit 0, and a flight-recorder dump whose meta line says
+//! `reason=sigterm…` — the library half of this contract (the
+//! `Stopper`) is pinned in `sw-live`'s `shutdown` suite.
+
+#![cfg(unix)]
+
+use std::net::SocketAddr;
+use std::process::{Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sw_experiments::live_cli::parse_cell_args;
+use sw_live::{run_mu, MuOptions};
+
+const CLIENTS: usize = 2;
+const INTERVALS: u64 = 150;
+const INTERVAL_MS: u64 = 20;
+
+/// The cell flags handed to both the daemon and the in-process MUs —
+/// both sides must assemble the identical `CellConfig`.
+fn cell_flags() -> Vec<String> {
+    [
+        "--clients", "2", "--n-items", "200", "--update-rate", "4e-3", "--hotspot", "15",
+        "--seed", "0x7E475167",
+    ]
+    .map(String::from)
+    .to_vec()
+}
+
+fn await_file(path: &std::path::Path, deadline: Duration) -> String {
+    let until = Instant::now() + deadline;
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                return text;
+            }
+        }
+        assert!(
+            Instant::now() < until,
+            "{} never appeared",
+            path.display()
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn sigterm_mid_paced_session_exits_cleanly_with_sigterm_flight_dump() {
+    let dir = std::env::temp_dir().join(format!("sw-serve-sigterm-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let announce = dir.join("addr");
+
+    let mut serve = Command::new(env!("CARGO_BIN_EXE_sw-serve"));
+    serve
+        .args([
+            "--port",
+            "0",
+            "--intervals",
+            &INTERVALS.to_string(),
+            "--interval-ms",
+            &INTERVAL_MS.to_string(),
+            "--flight",
+            "16",
+        ])
+        .arg("--flight-dir")
+        .arg(&dir)
+        .arg("--announce")
+        .arg(&announce)
+        .args(cell_flags())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let child = serve.spawn().expect("spawn sw-serve");
+    let pid = child.id();
+
+    let addr: SocketAddr = await_file(&announce, Duration::from_secs(10))
+        .parse()
+        .expect("announced address");
+
+    // A fleet keeps the registration phase honest; the units free-run
+    // their local schedule once the daemon is gone, exactly like a
+    // real cell losing its server.
+    let mut flags = cell_flags();
+    let cell = parse_cell_args(&mut flags).expect("cell flags");
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|idx| {
+            let cfg = cell.config.clone();
+            let strategy = cell.strategy;
+            thread::spawn(move || run_mu(addr, &cfg, strategy, idx, MuOptions::default()))
+        })
+        .collect();
+
+    // Let some reports air, then deliver the signal the issue is
+    // about: a real SIGTERM to a real process mid-interval.
+    thread::sleep(Duration::from_millis(25 * INTERVAL_MS));
+    let killed = Command::new("kill")
+        .args(["-TERM", &pid.to_string()])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -TERM failed");
+
+    let out = child.wait_with_output().expect("wait for sw-serve");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "sw-serve exited {:?}\nstdout: {stdout}\nstderr: {stderr}",
+        out.status
+    );
+    assert!(
+        stderr.contains("SIGTERM; stopping the session"),
+        "missing signal acknowledgement: {stderr}"
+    );
+    let served: u64 = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("served ")?.split(' ').next()?.parse().ok())
+        .unwrap_or_else(|| panic!("no session summary in: {stdout}"));
+    assert!(
+        served > 0 && served < INTERVALS,
+        "expected a partial session, served {served} of {INTERVALS}"
+    );
+    assert!(stdout.contains("flight ring"), "no dump notice: {stdout}");
+
+    // The forensics file: meta line first, reason starts "sigterm".
+    let dump = std::fs::read_to_string(dir.join("sw-flight-server.ndjson"))
+        .expect("flight dump file");
+    let meta = dump.lines().next().expect("meta line");
+    assert!(meta.contains("\"kind\":\"flight_meta\""), "bad meta: {meta}");
+    assert!(meta.contains("\"reason\":\"sigterm"), "bad meta: {meta}");
+
+    for w in workers {
+        w.join()
+            .expect("client thread")
+            .expect("client survived the server's death");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

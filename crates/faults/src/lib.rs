@@ -26,6 +26,8 @@ use sw_sim::rng::MasterSeed;
 #[cfg(feature = "faults")]
 use sw_sim::rng::{RngStream, StreamId};
 
+pub mod server;
+
 /// Per-client report-loss process.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LossModel {
@@ -172,9 +174,24 @@ impl ClockDrift {
     }
 }
 
+/// A deterministic broadcast blackout: every awake client misses every
+/// report in the closed interval window `[from, until]`, with no
+/// randomness drawn. This is the client-side twin of a server failover
+/// gap (`sw-ha`): a crash that suppresses broadcasting for some
+/// intervals looks to each client exactly like this schedule, which is
+/// what lets a Lockstep conformance run pin a post-failover decision
+/// log against a `CellSimulation` fed the equivalent plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Blackout {
+    /// First blacked-out interval (inclusive).
+    pub from: u64,
+    /// Last blacked-out interval (inclusive).
+    pub until: u64,
+}
+
 /// A complete, deterministic fault schedule specification.
 ///
-/// All four fault families are optional; an empty plan draws no
+/// All fault families are optional; an empty plan draws no
 /// randomness at all, so a simulation configured with
 /// `FaultPlan::none()` is bit-identical to one with no plan.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -187,6 +204,8 @@ pub struct FaultPlan {
     pub uplink: Option<UplinkFaults>,
     /// Clock drift for timer-synchronized delivery.
     pub drift: Option<ClockDrift>,
+    /// Scheduled all-clients blackout window (server failover twin).
+    pub blackout: Option<Blackout>,
 }
 
 impl FaultPlan {
@@ -219,12 +238,20 @@ impl FaultPlan {
         self
     }
 
+    /// Sets a blackout window: every report in `[from, until]` is
+    /// missed by every awake client, deterministically.
+    pub fn with_blackout(mut self, from: u64, until: u64) -> Self {
+        self.blackout = Some(Blackout { from, until });
+        self
+    }
+
     /// True when no fault family is configured.
     pub fn is_empty(&self) -> bool {
         self.loss.is_none()
             && self.corruption.is_none()
             && self.uplink.is_none()
             && self.drift.is_none()
+            && self.blackout.is_none()
     }
 
     /// Checks every configured model's parameters.
@@ -242,6 +269,14 @@ impl FaultPlan {
         }
         if let Some(d) = &self.drift {
             d.validate()?;
+        }
+        if let Some(b) = &self.blackout {
+            if b.from > b.until {
+                return Err(format!(
+                    "blackout window [{}, {}] is inverted",
+                    b.from, b.until
+                ));
+            }
         }
         Ok(())
     }
@@ -407,12 +442,16 @@ impl FaultLayer {
     /// the client wake too late (timer-synchronized: drift exceeds the
     /// clock-skew guard band; multicast: never).
     ///
-    /// Draw order per call is fixed — drift jitter, then loss, then
-    /// corruption — so schedules are reproducible. Hearing a report
-    /// resets the client's drift (the report timestamp resyncs the
-    /// clock); so does a drift-miss (the client re-synchronizes out of
-    /// band rather than drifting forever); plain loss/corruption do
-    /// not, because the client has nothing to resync against.
+    /// Draw order per call is fixed — blackout (no draw), drift
+    /// jitter, then loss, then corruption — so schedules are
+    /// reproducible. Hearing a report resets the client's drift (the
+    /// report timestamp resyncs the clock); so does a drift-miss (the
+    /// client re-synchronizes out of band rather than drifting
+    /// forever); plain loss/corruption do not, because the client has
+    /// nothing to resync against. A blackout miss consumes no
+    /// randomness at all, so a blackout-only plan leaves every stream
+    /// untouched — the property that makes it the exact client-side
+    /// twin of a server that simply was not broadcasting.
     #[allow(unused_variables)]
     pub fn report_fate(
         &mut self,
@@ -425,6 +464,12 @@ impl FaultLayer {
             let Some(inner) = self.inner.as_deref_mut() else {
                 return ReportFate::Heard;
             };
+            if let Some(b) = inner.plan.blackout {
+                if (b.from..=b.until).contains(&interval) {
+                    inner.totals.reports_lost += 1;
+                    return ReportFate::Lost;
+                }
+            }
             let rng = &mut inner.streams[client];
             if let Some(drift) = inner.plan.drift {
                 let elapsed = interval.saturating_sub(inner.last_interval[client]);
@@ -619,6 +664,9 @@ mod tests {
             .with_corruption(0.01)
             .validate()
             .is_ok());
+        assert!(FaultPlan::none().with_blackout(9, 3).validate().is_err());
+        assert!(FaultPlan::none().with_blackout(3, 9).validate().is_ok());
+        assert!(!FaultPlan::none().with_blackout(3, 9).is_empty());
     }
 
     #[cfg(not(feature = "faults"))]
@@ -722,6 +770,43 @@ mod tests {
             let mut layer2 = FaultLayer::new(Some(&plan), MasterSeed::TEST, 2);
             let b: Vec<_> = (0..64).map(|i| layer2.report_fate(1, i, |_| false)).collect();
             assert_ne!(a, b, "clients 0 and 1 drew identical fault schedules");
+        }
+
+        #[test]
+        fn blackout_window_loses_every_report_without_drawing() {
+            let plan = FaultPlan::none().with_blackout(10, 19);
+            let mut layer = FaultLayer::new(Some(&plan), MasterSeed::TEST, 2);
+            assert!(layer.is_active());
+            for i in 0..30 {
+                let fate = layer.report_fate((i % 2) as usize, i, |_| false);
+                if (10..=19).contains(&i) {
+                    assert_eq!(fate, ReportFate::Lost, "interval {i}");
+                } else {
+                    assert_eq!(fate, ReportFate::Heard, "interval {i}");
+                }
+            }
+            assert_eq!(layer.totals().reports_lost, 10);
+        }
+
+        #[test]
+        fn blackout_misses_consume_no_randomness() {
+            // A loss plan with a blackout window must reach the same
+            // stream state after the window as the same loss plan that
+            // simply never listened during those intervals.
+            let with_window = FaultPlan::none()
+                .with_loss(LossModel::bernoulli(0.5))
+                .with_blackout(10, 19);
+            let plain = FaultPlan::none().with_loss(LossModel::bernoulli(0.5));
+            let mut a = FaultLayer::new(Some(&with_window), MasterSeed::TEST, 1);
+            let mut b = FaultLayer::new(Some(&plain), MasterSeed::TEST, 1);
+            for i in 0..60u64 {
+                let fa = a.report_fate(0, i, |_| false);
+                if (10..=19).contains(&i) {
+                    assert_eq!(fa, ReportFate::Lost);
+                } else {
+                    assert_eq!(fa, b.report_fate(0, i, |_| false), "interval {i}");
+                }
+            }
         }
 
         #[test]

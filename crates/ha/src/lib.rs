@@ -1,0 +1,45 @@
+//! # sw-ha — replicated cell servers with zero-stale failover
+//!
+//! The paper's server is *stateless* toward its clients (§2): every
+//! interval it broadcasts an invalidation report derived purely from
+//! the update history, and clients recover from arbitrarily long
+//! silences with their strategy's own rules — TS re-windows, AT drops
+//! on gap, SIG re-diagnoses. That statelessness is exactly what makes
+//! the server replaceable mid-session: *any* node that has seen the
+//! same update stream can take over broadcasting and no client cache
+//! ever goes stale.
+//!
+//! This crate supplies the missing piece — making N [`sw_live`]
+//! servers see the same update stream:
+//!
+//! - the seeded update engine needs no replication at all (every node
+//!   replays it from the shared [`sleepers::CellConfig`] seed);
+//! - externally `Publish`ed updates are sequenced by an epoch-numbered
+//!   primary into a replicated log (simple majority-ack over TCP
+//!   between peers) that replicas fold into the same tick;
+//! - every node *builds* every tick — database, report builder, and
+//!   [`sleepers::safety::ValueHistory`] stay identical clusterwide —
+//!   but only the primary puts reports on the air.
+//!
+//! When the primary dies (a seeded [`sw_faults::server`] fault, or a
+//! real `kill -9`), the deterministic successor — the lowest-id
+//! surviving node — bumps the epoch, announces itself, and resumes
+//! broadcasting on the original cadence. Clients re-register via the
+//! successor roster announced at registration and treat the blackout
+//! as ordinary missed reports. Datagrams carry the epoch in the sealed
+//! frame header, so a deposed primary's late broadcasts are fenced off
+//! by every receiver.
+//!
+//! The fleet is deliberately *not* a consensus system: there is one
+//! log writer per epoch, acks are counted over the currently-live
+//! links, and a crashed node's unacked tail is at-most-once (a report
+//! that was never aired is simply a missed interval, which is a state
+//! the paper's clients already handle). The point is fidelity to the
+//! paper's recovery model, not Paxos.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+
+pub use node::{HaHandle, HaNode, HaOptions, HaReport, PeerSpec};

@@ -40,7 +40,10 @@ pub mod server;
 pub use conformance::{check_conformance, Conformance, ConformanceError};
 pub use mu::{audit_against_history, run_mu, CacheAuditRow, LiveMu, LiveMuReport, MuOptions};
 pub use proto::{encode_rows, DecisionRow, Msg};
-pub use server::{LiveOptions, LiveServer, LiveServerReport, Pace, ServerHandle, Stopper};
+pub use server::{
+    LiveOptions, LiveServer, LiveServerReport, Pace, ServerHandle, Stopper, TickCoordinator,
+    TickDirective,
+};
 // The ops-plane types both reports embed and both sides of the wire
 // configure — re-exported so `sw-live` users need no direct `sw-ops`
 // dependency.

@@ -21,7 +21,7 @@
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpStream, UdpSocket};
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sleepers::safety::ValueHistory;
@@ -46,6 +46,14 @@ use crate::proto::{DecisionRow, Msg};
 /// tests): deliberately *not* a `StreamId::Faults` stream, so it can
 /// model OS-level datagram loss without touching the decision streams.
 const RX_DROP_TAG: u64 = 0xD809_0000;
+
+/// Rng-stream tag for the reconnect-backoff jitter draws — the
+/// client's own stream in the session's seed space, so even a
+/// reconnect storm replays byte-identically from the master seed.
+const BACKOFF_TAG: u64 = 0xBAC0_0FF5;
+
+/// Connection attempts granted to the initial registration.
+const STARTUP_ATTEMPTS: u32 = 40;
 
 /// Transport-free replica of one simulated client.
 ///
@@ -219,18 +227,20 @@ impl LiveMu {
         self.mu.miss_report();
     }
 
-    /// Serializes and seals an uplink query frame for `item`.
+    /// Serializes and seals an uplink query frame for `item`. The
+    /// datagram epoch header numbers *broadcasters*; client-sourced
+    /// frames always carry epoch 0.
     pub fn query_frame(&self, item: u64) -> Vec<u8> {
         let payload = FramePayload::UplinkQuery {
             client: self.index as u64,
             item,
         };
-        seal_frame(self.encode.serialize_payload(&payload))
+        seal_frame(0, self.encode.serialize_payload(&payload))
     }
 
     /// Opens, decodes, and installs an uplink answer datagram.
     pub fn install_answer_frame(&mut self, datagram: &[u8]) -> Result<(), WireDecodeError> {
-        let frame = open_frame(datagram)?;
+        let (_epoch, frame) = open_frame(datagram)?;
         let decoded = self.encode.deserialize(frame)?;
         let FramePayload::QueryAnswer {
             item,
@@ -354,6 +364,16 @@ pub struct MuOptions {
     /// ratio, reports heard/missed, staleness window). `None` (the
     /// default) publishes nothing.
     pub metrics: Option<Arc<MetricsHub>>,
+    /// Additional server addresses to fall back to, in announced
+    /// takeover order. The unit rotates through `server` plus these
+    /// (plus whatever roster the server announces after `Welcome`)
+    /// whenever its current server goes quiet or dies.
+    pub successors: Vec<SocketAddr>,
+    /// Paced sessions only: after this many *consecutive* missed
+    /// reports, probe the rotation for a (possibly new) primary.
+    /// 0 defaults to 2 when `successors` is non-empty, else never —
+    /// an unreplicated session treats silence as plain loss.
+    pub reconnect_after: u64,
 }
 
 /// What one live client brings home.
@@ -376,6 +396,9 @@ pub struct LiveMuReport {
     /// The client's flight ring: the last
     /// [`MuOptions::flight_capacity`] intervals of decision facts.
     pub flight: FlightRecorder,
+    /// Times the unit re-registered mid-session (0 = the original
+    /// connection survived the whole run).
+    pub reconnects: u64,
 }
 
 /// How long past the nominal broadcast instant a paced client keeps
@@ -386,6 +409,264 @@ fn paced_grace(interval: Duration) -> Duration {
 
 fn other_err(what: String) -> io::Error {
     io::Error::other(what)
+}
+
+/// Bounded exponential backoff with seeded jitter for TCP reconnects:
+/// `20ms · 2^min(n,5)`, scaled by a uniform factor in `[0.5, 1.5)`
+/// drawn from the client's own [`BACKOFF_TAG`] stream, capped at one
+/// second per sleep.
+struct Backoff {
+    rng: RngStream,
+    attempt: u32,
+}
+
+impl Backoff {
+    fn new(cfg: &CellConfig, index: usize) -> Self {
+        Self {
+            rng: cfg.seed.stream(StreamId::Custom {
+                tag: BACKOFF_TAG ^ index as u64,
+            }),
+            attempt: 0,
+        }
+    }
+
+    fn delay(&mut self) -> Duration {
+        let base_ms = 20u64 << self.attempt.min(5);
+        self.attempt += 1;
+        let jittered = (base_ms as f64 * (0.5 + self.rng.uniform())) as u64;
+        Duration::from_millis(jittered.min(1_000))
+    }
+
+    fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+/// One live TCP control connection.
+struct Link {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Link {
+    fn send(&mut self, msg: &Msg) -> io::Result<()> {
+        msg.write_to(&mut self.writer)
+    }
+
+    fn recv(&mut self) -> io::Result<Msg> {
+        Msg::read_from(&mut self.reader)
+    }
+}
+
+/// The session geometry announced in the first `Welcome`.
+#[derive(Clone, Copy)]
+struct SessionInfo {
+    interval_ms: u64,
+    intervals: u64,
+    lockstep: bool,
+}
+
+/// What a lockstep `Start` wait resolved to.
+enum StartOutcome {
+    /// `Start(i)` for the interval being waited on.
+    Now,
+    /// `Start(j)` with `j > i`: the broadcaster (a fresh successor)
+    /// skipped ahead; the skipped intervals were never aired.
+    Future(u64),
+    /// The session is over.
+    Halt,
+}
+
+/// The client's view of the server fleet: the connect rotation, the
+/// live control link (if any), and the highest broadcaster epoch
+/// heard — the fence that silences deposed primaries.
+struct Uplink {
+    targets: Vec<SocketAddr>,
+    cursor: usize,
+    link: Option<Link>,
+    epoch_seen: u64,
+    reconnects: u64,
+}
+
+impl Uplink {
+    fn new(server: SocketAddr, successors: &[SocketAddr]) -> Self {
+        let mut up = Self {
+            targets: vec![server],
+            cursor: 0,
+            link: None,
+            epoch_seen: 0,
+            reconnects: 0,
+        };
+        up.merge_targets(successors);
+        up
+    }
+
+    fn merge_targets(&mut self, more: &[SocketAddr]) {
+        for addr in more {
+            if !self.targets.contains(addr) {
+                self.targets.push(*addr);
+            }
+        }
+    }
+
+    fn drop_link(&mut self) {
+        self.link = None;
+    }
+
+    /// Walks the target rotation until a primary accepts the
+    /// registration, up to `max_attempts` tries. [`Msg::Standby`]
+    /// replies (live replicas) advance the rotation immediately;
+    /// connect/handshake failures additionally sleep the backoff.
+    fn connect(
+        &mut self,
+        index: usize,
+        udp_port: u16,
+        backoff: &mut Backoff,
+        max_attempts: u32,
+    ) -> io::Result<SessionInfo> {
+        self.link = None;
+        let mut last_err: Option<io::Error> = None;
+        for _ in 0..max_attempts {
+            let target = self.targets[self.cursor % self.targets.len()];
+            match self.try_target(target, index, udp_port) {
+                Ok(Some(info)) => {
+                    backoff.reset();
+                    return Ok(info);
+                }
+                Ok(None) => self.cursor += 1,
+                Err(e) => {
+                    last_err = Some(e);
+                    self.cursor += 1;
+                    std::thread::sleep(backoff.delay());
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| other_err("no primary found in the server rotation".into())))
+    }
+
+    /// One registration attempt. `Ok(None)`: the target is a standby
+    /// replica — try the next one.
+    fn try_target(
+        &mut self,
+        target: SocketAddr,
+        index: usize,
+        udp_port: u16,
+    ) -> io::Result<Option<SessionInfo>> {
+        let tcp = TcpStream::connect_timeout(&target, Duration::from_millis(500))?;
+        tcp.set_nodelay(true)?;
+        let mut link = Link {
+            reader: BufReader::new(tcp.try_clone()?),
+            writer: BufWriter::new(tcp),
+        };
+        link.send(&Msg::Hello {
+            index: index as u32,
+            udp_port,
+        })?;
+        match link.recv()? {
+            Msg::Welcome {
+                interval_ms,
+                intervals,
+                lockstep,
+            } => {
+                // The successor roster rides right behind the Welcome.
+                match link.recv()? {
+                    Msg::Successors { peers } => self.merge_targets(&peers),
+                    other => {
+                        return Err(other_err(format!("expected Successors, got {other:?}")))
+                    }
+                }
+                self.link = Some(link);
+                Ok(Some(SessionInfo {
+                    interval_ms,
+                    intervals,
+                    lockstep,
+                }))
+            }
+            Msg::Standby { epoch } => {
+                self.epoch_seen = self.epoch_seen.max(epoch);
+                Ok(None)
+            }
+            other => Err(other_err(format!("expected Welcome, got {other:?}"))),
+        }
+    }
+
+    /// Lockstep: blocks for the next `Start`, re-registering through
+    /// the rotation whenever the link dies (the primary crashed). A
+    /// reconnect here is hard-bounded — a lockstep session cannot
+    /// proceed without a broadcaster.
+    fn wait_start(
+        &mut self,
+        i: u64,
+        index: usize,
+        udp_port: u16,
+        backoff: &mut Backoff,
+        flight: &mut FlightRecorder,
+    ) -> io::Result<StartOutcome> {
+        loop {
+            if self.link.is_none() {
+                self.connect(index, udp_port, backoff, STARTUP_ATTEMPTS)?;
+                self.reconnects += 1;
+                flight.push(
+                    i,
+                    "reconnect",
+                    &[
+                        ("epoch", Value::U64(self.epoch_seen)),
+                        ("reconnects", Value::U64(self.reconnects)),
+                    ],
+                );
+            }
+            let link = self.link.as_mut().expect("link just ensured");
+            match link.recv() {
+                Ok(Msg::Start { interval }) if interval == i => return Ok(StartOutcome::Now),
+                Ok(Msg::Start { interval }) if interval > i => {
+                    return Ok(StartOutcome::Future(interval))
+                }
+                Ok(Msg::Start { interval }) => {
+                    return Err(other_err(format!("Start({interval}) after interval {i}")))
+                }
+                Ok(Msg::Halt) => return Ok(StartOutcome::Halt),
+                Ok(other) => {
+                    return Err(other_err(format!("expected Start({i}), got {other:?}")))
+                }
+                Err(_) => self.link = None,
+            }
+        }
+    }
+
+    /// Best-effort send: a failure just drops the link (the next
+    /// barrier wait or probe re-registers).
+    fn send_soft(&mut self, msg: &Msg) {
+        let died = match self.link.as_mut() {
+            Some(link) => link.send(msg).is_err(),
+            None => false,
+        };
+        if died {
+            self.link = None;
+        }
+    }
+
+    /// Uplink query round-trip. `Ok(None)`: the server halted the
+    /// session mid-exchange. `Err`: the link died (the caller treats
+    /// the remaining queries as unanswered and moves on).
+    fn exchange_query(&mut self, frame: Vec<u8>) -> io::Result<Option<Vec<u8>>> {
+        let link = self
+            .link
+            .as_mut()
+            .ok_or_else(|| other_err("no live control link".into()))?;
+        let result = (|| -> io::Result<Option<Vec<u8>>> {
+            link.send(&Msg::Query { frame })?;
+            match link.recv()? {
+                Msg::Answer { frame } => Ok(Some(frame)),
+                Msg::Halt => Ok(None),
+                other => Err(other_err(format!("expected Answer, got {other:?}"))),
+            }
+        })();
+        if result.is_err() {
+            self.link = None;
+        }
+        result
+    }
 }
 
 /// Runs one live client session against an `sw-serve` daemon at
@@ -411,30 +692,26 @@ pub fn run_mu(
     let mut rx_drop_rng = (opts.rx_drop > 0.0)
         .then(|| cfg.seed.stream(StreamId::Custom { tag: RX_DROP_TAG ^ index as u64 }));
 
-    let tcp = TcpStream::connect(server)?;
-    tcp.set_nodelay(true)?;
     let udp = UdpSocket::bind(("127.0.0.1", 0))?;
     let udp_port = udp.local_addr()?.port();
-    let mut reader = BufReader::new(tcp.try_clone()?);
-    let writer = Arc::new(Mutex::new(BufWriter::new(tcp)));
-    let send = |msg: &Msg| -> io::Result<()> {
-        msg.write_to(&mut *writer.lock().expect("writer lock poisoned"))
-    };
-
-    send(&Msg::Hello {
-        index: index as u32,
-        udp_port,
-    })?;
-    let (interval_ms, intervals, lockstep) = match Msg::read_from(&mut reader)? {
-        Msg::Welcome {
-            interval_ms,
-            intervals,
-            lockstep,
-        } => (interval_ms, intervals, lockstep),
-        other => return Err(other_err(format!("expected Welcome, got {other:?}"))),
-    };
+    let mut backoff = Backoff::new(cfg, index);
+    let mut uplink = Uplink::new(server, &opts.successors);
+    let SessionInfo {
+        interval_ms,
+        intervals,
+        lockstep,
+    } = uplink.connect(index, udp_port, &mut backoff, STARTUP_ATTEMPTS)?;
     let interval = Duration::from_millis(interval_ms.max(1));
     let t0 = Instant::now();
+    // Paced probe threshold: consecutive misses before hunting for a
+    // successor (0 = never; silence is then indistinguishable from
+    // loss, the unreplicated default).
+    let reconnect_after = match opts.reconnect_after {
+        0 if opts.successors.is_empty() => 0,
+        0 => 2,
+        n => n,
+    };
+    let mut pending_start: Option<u64> = None;
 
     let mut rows = Vec::with_capacity(intervals as usize);
     let mut reports_heard = 0u64;
@@ -476,13 +753,31 @@ pub fn run_mu(
     };
 
     'session: for i in 1..=intervals {
-        if lockstep {
-            match Msg::read_from(&mut reader)? {
-                Msg::Start { interval } if interval == i => {}
-                Msg::Halt => break 'session,
-                other => return Err(other_err(format!("expected Start({i}), got {other:?}"))),
+        // `started == false` only mid-failover in lockstep: the
+        // broadcaster skipped this interval entirely (it died before
+        // airing it and its successor resumed later), so the unit
+        // settles it locally — a forced miss consuming no fault
+        // randomness, the exact twin of a simulated blackout window —
+        // and sends no Done (it never saw a Start).
+        let started = if lockstep {
+            match pending_start {
+                Some(j) if j > i => false,
+                Some(_) => {
+                    pending_start = None;
+                    true
+                }
+                None => match uplink.wait_start(i, index, udp_port, &mut backoff, &mut flight)? {
+                    StartOutcome::Now => true,
+                    StartOutcome::Future(j) => {
+                        pending_start = Some(j);
+                        false
+                    }
+                    StartOutcome::Halt => break 'session,
+                },
             }
-        }
+        } else {
+            true
+        };
         if i < live.next_wake() {
             // Asleep: no listening, no rng draws — the simulator's
             // sleepers cost nothing per interval either.
@@ -498,7 +793,9 @@ pub fn run_mu(
                 &live.stats(),
             );
             if lockstep {
-                send(&Msg::Done { row })?;
+                if started {
+                    uplink.send_soft(&Msg::Done { row });
+                }
             } else {
                 sleep_until(t0 + interval * i as u32);
             }
@@ -506,6 +803,38 @@ pub fn run_mu(
         }
 
         live.begin_interval(i);
+        if !started {
+            live.miss_report();
+            reports_missed += 1;
+            consecutive_missed += 1;
+            obs.event(i, "report_missed", &[]);
+            flight.push(
+                i,
+                "report_blackout",
+                &[("consecutive", Value::U64(consecutive_missed))],
+            );
+            let row = live.end_interval(i);
+            rows.push(row);
+            publish_tick(
+                i,
+                reports_heard,
+                reports_missed,
+                i - last_heard_interval,
+                true,
+                &live.stats(),
+            );
+            if opts.audit_cache {
+                audit.extend(live.cache_snapshot().into_iter().map(|(item, value, ts)| {
+                    CacheAuditRow {
+                        interval: i,
+                        item,
+                        value,
+                        ts_micros: ts,
+                    }
+                }));
+            }
+            continue;
+        }
         let fate = live.report_fate(i);
         let expected = live.expected_report_micros(i);
         // Live-level receive drop (soak): the datagram is simply never
@@ -523,7 +852,14 @@ pub fn run_mu(
             t0 + interval * i as u32 + paced_grace(interval)
         };
         let datagram = if wants_bytes {
-            recv_report(&udp, live.encoder(), expected, deadline, &mut lookahead)?
+            recv_report(
+                &udp,
+                live.encoder(),
+                expected,
+                deadline,
+                &mut lookahead,
+                &mut uplink.epoch_seen,
+            )?
         } else {
             None
         };
@@ -581,23 +917,43 @@ pub fn run_mu(
                     }
                 }
             }
+            if !lockstep && reconnect_after > 0 && consecutive_missed >= reconnect_after {
+                // The broadcaster has gone quiet; probe the rotation
+                // for the announced successor. Failure is soft — the
+                // unit stays offline, treats further silence as
+                // ordinary misses, and probes again next interval.
+                uplink.drop_link();
+                let budget = uplink.targets.len() as u32 * 2;
+                if uplink.connect(index, udp_port, &mut backoff, budget).is_ok() {
+                    uplink.reconnects += 1;
+                    consecutive_missed = 0;
+                    flight.push(
+                        i,
+                        "reconnect",
+                        &[
+                            ("epoch", Value::U64(uplink.epoch_seen)),
+                            ("reconnects", Value::U64(uplink.reconnects)),
+                        ],
+                    );
+                }
+            }
         }
         for (item, _piggyback) in requests {
             // Piggybacked hit histories are an adaptive-strategy input;
             // the live wire carries the plain query (static strategies
             // never read them server-side).
-            send(&Msg::Query {
-                frame: live.query_frame(item),
-            })?;
-            match Msg::read_from(&mut reader)? {
-                Msg::Answer { frame } => live
+            match uplink.exchange_query(live.query_frame(item)) {
+                Ok(Some(frame)) => live
                     .install_answer_frame(&frame)
                     .map_err(|e| other_err(format!("undecodable answer: {e}")))?,
-                Msg::Halt => {
+                Ok(None) => {
                     halted = true;
                     break 'session;
                 }
-                other => return Err(other_err(format!("expected Answer, got {other:?}"))),
+                // The link died mid-exchange (the server crashed): the
+                // remaining queries stay unanswered; the next barrier
+                // wait or probe re-registers.
+                Err(_) => break,
             }
         }
         let row = live.end_interval(i);
@@ -634,11 +990,11 @@ pub fn run_mu(
             }));
         }
         if lockstep {
-            send(&Msg::Done { row })?;
+            uplink.send_soft(&Msg::Done { row });
         }
     }
     if !halted {
-        let _ = send(&Msg::Bye);
+        uplink.send_soft(&Msg::Bye);
     }
 
     let stats = live.stats();
@@ -660,6 +1016,7 @@ pub fn run_mu(
         reports_missed,
         observe: obs.snapshot(),
         flight,
+        reconnects: uplink.reconnects,
     })
 }
 
@@ -673,6 +1030,7 @@ fn recv_report(
     expected: u64,
     deadline: Instant,
     lookahead: &mut Option<(u64, Vec<u8>)>,
+    epoch_floor: &mut u64,
 ) -> io::Result<Option<Vec<u8>>> {
     if let Some((ts, _)) = lookahead {
         if *ts == expected {
@@ -704,9 +1062,13 @@ fn recv_report(
             }
             Err(e) => return Err(e),
         };
-        let Ok(frame) = open_frame(&buf[..n]) else {
+        let Ok((epoch, frame)) = open_frame(&buf[..n]) else {
             continue; // line noise: failed the checksum
         };
+        if epoch < *epoch_floor {
+            continue; // a deposed broadcaster from an older epoch
+        }
+        *epoch_floor = epoch.max(*epoch_floor);
         let Some(ts) = report_stamp_micros(&encode, frame) else {
             continue; // not a report frame
         };

@@ -14,6 +14,9 @@
 //! on the TCP path.
 
 use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+
+use sw_wireless::frame::checksum64;
 
 /// Hard cap on a single control message, far above any real frame
 /// (a full 10⁶-item report is ~8 MB; queries and rows are tens of
@@ -154,6 +157,61 @@ pub enum Msg {
     },
     /// Session over; the client should drain and disconnect.
     Halt,
+    /// Sent right after [`Msg::Welcome`]: the announced successor
+    /// order — client-facing addresses of every cluster node in
+    /// deterministic takeover order (lowest node id first). Empty for
+    /// an unreplicated server. A client keeps this list so it knows
+    /// where to re-register when its current server dies.
+    Successors {
+        /// Client-facing TCP addresses, takeover order.
+        peers: Vec<SocketAddr>,
+    },
+    /// Registration refused because this node is currently a replica:
+    /// it applies the log silently and does not serve clients. The
+    /// client should try the next address in its successor list.
+    Standby {
+        /// The refusing node's current primary epoch.
+        epoch: u64,
+    },
+    /// Replication link handshake (peer ↔ peer): sender's node id,
+    /// current epoch, and the last log interval it has applied —
+    /// the receiver (if primary) replays everything newer.
+    RepHello {
+        /// Sender's cluster node id.
+        node: u32,
+        /// Sender's current epoch.
+        epoch: u64,
+        /// Highest log interval the sender has applied (0 = none).
+        last_applied: u64,
+    },
+    /// Primary → replica: one replicated log entry — the externally
+    /// `Publish`ed updates to fold into the named interval's report
+    /// tick. The seeded update engine needs no replication (every
+    /// node replays it from the shared seed); only outside writes do.
+    RepAppend {
+        /// Epoch of the primary that sequenced this entry.
+        epoch: u64,
+        /// Broadcast interval the entry belongs to.
+        interval: u64,
+        /// `(item, value)` pairs applied at that interval's tick.
+        publishes: Vec<(u64, u64)>,
+    },
+    /// Replica → primary: the named entry is durably applied.
+    RepAck {
+        /// Echoed entry epoch.
+        epoch: u64,
+        /// Echoed entry interval.
+        interval: u64,
+    },
+    /// New primary → peers: takeover announcement. Carries the bumped
+    /// epoch and the interval broadcasting resumes at. Also sent back
+    /// on a stale-epoch [`Msg::RepAppend`] to demote a deposed primary.
+    RepPromote {
+        /// The new primary's epoch.
+        epoch: u64,
+        /// First interval the new primary broadcasts.
+        resume_at: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0x01;
@@ -165,9 +223,43 @@ const TAG_WELCOME: u8 = 0x81;
 const TAG_ANSWER: u8 = 0x82;
 const TAG_START: u8 = 0x90;
 const TAG_HALT: u8 = 0x91;
+// The replication and failover tags carry a checksum64 trailer over
+// tag + payload (see `seal_body`). They are chosen so that no
+// single-bit flip of a sealed tag lands on a length-promiscuous
+// legacy tag (`TAG_QUERY`/`TAG_ANSWER` accept any body length and
+// would otherwise swallow a damaged message as a valid frame carrier).
+const TAG_REP_HELLO: u8 = 0x10;
+const TAG_REP_APPEND: u8 = 0x11;
+const TAG_REP_ACK: u8 = 0x14;
+const TAG_REP_PROMOTE: u8 = 0x17;
+const TAG_STANDBY: u8 = 0x88;
+const TAG_SUCCESSORS: u8 = 0x8D;
 
 fn bad_data(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("malformed {what}"))
+}
+
+/// Appends a [`checksum64`] trailer over tag byte + payload. The tag
+/// is inside the checksum so a bit flip there cannot mutate one valid
+/// sealed message into another.
+fn seal_body(mut b: Vec<u8>) -> Vec<u8> {
+    let sum = checksum64(&b);
+    b.extend_from_slice(&sum.to_be_bytes());
+    b
+}
+
+/// Verifies and strips the trailer of a sealed body (tag at `body[0]`),
+/// returning the payload between tag and trailer.
+fn open_body<'a>(body: &'a [u8], what: &str) -> io::Result<&'a [u8]> {
+    if body.len() < 9 {
+        return Err(bad_data(what));
+    }
+    let (data, trailer) = body.split_at(body.len() - 8);
+    let declared = u64::from_be_bytes(trailer.try_into().unwrap());
+    if checksum64(data) != declared {
+        return Err(bad_data(what));
+    }
+    Ok(&data[1..])
 }
 
 impl Msg {
@@ -218,6 +310,59 @@ impl Msg {
                 b
             }
             Msg::Halt => vec![TAG_HALT],
+            Msg::Successors { peers } => {
+                let mut b = vec![TAG_SUCCESSORS];
+                b.extend_from_slice(&(peers.len() as u16).to_be_bytes());
+                for p in peers {
+                    let text = p.to_string();
+                    b.push(text.len() as u8);
+                    b.extend_from_slice(text.as_bytes());
+                }
+                seal_body(b)
+            }
+            Msg::Standby { epoch } => {
+                let mut b = vec![TAG_STANDBY];
+                b.extend_from_slice(&epoch.to_be_bytes());
+                seal_body(b)
+            }
+            Msg::RepHello {
+                node,
+                epoch,
+                last_applied,
+            } => {
+                let mut b = vec![TAG_REP_HELLO];
+                b.extend_from_slice(&node.to_be_bytes());
+                b.extend_from_slice(&epoch.to_be_bytes());
+                b.extend_from_slice(&last_applied.to_be_bytes());
+                seal_body(b)
+            }
+            Msg::RepAppend {
+                epoch,
+                interval,
+                publishes,
+            } => {
+                let mut b = vec![TAG_REP_APPEND];
+                b.extend_from_slice(&epoch.to_be_bytes());
+                b.extend_from_slice(&interval.to_be_bytes());
+                b.extend_from_slice(&(publishes.len() as u32).to_be_bytes());
+                for (item, value) in publishes {
+                    b.extend_from_slice(&item.to_be_bytes());
+                    b.extend_from_slice(&value.to_be_bytes());
+                }
+                seal_body(b)
+            }
+            Msg::RepAck { epoch, interval } => {
+                let mut b = vec![TAG_REP_ACK];
+                b.extend_from_slice(&epoch.to_be_bytes());
+                b.extend_from_slice(&interval.to_be_bytes());
+                seal_body(b)
+            }
+            Msg::RepPromote { epoch, resume_at } => {
+                let mut b = vec![TAG_REP_PROMOTE];
+                b.extend_from_slice(&epoch.to_be_bytes());
+                b.extend_from_slice(&resume_at.to_be_bytes());
+                seal_body(b)
+            }
         }
     }
 
@@ -249,7 +394,12 @@ impl Msg {
             TAG_DONE => Ok(Msg::Done {
                 row: DecisionRow::from_bytes(rest)?,
             }),
-            TAG_BYE => Ok(Msg::Bye),
+            TAG_BYE => {
+                if !rest.is_empty() {
+                    return Err(bad_data("bye"));
+                }
+                Ok(Msg::Bye)
+            }
             TAG_WELCOME => {
                 if rest.len() != 17 || rest[16] > 1 {
                     return Err(bad_data("welcome"));
@@ -271,7 +421,93 @@ impl Msg {
                     interval: word(rest, 0),
                 })
             }
-            TAG_HALT => Ok(Msg::Halt),
+            TAG_HALT => {
+                if !rest.is_empty() {
+                    return Err(bad_data("halt"));
+                }
+                Ok(Msg::Halt)
+            }
+            TAG_SUCCESSORS => {
+                let payload = open_body(body, "successors")?;
+                if payload.len() < 2 {
+                    return Err(bad_data("successors"));
+                }
+                let count = u16::from_be_bytes(payload[0..2].try_into().unwrap()) as usize;
+                let mut peers = Vec::with_capacity(count);
+                let mut at = 2;
+                for _ in 0..count {
+                    let len = *payload.get(at).ok_or_else(|| bad_data("successors"))? as usize;
+                    at += 1;
+                    let text = payload
+                        .get(at..at + len)
+                        .ok_or_else(|| bad_data("successors"))?;
+                    at += len;
+                    let text = std::str::from_utf8(text).map_err(|_| bad_data("successors"))?;
+                    peers.push(text.parse().map_err(|_| bad_data("successors"))?);
+                }
+                if at != payload.len() {
+                    return Err(bad_data("successors"));
+                }
+                Ok(Msg::Successors { peers })
+            }
+            TAG_STANDBY => {
+                let payload = open_body(body, "standby")?;
+                if payload.len() != 8 {
+                    return Err(bad_data("standby"));
+                }
+                Ok(Msg::Standby {
+                    epoch: word(payload, 0),
+                })
+            }
+            TAG_REP_HELLO => {
+                let payload = open_body(body, "rep hello")?;
+                if payload.len() != 20 {
+                    return Err(bad_data("rep hello"));
+                }
+                Ok(Msg::RepHello {
+                    node: u32::from_be_bytes(payload[0..4].try_into().unwrap()),
+                    epoch: word(payload, 4),
+                    last_applied: word(payload, 12),
+                })
+            }
+            TAG_REP_APPEND => {
+                let payload = open_body(body, "rep append")?;
+                if payload.len() < 20 {
+                    return Err(bad_data("rep append"));
+                }
+                let count = u32::from_be_bytes(payload[16..20].try_into().unwrap()) as usize;
+                if payload.len() != 20 + count * 16 {
+                    return Err(bad_data("rep append"));
+                }
+                let publishes = (0..count)
+                    .map(|n| (word(payload, 20 + n * 16), word(payload, 28 + n * 16)))
+                    .collect();
+                Ok(Msg::RepAppend {
+                    epoch: word(payload, 0),
+                    interval: word(payload, 8),
+                    publishes,
+                })
+            }
+            TAG_REP_ACK => {
+                let payload = open_body(body, "rep ack")?;
+                if payload.len() != 16 {
+                    return Err(bad_data("rep ack"));
+                }
+                Ok(Msg::RepAck {
+                    epoch: word(payload, 0),
+                    interval: word(payload, 8),
+                })
+            }
+            TAG_REP_PROMOTE => {
+                let payload = open_body(body, "rep promote")?;
+                if payload.len() != 16 {
+                    return Err(bad_data("rep promote"));
+                }
+                Ok(Msg::RepPromote {
+                    epoch: word(payload, 0),
+                    resume_at: word(payload, 8),
+                })
+            }
             other => Err(bad_data(&format!("message tag {other:#04x}"))),
         }
     }
@@ -338,6 +574,34 @@ mod tests {
             Msg::Answer { frame: vec![9; 40] },
             Msg::Start { interval: 12 },
             Msg::Halt,
+            Msg::Successors {
+                peers: vec!["127.0.0.1:4000".parse().unwrap(), "[::1]:9".parse().unwrap()],
+            },
+            Msg::Successors { peers: vec![] },
+            Msg::Standby { epoch: 3 },
+            Msg::RepHello {
+                node: 1,
+                epoch: 2,
+                last_applied: 17,
+            },
+            Msg::RepAppend {
+                epoch: 2,
+                interval: 18,
+                publishes: vec![(5, 99), (u64::MAX, 0)],
+            },
+            Msg::RepAppend {
+                epoch: 1,
+                interval: 1,
+                publishes: vec![],
+            },
+            Msg::RepAck {
+                epoch: 2,
+                interval: 18,
+            },
+            Msg::RepPromote {
+                epoch: 3,
+                resume_at: 19,
+            },
         ];
         let mut pipe = Vec::new();
         for m in &all {

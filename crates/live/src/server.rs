@@ -25,6 +25,7 @@
 
 use std::io::{self, BufReader, BufWriter};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -59,7 +60,7 @@ pub enum Pace {
 }
 
 /// Session options for [`LiveServer::spawn`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LiveOptions {
     /// Total broadcast intervals before the server halts the session.
     pub intervals: u64,
@@ -80,6 +81,9 @@ pub struct LiveOptions {
     /// of per-tick facts kept for a crash dump. 0 (the default)
     /// disables the ring.
     pub flight_capacity: usize,
+    /// Directory for automatic flight dumps (the takeover dump a
+    /// promoted replica writes). `None` (the default) skips them.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl LiveOptions {
@@ -91,6 +95,7 @@ impl LiveOptions {
             bind: SocketAddr::from(([127, 0, 0, 1], 0)),
             metrics_bind: None,
             flight_capacity: 0,
+            flight_dir: None,
         }
     }
 
@@ -122,6 +127,94 @@ impl LiveOptions {
         self.flight_capacity = capacity;
         self
     }
+
+    /// Writes automatic flight dumps (takeover) under `dir`.
+    pub fn with_flight_dir(mut self, dir: PathBuf) -> Self {
+        self.flight_dir = Some(dir);
+        self
+    }
+}
+
+/// Per-interval instruction from a [`TickCoordinator`]: what epoch the
+/// tick belongs to, whether this node broadcasts it, and the sequenced
+/// external publishes to fold in. Every node *builds* every tick (that
+/// is what keeps a replica's database, builder, and history identical
+/// to the primary's); only the node the directive marks `broadcast`
+/// puts the report on the wire.
+#[derive(Debug, Clone)]
+pub struct TickDirective {
+    /// Epoch the sealed datagram is stamped with.
+    pub epoch: u64,
+    /// Whether this node is (now) the primary.
+    pub primary: bool,
+    /// Whether this node broadcasts this interval's report.
+    pub broadcast: bool,
+    /// The replicated publish sequence for this interval — on the
+    /// primary these are its own drained `Publish`es, on a replica the
+    /// log entry's.
+    pub publishes: Vec<(u64, u64)>,
+    /// On promotion: the estimated session start instant, so a paced
+    /// successor resumes the original cadence instead of restarting it.
+    pub pace_anchor: Option<Instant>,
+    /// True exactly on the tick where this node took over as primary.
+    pub promoted: bool,
+}
+
+impl TickDirective {
+    /// The directive an unreplicated server gives itself: epoch 0,
+    /// always primary, always broadcast, own publishes.
+    pub fn solo(publishes: Vec<(u64, u64)>) -> Self {
+        Self {
+            epoch: 0,
+            primary: true,
+            broadcast: true,
+            publishes,
+            pace_anchor: None,
+            promoted: false,
+        }
+    }
+}
+
+/// A replication coordinator plugged into the ticker via
+/// [`LiveServer::spawn_coordinated`]. The ticker calls
+/// [`TickCoordinator::coordinate`] once per interval *before* building
+/// the tick; on a replica the call blocks until the primary's log
+/// entry for that interval arrives — or until the primary is declared
+/// dead and this node promotes itself.
+///
+/// An `Err` of kind [`io::ErrorKind::ConnectionAborted`] from
+/// `coordinate` or `after_broadcast` is the injected-crash signal: the
+/// ticker severs every client connection without a `Halt` (clients see
+/// the same abrupt EOF a `kill -9` produces) and returns the error.
+pub trait TickCoordinator: Send {
+    /// Sequences interval `interval`. `local_publishes` are the
+    /// publishes this node's own clients submitted since the last
+    /// tick; the primary replicates them, a replica's are discarded
+    /// (replicas refuse client registration, so there are none).
+    fn coordinate(
+        &mut self,
+        interval: u64,
+        local_publishes: Vec<(u64, u64)>,
+        stop: &AtomicBool,
+    ) -> io::Result<TickDirective>;
+
+    /// Called after the tick was built (and broadcast, on the
+    /// primary) — the `AfterBroadcast`-style crash hook.
+    fn after_broadcast(&mut self, _interval: u64) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// `(epoch, is_primary)` before the session starts.
+    fn status(&self) -> (u64, bool);
+
+    /// Client-facing addresses of the whole cluster in deterministic
+    /// takeover order, announced to every client after `Welcome`.
+    fn successors(&self) -> Vec<SocketAddr> {
+        Vec::new()
+    }
+
+    /// The session ended cleanly; release replication-side resources.
+    fn halted(&mut self) {}
 }
 
 /// End-of-session accounting from the server side.
@@ -188,6 +281,26 @@ struct BarrierState {
     rows: Vec<Vec<DecisionRow>>,
 }
 
+/// Replication-facing session state the connection threads consult:
+/// the current epoch and role (a replica refuses registration with
+/// `Standby`), the announced successor order, and whether the session
+/// has started (after which a `Hello` is a failover re-registration
+/// and is greeted from the connection thread instead of the ticker).
+struct HaState {
+    epoch: u64,
+    primary: bool,
+    successors: Vec<SocketAddr>,
+    started: bool,
+}
+
+/// Immutable session parameters echoed in every `Welcome`.
+#[derive(Clone, Copy)]
+struct SessionMeta {
+    interval_ms: u64,
+    intervals: u64,
+    lockstep: bool,
+}
+
 struct Shared {
     core: Mutex<Core>,
     reg: Mutex<Registry>,
@@ -198,6 +311,8 @@ struct Shared {
     encode: WireEncode,
     n_items: u64,
     n_clients: usize,
+    session: SessionMeta,
+    ha: Mutex<HaState>,
 }
 
 /// Spawner for a live report server.
@@ -247,8 +362,19 @@ impl ServerHandle {
             .ticker
             .join()
             .unwrap_or_else(|_| Err(io::Error::other("server ticker panicked")));
-        // The ticker set `stop` on its way out; poke the accept loop
-        // off `accept()` so its thread can be joined.
+        // The happy paths set `stop` on the way out, but a ticker that
+        // bailed through `?` (registration timeout, stalled barrier,
+        // broken pipe) did not — force it here so the accept loop's
+        // poke below actually lands, and sever any client still
+        // blocked on this session so *its* session errors out instead
+        // of hanging.
+        if !self.shared.stop.swap(true, Ordering::SeqCst) && result.is_err() {
+            for peer in current_peers(&self.shared) {
+                if let Ok(w) = peer.writer.lock() {
+                    let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
         let _ = TcpStream::connect(self.addr);
         let _ = self.accept.join();
         result
@@ -290,6 +416,31 @@ impl LiveServer {
         strategy: Strategy,
         opts: LiveOptions,
     ) -> io::Result<ServerHandle> {
+        Self::spawn_inner(cfg, strategy, opts, None, None)
+    }
+
+    /// Like [`LiveServer::spawn`], but with a pre-bound listener (so a
+    /// replication layer can announce the address before the session
+    /// exists) and a [`TickCoordinator`] that sequences every interval
+    /// across the cluster. `opts.bind` is ignored in favor of
+    /// `listener`.
+    pub fn spawn_coordinated(
+        cfg: CellConfig,
+        strategy: Strategy,
+        opts: LiveOptions,
+        listener: TcpListener,
+        coordinator: Box<dyn TickCoordinator>,
+    ) -> io::Result<ServerHandle> {
+        Self::spawn_inner(cfg, strategy, opts, Some(listener), Some(coordinator))
+    }
+
+    fn spawn_inner(
+        cfg: CellConfig,
+        strategy: Strategy,
+        opts: LiveOptions,
+        listener: Option<TcpListener>,
+        coordinator: Option<Box<dyn TickCoordinator>>,
+    ) -> io::Result<ServerHandle> {
         if !matches!(
             strategy,
             Strategy::BroadcastTimestamps
@@ -323,9 +474,24 @@ impl LiveServer {
             params.answer_bits,
         );
 
-        let listener = TcpListener::bind(opts.bind)?;
+        let listener = match listener {
+            Some(l) => l,
+            None => TcpListener::bind(opts.bind)?,
+        };
         let addr = listener.local_addr()?;
         let n_clients = cfg.n_clients;
+        let (initial_epoch, initial_primary) = match coordinator.as_deref() {
+            Some(c) => c.status(),
+            None => (0, true),
+        };
+        let session = SessionMeta {
+            interval_ms: match opts.pace {
+                Pace::Lockstep => 0,
+                Pace::Paced { interval_ms } => interval_ms,
+            },
+            intervals: opts.intervals,
+            lockstep: matches!(opts.pace, Pace::Lockstep),
+        };
         let shared = Arc::new(Shared {
             core: Mutex::new(Core {
                 db,
@@ -354,6 +520,16 @@ impl LiveServer {
             encode,
             n_items: params.n_items,
             n_clients,
+            session,
+            ha: Mutex::new(HaState {
+                epoch: initial_epoch,
+                primary: initial_primary,
+                successors: coordinator
+                    .as_deref()
+                    .map(|c| c.successors())
+                    .unwrap_or_default(),
+                started: false,
+            }),
         });
 
         // The metrics plane, when asked for: the exporter thread serves
@@ -381,7 +557,9 @@ impl LiveServer {
                 None => Recorder::disabled(),
             };
             let strategy_name = strategy.name();
-            thread::spawn(move || ticker_loop(shared, latency, opts, obs, strategy_name, metrics))
+            thread::spawn(move || {
+                ticker_loop(shared, latency, opts, obs, strategy_name, metrics, coordinator)
+            })
         };
         Ok(ServerHandle {
             addr,
@@ -421,24 +599,55 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
     while let Ok(msg) = Msg::read_from(&mut reader) {
         match msg {
             Msg::Hello { index, udp_port } => {
+                let (primary, epoch, started, successors) = {
+                    let ha = shared.ha.lock().expect("ha lock");
+                    (ha.primary, ha.epoch, ha.started, ha.successors.clone())
+                };
+                if !primary {
+                    // A replica serves nobody: refuse with the current
+                    // epoch so the client walks its successor list.
+                    Msg::Standby { epoch }
+                        .write_to(&mut *writer.lock().expect("writer lock"))?;
+                    continue;
+                }
                 let idx = index as usize;
-                let mut reg = shared.reg.lock().expect("registry lock");
-                if idx >= reg.slots.len() || reg.slots[idx].is_some() {
+                if idx >= shared.n_clients {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidInput,
-                        format!("bad or duplicate client index {idx}"),
+                        format!("bad client index {idx}"),
                     ));
                 }
-                reg.slots[idx] = Some(Peer {
-                    udp: SocketAddr::new(peer_ip, udp_port),
-                    writer: Arc::clone(&writer),
-                });
-                reg.registered += 1;
-                my_index = Some(idx);
-                shared.reg_cv.notify_all();
+                if started {
+                    // Mid-session join: the ticker greeted the original
+                    // fleet already — greet this one here, *before* its
+                    // slot becomes visible, or the ticker could slip a
+                    // `Start` in ahead of the `Welcome`.
+                    greet(&writer, shared.session, &successors)?;
+                }
+                {
+                    let mut reg = shared.reg.lock().expect("registry lock");
+                    // Before the session starts a duplicate index is a
+                    // config error; after, it is a failover
+                    // re-registration replacing a dead connection.
+                    if !started && reg.slots[idx].is_some() {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidInput,
+                            format!("duplicate client index {idx}"),
+                        ));
+                    }
+                    if reg.slots[idx].is_none() {
+                        reg.registered += 1;
+                    }
+                    reg.slots[idx] = Some(Peer {
+                        udp: SocketAddr::new(peer_ip, udp_port),
+                        writer: Arc::clone(&writer),
+                    });
+                    my_index = Some(idx);
+                    shared.reg_cv.notify_all();
+                }
             }
             Msg::Query { frame } => {
-                let inner = open_frame(&frame)
+                let (_, inner) = open_frame(&frame)
                     .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
                 let decoded = shared
                     .encode
@@ -462,7 +671,8 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     value: answer.value,
                     ts_micros: time_to_micros(answer.timestamp),
                 };
-                let datagram = seal_frame(shared.encode.serialize_payload(&payload));
+                let epoch = shared.ha.lock().expect("ha lock").epoch;
+                let datagram = seal_frame(epoch, shared.encode.serialize_payload(&payload));
                 Msg::Answer { frame: datagram }
                     .write_to(&mut *writer.lock().expect("writer lock"))?;
             }
@@ -501,9 +711,17 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
 }
 
 /// Advances one tick's worth of simulated time on the database: seeded
-/// update-engine arrivals in `(from, t_i]`, then TCP-published updates
-/// stamped at `t_i`, then the report build.
-fn build_tick(core: &mut Core, i: u64, from: sw_sim::SimTime, t_i: sw_sim::SimTime) -> FramePayload {
+/// update-engine arrivals in `(from, t_i]`, then the tick's sequenced
+/// external publishes stamped at `t_i`, then the report build. Every
+/// replicated node runs this with the *same* publish sequence, which
+/// is what keeps database, builder, and history identical clusterwide.
+fn build_tick(
+    core: &mut Core,
+    i: u64,
+    from: sw_sim::SimTime,
+    t_i: sw_sim::SimTime,
+    publishes: &[(u64, u64)],
+) -> FramePayload {
     let recs = core
         .engine
         .advance(&mut core.db, from, t_i, &mut core.update_rng);
@@ -514,8 +732,7 @@ fn build_tick(core: &mut Core, i: u64, from: sw_sim::SimTime, t_i: sw_sim::SimTi
         }
     }
     core.updates_applied += recs.len() as u64;
-    let published: Vec<(u64, u64)> = core.pending_publishes.drain(..).collect();
-    for (item, value) in published {
+    for &(item, value) in publishes {
         let rec = core.db.apply_update(item, value, t_i);
         core.builder.on_update(&rec);
         if let Some(h) = core.history.as_mut() {
@@ -529,6 +746,68 @@ fn build_tick(core: &mut Core, i: u64, from: sw_sim::SimTime, t_i: sw_sim::SimTi
     payload
 }
 
+/// Sends `Welcome` then `Successors` — the fixed greeting pair every
+/// registered client receives, whether at session start (from the
+/// ticker) or on a failover re-registration (from the conn thread).
+fn greet(
+    writer: &Arc<Mutex<BufWriter<TcpStream>>>,
+    session: SessionMeta,
+    successors: &[SocketAddr],
+) -> io::Result<()> {
+    let mut w = writer.lock().expect("writer lock");
+    Msg::Welcome {
+        interval_ms: session.interval_ms,
+        intervals: session.intervals,
+        lockstep: session.lockstep,
+    }
+    .write_to(&mut *w)?;
+    Msg::Successors {
+        peers: successors.to_vec(),
+    }
+    .write_to(&mut *w)
+}
+
+/// Snapshot of the currently registered peers. Re-read every interval
+/// (not captured once): a failover re-registration must reach the next
+/// fanout immediately.
+fn current_peers(shared: &Shared) -> Vec<Peer> {
+    shared
+        .reg
+        .lock()
+        .expect("registry lock")
+        .slots
+        .iter()
+        .flatten()
+        .cloned()
+        .collect()
+}
+
+/// Blocks until all `n_clients` slots are registered (or stop/timeout).
+fn wait_for_registration(shared: &Shared, timeout: Duration) -> io::Result<()> {
+    let deadline = Instant::now() + timeout;
+    let mut reg = shared.reg.lock().expect("registry lock");
+    while reg.registered < shared.n_clients {
+        if shared.stop.load(Ordering::SeqCst) {
+            return Err(io::Error::other("stopped before registration completed"));
+        }
+        if Instant::now() >= deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!(
+                    "{}/{} clients registered within {timeout:?}",
+                    reg.registered, shared.n_clients
+                ),
+            ));
+        }
+        let (guard, _) = shared
+            .reg_cv
+            .wait_timeout(reg, Duration::from_millis(50))
+            .expect("registry lock");
+        reg = guard;
+    }
+    Ok(())
+}
+
 fn ticker_loop(
     shared: Arc<Shared>,
     latency: SimDuration,
@@ -536,49 +815,31 @@ fn ticker_loop(
     mut obs: Recorder,
     strategy_name: &'static str,
     metrics: Option<(Arc<MetricsHub>, MetricsExporter)>,
+    mut coordinator: Option<Box<dyn TickCoordinator>>,
 ) -> io::Result<LiveServerReport> {
-    // Phase 1: wait for the full fleet.
-    let peers: Vec<Peer> = {
-        let deadline = Instant::now() + opts.registration_timeout;
-        let mut reg = shared.reg.lock().expect("registry lock");
-        while reg.registered < shared.n_clients {
-            if shared.stop.load(Ordering::SeqCst) {
-                return Err(io::Error::other("stopped before registration completed"));
-            }
-            if Instant::now() >= deadline {
-                return Err(io::Error::new(
-                    io::ErrorKind::TimedOut,
-                    format!(
-                        "{}/{} clients registered within {:?}",
-                        reg.registered, shared.n_clients, opts.registration_timeout
-                    ),
-                ));
-            }
-            let (guard, _) = shared
-                .reg_cv
-                .wait_timeout(reg, Duration::from_millis(50))
-                .expect("registry lock");
-            reg = guard;
-        }
-        reg.slots
-            .iter()
-            .map(|slot| slot.clone().expect("fully registered"))
-            .collect()
+    let (mut epoch, mut is_primary) = match coordinator.as_deref() {
+        Some(c) => c.status(),
+        None => (0, true),
     };
-
-    let (interval_ms, lockstep) = match opts.pace {
-        Pace::Lockstep => (0, true),
-        Pace::Paced { interval_ms } => (interval_ms, false),
-    };
-    for peer in &peers {
-        Msg::Welcome {
-            interval_ms,
-            intervals: opts.intervals,
-            lockstep,
-        }
-        .write_to(&mut *peer.writer.lock().expect("writer lock"))?;
+    // Phase 1: the primary waits for the full fleet; a replica serves
+    // nobody yet and begins its (silent) cadence immediately.
+    if is_primary {
+        wait_for_registration(&shared, opts.registration_timeout)?;
     }
-    let t0 = Instant::now();
+    let lockstep = shared.session.lockstep;
+    // Snapshot the fleet to greet *before* flipping `started`, so a
+    // registration racing the flip is greeted exactly once (by its
+    // conn thread, which only greets after `started` is set).
+    let greeted = current_peers(&shared);
+    let successors = {
+        let mut ha = shared.ha.lock().expect("ha lock");
+        ha.started = true;
+        ha.successors.clone()
+    };
+    for peer in &greeted {
+        greet(&peer.writer, shared.session, &successors)?;
+    }
+    let mut t0 = Instant::now();
     let udp = UdpSocket::bind(("0.0.0.0", 0))?;
     let mut clock = IntervalClock::new(latency);
     let mut datagrams_sent = 0u64;
@@ -586,7 +847,7 @@ fn ticker_loop(
     let mut intervals_run = 0u64;
     if obs.is_enabled() {
         obs.series_schema(&["report_bits", "updates", "answers"]);
-        obs.add("clients_registered", peers.len() as u64);
+        obs.add("clients_registered", greeted.len() as u64);
     }
     let mut prev_answers = 0u64;
     let mut prev_updates = 0u64;
@@ -594,8 +855,12 @@ fn ticker_loop(
     // Publishes one immutable view of this tick for scrapers; gauges
     // cover the uninstrumented build, the attached recorder snapshot
     // adds the full counter/histogram plane when `observe` is on.
+    #[allow(clippy::too_many_arguments)]
     let publish_tick = |i: u64,
                             obs: &Recorder,
+                            registered: usize,
+                            epoch: u64,
+                            primary: bool,
                             queue_depth: usize,
                             build: Duration,
                             fanout: Duration,
@@ -610,7 +875,9 @@ fn ticker_loop(
             Published::at(i)
                 .label("role", "server")
                 .label("strategy", strategy_name)
-                .gauge("mu_registered", peers.len() as f64)
+                .gauge("mu_registered", registered as f64)
+                .gauge("ha_epoch", epoch as f64)
+                .gauge("ha_role", if primary { 1.0 } else { 0.0 })
                 .gauge("uplink_queue_depth", queue_depth as f64)
                 .gauge("report_build_seconds", build.as_secs_f64())
                 .gauge("udp_fanout_seconds", fanout.as_secs_f64())
@@ -622,78 +889,130 @@ fn ticker_loop(
         );
     };
 
-    // Phase 2: the broadcast cadence.
+    // Phase 2: the broadcast cadence. Every node builds every tick;
+    // only the directive's broadcaster puts it on the wire.
+    let mut crash_err: Option<io::Error> = None;
     'run: for _ in 0..opts.intervals {
         let (i, t_i) = clock.tick();
         let from = clock.report_time(i - 1);
-        if let Pace::Paced { interval_ms } = opts.pace {
-            let due = t0 + Duration::from_millis(interval_ms) * i as u32;
-            while let Some(remaining) = due
-                .checked_duration_since(Instant::now())
-                .filter(|d| !d.is_zero())
-            {
-                if shared.stop.load(Ordering::SeqCst) {
+        if is_primary {
+            if let Pace::Paced { interval_ms } = opts.pace {
+                let due = t0 + Duration::from_millis(interval_ms) * i as u32;
+                if !paced_sleep_until(&shared, due) {
                     break 'run;
                 }
-                thread::sleep(remaining.min(Duration::from_millis(5)));
             }
         }
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
+        let local: Vec<(u64, u64)> = {
+            let mut core = shared.core.lock().expect("core lock");
+            core.pending_publishes.drain(..).collect()
+        };
+        let dir = match coordinator.as_deref_mut() {
+            Some(c) => match c.coordinate(i, local, &shared.stop) {
+                Ok(d) => d,
+                Err(e) => {
+                    crash_err = Some(e);
+                    break 'run;
+                }
+            },
+            None => TickDirective::solo(local),
+        };
+        epoch = dir.epoch;
+        is_primary = dir.primary;
+        {
+            let mut ha = shared.ha.lock().expect("ha lock");
+            ha.epoch = epoch;
+            ha.primary = is_primary;
+        }
+        if dir.promoted {
+            // Takeover: this replica is now the broadcaster. Record
+            // it, dump the flight ring for the post-mortem, adopt the
+            // original cadence, and (lockstep) wait for the fleet to
+            // re-register — nobody can answer a Start before that.
+            flight.push(i, "takeover", &[("epoch", Value::U64(epoch))]);
+            if let Some(dir_path) = opts.flight_dir.as_deref() {
+                let path = dir_path.join("sw-flight-takeover.ndjson");
+                let reason = format!("takeover at interval {i}, epoch {epoch}");
+                match flight.dump(&path, &reason) {
+                    Ok(n) => eprintln!("sw-live: takeover flight dump: {} ({n} B)", path.display()),
+                    Err(e) => eprintln!("sw-live: takeover flight dump failed: {e}"),
+                }
+            }
+            if let Some(anchor) = dir.pace_anchor {
+                t0 = anchor;
+            }
+            if lockstep {
+                wait_for_registration(&shared, opts.registration_timeout)?;
+            } else if let Pace::Paced { interval_ms } = opts.pace {
+                let due = t0 + Duration::from_millis(interval_ms) * i as u32;
+                if !paced_sleep_until(&shared, due) {
+                    break 'run;
+                }
+            }
+        }
         let build_started = Instant::now();
         let (payload, queue_depth, answers_now, updates_now) = {
             let _span = obs.span("report_build");
             let mut core = shared.core.lock().expect("core lock");
-            let depth = core.pending_publishes.len();
-            let p = build_tick(&mut core, i, from, t_i);
+            let depth = dir.publishes.len();
+            let p = build_tick(&mut core, i, from, t_i, &dir.publishes);
             (p, depth, core.uplink_answers, core.updates_applied)
         };
-        let datagram = {
-            let _span = obs.span("report_encode");
-            seal_frame(shared.encode.serialize_payload(&payload))
-        };
         let build_elapsed = build_started.elapsed();
-        let fanout_started = Instant::now();
-        {
-            let _span = obs.span("udp_send");
-            for peer in &peers {
-                if udp.send_to(&datagram, peer.udp).is_ok() {
-                    datagrams_sent += 1;
+        let peers = current_peers(&shared);
+        let mut fanout_elapsed = Duration::ZERO;
+        if dir.broadcast {
+            let datagram = {
+                let _span = obs.span("report_encode");
+                seal_frame(epoch, shared.encode.serialize_payload(&payload))
+            };
+            let fanout_started = Instant::now();
+            {
+                let _span = obs.span("udp_send");
+                for peer in &peers {
+                    if udp.send_to(&datagram, peer.udp).is_ok() {
+                        datagrams_sent += 1;
+                    }
                 }
             }
-        }
-        let fanout_elapsed = fanout_started.elapsed();
-        report_bytes += datagram.len() as u64;
-        intervals_run = i;
-        if obs.is_enabled() {
-            obs.add("reports_built", 1);
-            obs.series_row(
+            fanout_elapsed = fanout_started.elapsed();
+            report_bytes += datagram.len() as u64;
+            if obs.is_enabled() {
+                obs.add("reports_built", 1);
+                obs.series_row(
+                    i,
+                    &[
+                        datagram.len() as u64 * 8,
+                        updates_now - prev_updates,
+                        answers_now - prev_answers,
+                    ],
+                );
+            }
+            flight.push(
                 i,
+                "report",
                 &[
-                    datagram.len() as u64 * 8,
-                    updates_now - prev_updates,
-                    answers_now - prev_answers,
+                    ("bytes", Value::U64(datagram.len() as u64)),
+                    ("updates", Value::U64(updates_now - prev_updates)),
+                    ("answers", Value::U64(answers_now - prev_answers)),
+                    ("queue_depth", Value::U64(queue_depth as u64)),
+                    ("build_us", Value::U64(build_elapsed.as_micros() as u64)),
+                    ("fanout_us", Value::U64(fanout_elapsed.as_micros() as u64)),
                 ],
             );
         }
-        flight.push(
-            i,
-            "report",
-            &[
-                ("bytes", Value::U64(datagram.len() as u64)),
-                ("updates", Value::U64(updates_now - prev_updates)),
-                ("answers", Value::U64(answers_now - prev_answers)),
-                ("queue_depth", Value::U64(queue_depth as u64)),
-                ("build_us", Value::U64(build_elapsed.as_micros() as u64)),
-                ("fanout_us", Value::U64(fanout_elapsed.as_micros() as u64)),
-            ],
-        );
+        intervals_run = i;
         prev_updates = updates_now;
         prev_answers = answers_now;
         publish_tick(
             i,
             &obs,
+            peers.len(),
+            epoch,
+            is_primary,
             queue_depth,
             build_elapsed,
             fanout_elapsed,
@@ -702,8 +1021,14 @@ fn ticker_loop(
             answers_now,
             updates_now,
         );
+        if let Some(c) = coordinator.as_deref_mut() {
+            if let Err(e) = c.after_broadcast(i) {
+                crash_err = Some(e);
+                break 'run;
+            }
+        }
 
-        if lockstep {
+        if lockstep && dir.broadcast {
             for peer in &peers {
                 Msg::Start { interval: i }
                     .write_to(&mut *peer.writer.lock().expect("writer lock"))?;
@@ -730,21 +1055,46 @@ fn ticker_loop(
         }
     }
 
+    if let Some(e) = crash_err {
+        // An injected crash: die abruptly. No Halt, no grace — sever
+        // every client connection so the fleet sees the same EOF a
+        // `kill -9` produces, and leave the coordinator's links to the
+        // coordinator (it closed them before returning the error).
+        shared.stop.store(true, Ordering::SeqCst);
+        {
+            let mut ha = shared.ha.lock().expect("ha lock");
+            ha.primary = false;
+        }
+        for peer in current_peers(&shared) {
+            if let Ok(w) = peer.writer.lock() {
+                let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some((_, mut exporter)) = metrics {
+            exporter.shutdown();
+        }
+        return Err(e);
+    }
+
     // Phase 3: halt. Paced clients may still be mid-interval; give
     // them one interval of grace to finish their uplink exchanges
     // before the halt lands.
     if let Pace::Paced { interval_ms } = opts.pace {
         thread::sleep(Duration::from_millis(interval_ms));
     }
-    for peer in &peers {
+    for peer in current_peers(&shared) {
         let _ = Msg::Halt.write_to(&mut *peer.writer.lock().expect("writer lock"));
     }
     shared.stop.store(true, Ordering::SeqCst);
+    if let Some(c) = coordinator.as_deref_mut() {
+        c.halted();
+    }
 
     let rows = {
         let mut bar = shared.bar.lock().expect("barrier lock");
         std::mem::take(&mut bar.rows)
     };
+    let registered = shared.reg.lock().expect("registry lock").registered;
     let mut core = shared.core.lock().expect("core lock");
     if obs.is_enabled() {
         obs.add("updates_applied", core.updates_applied);
@@ -757,6 +1107,9 @@ fn ticker_loop(
     publish_tick(
         intervals_run,
         &obs,
+        registered,
+        epoch,
+        is_primary,
         core.pending_publishes.len(),
         Duration::ZERO,
         Duration::ZERO,
@@ -780,4 +1133,19 @@ fn ticker_loop(
         observe: obs.snapshot(),
         flight,
     })
+}
+
+/// Sleeps in short stop-pollable slices until `due`. Returns `false`
+/// if the session was stopped while waiting.
+fn paced_sleep_until(shared: &Shared, due: Instant) -> bool {
+    while let Some(remaining) = due
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+    {
+        if shared.stop.load(Ordering::SeqCst) {
+            return false;
+        }
+        thread::sleep(remaining.min(Duration::from_millis(5)));
+    }
+    true
 }

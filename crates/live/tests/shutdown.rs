@@ -1,0 +1,130 @@
+//! Shutdown coverage: a paced session stopped mid-run ends *cleanly*
+//! — a well-formed partial [`LiveServerReport`], a flight ring that
+//! still renders, and every client riding the `Halt` home instead of
+//! erroring out. This is the library half of the SIGTERM story; the
+//! `sw-serve` binary's signal handler is exercised end-to-end in the
+//! `sw-experiments` test suite.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sleepers::{CellConfig, Strategy};
+use sw_live::{run_mu, LiveOptions, LiveServer, MuOptions};
+use sw_workload::ScenarioParams;
+
+const CLIENTS: usize = 3;
+const INTERVALS: u64 = 60;
+const INTERVAL_MS: u64 = 20;
+
+fn cell(seed: u64) -> CellConfig {
+    let mut params = ScenarioParams::scenario1().with_s(0.3);
+    params.n_items = 150;
+    params.mu = 4e-3;
+    params.k = 8;
+    CellConfig::new(params)
+        .with_clients(CLIENTS)
+        .with_hotspot_size(12)
+        .with_seed(seed)
+}
+
+/// A `Stopper` fired mid-interval must land the session like a SIGTERM
+/// does in `sw-serve`: partial report, clean `Halt` to every client,
+/// flight ring intact.
+#[test]
+fn stopper_mid_paced_session_yields_partial_report_and_flight_dump() {
+    let cfg = cell(0x5167_7E21);
+    let opts = LiveOptions::paced(INTERVALS, INTERVAL_MS).with_flight_capacity(16);
+    let handle = LiveServer::spawn(cfg.clone(), Strategy::BroadcastTimestamps, opts)
+        .expect("spawn server");
+    let addr = handle.addr();
+    let stopper = handle.stopper();
+
+    let heard = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|idx| {
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                run_mu(
+                    addr,
+                    &cfg,
+                    Strategy::BroadcastTimestamps,
+                    idx,
+                    MuOptions::default(),
+                )
+            })
+        })
+        .collect();
+
+    // Let a handful of reports air, then pull the plug mid-interval.
+    let armed = Instant::now() + Duration::from_millis(8 * INTERVAL_MS);
+    while Instant::now() < armed {
+        thread::sleep(Duration::from_millis(5));
+    }
+    stopper.stop();
+
+    let report = handle.wait().expect("a stopped session still reports");
+    assert!(report.intervals > 0, "stop landed before the first report");
+    assert!(
+        report.intervals < INTERVALS,
+        "stop never took effect ({} intervals ran)",
+        report.intervals
+    );
+    assert!(report.datagrams_sent > 0);
+
+    // The flight ring rides the report out, exactly what `sw-serve`
+    // dumps on SIGTERM: a `flight_meta` line first, entries after.
+    let dump = report
+        .flight
+        .to_ndjson(&format!("sigterm after {} intervals", report.intervals));
+    let meta = dump.lines().next().expect("flight meta line");
+    assert!(meta.contains("\"kind\":\"flight_meta\""), "bad meta: {meta}");
+    assert!(meta.contains("\"reason\":\"sigterm"), "bad meta: {meta}");
+    assert!(
+        dump.lines().count() > 1,
+        "the ring held no entries despite broadcast traffic"
+    );
+
+    // Every client must come home cleanly. A unit is *autonomous* — a
+    // dead broadcaster does not stop its local schedule; it either
+    // catches the `Halt` on an uplink exchange (ends early) or rides
+    // out the remaining intervals as ordinary misses.
+    for w in workers {
+        let mu = w
+            .join()
+            .expect("client thread")
+            .expect("client rode the shutdown cleanly");
+        let ran = mu.rows.len() as u64;
+        assert!(
+            (report.intervals..=INTERVALS).contains(&ran),
+            "client ran {ran} of {INTERVALS} intervals, server stopped at {}",
+            report.intervals
+        );
+        heard.fetch_add(mu.reports_heard, Ordering::Relaxed);
+    }
+    assert!(heard.load(Ordering::Relaxed) > 0, "no report was ever heard");
+}
+
+/// A stop that lands before the fleet finishes registering must not
+/// hang the teardown — the accept loop and every client drop out.
+#[test]
+fn stopper_before_registration_completes_is_clean() {
+    let cfg = cell(0x51);
+    // n_clients is CLIENTS but nobody connects: the ticker sits in the
+    // registration wait until the stop arrives.
+    let opts = LiveOptions::paced(INTERVALS, INTERVAL_MS);
+    let handle =
+        LiveServer::spawn(cfg, Strategy::AmnesicTerminals, opts).expect("spawn server");
+    let stopper = handle.stopper();
+    thread::sleep(Duration::from_millis(30));
+    stopper.stop();
+    let err = match handle.wait() {
+        Ok(_) => panic!("an unregistered session cannot produce a report"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("stopped"),
+        "unexpected teardown error: {err}"
+    );
+}

@@ -681,30 +681,43 @@ impl std::fmt::Display for WireDecodeError {
 
 impl std::error::Error for WireDecodeError {}
 
-/// Appends the [`checksum64`] trailer (big-endian) to a serialized
-/// frame, producing the datagram actually put on the wire.
-pub fn seal_frame(mut frame: Vec<u8>) -> Vec<u8> {
-    let sum = checksum64(&frame);
-    frame.extend_from_slice(&sum.to_be_bytes());
-    frame
+/// Prepends the big-endian epoch header and appends the [`checksum64`]
+/// trailer (computed over header + frame), producing the datagram
+/// actually put on the wire: `[epoch: 8][frame][checksum64: 8]`.
+///
+/// The epoch numbers the *broadcaster*, not the report: replicated
+/// servers (`sw-ha`) bump it on every takeover so a receiver can fence
+/// datagrams from a deposed primary. Unreplicated senders use epoch 0.
+/// The checksum covers the epoch bytes too, so a bit flip in the header
+/// is detected exactly like a flip in the payload.
+pub fn seal_frame(epoch: u64, frame: Vec<u8>) -> Vec<u8> {
+    let mut datagram = Vec::with_capacity(frame.len() + 16);
+    datagram.extend_from_slice(&epoch.to_be_bytes());
+    datagram.extend_from_slice(&frame);
+    let sum = checksum64(&datagram);
+    datagram.extend_from_slice(&sum.to_be_bytes());
+    datagram
 }
 
-/// Verifies and strips the [`checksum64`] trailer of a received
-/// datagram, returning the frame bytes. A mismatch means the datagram
-/// was damaged in flight; the caller must treat the report as missed.
-pub fn open_frame(datagram: &[u8]) -> Result<&[u8], WireDecodeError> {
-    if datagram.len() < 8 {
+/// Verifies and strips the [`checksum64`] trailer and epoch header of a
+/// received datagram, returning `(epoch, frame bytes)`. A mismatch
+/// means the datagram was damaged in flight; the caller must treat the
+/// report as missed.
+pub fn open_frame(datagram: &[u8]) -> Result<(u64, &[u8]), WireDecodeError> {
+    if datagram.len() < 16 {
         return Err(WireDecodeError::Truncated {
-            needed: 8,
+            needed: 16,
             got: datagram.len(),
         });
     }
-    let (frame, trailer) = datagram.split_at(datagram.len() - 8);
+    let (body, trailer) = datagram.split_at(datagram.len() - 8);
     let declared = u64::from_be_bytes(trailer.try_into().expect("8 bytes"));
-    if checksum64(frame) != declared {
+    if checksum64(body) != declared {
         return Err(WireDecodeError::ChecksumMismatch);
     }
-    Ok(frame)
+    let (header, frame) = body.split_at(8);
+    let epoch = u64::from_be_bytes(header.try_into().expect("8 bytes"));
+    Ok((epoch, frame))
 }
 
 /// Minimal MSB-first bit packer backing [`WireEncode::serialize`].
@@ -1126,17 +1139,25 @@ mod tests {
     fn seal_and_open_round_trip_and_catch_damage() {
         let e = enc();
         let frame = e.serialize_payload(&FramePayload::Invalidation { item: 17 });
-        let datagram = seal_frame(frame.clone());
-        assert_eq!(open_frame(&datagram).expect("clean"), &frame[..]);
-        for bit in 0..(datagram.len() as u64 * 8) {
-            let mut damaged = datagram.clone();
-            flip_bit(&mut damaged, bit);
-            assert_eq!(open_frame(&damaged), Err(WireDecodeError::ChecksumMismatch));
+        for epoch in [0u64, 1, 7, u64::MAX] {
+            let datagram = seal_frame(epoch, frame.clone());
+            assert_eq!(open_frame(&datagram).expect("clean"), (epoch, &frame[..]));
+            // The checksum covers the epoch header and the payload alike:
+            // every single-bit flip anywhere in the datagram is caught.
+            for bit in 0..(datagram.len() as u64 * 8) {
+                let mut damaged = datagram.clone();
+                flip_bit(&mut damaged, bit);
+                assert_eq!(open_frame(&damaged), Err(WireDecodeError::ChecksumMismatch));
+            }
+            assert!(matches!(
+                open_frame(&datagram[..4]),
+                Err(WireDecodeError::Truncated { .. })
+            ));
+            assert!(matches!(
+                open_frame(&datagram[..15]),
+                Err(WireDecodeError::Truncated { needed: 16, .. })
+            ));
         }
-        assert!(matches!(
-            open_frame(&datagram[..4]),
-            Err(WireDecodeError::Truncated { .. })
-        ));
     }
 
     #[test]

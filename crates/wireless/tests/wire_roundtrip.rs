@@ -221,7 +221,13 @@ fn bit_flips_never_panic_and_never_pass_the_checksum() {
     for e in encoders() {
         for p in arbitrary_payloads(&e, &mut rng) {
             let frame = e.serialize_payload(&p);
-            let datagram = seal_frame(frame.clone());
+            let epoch = rng.next_u64();
+            let datagram = seal_frame(epoch, frame.clone());
+            assert_eq!(
+                open_frame(&datagram).expect("clean datagram opens"),
+                (epoch, &frame[..]),
+                "epoch header did not round-trip"
+            );
             for bit in 0..(datagram.len() as u64 * 8) {
                 let mut damaged = datagram.clone();
                 flip_bit(&mut damaged, bit);
@@ -259,7 +265,7 @@ fn truncations_fail_cleanly_at_every_length() {
                     frame.len()
                 );
             }
-            let datagram = seal_frame(frame);
+            let datagram = seal_frame(7, frame);
             for cut in 0..datagram.len() {
                 assert!(open_frame(&datagram[..cut]).is_err());
             }
