@@ -7,6 +7,7 @@
 //! delivery mode (§9), and whether expensive safety checking is on.
 
 use sw_faults::FaultPlan;
+use sw_query::QueryPlaneConfig;
 use sw_sim::MasterSeed;
 use sw_wireless::{DeliveryMode, EnergyModel};
 use sw_workload::{Popularity, ScenarioParams};
@@ -120,6 +121,15 @@ pub struct CellConfig {
     /// otherwise. Both backends are bit-identical; the explicit
     /// settings exist for A/B equivalence tests.
     pub fleet: Option<FleetBackend>,
+    /// Optional query-result plane (`sw-query`): every client runs a
+    /// predicate-query workload whose cached results are invalidated by
+    /// the same reports the item cache hears, plus multi-item
+    /// transactional reads. `None` — the default — arms nothing and
+    /// leaves every pre-query run byte-identical (the plane draws only
+    /// from `StreamId::QueryPlan { index }`). Query-armed cells always
+    /// use the boxed-unit fleet (the plane reads each client's item
+    /// cache directly) and must be standalone (no mesh backbone).
+    pub query: Option<QueryPlaneConfig>,
     /// Backbone seed for mesh membership. `None` — the default — means
     /// the cell is standalone and derives *everything* from `seed`.
     /// `Some(b)` marks the cell as one shard of a replicated-backbone
@@ -159,6 +169,7 @@ impl CellConfig {
             faults: None,
             sweep_threads: None,
             fleet: None,
+            query: None,
             backbone: None,
         }
     }
@@ -276,6 +287,14 @@ impl CellConfig {
         self
     }
 
+    /// Arms the per-client query-result plane (`sw-query`): predicate
+    /// queries over cached multi-item results, invalidated by the same
+    /// reports as the item cache, plus transactional multi-item reads.
+    pub fn with_query(mut self, query: QueryPlaneConfig) -> Self {
+        self.query = Some(query);
+        self
+    }
+
     /// Marks the cell as a mesh shard sharing the given backbone seed
     /// (see the `backbone` field for exactly which streams move over).
     /// Standalone runs never set this, which is what keeps every
@@ -324,6 +343,16 @@ impl CellConfig {
         }
         if let Some(plan) = &self.faults {
             plan.validate()?;
+        }
+        if let Some(query) = &self.query {
+            query.validate()?;
+            if self.backbone.is_some() {
+                return Err(
+                    "the query plane is standalone-only (mesh shards hand whole units \
+                     between cells; a traveling query cache is not modeled)"
+                        .into(),
+                );
+            }
         }
         Ok(())
     }

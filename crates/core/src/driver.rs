@@ -1,0 +1,329 @@
+//! The server-side strategy driver, shared by the simulator and the
+//! live daemon.
+//!
+//! A *static* broadcast strategy (TS, AT, SIG, hybrid) is fully
+//! described by its [`ReportBuilder`]: feed it updates, ask it for the
+//! report. The driver-constructed strategies carry extra server state —
+//! adaptive TS folds per-period query/update feedback into its window
+//! controller, quasi-delay thins the TS report to the *due* obligations,
+//! and the stateful baseline keeps a per-client registry for directed
+//! invalidations. [`ServerDriver`] packages all four shapes behind one
+//! seam so both `CellSimulation` and the live `sw-serve` ticker run the
+//! identical server logic: same construction, same update ingestion,
+//! same build rule, same uplink feedback, same period boundary.
+//!
+//! The live daemon can host every driver shape except the stateful
+//! baseline (directed messages need per-client connections the
+//! broadcast wire does not model) and adaptive Method 1 (its MHR
+//! estimate needs piggybacked local-hit times, which the live uplink
+//! frame does not carry).
+
+use sw_adaptive::{
+    AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
+};
+use sw_quasi::ObligationTracker;
+use sw_server::{
+    Database, ItemId, ItemTable, PiggybackInfo, ReportBuilder, StatefulServer, TsBuilder,
+    UpdateRecord, UplinkProcessor,
+};
+use sw_sim::{MasterSeed, SimDuration, SimTime};
+use sw_wireless::FramePayload;
+use sw_workload::ScenarioParams;
+
+use crate::strategy::Strategy;
+
+/// Server-side machinery; adaptive and quasi strategies carry extra
+/// state beyond the plain report builder.
+// One Side exists per driver; the variant size spread is irrelevant
+// next to the database it sits beside.
+#[allow(clippy::large_enum_variant)]
+enum Side {
+    Static(Box<dyn ReportBuilder + Send>),
+    Adaptive {
+        builder: AdaptiveTsBuilder,
+        controller: AdaptiveController,
+        eval_period: u32,
+        method: FeedbackMethod,
+        /// Per-item query timestamps this period (uplink + piggybacked).
+        query_times: ItemTable<Vec<SimTime>>,
+        /// Per-item update timestamps this period.
+        update_times: ItemTable<Vec<SimTime>>,
+    },
+    QuasiDelay {
+        builder: TsBuilder,
+        tracker: ObligationTracker,
+    },
+    /// §2's stateful baseline: directed invalidation messages to
+    /// registered holders instead of a broadcast report. `pending_ids`
+    /// collects this interval's updated ids so the AT-style client
+    /// algorithm can apply them.
+    Stateful {
+        registry: StatefulServer,
+        pending_ids: Vec<ItemId>,
+    },
+}
+
+/// One strategy's complete server half. See the module docs.
+pub struct ServerDriver {
+    side: Side,
+}
+
+impl ServerDriver {
+    /// Builds the server half of `strategy`. `n_clients` seeds the
+    /// stateful baseline's registry (every unit starts connected);
+    /// the other shapes ignore it.
+    pub fn new(
+        strategy: Strategy,
+        params: &ScenarioParams,
+        protocol_seed: MasterSeed,
+        db: &Database,
+        n_clients: usize,
+    ) -> Self {
+        let latency = SimDuration::from_secs(params.latency_secs);
+        let side = match strategy {
+            Strategy::AdaptiveTs {
+                method,
+                eval_period,
+                step,
+            } => Side::Adaptive {
+                builder: AdaptiveTsBuilder::new(latency, params.k),
+                controller: AdaptiveController::new(
+                    method,
+                    step,
+                    0.0,
+                    params.query_bits,
+                    params.timestamp_bits,
+                    params.n_items,
+                ),
+                eval_period,
+                method,
+                query_times: ItemTable::dense(params.n_items),
+                update_times: ItemTable::dense(params.n_items),
+            },
+            Strategy::QuasiDelay { alpha_intervals } => Side::QuasiDelay {
+                builder: TsBuilder::with_window(latency.scaled(alpha_intervals as f64)),
+                tracker: ObligationTracker::for_universe(alpha_intervals, params.n_items),
+            },
+            Strategy::Stateful => {
+                let mut registry = StatefulServer::with_universe(params.n_items);
+                for idx in 0..n_clients as u64 {
+                    registry.connect(idx);
+                }
+                Side::Stateful {
+                    registry,
+                    pending_ids: Vec::new(),
+                }
+            }
+            other => Side::Static(other.make_builder(params, protocol_seed, db)),
+        };
+        ServerDriver { side }
+    }
+
+    /// Whether this driver runs the stateful baseline (directed
+    /// messages instead of a broadcast report).
+    pub fn is_stateful(&self) -> bool {
+        matches!(self.side, Side::Stateful { .. })
+    }
+
+    /// The stateful baseline's registry, for connect/disconnect and
+    /// directed-recipient bookkeeping. `None` for every other shape.
+    pub fn registry_mut(&mut self) -> Option<&mut StatefulServer> {
+        match &mut self.side {
+            Side::Stateful { registry, .. } => Some(registry),
+            _ => None,
+        }
+    }
+
+    /// Current per-item adaptive window (adaptive strategy only).
+    pub fn adaptive_window(&self, item: ItemId) -> Option<u32> {
+        match &self.side {
+            Side::Adaptive { builder, .. } => Some(builder.windows().get(item)),
+            _ => None,
+        }
+    }
+
+    /// Ingests one applied update.
+    pub fn on_update(&mut self, rec: &UpdateRecord) {
+        match &mut self.side {
+            Side::Static(b) => b.on_update(rec),
+            Side::Adaptive {
+                builder,
+                update_times,
+                ..
+            } => {
+                builder.on_update(rec);
+                update_times
+                    .get_or_insert_with(rec.item, Vec::new)
+                    .push(rec.at);
+            }
+            Side::QuasiDelay { .. } => {}
+            // Stateful invalidations are charged by the caller, which
+            // owns the channel; here we only remember the ids for the
+            // client-side framing.
+            Side::Stateful { pending_ids, .. } => pending_ids.push(rec.item),
+        }
+    }
+
+    /// Builds interval `i`'s report payload, broadcast at `t_i`.
+    pub fn build(&mut self, i: u64, t_i: SimTime, db: &Database) -> FramePayload {
+        match &mut self.side {
+            Side::Static(b) => b.build(i, t_i, db),
+            Side::Adaptive { builder, .. } => builder.build(i, t_i, db),
+            Side::QuasiDelay { builder, tracker } => {
+                // Build the full TS report over window α, then thin it to
+                // the *due* items (§7: an item "can be considered for
+                // reporting" only when an outstanding copy reaches its
+                // allowed lag).
+                let payload = builder.build(i, t_i, db);
+                let entries = match payload {
+                    FramePayload::TimestampReport { entries, .. } => entries,
+                    other => unreachable!("TS builder produced {other:?}"),
+                };
+                let mut kept = Vec::new();
+                for (item, ts) in entries {
+                    if tracker.due(item, i) {
+                        kept.push((item, ts));
+                        // Reported: outstanding copies will be dropped
+                        // and re-fetched (fresh obligations arrive via
+                        // the uplink path).
+                        tracker.consume(item, i, false);
+                    }
+                }
+                // Due items that did NOT change within α are implicitly
+                // re-validated by their absence; their obligation clock
+                // restarts.
+                let due_unchanged: Vec<ItemId> = (0..db.len())
+                    .filter(|&item| tracker.due(item, i))
+                    .collect();
+                for item in due_unchanged {
+                    tracker.consume(item, i, true);
+                }
+                FramePayload::TimestampReport {
+                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
+                    entries: kept,
+                }
+            }
+            Side::Stateful { pending_ids, .. } => {
+                let mut ids = std::mem::take(pending_ids);
+                ids.sort_unstable();
+                ids.dedup();
+                FramePayload::AmnesicReport {
+                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
+                    ids,
+                }
+            }
+        }
+    }
+
+    /// Feeds one answered uplink query into the strategy's server
+    /// state: adaptive Method 1 records the query time (plus any
+    /// piggybacked local-hit times) for its MHR estimate, quasi-delay
+    /// registers the fresh obligation, and the stateful baseline
+    /// registers the cached copy.
+    pub fn note_uplink(
+        &mut self,
+        mu_id: u64,
+        item: ItemId,
+        i: u64,
+        t_i: SimTime,
+        piggyback: Option<&PiggybackInfo>,
+    ) {
+        match &mut self.side {
+            Side::Adaptive {
+                query_times,
+                method: FeedbackMethod::Method1,
+                ..
+            } => {
+                let times = query_times.get_or_insert_with(item, Vec::new);
+                if let Some(pb) = piggyback {
+                    times.extend(pb.local_hit_times.iter().copied());
+                }
+                times.push(t_i);
+            }
+            Side::QuasiDelay { tracker, .. } => tracker.on_uplink(item, i),
+            Side::Stateful { registry, .. } => {
+                // Registration rides the uplink query for free.
+                registry.register_cache(mu_id, item);
+            }
+            _ => {}
+        }
+    }
+
+    /// Runs the adaptive evaluation-period boundary when interval `i`
+    /// closes a period: drains the builder's mention counts and the
+    /// uplink processor's per-item stats, feeds the window controller,
+    /// and widens the database's update-log retention to cover the
+    /// largest granted window. Returns `(default_k, exceptions)` when a
+    /// period actually closed (for observation), `None` otherwise.
+    pub fn end_period_if_due(
+        &mut self,
+        i: u64,
+        uplink: &mut UplinkProcessor,
+        db: &mut Database,
+        latency: SimDuration,
+    ) -> Option<(u32, usize)> {
+        let Side::Adaptive {
+            builder,
+            controller,
+            eval_period,
+            method,
+            query_times,
+            update_times,
+        } = &mut self.side
+        else {
+            return None;
+        };
+        if !i.is_multiple_of(*eval_period as u64) {
+            return None;
+        }
+        let mentions = builder.end_period();
+        let uplink_stats = uplink.end_period();
+        // Both tables iterate in ascending id order; merge the two
+        // sorted id streams.
+        let mut items: Vec<ItemId> = mentions
+            .iter_sorted()
+            .map(|(item, _)| item)
+            .chain(uplink_stats.iter_sorted().map(|(item, _)| item))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let stats: Vec<PeriodItemStats> = items
+            .into_iter()
+            .map(|item| {
+                let us = uplink_stats.get(item).copied().unwrap_or_default();
+                let mhr = match method {
+                    FeedbackMethod::Method1 => {
+                        let queries = query_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
+                        let updates = update_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
+                        Some(sw_adaptive::estimate_mhr(queries, updates))
+                    }
+                    FeedbackMethod::Method2 => None,
+                };
+                PeriodItemStats {
+                    item,
+                    uplink_queries: us.uplink_queries,
+                    piggybacked_hits: us.piggybacked_hits,
+                    mentions: mentions.get(item).copied().unwrap_or(0),
+                    mhr,
+                }
+            })
+            .collect();
+        controller.end_period(builder.windows_mut(), stats);
+        query_times.clear();
+        update_times.clear();
+        // Growing windows need deeper update history.
+        let max_k = builder
+            .windows()
+            .exceptions()
+            .iter()
+            .map(|&(_, k)| k)
+            .chain(std::iter::once(builder.windows().default_k()))
+            .max()
+            .unwrap_or(1);
+        db.widen_log_retention(latency.scaled(max_k as f64 + 2.0));
+        Some((
+            builder.windows().default_k(),
+            builder.windows().exceptions().len(),
+        ))
+    }
+}

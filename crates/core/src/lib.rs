@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod driver;
 pub(crate) mod fleet;
 pub mod metrics;
 pub mod prelude;
@@ -53,6 +54,7 @@ pub mod simulation;
 pub mod strategy;
 
 pub use config::{CellConfig, FleetBackend, WakeMode};
+pub use driver::ServerDriver;
 pub use metrics::{MigrationStats, SimulationReport};
 pub use simulation::{CellSimulation, HandoffClient, SimulationError};
 pub use strategy::Strategy;
@@ -75,6 +77,9 @@ pub use sw_workload as workload;
 pub use sw_adaptive as adaptive;
 /// Re-export: quasi-copy coherency (§7).
 pub use sw_quasi as quasi;
+/// Re-export: query-result caching and transactional multi-item reads
+/// over the invalidation stream.
+pub use sw_query as query;
 /// Re-export: zero-cost instrumentation (counters, histograms, span
 /// timers, NDJSON traces, per-interval series).
 pub use sw_observe as observe;

@@ -7,6 +7,7 @@
 
 use sw_faults::FaultTotals;
 use sw_observe::ObserveSnapshot;
+use sw_query::QueryStats;
 use sw_wireless::{EnergyTotals, TrafficTotals};
 
 use crate::safety::SafetyStats;
@@ -65,6 +66,10 @@ pub struct SimulationReport {
     pub energy: EnergyTotals,
     /// Safety-checker counters (all zeros unless enabled).
     pub safety: SafetyStats,
+    /// Query-plane counters summed over the fleet (all zeros unless the
+    /// cell was configured with
+    /// [`crate::config::CellConfig::with_query`]).
+    pub query: QueryStats,
     /// Handoff counters (all zeros for standalone cells).
     pub migration: MigrationStats,
     /// Fault-injection counters (all zeros unless a plan is armed and
@@ -181,6 +186,7 @@ mod tests {
             registration_messages: 0,
             energy: EnergyTotals::default(),
             safety: SafetyStats::default(),
+            query: QueryStats::default(),
             migration: MigrationStats::default(),
             faults: FaultTotals::default(),
             interval_bits: 100_000.0,

@@ -17,6 +17,7 @@ pub use sw_analysis::{
     throughput_max, throughput_nc, throughput_sig, throughput_ts, Sweep, Throughputs,
 };
 pub use sw_faults::{ClockDrift, FaultPlan, FaultTotals, LossModel, UplinkFaults};
+pub use sw_query::{QueryPlaneConfig, QueryPredicate, QueryStats};
 pub use sw_sim::{MasterSeed, SimDuration, SimTime};
 pub use sw_wireless::DeliveryMode;
 pub use sw_workload::{Popularity, ScenarioParams, SweepAxis};

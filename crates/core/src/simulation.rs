@@ -25,16 +25,11 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
-use sw_adaptive::{
-    AdaptiveController, AdaptiveTsBuilder, FeedbackMethod, PeriodItemStats,
-};
+use sw_adaptive::FeedbackMethod;
 use sw_client::{IntervalReport, MobileUnit, MuConfig, MuStats};
 use sw_faults::{FaultLayer, ReportFate};
-use sw_quasi::ObligationTracker;
-use sw_server::{
-    Database, ItemId, ItemTable, PiggybackInfo, ReportBuilder, StatefulServer, TsBuilder,
-    UpdateEngine, UplinkProcessor,
-};
+use sw_query::{QueryPlane, QueryStats};
+use sw_server::{Database, ItemId, PiggybackInfo, UpdateEngine, UplinkProcessor};
 use sw_observe::{Recorder, Value};
 use sw_sim::{IntervalClock, MasterSeed, RngStream, SimDuration, SimTime, StreamId};
 use sw_wireless::frame::{checksum64, flip_bit};
@@ -44,6 +39,7 @@ use sw_wireless::{
 use sw_workload::HotspotSpec;
 
 use crate::config::{CellConfig, FleetBackend, WakeMode};
+use crate::driver::ServerDriver;
 use crate::fleet::ColumnarFleet;
 use crate::metrics::{MigrationStats, SimulationReport};
 use crate::safety::{SafetyExpectation, SafetyStats, ValueHistory};
@@ -96,111 +92,6 @@ impl std::fmt::Display for SimulationError {
 }
 
 impl std::error::Error for SimulationError {}
-
-/// Server-side machinery; adaptive and quasi strategies carry extra
-/// state beyond the plain report builder.
-// One ServerSide exists per simulation; the variant size spread is
-// irrelevant next to the database it sits beside.
-#[allow(clippy::large_enum_variant)]
-enum ServerSide {
-    Static(Box<dyn ReportBuilder + Send>),
-    Adaptive {
-        builder: AdaptiveTsBuilder,
-        controller: AdaptiveController,
-        eval_period: u32,
-        method: FeedbackMethod,
-        /// Per-item query timestamps this period (uplink + piggybacked).
-        query_times: ItemTable<Vec<SimTime>>,
-        /// Per-item update timestamps this period.
-        update_times: ItemTable<Vec<SimTime>>,
-    },
-    QuasiDelay {
-        builder: TsBuilder,
-        tracker: ObligationTracker,
-    },
-    /// §2's stateful baseline: directed invalidation messages to
-    /// registered holders instead of a broadcast report. `pending_ids`
-    /// collects this interval's updated ids so the AT-style client
-    /// algorithm can apply them; `directed` counts the per-recipient
-    /// messages already charged to the channel.
-    Stateful {
-        registry: StatefulServer,
-        pending_ids: Vec<ItemId>,
-    },
-}
-
-impl ServerSide {
-    fn on_update(&mut self, rec: &sw_server::UpdateRecord) {
-        match self {
-            ServerSide::Static(b) => b.on_update(rec),
-            ServerSide::Adaptive {
-                builder,
-                update_times,
-                ..
-            } => {
-                builder.on_update(rec);
-                update_times
-                    .get_or_insert_with(rec.item, Vec::new)
-                    .push(rec.at);
-            }
-            ServerSide::QuasiDelay { .. } => {}
-            // Stateful invalidations are charged in the step() update
-            // phase, which owns the channel; here we only remember the
-            // ids for the client-side framing.
-            ServerSide::Stateful { pending_ids, .. } => pending_ids.push(rec.item),
-        }
-    }
-
-    fn build(&mut self, i: u64, t_i: SimTime, db: &Database) -> FramePayload {
-        match self {
-            ServerSide::Static(b) => b.build(i, t_i, db),
-            ServerSide::Adaptive { builder, .. } => builder.build(i, t_i, db),
-            ServerSide::QuasiDelay { builder, tracker } => {
-                // Build the full TS report over window α, then thin it to
-                // the *due* items (§7: an item "can be considered for
-                // reporting" only when an outstanding copy reaches its
-                // allowed lag).
-                let payload = builder.build(i, t_i, db);
-                let entries = match payload {
-                    FramePayload::TimestampReport { entries, .. } => entries,
-                    other => unreachable!("TS builder produced {other:?}"),
-                };
-                let mut kept = Vec::new();
-                for (item, ts) in entries {
-                    if tracker.due(item, i) {
-                        kept.push((item, ts));
-                        // Reported: outstanding copies will be dropped
-                        // and re-fetched (fresh obligations arrive via
-                        // the uplink path).
-                        tracker.consume(item, i, false);
-                    }
-                }
-                // Due items that did NOT change within α are implicitly
-                // re-validated by their absence; their obligation clock
-                // restarts.
-                let due_unchanged: Vec<ItemId> = (0..db.len())
-                    .filter(|&item| tracker.due(item, i))
-                    .collect();
-                for item in due_unchanged {
-                    tracker.consume(item, i, true);
-                }
-                FramePayload::TimestampReport {
-                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
-                    entries: kept,
-                }
-            }
-            ServerSide::Stateful { pending_ids, .. } => {
-                let mut ids = std::mem::take(pending_ids);
-                ids.sort_unstable();
-                ids.dedup();
-                FramePayload::AmnesicReport {
-                    report_ts_micros: (t_i.as_secs() * 1e6).round() as u64,
-                    ids,
-                }
-            }
-        }
-    }
-}
 
 /// Above this mean sleep probability the automatic [`WakeMode`] choice
 /// uses the heap: with ≥ 95% of the cell asleep, skipping sleepers
@@ -404,7 +295,7 @@ pub struct CellSimulation {
     strategy: Strategy,
     db: Database,
     history: Option<ValueHistory>,
-    server: ServerSide,
+    server: ServerDriver,
     uplink: UplinkProcessor,
     channel: BroadcastChannel,
     clock: IntervalClock,
@@ -430,6 +321,12 @@ pub struct CellSimulation {
     pending_disconnects: Vec<usize>,
     sleep_rngs: Vec<RngStream>,
     query_rngs: Vec<RngStream>,
+    /// Per-slot query-result planes (`sw-query`), index-parallel to the
+    /// fleet. All `None` unless the config arms `query`; always `None`
+    /// on the columnar backend (query-armed cells force boxed units).
+    /// Each plane draws only from `StreamId::QueryPlan { index }`, so
+    /// arming it never perturbs the item-plane streams.
+    query_planes: Vec<Option<QueryPlane>>,
     update_rng: RngStream,
     update_engine: UpdateEngine,
     report_bits_total: u64,
@@ -530,42 +427,7 @@ impl CellSimulation {
             .check_safety
             .then(|| ValueHistory::new(params.n_items, |i| db.value(i)));
 
-        let server = match strategy {
-            Strategy::AdaptiveTs {
-                method,
-                eval_period,
-                step,
-            } => ServerSide::Adaptive {
-                builder: AdaptiveTsBuilder::new(latency, params.k),
-                controller: AdaptiveController::new(
-                    method,
-                    step,
-                    0.0,
-                    params.query_bits,
-                    params.timestamp_bits,
-                    params.n_items,
-                ),
-                eval_period,
-                method,
-                query_times: ItemTable::dense(params.n_items),
-                update_times: ItemTable::dense(params.n_items),
-            },
-            Strategy::QuasiDelay { alpha_intervals } => ServerSide::QuasiDelay {
-                builder: TsBuilder::with_window(latency.scaled(alpha_intervals as f64)),
-                tracker: ObligationTracker::for_universe(alpha_intervals, params.n_items),
-            },
-            Strategy::Stateful => {
-                let mut registry = StatefulServer::with_universe(params.n_items);
-                for idx in 0..config.n_clients as u64 {
-                    registry.connect(idx);
-                }
-                ServerSide::Stateful {
-                    registry,
-                    pending_ids: Vec::new(),
-                }
-            }
-            other => ServerSide::Static(other.make_builder(&params, protocol_seed, &db)),
-        };
+        let server = ServerDriver::new(strategy, &params, protocol_seed, &db, config.n_clients);
 
         let encode = WireEncode::new(
             params.n_items,
@@ -594,6 +456,7 @@ impl CellSimulation {
         let columnar_spec = if config.backbone.is_none()
             && config.cache_capacity.is_none()
             && !piggyback
+            && config.query.is_none()
         {
             strategy.columnar_spec(&params, protocol_seed)
         } else {
@@ -605,10 +468,11 @@ impl CellSimulation {
                 if columnar_spec.is_none() {
                     return Err(SimulationError::InvalidConfig(format!(
                         "the columnar fleet cannot host this configuration \
-                         (strategy {}, capacity {:?}, piggyback {}, backbone {:?})",
+                         (strategy {}, capacity {:?}, piggyback {}, query {}, backbone {:?})",
                         strategy.name(),
                         config.cache_capacity,
                         piggyback,
+                        config.query.is_some(),
                         config.backbone,
                     )));
                 }
@@ -625,6 +489,7 @@ impl CellSimulation {
         let mut clients = Vec::with_capacity(if use_columnar { 0 } else { config.n_clients });
         let mut sleep_rngs = Vec::with_capacity(config.n_clients);
         let mut query_rngs = Vec::with_capacity(config.n_clients);
+        let mut query_planes = Vec::with_capacity(config.n_clients);
         let wake_mode = config.wake_mode.unwrap_or_else(|| {
             if config.mean_sleep_probability() >= HEAP_SLEEP_THRESHOLD {
                 WakeMode::Heap
@@ -638,6 +503,17 @@ impl CellSimulation {
         for idx in 0..config.n_clients as u64 {
             let mut hotspot_rng = config.seed.stream(StreamId::Hotspot { index: idx });
             let hotspot = spec.draw(&mut hotspot_rng);
+            // The query plane's workload and draw sequence are a pure
+            // function of (seed, QueryPlan{idx}) over the hotspot the
+            // item plane already drew — built before the hotspot moves
+            // into the unit's config.
+            query_planes.push(config.query.map(|qc| {
+                QueryPlane::new(
+                    &hotspot,
+                    qc,
+                    config.seed.stream(StreamId::QueryPlan { index: idx }),
+                )
+            }));
             let mut query_rng = config.seed.stream(StreamId::Queries { index: idx });
             let sleep_probability = match &config.sleep_profile {
                 Some(profile) => profile[idx as usize % profile.len()],
@@ -773,6 +649,7 @@ impl CellSimulation {
             pending_disconnects,
             sleep_rngs,
             query_rngs,
+            query_planes,
             update_rng,
             update_engine,
             report_bits_total: 0,
@@ -840,6 +717,19 @@ impl CellSimulation {
     /// Whether the cell runs the columnar client backend.
     pub fn is_columnar(&self) -> bool {
         self.columnar.is_some()
+    }
+
+    /// Query-plane stats for the client in slot `idx` (`None` unless
+    /// the cell was configured with [`CellConfig::with_query`]).
+    pub fn client_query_stats(&self, idx: usize) -> Option<QueryStats> {
+        self.query_planes[idx].as_ref().map(|p| p.stats())
+    }
+
+    /// The query plane of the client in slot `idx`, for audits and the
+    /// committed-read log (`None` unless the cell was configured with
+    /// [`CellConfig::with_query`]).
+    pub fn query_plane(&self, idx: usize) -> Option<&QueryPlane> {
+        self.query_planes[idx].as_ref()
     }
 
     fn mu_id(&self, idx: usize) -> u64 {
@@ -933,25 +823,8 @@ impl CellSimulation {
             attempt += 1;
         }
         let answer = self.uplink.answer(&self.db, item, t_i, piggyback.as_ref());
-        if let ServerSide::Adaptive {
-            query_times,
-            method: FeedbackMethod::Method1,
-            ..
-        } = &mut self.server
-        {
-            let times = query_times.get_or_insert_with(item, Vec::new);
-            if let Some(pb) = &piggyback {
-                times.extend(pb.local_hit_times.iter().copied());
-            }
-            times.push(t_i);
-        }
-        if let ServerSide::QuasiDelay { tracker, .. } = &mut self.server {
-            tracker.on_uplink(item, i);
-        }
-        if let ServerSide::Stateful { registry, .. } = &mut self.server {
-            // Registration rides the uplink query for free.
-            registry.register_cache(mu_id, item);
-        }
+        self.server
+            .note_uplink(mu_id, item, i, t_i, piggyback.as_ref());
         match &mut self.columnar {
             Some(fleet) => fleet.install_answer(idx, answer),
             None => self.clients[idx].install_answer(answer),
@@ -978,6 +851,7 @@ impl CellSimulation {
         let (mut obs_hits, mut obs_misses) = (0u64, 0u64);
         let (mut obs_invalidated, mut obs_drops) = (0u64, 0u64);
         let (mut obs_false_alarms, mut obs_unmatched) = (0u64, 0u64);
+        let mut query_delta = QueryStats::default();
 
         // 1. Take this interval's wake-ups off the schedule and generate
         // their query arrivals. Each unit drew its whole sleep run when
@@ -1013,8 +887,13 @@ impl CellSimulation {
                     self.clients[idx].begin_awake_interval(from, t_i, &mut self.query_rngs[idx]);
                 }
             }
+            // The query plane draws this interval's predicate-query and
+            // transaction events from its own stream.
+            if let Some(plane) = self.query_planes[idx].as_mut() {
+                plane.begin_awake_interval();
+            }
         }
-        if let ServerSide::Stateful { registry, .. } = &mut self.server {
+        if let Some(registry) = self.server.registry_mut() {
             // Clients announce connects/disconnects; each transition is
             // one control message on the channel. Units that fell asleep
             // after the previous interval disconnect now, waking units
@@ -1061,7 +940,7 @@ impl CellSimulation {
             .update_engine
             .advance(&mut self.db, from, t_i, &mut self.update_rng);
         for rec in &recs {
-            if let ServerSide::Stateful { registry, .. } = &mut self.server {
+            if let Some(registry) = self.server.registry_mut() {
                 let recipients = registry.on_update(rec);
                 for _ in &recipients {
                     let _ = self.channel.send_invalidation(rec.item);
@@ -1080,7 +959,7 @@ impl CellSimulation {
             let _span = self.obs.span("server_build");
             self.server.build(i, t_i, &self.db)
         };
-        let is_stateful = matches!(self.server, ServerSide::Stateful { .. });
+        let is_stateful = self.server.is_stateful();
         // Zero-copy broadcast: the payload is charged by reference (its
         // bit size computed in place) and then lent to every listening
         // client — no per-interval frame clone, no per-client copies.
@@ -1204,6 +1083,9 @@ impl CellSimulation {
                     match &mut self.columnar {
                         Some(fleet) => fleet.miss_report(idx),
                         None => self.clients[idx].miss_report(),
+                    }
+                    if let Some(plane) = self.query_planes[idx].as_mut() {
+                        plane.on_report_missed();
                     }
                     if observing {
                         self.obs.event(
@@ -1368,6 +1250,50 @@ impl CellSimulation {
                     ExchangeOutcome::FaultDeferred => {}
                 }
             }
+            // The query plane's footprint check runs against the item
+            // cache the strategy handler just processed; its fetch list
+            // is served over the same uplink (and the same budget) as
+            // the item plane's misses, then the settle half materializes
+            // entries and resolves transaction reads. All RNG-free, so
+            // the sweep/merge split keeps runs byte-identical at any
+            // `SW_THREADS`.
+            if let Some(mut plane) = self.query_planes[idx].take() {
+                let before = plane.stats();
+                let check = plane.observe_report(self.clients[idx].cache(), t_i);
+                for item in check.fetch {
+                    if self.exchange_queued(idx, item) {
+                        // The same fetch is already waiting from an
+                        // earlier interval; answering it once is enough.
+                        continue;
+                    }
+                    match self.attempt_uplink_exchange(idx, item, None, i, t_i) {
+                        ExchangeOutcome::Done => uplink_counts[slot] += 1,
+                        ExchangeOutcome::Saturated => {
+                            // The entry stays unmaterialized (a txn read
+                            // aborts conservatively); count the overage
+                            // like any deferred exchange.
+                            self.overflow_exchanges += 1;
+                        }
+                        ExchangeOutcome::FaultDeferred => {}
+                    }
+                }
+                plane.settle(self.clients[idx].cache(), t_i);
+                if observing {
+                    let mut after = plane.stats();
+                    let b = before;
+                    after.queries_posed -= b.queries_posed;
+                    after.hits -= b.hits;
+                    after.misses -= b.misses;
+                    after.entries_invalidated -= b.entries_invalidated;
+                    after.entries_reverified -= b.entries_reverified;
+                    after.fetch_items -= b.fetch_items;
+                    after.txns_begun -= b.txns_begun;
+                    after.txn_commits -= b.txn_commits;
+                    after.txn_aborts -= b.txn_aborts;
+                    query_delta.absorb(&after);
+                }
+                self.query_planes[idx] = Some(plane);
+            }
             if let Some((pre_stats, _)) = sw.pre {
                 let s = self.client_stats(idx);
                 obs_hits += s.hit_events - pre_stats.hit_events;
@@ -1455,6 +1381,22 @@ impl CellSimulation {
                     }
                 }
             }
+            // Query-result rows are audited by the same rule: every
+            // materialized footprint row must still match the item's
+            // historical value at its verification timestamp. A stale
+            // row is a stale *query answer*, so it counts against the
+            // owning strategy's safety contract exactly like a stale
+            // item-cache entry.
+            for plane in self.query_planes.iter().flatten() {
+                for entry in plane.cache().iter() {
+                    for row in &entry.rows {
+                        self.safety.entries_checked += 1;
+                        if !history.is_consistent(row.item, row.value, row.timestamp) {
+                            self.safety.violations += 1;
+                        }
+                    }
+                }
+            }
             if observing {
                 // Stale entries the strategy validated anyway — SIG's
                 // false-validation risk made visible per interval.
@@ -1479,82 +1421,21 @@ impl CellSimulation {
         }
 
         // 7. Period boundaries and log hygiene.
-        if let ServerSide::Adaptive {
-            builder,
-            controller,
-            eval_period,
-            method,
-            query_times,
-            update_times,
-        } = &mut self.server
-        {
-            if i % *eval_period as u64 == 0 {
-                let mentions = builder.end_period();
-                let uplink_stats = self.uplink.end_period();
-                // Both tables iterate in ascending id order; merge the
-                // two sorted id streams.
-                let mut items: Vec<ItemId> = mentions
-                    .iter_sorted()
-                    .map(|(item, _)| item)
-                    .chain(uplink_stats.iter_sorted().map(|(item, _)| item))
-                    .collect();
-                items.sort_unstable();
-                items.dedup();
-                let stats: Vec<PeriodItemStats> = items
-                    .into_iter()
-                    .map(|item| {
-                        let us = uplink_stats.get(item).copied().unwrap_or_default();
-                        let mhr = match method {
-                            FeedbackMethod::Method1 => {
-                                let queries =
-                                    query_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
-                                let updates =
-                                    update_times.get(item).map(|v| v.as_slice()).unwrap_or(&[]);
-                                Some(sw_adaptive::estimate_mhr(queries, updates))
-                            }
-                            FeedbackMethod::Method2 => None,
-                        };
-                        PeriodItemStats {
-                            item,
-                            uplink_queries: us.uplink_queries,
-                            piggybacked_hits: us.piggybacked_hits,
-                            mentions: mentions.get(item).copied().unwrap_or(0),
-                            mhr,
-                        }
-                    })
-                    .collect();
-                controller.end_period(builder.windows_mut(), stats);
-                query_times.clear();
-                update_times.clear();
-                // Growing windows need deeper update history.
-                let max_k = builder
-                    .windows()
-                    .exceptions()
-                    .iter()
-                    .map(|&(_, k)| k)
-                    .chain(std::iter::once(builder.windows().default_k()))
-                    .max()
-                    .unwrap_or(1);
-                self.db.widen_log_retention(
-                    SimDuration::from_secs(self.config.params.latency_secs)
-                        .scaled(max_k as f64 + 2.0),
+        if let Some((default_k, exceptions)) = self.server.end_period_if_due(
+            i,
+            &mut self.uplink,
+            &mut self.db,
+            SimDuration::from_secs(self.config.params.latency_secs),
+        ) {
+            if observing {
+                self.obs.event(
+                    i,
+                    "adaptive_period",
+                    &[
+                        ("default_k", Value::U64(default_k as u64)),
+                        ("exceptions", Value::U64(exceptions as u64)),
+                    ],
                 );
-                if observing {
-                    self.obs.event(
-                        i,
-                        "adaptive_period",
-                        &[
-                            (
-                                "default_k",
-                                Value::U64(builder.windows().default_k() as u64),
-                            ),
-                            (
-                                "exceptions",
-                                Value::U64(builder.windows().exceptions().len() as u64),
-                            ),
-                        ],
-                    );
-                }
             }
         }
         self.db.prune_log(t_i);
@@ -1604,6 +1485,18 @@ impl CellSimulation {
             self.obs.add("overflow_exchanges", overflow);
             self.obs.add("sig_false_alarms", obs_false_alarms);
             self.obs.add("sig_unmatched_subsets", obs_unmatched);
+            if self.config.query.is_some() {
+                // The query-plane counter family mirrors the item-plane
+                // one; absent (and traces unchanged) unless a query
+                // config is armed.
+                self.obs.add("query_posed", query_delta.queries_posed);
+                self.obs.add("query_hits", query_delta.hits);
+                self.obs.add("query_misses", query_delta.misses);
+                self.obs.add("query_invalidated", query_delta.entries_invalidated);
+                self.obs.add("query_reverified", query_delta.entries_reverified);
+                self.obs.add("query_txn_commits", query_delta.txn_commits);
+                self.obs.add("query_txn_aborts", query_delta.txn_aborts);
+            }
             if self.faults.is_active() {
                 // The fault event family: counters stay absent (and
                 // faultless trace summaries stay byte-identical) unless
@@ -1689,6 +1582,9 @@ impl CellSimulation {
         for settled in &mut self.last_settled {
             *settled = (*settled).max(now);
         }
+        for plane in self.query_planes.iter_mut().flatten() {
+            plane.reset_stats();
+        }
         self.channel.reset_totals();
         self.report_bits_total = 0;
         self.overflow_exchanges = 0;
@@ -1738,6 +1634,10 @@ impl CellSimulation {
             Some(fleet) => fleet.stats_iter().for_each(&mut tally),
             None => self.clients.iter().for_each(|mu| tally(&mu.stats())),
         }
+        let mut query = QueryStats::default();
+        for plane in self.query_planes.iter().flatten() {
+            query.absorb(&plane.stats());
+        }
         let params = &self.config.params;
         SimulationReport {
             strategy: self.strategy.name(),
@@ -1754,6 +1654,7 @@ impl CellSimulation {
             registration_messages: self.registration_messages,
             energy: self.energy,
             safety: self.safety,
+            query,
             migration: self.migration,
             faults: self.faults.totals(),
             interval_bits: params.latency_secs * params.bandwidth_bps as f64,
@@ -1775,10 +1676,7 @@ impl CellSimulation {
     /// Current per-item adaptive window (adaptive strategy only; test
     /// hook).
     pub fn adaptive_window(&self, item: ItemId) -> Option<u32> {
-        match &self.server {
-            ServerSide::Adaptive { builder, .. } => Some(builder.windows().get(item)),
-            _ => None,
-        }
+        self.server.adaptive_window(item)
     }
 
     /// The interval index the next [`step`](Self::step) will simulate.
@@ -1894,6 +1792,10 @@ impl CellSimulation {
             &mut self.sleep_rngs[idx],
             MasterSeed(0).stream(StreamId::Custom { tag: 0xDEAD }),
         );
+        // The query plane does not travel: config::validate rejects
+        // query + backbone, so a detaching slot never carries one. The
+        // take keeps the husk invariant (`None` everywhere) honest.
+        self.query_planes[idx] = None;
         let next_wake = self.next_wake_hint[idx];
         self.departed[idx] = true;
         self.departed_count += 1;
@@ -1907,7 +1809,7 @@ impl CellSimulation {
         // O(1) in the queue length where it used to be a full retain
         // scan, which went quadratic for mesh detaches at large fleets.
         self.pending_disconnects.retain(|&p| p != idx);
-        if let ServerSide::Stateful { registry, .. } = &mut self.server {
+        if let Some(registry) = self.server.registry_mut() {
             let id = mu.id();
             if registry.is_connected(id) {
                 registry.disconnect(id);
@@ -1979,6 +1881,7 @@ impl CellSimulation {
         mu.enter_sleep();
         self.clients.push(mu);
         self.query_rngs.push(query_rng);
+        self.query_planes.push(None);
         self.sleep_rngs.push(sleep_rng);
         self.last_settled.push(last_settled.max(transit));
         self.departed.push(false);
@@ -2463,6 +2366,49 @@ mod tests {
         }
 
         #[test]
+        fn query_invalidation_stays_sound_under_the_gauntlet() {
+            use sw_query::QueryPlaneConfig;
+            // The query plane inherits each strategy's safety contract
+            // even when reports are lost, frames are corrupted, and
+            // uplinks fail: TS/AT cached results are never stale (the
+            // in-step abort enforces it row by row), SIG stays within
+            // its diagnosis bound.
+            let plan = FaultPlan::none()
+                .with_loss(LossModel::burst(0.1, 0.4, 0.9))
+                .with_corruption(0.05)
+                .with_uplink(UplinkFaults {
+                    p_fail: 0.2,
+                    max_attempts: 3,
+                    backoff_base_bits: 64,
+                });
+            for strategy in [Strategy::BroadcastTimestamps, Strategy::AmnesicTerminals] {
+                let cfg = config(0.2)
+                    .with_safety_checking()
+                    .with_faults(plan)
+                    .with_query(QueryPlaneConfig::new());
+                let mut sim = CellSimulation::new(cfg, strategy).unwrap();
+                let report = sim.run(300).unwrap();
+                assert!(report.faults.reports_missed_total() > 0);
+                assert!(report.query.queries_posed > 0);
+                assert_eq!(
+                    report.safety.violations, 0,
+                    "{strategy:?} served a stale query row under faults"
+                );
+            }
+            let cfg = config(0.2)
+                .with_safety_checking()
+                .with_faults(plan)
+                .with_query(QueryPlaneConfig::new());
+            let mut sim = CellSimulation::new(cfg, Strategy::Signatures).unwrap();
+            let report = sim.run(300).unwrap();
+            assert!(
+                report.safety.violation_rate() < 0.01,
+                "SIG query-row stale rate {} must stay within its bound",
+                report.safety.violation_rate()
+            );
+        }
+
+        #[test]
         fn uplink_retries_back_off_and_eventually_deliver() {
             let plan = FaultPlan::none().with_uplink(UplinkFaults {
                 p_fail: 0.3,
@@ -2504,6 +2450,164 @@ mod tests {
                 multicast.faults.drift_missed_reports, 0,
                 "the network wakes a multicast client, not its clock"
             );
+        }
+    }
+
+    mod query_plane {
+        use super::*;
+        use sw_query::QueryPlaneConfig;
+
+        fn query_config(s: f64) -> CellConfig {
+            config(s).with_query(QueryPlaneConfig::new())
+        }
+
+        #[test]
+        fn runs_caches_and_reports_counters() {
+            let mut sim =
+                CellSimulation::new(query_config(0.3), Strategy::BroadcastTimestamps).unwrap();
+            let report = sim.run(200).unwrap();
+            let q = report.query;
+            assert!(q.queries_posed > 0, "clients must pose predicate queries");
+            assert!(q.misses > 0, "cold caches must miss");
+            assert!(q.hits > 0, "materialized results must be re-served");
+            assert!(
+                q.hits + q.misses == q.queries_posed,
+                "every posed query is a hit or a miss: {q:?}"
+            );
+            assert!(
+                report.miss_events > 0,
+                "the item plane keeps running underneath"
+            );
+        }
+
+        #[test]
+        fn updates_invalidate_cached_results() {
+            let mut p = quick_params();
+            p.mu = 0.02; // lively updates so footprints get hit
+            let cfg = CellConfig::new(p.with_s(0.2))
+                .with_clients(8)
+                .with_hotspot_size(20)
+                .with_seed(42)
+                .with_query(QueryPlaneConfig::new());
+            let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+            let report = sim.run(300).unwrap();
+            assert!(
+                report.query.entries_invalidated > 0,
+                "updated footprints must drop entries: {:?}",
+                report.query
+            );
+        }
+
+        #[test]
+        fn query_rows_never_stale_for_ts_and_at() {
+            for strategy in [Strategy::BroadcastTimestamps, Strategy::AmnesicTerminals] {
+                let cfg = query_config(0.4).with_safety_checking();
+                let mut sim = CellSimulation::new(cfg, strategy).unwrap();
+                // Completing at all proves it: a stale query row trips
+                // the same NeverStale in-step abort as a stale item.
+                let report = sim.run(200).unwrap();
+                assert!(report.safety.entries_checked > 0);
+                assert_eq!(
+                    report.safety.violations, 0,
+                    "{strategy:?} served a stale query row"
+                );
+                assert!(report.query.queries_posed > 0);
+            }
+        }
+
+        #[test]
+        fn transactions_commit_and_stats_balance() {
+            let cfg = query_config(0.3);
+            let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+            let report = sim.run(400).unwrap();
+            let q = report.query;
+            assert!(q.txns_begun > 0, "txn mix must fire: {q:?}");
+            assert!(q.txn_commits > 0, "coherent pins must commit: {q:?}");
+            assert_eq!(
+                q.txn_commits + q.txn_aborts,
+                q.txns_begun,
+                "every begun txn resolves exactly once: {q:?}"
+            );
+        }
+
+        #[test]
+        fn non_serializable_reads_are_detected_and_aborted() {
+            // Update-heavy cell + eager transactions: some multi-item
+            // read must witness a footprint change between its two
+            // pinned reports and abort — deterministically, given the
+            // seed. This is the serializability contract's teeth: the
+            // plane *detects* the interleaving instead of committing a
+            // snapshot no serial order could produce.
+            let mut p = quick_params();
+            p.mu = 0.02;
+            let qc = QueryPlaneConfig::new().with_txn_probability(0.5);
+            let cfg = CellConfig::new(p.with_s(0.2))
+                .with_clients(8)
+                .with_hotspot_size(20)
+                .with_seed(42)
+                .with_query(qc);
+            let mut sim = CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+            let report = sim.run(400).unwrap();
+            let q = report.query;
+            assert!(
+                q.txn_aborts > 0,
+                "an update-heavy run must detect and abort at least one \
+                 non-serializable multi-item read: {q:?}"
+            );
+            assert!(q.txn_commits > 0, "quiet footprints must still commit: {q:?}");
+            assert_eq!(q.txn_commits + q.txn_aborts, q.txns_begun);
+        }
+
+        #[test]
+        fn deterministic_given_seed_and_thread_count() {
+            let run = |threads: usize| {
+                let cfg = query_config(0.3).with_sweep_threads(threads);
+                let mut sim =
+                    CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+                let r = sim.run(150).unwrap();
+                (r.query, r.hit_events, r.miss_events, r.report_bits_total)
+            };
+            let single = run(1);
+            assert_eq!(single, run(4), "query plane must be sweep-invariant");
+            assert_eq!(single, run(7), "odd split points included");
+        }
+
+        #[test]
+        fn query_plane_leaves_item_plane_schedules_untouched() {
+            // Arming the query plane must not perturb any pre-existing
+            // random stream (the plane draws only from its own
+            // `StreamId::QueryPlan`): the update process, the item-query
+            // arrivals, and the sleep schedule — hence the report stream
+            // and drop counts — stay byte-identical. Item *hits* may
+            // legitimately change: query fetches land in the item cache.
+            let run = |armed: bool| {
+                let mut cfg = config(0.3);
+                if armed {
+                    cfg = cfg.with_query(QueryPlaneConfig::new());
+                }
+                let mut sim =
+                    CellSimulation::new(cfg, Strategy::BroadcastTimestamps).unwrap();
+                let r = sim.run(150).unwrap();
+                (r.queries_posed, r.report_bits_total, r.cache_drops)
+            };
+            assert_eq!(run(false), run(true));
+        }
+
+        #[test]
+        fn rejects_columnar_and_backbone() {
+            let Err(err) = CellSimulation::new(
+                query_config(0.3).with_fleet(FleetBackend::Columnar),
+                Strategy::BroadcastTimestamps,
+            ) else {
+                panic!("forcing Columnar under a query plane must be rejected");
+            };
+            assert!(matches!(err, SimulationError::InvalidConfig(_)));
+
+            let err = query_config(0.3)
+                .with_backbone(MasterSeed(99))
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("standalone"), "got: {err}");
         }
     }
 

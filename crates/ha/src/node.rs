@@ -66,6 +66,13 @@ pub struct HaOptions {
     /// partitioned and the successor takes over. (A *dead* primary is
     /// detected faster — by its link closing.)
     pub promote_after: Duration,
+    /// This process is a restart of a crashed cluster member: join as
+    /// a replica and wait for `RepHello` catch-up replay to begin
+    /// before coordinating any tick, instead of assuming the cold-start
+    /// primacy order (which may name *this* node and would have it
+    /// sequence bogus entries for intervals the cluster settled long
+    /// ago).
+    pub rejoin: bool,
 }
 
 impl HaOptions {
@@ -78,6 +85,7 @@ impl HaOptions {
             faults: ServerFaultPlan::none(),
             ack_timeout: Duration::from_millis(250),
             promote_after: Duration::from_secs(2),
+            rejoin: false,
         }
     }
 
@@ -96,6 +104,13 @@ impl HaOptions {
     /// Overrides the replica-side silence bound.
     pub fn with_promote_after(mut self, t: Duration) -> Self {
         self.promote_after = t;
+        self
+    }
+
+    /// Marks this process as a restarted cluster member rejoining
+    /// mid-session (see [`HaOptions::rejoin`]).
+    pub fn with_rejoin(mut self) -> Self {
+        self.rejoin = true;
         self
     }
 }
@@ -300,6 +315,9 @@ struct HaCoordinator {
     ack_timeout: Duration,
     promote_after: Duration,
     links_awaited: bool,
+    /// [`HaOptions::rejoin`]: wait for catch-up replay before the
+    /// first tick.
+    rejoin: bool,
 }
 
 enum ReplicaOutcome {
@@ -333,6 +351,28 @@ impl HaCoordinator {
         let deadline = Instant::now() + Duration::from_secs(10);
         let mut core = self.shared.lock();
         while core.links.len() < want
+            && Instant::now() < deadline
+            && !stop.load(Ordering::SeqCst)
+        {
+            let (guard, _) = self
+                .shared
+                .cv
+                .wait_timeout(core, Duration::from_millis(20))
+                .expect("replication core lock");
+            core = guard;
+        }
+    }
+
+    /// Rejoin gate: blocks (bounded) until the cluster's catch-up
+    /// replay lands — the first replicated entry both demotes this
+    /// node (the appender is the epoch's writer) and seeds `pending`
+    /// with everything it missed, so the ticker replays the session
+    /// from interval 1 off the canonical log instead of sequencing
+    /// its own cold-start entries.
+    fn wait_for_catch_up(&self, stop: &AtomicBool) {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut core = self.shared.lock();
+        while core.pending.is_empty()
             && Instant::now() < deadline
             && !stop.load(Ordering::SeqCst)
         {
@@ -528,6 +568,9 @@ impl TickCoordinator for HaCoordinator {
     ) -> io::Result<TickDirective> {
         if !self.links_awaited {
             self.wait_for_links(stop);
+            if self.rejoin {
+                self.wait_for_catch_up(stop);
+            }
             self.links_awaited = true;
         }
         loop {
@@ -632,7 +675,20 @@ impl HaNode {
                 "HaOptions::peers must include this node",
             ));
         }
-        let initial_primary = peers.first().map(|p| p.node).unwrap_or(opts.node);
+        // Cold start: the lowest id leads. Rejoin: the true primary is
+        // unknown but is definitely *not us* — guessing any other
+        // member keeps the wrapped session in replica mode (no client
+        // registration wait, no sequencing) until the first replayed
+        // append names the real writer.
+        let initial_primary = if opts.rejoin {
+            peers
+                .iter()
+                .map(|p| p.node)
+                .find(|&n| n != opts.node)
+                .unwrap_or(opts.node)
+        } else {
+            peers.first().map(|p| p.node).unwrap_or(opts.node)
+        };
         let interval_ms = match opts.live.pace {
             Pace::Paced { interval_ms } => Some(interval_ms),
             Pace::Lockstep => None,
@@ -687,6 +743,7 @@ impl HaNode {
             ack_timeout: opts.ack_timeout,
             promote_after: opts.promote_after,
             links_awaited: false,
+            rejoin: opts.rejoin,
         };
         let server = LiveServer::spawn_coordinated(
             cfg,

@@ -27,6 +27,7 @@ use std::thread;
 
 use sleepers::{CellConfig, CellSimulation, SimulationError, Strategy};
 use sw_client::MuStats;
+use sw_query::QueryStats;
 
 use crate::mu::{run_mu, MuOptions};
 use crate::proto::{encode_rows, DecisionRow};
@@ -105,7 +106,13 @@ pub struct Conformance {
     pub live: Vec<Vec<DecisionRow>>,
 }
 
-fn row_from_deltas(i: u64, prev: &MuStats, s: &MuStats) -> DecisionRow {
+fn row_from_deltas(
+    i: u64,
+    prev: &MuStats,
+    s: &MuStats,
+    prev_q: &QueryStats,
+    q: &QueryStats,
+) -> DecisionRow {
     if s.intervals_awake == prev.intervals_awake {
         return DecisionRow {
             interval: i,
@@ -121,6 +128,10 @@ fn row_from_deltas(i: u64, prev: &MuStats, s: &MuStats) -> DecisionRow {
         misses: s.miss_events - prev.miss_events,
         invalidated: s.items_invalidated - prev.items_invalidated,
         drops: s.cache_drops - prev.cache_drops,
+        qhits: q.hits - prev_q.hits,
+        qmisses: q.misses - prev_q.misses,
+        qcommits: q.txn_commits - prev_q.txn_commits,
+        qaborts: q.txn_aborts - prev_q.txn_aborts,
     }
 }
 
@@ -134,13 +145,18 @@ pub fn sim_decision_log(
     let mut sim = CellSimulation::new(cfg.clone(), strategy)?;
     let n = cfg.n_clients;
     let mut prev: Vec<MuStats> = (0..n).map(|idx| sim.client_stats(idx)).collect();
+    let mut prev_q: Vec<QueryStats> = (0..n)
+        .map(|idx| sim.client_query_stats(idx).unwrap_or_default())
+        .collect();
     let mut rows: Vec<Vec<DecisionRow>> = vec![Vec::with_capacity(intervals as usize); n];
     for i in 1..=intervals {
         sim.step()?;
         for (idx, log) in rows.iter_mut().enumerate() {
             let s = sim.client_stats(idx);
-            log.push(row_from_deltas(i, &prev[idx], &s));
+            let q = sim.client_query_stats(idx).unwrap_or_default();
+            log.push(row_from_deltas(i, &prev[idx], &s, &prev_q[idx], &q));
             prev[idx] = s;
+            prev_q[idx] = q;
         }
     }
     let report = sim.report();

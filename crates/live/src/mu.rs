@@ -32,6 +32,7 @@ use sw_faults::{FaultLayer, ReportFate};
 use sw_observe::event::Value;
 use sw_observe::{ObserveSnapshot, Recorder};
 use sw_ops::{FlightRecorder, MetricsHub, Published};
+use sw_query::{QueryPlane, QueryStats};
 use sw_server::uplink::{PiggybackInfo, QueryAnswer};
 use sw_sim::{IntervalClock, RngStream, SimDuration, StreamId};
 use sw_wireless::frame::{
@@ -75,6 +76,11 @@ pub struct LiveMu {
     next_wake: u64,
     last_settled: u64,
     prev: MuStats,
+    /// The query-result plane, when the config arms one — the same
+    /// `sw-query` state machine the simulator drives, fed in the same
+    /// per-interval order.
+    plane: Option<QueryPlane>,
+    prev_q: QueryStats,
 }
 
 impl LiveMu {
@@ -92,6 +98,12 @@ impl LiveMu {
             Some(profile) => profile[index % profile.len()],
             None => params.s,
         };
+        // The query plane draws from its own stream family, so arming
+        // it leaves every other stream untouched — exactly as in the
+        // simulator.
+        let plane = cfg.query.map(|qc| {
+            QueryPlane::new(&hotspot, qc, cfg.seed.stream(StreamId::QueryPlan { index: idx }))
+        });
         let mu_config = MuConfig {
             id: idx,
             hotspot,
@@ -133,6 +145,8 @@ impl LiveMu {
             next_wake,
             last_settled: 0,
             prev,
+            plane,
+            prev_q: QueryStats::default(),
         }
     }
 
@@ -170,6 +184,10 @@ impl LiveMu {
         let from = self.clock.report_time(i - 1);
         let to = self.clock.report_time(i);
         self.mu.begin_awake_interval(from, to, &mut self.query_rng);
+        if let Some(plane) = self.plane.as_mut() {
+            self.prev_q = plane.stats();
+            plane.begin_awake_interval();
+        }
     }
 
     /// Draws this interval's delivery fate from the unit's own fault
@@ -206,11 +224,11 @@ impl LiveMu {
                 if checksum64(&damaged) == clean {
                     self.faults.note_undetected_corruption();
                 }
-                self.mu.miss_report();
+                self.miss_report();
                 Ok(Vec::new())
             }
             ReportFate::Lost | ReportFate::DriftMissed => {
-                self.mu.miss_report();
+                self.miss_report();
                 Ok(Vec::new())
             }
             ReportFate::Heard => {
@@ -225,6 +243,56 @@ impl LiveMu {
     /// timeout): pending queries stay queued for the next report.
     pub fn miss_report(&mut self) {
         self.mu.miss_report();
+        if let Some(plane) = self.plane.as_mut() {
+            plane.on_report_missed();
+        }
+    }
+
+    /// Runs the query plane's footprint check against the item cache
+    /// after a heard report closing interval `i` — the simulator's
+    /// merge-phase call — returning the footprint items to fetch over
+    /// the uplink before [`LiveMu::settle_queries`]. Empty when no
+    /// plane is armed.
+    pub fn check_queries(&mut self, i: u64) -> Vec<u64> {
+        let t_i = self.clock.report_time(i);
+        match self.plane.as_mut() {
+            Some(plane) => plane.observe_report(self.mu.cache(), t_i).fetch,
+            None => Vec::new(),
+        }
+    }
+
+    /// Settles the query plane for interval `i` after the fetch list
+    /// was served: materializes missed results and resolves
+    /// transactional reads. No-op when no plane is armed.
+    pub fn settle_queries(&mut self, i: u64) {
+        let t_i = self.clock.report_time(i);
+        if let Some(plane) = self.plane.as_mut() {
+            plane.settle(self.mu.cache(), t_i);
+        }
+    }
+
+    /// Accumulated query-plane counters (`None`: no plane armed).
+    pub fn query_stats(&self) -> Option<QueryStats> {
+        self.plane.as_ref().map(|p| p.stats())
+    }
+
+    /// Snapshot of every materialized query-result row as `(item,
+    /// value, wire-micros verification timestamp)` — audited against
+    /// the server's [`ValueHistory`] exactly like the item cache.
+    pub fn query_snapshot(&self) -> Vec<(u64, u64, u64)> {
+        let Some(plane) = self.plane.as_ref() else {
+            return Vec::new();
+        };
+        plane
+            .cache()
+            .iter()
+            .flat_map(|entry| {
+                entry
+                    .rows
+                    .iter()
+                    .map(|r| (r.item, r.value, time_to_micros(r.timestamp)))
+            })
+            .collect()
     }
 
     /// Serializes and seals an uplink query frame for `item`. The
@@ -263,6 +331,11 @@ impl LiveMu {
     /// the simulator's phase 8 for this client.
     pub fn end_interval(&mut self, i: u64) -> DecisionRow {
         let s = self.mu.stats();
+        let q = self
+            .plane
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
         let row = DecisionRow {
             interval: i,
             awake: true,
@@ -272,6 +345,10 @@ impl LiveMu {
             misses: s.miss_events - self.prev.miss_events,
             invalidated: s.items_invalidated - self.prev.items_invalidated,
             drops: s.cache_drops - self.prev.cache_drops,
+            qhits: q.hits - self.prev_q.hits,
+            qmisses: q.misses - self.prev_q.misses,
+            qcommits: q.txn_commits - self.prev_q.txn_commits,
+            qaborts: q.txn_aborts - self.prev_q.txn_aborts,
         };
         let k = self.mu.draw_sleep_run(&mut self.sleep_rng);
         if k > 0 {
@@ -399,6 +476,9 @@ pub struct LiveMuReport {
     /// Times the unit re-registered mid-session (0 = the original
     /// connection survived the whole run).
     pub reconnects: u64,
+    /// Query-plane counters (all zeros when the cell configuration
+    /// carried no [`sw_query::QueryPlaneConfig`]).
+    pub query: QueryStats,
 }
 
 /// How long past the nominal broadcast instant a paced client keeps
@@ -728,7 +808,13 @@ pub fn run_mu(
     let mut storm_dumped = false;
     let mut last_heard_interval = 0u64;
     let index_label = index.to_string();
-    let publish_tick = |i: u64, heard: u64, missed: u64, window: u64, awake: bool, s: &MuStats| {
+    let publish_tick = |i: u64,
+                        heard: u64,
+                        missed: u64,
+                        window: u64,
+                        awake: bool,
+                        s: &MuStats,
+                        q: Option<QueryStats>| {
         let Some(hub) = opts.metrics.as_ref() else {
             return;
         };
@@ -738,18 +824,25 @@ pub fn run_mu(
         } else {
             s.hit_events as f64 / answered as f64
         };
-        hub.publish(
-            Published::at(i)
-                .label("role", "mu")
-                .label("index", index_label.clone())
-                .label("strategy", strategy.name())
-                .gauge("awake", if awake { 1.0 } else { 0.0 })
-                .gauge("cache_hit_ratio", hit_ratio)
-                .gauge("reports_heard", heard as f64)
-                .gauge("reports_missed", missed as f64)
-                .gauge("staleness_window", window as f64)
-                .gauge("queries", s.queries_posed as f64),
-        );
+        let mut tick = Published::at(i)
+            .label("role", "mu")
+            .label("index", index_label.clone())
+            .label("strategy", strategy.name())
+            .gauge("awake", if awake { 1.0 } else { 0.0 })
+            .gauge("cache_hit_ratio", hit_ratio)
+            .gauge("reports_heard", heard as f64)
+            .gauge("reports_missed", missed as f64)
+            .gauge("staleness_window", window as f64)
+            .gauge("queries", s.queries_posed as f64);
+        if let Some(q) = q {
+            tick = tick
+                .gauge("sw_query_hits", q.hits as f64)
+                .gauge("sw_query_misses", q.misses as f64)
+                .gauge("sw_query_invalidated", q.entries_invalidated as f64)
+                .gauge("sw_query_txn_commits", q.txn_commits as f64)
+                .gauge("sw_query_txn_aborts", q.txn_aborts as f64);
+        }
+        hub.publish(tick);
     };
 
     'session: for i in 1..=intervals {
@@ -791,6 +884,7 @@ pub fn run_mu(
                 i - last_heard_interval,
                 false,
                 &live.stats(),
+                live.query_stats(),
             );
             if lockstep {
                 if started {
@@ -822,9 +916,18 @@ pub fn run_mu(
                 i - last_heard_interval,
                 true,
                 &live.stats(),
+                live.query_stats(),
             );
             if opts.audit_cache {
                 audit.extend(live.cache_snapshot().into_iter().map(|(item, value, ts)| {
+                    CacheAuditRow {
+                        interval: i,
+                        item,
+                        value,
+                        ts_micros: ts,
+                    }
+                }));
+                audit.extend(live.query_snapshot().into_iter().map(|(item, value, ts)| {
                     CacheAuditRow {
                         interval: i,
                         item,
@@ -956,6 +1059,26 @@ pub fn run_mu(
                 Err(_) => break,
             }
         }
+        if heard {
+            // Query plane, in the simulator's order: footprint check
+            // against the just-settled item cache, fetch the missing
+            // footprint rows over the same uplink, then materialize and
+            // resolve transactional reads. Missed reports skip all of
+            // it — the plane already queued its work via miss_report.
+            for item in live.check_queries(i) {
+                match uplink.exchange_query(live.query_frame(item)) {
+                    Ok(Some(frame)) => live
+                        .install_answer_frame(&frame)
+                        .map_err(|e| other_err(format!("undecodable answer: {e}")))?,
+                    Ok(None) => {
+                        halted = true;
+                        break 'session;
+                    }
+                    Err(_) => break,
+                }
+            }
+            live.settle_queries(i);
+        }
         let row = live.end_interval(i);
         rows.push(row);
         flight.push(
@@ -978,9 +1101,18 @@ pub fn run_mu(
             i - last_heard_interval,
             true,
             &live.stats(),
+            live.query_stats(),
         );
         if opts.audit_cache {
             audit.extend(live.cache_snapshot().into_iter().map(|(item, value, ts)| {
+                CacheAuditRow {
+                    interval: i,
+                    item,
+                    value,
+                    ts_micros: ts,
+                }
+            }));
+            audit.extend(live.query_snapshot().into_iter().map(|(item, value, ts)| {
                 CacheAuditRow {
                     interval: i,
                     item,
@@ -998,6 +1130,7 @@ pub fn run_mu(
     }
 
     let stats = live.stats();
+    let query = live.query_stats().unwrap_or_default();
     if obs.is_enabled() {
         obs.add("queries", stats.queries_posed);
         obs.add("hits", stats.hit_events);
@@ -1006,6 +1139,10 @@ pub fn run_mu(
         obs.add("reports_missed", reports_missed);
         obs.add("cache_drops", stats.cache_drops);
         obs.add("items_invalidated", stats.items_invalidated);
+        obs.add("query_hits", query.hits);
+        obs.add("query_misses", query.misses);
+        obs.add("query_txn_commits", query.txn_commits);
+        obs.add("query_txn_aborts", query.txn_aborts);
     }
     Ok(LiveMuReport {
         index,
@@ -1017,6 +1154,7 @@ pub fn run_mu(
         observe: obs.snapshot(),
         flight,
         reconnects: uplink.reconnects,
+        query,
     })
 }
 

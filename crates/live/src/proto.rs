@@ -44,11 +44,21 @@ pub struct DecisionRow {
     pub invalidated: u64,
     /// Whole-cache drops (AT disconnection rule, TS window overrun).
     pub drops: u64,
+    /// Query-plane results served from the result cache (zero unless
+    /// the session runs a query plane; the delta of
+    /// [`sw_query::QueryStats::hits`]).
+    pub qhits: u64,
+    /// Query-plane misses (materialization fetches went uplink).
+    pub qmisses: u64,
+    /// Multi-item transactional reads committed this interval.
+    pub qcommits: u64,
+    /// Multi-item transactional reads aborted this interval.
+    pub qaborts: u64,
 }
 
 impl DecisionRow {
-    /// Serialized width: interval + flags byte + five counters.
-    pub const WIRE_LEN: usize = 8 + 1 + 5 * 8;
+    /// Serialized width: interval + flags byte + nine counters.
+    pub const WIRE_LEN: usize = 8 + 1 + 9 * 8;
 
     /// Fixed-width big-endian encoding; decision logs are compared as
     /// the concatenation of these.
@@ -62,6 +72,10 @@ impl DecisionRow {
             self.misses,
             self.invalidated,
             self.drops,
+            self.qhits,
+            self.qmisses,
+            self.qcommits,
+            self.qaborts,
         ]
         .into_iter()
         .enumerate()
@@ -89,6 +103,10 @@ impl DecisionRow {
             misses: word(25),
             invalidated: word(33),
             drops: word(41),
+            qhits: word(49),
+            qmisses: word(57),
+            qcommits: word(65),
+            qaborts: word(73),
         })
     }
 }
@@ -563,6 +581,10 @@ mod tests {
                     misses: 2,
                     invalidated: 4,
                     drops: 1,
+                    qhits: 5,
+                    qmisses: 2,
+                    qcommits: 1,
+                    qaborts: 1,
                 },
             },
             Msg::Bye,
@@ -624,6 +646,10 @@ mod tests {
             misses: 3,
             invalidated: 4,
             drops: 5,
+            qhits: 6,
+            qmisses: 7,
+            qcommits: 8,
+            qaborts: 9,
         };
         let bytes = row.to_bytes();
         assert_eq!(bytes.len(), DecisionRow::WIRE_LEN);

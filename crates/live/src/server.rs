@@ -31,14 +31,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use sleepers::adaptive::FeedbackMethod;
 use sleepers::safety::ValueHistory;
-use sleepers::{CellConfig, Strategy};
+use sleepers::{CellConfig, ServerDriver, Strategy};
 use sw_client::handler::time_to_micros;
 use sw_observe::event::Value;
 use sw_observe::{ObserveSnapshot, Recorder};
 use sw_ops::{FlightRecorder, MetricsExporter, MetricsHub, Published};
 use sw_server::database::Database;
-use sw_server::report::ReportBuilder;
 use sw_server::update::UpdateEngine;
 use sw_server::uplink::UplinkProcessor;
 use sw_sim::{IntervalClock, RngStream, SimDuration, StreamId};
@@ -249,7 +249,7 @@ pub struct LiveServerReport {
 struct Core {
     db: Database,
     history: Option<ValueHistory>,
-    builder: Box<dyn ReportBuilder + Send>,
+    driver: ServerDriver,
     uplink: UplinkProcessor,
     engine: UpdateEngine,
     update_rng: RngStream,
@@ -257,6 +257,10 @@ struct Core {
     /// The current report-tick time; uplink answers are stamped with
     /// it (the simulator answers interval `i`'s queries at `t_i`).
     now: sw_sim::SimTime,
+    /// The current report-tick interval index; uplink feedback into the
+    /// driver (quasi obligations, adaptive Method 2 counts) is indexed
+    /// by it.
+    interval: u64,
     updates_applied: u64,
     publishes_applied: u64,
     uplink_answers: u64,
@@ -406,11 +410,16 @@ impl LiveServer {
     /// halts every client and returns its report via
     /// [`ServerHandle::wait`].
     ///
-    /// Only the static broadcast strategies are servable — TS, AT,
-    /// SIG, and hybrid — matching the report builders a stateless
-    /// server can run (§2: the server knows nothing about its
-    /// clients; the adaptive/stateful variants need feedback state the
-    /// live wire does not carry).
+    /// Servable strategies are the broadcast ones a stateless server
+    /// can run from what the live wire actually carries: the static
+    /// builders (TS, AT, SIG, hybrid), adaptive TS under Method 2
+    /// (its feedback is report mentions + answered uplinks, both
+    /// observed server-side), and quasi-delay (obligations are keyed
+    /// by answered uplinks). Rejected: adaptive Method 1 (its MHR
+    /// estimate needs piggybacked local-hit times, which the live
+    /// uplink frame does not carry) and the stateful baseline (§2
+    /// directed messages need per-client channels this broadcast
+    /// daemon does not model).
     pub fn spawn(
         cfg: CellConfig,
         strategy: Strategy,
@@ -447,6 +456,11 @@ impl LiveServer {
                 | Strategy::AmnesicTerminals
                 | Strategy::Signatures
                 | Strategy::HybridSig { .. }
+                | Strategy::AdaptiveTs {
+                    method: FeedbackMethod::Method2,
+                    ..
+                }
+                | Strategy::QuasiDelay { .. }
         ) {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
@@ -464,7 +478,7 @@ impl LiveServer {
         let history = cfg
             .check_safety
             .then(|| ValueHistory::new(params.n_items, |i| db.value(i)));
-        let builder = strategy.make_builder(&params, protocol_seed, &db);
+        let driver = ServerDriver::new(strategy, &params, protocol_seed, &db, cfg.n_clients);
         let mut update_rng = protocol_seed.stream(StreamId::Updates);
         let engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
         let encode = WireEncode::new(
@@ -496,12 +510,13 @@ impl LiveServer {
             core: Mutex::new(Core {
                 db,
                 history,
-                builder,
+                driver,
                 uplink: UplinkProcessor::with_universe(params.n_items),
                 engine,
                 update_rng,
                 pending_publishes: Vec::new(),
                 now: sw_sim::SimTime::from_secs(0.0),
+                interval: 0,
                 updates_applied: 0,
                 publishes_applied: 0,
                 uplink_answers: 0,
@@ -663,6 +678,13 @@ fn conn_loop(stream: TcpStream, shared: Arc<Shared>) -> io::Result<()> {
                     let mut core = shared.core.lock().expect("core lock");
                     let core = &mut *core;
                     let answer = core.uplink.answer(&core.db, item, core.now, None);
+                    // The same feedback the simulator's exchange gives
+                    // the server side: quasi registers the fresh
+                    // obligation, adaptive Method 2 counts the query.
+                    // (No piggyback: the live frame does not carry it,
+                    // which is why Method 1 is not servable.)
+                    core.driver
+                        .note_uplink(0, item, core.interval, core.now, None);
                     core.uplink_answers += 1;
                     answer
                 };
@@ -726,7 +748,7 @@ fn build_tick(
         .engine
         .advance(&mut core.db, from, t_i, &mut core.update_rng);
     for rec in &recs {
-        core.builder.on_update(rec);
+        core.driver.on_update(rec);
         if let Some(h) = core.history.as_mut() {
             h.record(rec);
         }
@@ -734,15 +756,16 @@ fn build_tick(
     core.updates_applied += recs.len() as u64;
     for &(item, value) in publishes {
         let rec = core.db.apply_update(item, value, t_i);
-        core.builder.on_update(&rec);
+        core.driver.on_update(&rec);
         if let Some(h) = core.history.as_mut() {
             h.record(&rec);
         }
         core.publishes_applied += 1;
     }
-    let payload = core.builder.build(i, t_i, &core.db);
+    let payload = core.driver.build(i, t_i, &core.db);
     core.db.prune_log(t_i);
     core.now = t_i;
+    core.interval = i;
     payload
 }
 
@@ -1052,6 +1075,39 @@ fn ticker_loop(
                 bar = guard;
             }
             bar.done.iter_mut().for_each(|d| *d = false);
+        }
+
+        // Adaptive evaluation-period boundary, after the barrier (or
+        // this tick's paced window) so the period's uplink feedback is
+        // complete. Per-item counts are order-independent within an
+        // interval, so lockstep sessions close periods exactly as the
+        // simulator does regardless of uplink arrival order.
+        {
+            let mut core = shared.core.lock().expect("core lock");
+            let core = &mut *core;
+            if let Some((default_k, exceptions)) =
+                core.driver
+                    .end_period_if_due(i, &mut core.uplink, &mut core.db, latency)
+            {
+                if obs.is_enabled() {
+                    obs.event(
+                        i,
+                        "adaptive_period",
+                        &[
+                            ("default_k", Value::U64(default_k as u64)),
+                            ("exceptions", Value::U64(exceptions as u64)),
+                        ],
+                    );
+                }
+                flight.push(
+                    i,
+                    "adaptive_period",
+                    &[
+                        ("default_k", Value::U64(default_k as u64)),
+                        ("exceptions", Value::U64(exceptions as u64)),
+                    ],
+                );
+            }
         }
     }
 

@@ -66,6 +66,67 @@ fn sleeper_heavy_ts_and_at_conform() {
     assert_conforms(&cfg, Strategy::AmnesicTerminals, 40);
 }
 
+/// The query-plane gate: arming result caching on both sides keeps the
+/// widened decision rows — query hit/miss verdicts and transaction
+/// commit/abort outcomes included — byte-identical for every static
+/// strategy the daemon serves.
+#[test]
+fn query_armed_decision_logs_are_byte_identical() {
+    let qc = sleepers::query::QueryPlaneConfig::new();
+    let outcome = check_conformance(
+        &small_cell(0.4).with_query(qc),
+        Strategy::BroadcastTimestamps,
+        48,
+    )
+    .expect("TS query conformance");
+    let resolved: u64 = outcome
+        .sim
+        .iter()
+        .flatten()
+        .map(|r| r.qhits + r.qmisses)
+        .sum();
+    assert!(resolved > 0, "the query plane never resolved a query");
+    let txns: u64 = outcome
+        .sim
+        .iter()
+        .flatten()
+        .map(|r| r.qcommits + r.qaborts)
+        .sum();
+    assert!(txns > 0, "no transactional read ever finished");
+    assert_conforms(
+        &small_cell(0.6).with_query(qc),
+        Strategy::AmnesicTerminals,
+        40,
+    );
+    assert_conforms(&small_cell(0.4).with_query(qc), Strategy::Signatures, 28);
+}
+
+/// The `ServerDriver` extraction makes the feedback strategies
+/// live-eligible: Method-2 adaptive TS (per-item windows steered by
+/// uplink deltas the daemon already sees) and delay-condition quasi
+/// caching now run on the daemon, and their decision logs — query
+/// verdicts included — still match the simulator byte for byte.
+#[test]
+fn adaptive_and_quasi_go_live_and_conform() {
+    use sleepers::adaptive::FeedbackMethod;
+
+    let qc = sleepers::query::QueryPlaneConfig::new();
+    assert_conforms(
+        &small_cell(0.4).with_query(qc),
+        Strategy::AdaptiveTs {
+            method: FeedbackMethod::Method2,
+            eval_period: 8,
+            step: 2,
+        },
+        40,
+    );
+    assert_conforms(
+        &small_cell(0.5).with_query(qc),
+        Strategy::QuasiDelay { alpha_intervals: 3 },
+        40,
+    );
+}
+
 /// Arming the ops plane must not perturb the session: with the metrics
 /// exporter serving `/metrics` — and a scraper hammering it *during*
 /// the lockstep run — plus flight recorders on both sides, the live

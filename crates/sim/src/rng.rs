@@ -56,6 +56,14 @@ pub enum StreamId {
         /// population + home slot).
         index: u64,
     },
+    /// Query-plane draws (predicate footprints, query/txn arrivals) for
+    /// mobile unit `index`. Appended for the query-result cache layer:
+    /// runs without a query plane never touch it, so every existing
+    /// stream — and every committed figure artifact — is unchanged.
+    QueryPlan {
+        /// Client index within the cell.
+        index: u64,
+    },
 }
 
 impl StreamId {
@@ -70,6 +78,7 @@ impl StreamId {
             StreamId::Custom { tag } => (7, tag),
             StreamId::Faults { index } => (8, index),
             StreamId::Mobility { index } => (9, index),
+            StreamId::QueryPlan { index } => (10, index),
         }
     }
 }
@@ -287,6 +296,36 @@ mod tests {
             let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
             assert_eq!(same, 0, "Mobility stream collided with {other:?}");
         }
+    }
+
+    #[test]
+    fn query_plan_streams_are_independent_of_existing_streams() {
+        let seed = MasterSeed(42);
+        // The query-plane stream for client i must collide with neither
+        // the client's other streams nor the tag spaces that could alias
+        // its discriminant.
+        for other in [
+            StreamId::Queries { index: 3 },
+            StreamId::Sleep { index: 3 },
+            StreamId::Hotspot { index: 3 },
+            StreamId::Faults { index: 3 },
+            StreamId::Mobility { index: 3 },
+            StreamId::Custom { tag: 3 },
+            StreamId::Custom { tag: 10 },
+        ] {
+            let mut a = seed.stream(StreamId::QueryPlan { index: 3 });
+            let mut b = seed.stream(other);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(same, 0, "QueryPlan stream collided with {other:?}");
+        }
+    }
+
+    #[test]
+    fn query_plan_streams_differ_by_index() {
+        let seed = MasterSeed(7);
+        let mut a = seed.stream(StreamId::QueryPlan { index: 0 });
+        let mut b = seed.stream(StreamId::QueryPlan { index: 1 });
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]

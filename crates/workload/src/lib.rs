@@ -8,15 +8,19 @@
 //!   across clients);
 //! * [`examples`] — generators for the two motivating applications of
 //!   §1: the business-news / stock-filter workload (Example 1) and the
-//!   navigational traffic-map grid workload (Example 2).
+//!   navigational traffic-map grid workload (Example 2);
+//! * [`query`] — seed-streamed Zipf query-template families for the
+//!   query-result cache (`sw-query`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod examples;
 pub mod hotspot;
+pub mod query;
 pub mod scenario;
 
 pub use examples::{StockFilterWorkload, TrafficGrid, TrafficMapWorkload};
 pub use hotspot::{HotspotSpec, Popularity};
+pub use query::{QueryWorkload, QueryWorkloadSpec};
 pub use scenario::{DerivedProbabilities, ScenarioParams, SweepAxis};

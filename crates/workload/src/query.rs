@@ -1,0 +1,195 @@
+//! Zipf-skewed query workloads over a client's hotspot domain.
+//!
+//! The paper's clients pose single-item queries; the query-result cache
+//! (`sw-query`) needs *predicate* queries whose answers span several
+//! items — e.g. Example 1's stock filter restricted to one watched
+//! sector. This module generates a deterministic family of query
+//! *templates* per client (each a small distinct footprint of hotspot
+//! items) and draws which template fires with Zipf(θ) popularity, so a
+//! few hot queries dominate exactly as in edge traffic. Everything is
+//! seed-streamed: a template set and its draw sequence are a pure
+//! function of `(MasterSeed, StreamId::QueryPlan { index })`.
+
+use sw_sim::RngStream;
+
+/// Specification of one client's query-template family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryWorkloadSpec {
+    /// Number of distinct query templates to generate.
+    pub n_templates: usize,
+    /// Items per template footprint (clipped to the domain size).
+    pub footprint: usize,
+    /// Zipf exponent for template popularity (θ → 0 is uniform).
+    pub theta: f64,
+}
+
+impl QueryWorkloadSpec {
+    /// Creates a spec, validating the shape parameters.
+    pub fn new(n_templates: usize, footprint: usize, theta: f64) -> Self {
+        assert!(n_templates > 0, "need at least one query template");
+        assert!(footprint > 0, "footprints cannot be empty");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {theta}"
+        );
+        QueryWorkloadSpec {
+            n_templates,
+            footprint,
+            theta,
+        }
+    }
+}
+
+/// A client's generated template family plus its popularity CDF.
+#[derive(Debug, Clone)]
+pub struct QueryWorkload {
+    templates: Vec<Vec<u64>>,
+    /// Cumulative Zipf weights over template ranks (rank 0 hottest).
+    cdf: Vec<f64>,
+}
+
+impl QueryWorkload {
+    /// Builds the template family over `domain` (a client's hotspot
+    /// item ids). Footprints are distinct item subsets drawn from the
+    /// domain; templates are ranked by generation order, rank 0 being
+    /// the most popular under Zipf(θ).
+    pub fn generate(domain: &[u64], spec: QueryWorkloadSpec, rng: &mut RngStream) -> Self {
+        assert!(!domain.is_empty(), "query domain cannot be empty");
+        let footprint = spec.footprint.min(domain.len());
+        let templates: Vec<Vec<u64>> = (0..spec.n_templates)
+            .map(|_| {
+                let picks = rng.sample_distinct(domain.len() as u64, footprint);
+                let mut items: Vec<u64> = picks.into_iter().map(|i| domain[i as usize]).collect();
+                items.sort_unstable();
+                items
+            })
+            .collect();
+        let mut cdf = Vec::with_capacity(spec.n_templates);
+        let mut acc = 0.0f64;
+        for rank in 1..=spec.n_templates {
+            acc += 1.0 / (rank as f64).powf(spec.theta);
+            cdf.push(acc);
+        }
+        QueryWorkload { templates, cdf }
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// True when the family is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The footprint of template `rank` (sorted, distinct item ids).
+    pub fn footprint(&self, rank: usize) -> &[u64] {
+        &self.templates[rank]
+    }
+
+    /// Draws which template fires: inversion over the Zipf CDF.
+    pub fn draw(&self, rng: &mut RngStream) -> usize {
+        let total = *self.cdf.last().expect("non-empty family");
+        let u = rng.uniform() * total;
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.templates.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sw_sim::{MasterSeed, StreamId};
+
+    fn rng(i: u64) -> RngStream {
+        MasterSeed::TEST.stream(StreamId::QueryPlan { index: i })
+    }
+
+    fn domain(n: u64) -> Vec<u64> {
+        (0..n).map(|i| i * 3 + 100).collect()
+    }
+
+    #[test]
+    fn footprints_are_distinct_sorted_subsets_of_the_domain() {
+        let d = domain(40);
+        let w = QueryWorkload::generate(&d, QueryWorkloadSpec::new(8, 5, 0.9), &mut rng(0));
+        assert_eq!(w.len(), 8);
+        for rank in 0..w.len() {
+            let f = w.footprint(rank);
+            assert_eq!(f.len(), 5);
+            let mut dedup = f.to_vec();
+            dedup.dedup();
+            assert_eq!(dedup, f, "footprint must be sorted and distinct");
+            assert!(f.iter().all(|i| d.contains(i)));
+        }
+    }
+
+    #[test]
+    fn footprint_clips_to_small_domains() {
+        let d = domain(3);
+        let w = QueryWorkload::generate(&d, QueryWorkloadSpec::new(2, 10, 1.0), &mut rng(1));
+        assert_eq!(w.footprint(0).len(), 3);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_stream() {
+        let d = domain(30);
+        let spec = QueryWorkloadSpec::new(6, 4, 1.1);
+        let a = QueryWorkload::generate(&d, spec, &mut rng(2));
+        let b = QueryWorkload::generate(&d, spec, &mut rng(2));
+        for rank in 0..a.len() {
+            assert_eq!(a.footprint(rank), b.footprint(rank));
+        }
+        let mut ra = rng(3);
+        let mut rb = rng(3);
+        let draws_a: Vec<usize> = (0..100).map(|_| a.draw(&mut ra)).collect();
+        let draws_b: Vec<usize> = (0..100).map(|_| b.draw(&mut rb)).collect();
+        assert_eq!(draws_a, draws_b);
+    }
+
+    #[test]
+    fn zipf_draws_prefer_low_ranks() {
+        let d = domain(50);
+        let w = QueryWorkload::generate(&d, QueryWorkloadSpec::new(20, 3, 1.2), &mut rng(4));
+        let mut r = rng(5);
+        let n = 20_000;
+        let hot = (0..n).filter(|_| w.draw(&mut r) < 2).count();
+        // Zipf(1.2) over 20 ranks puts well over a third of the mass on
+        // the top two templates; uniform would give 10%.
+        assert!(
+            hot as f64 / n as f64 > 0.3,
+            "top-2 templates drew only {hot}/{n}"
+        );
+    }
+
+    #[test]
+    fn theta_zero_degenerates_to_uniform() {
+        let d = domain(50);
+        let w = QueryWorkload::generate(&d, QueryWorkloadSpec::new(10, 3, 0.0), &mut rng(6));
+        let mut r = rng(7);
+        let n = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[w.draw(&mut r)] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.1,
+                "rank {rank} drew {c}, far from uniform {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query template")]
+    fn empty_family_rejected() {
+        let _ = QueryWorkloadSpec::new(0, 3, 1.0);
+    }
+}

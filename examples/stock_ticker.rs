@@ -21,7 +21,13 @@ fn main() {
     let universe = StockFilterWorkload::new(20, 50); // 20 sectors × 50 tickers
     let mut params = ScenarioParams::scenario1();
     params.n_items = universe.n_items();
-    params.mu = 2e-3; // prices move noticeably faster than news archives
+    params.mu = 1e-3; // prices move 10x faster than news archives
+    // At 10× Scenario 1's update rate, the scenario's default window
+    // (k=100, 1000 s) would sweep most of the database into every TS
+    // report and overflow the interval capacity L·W; fast-moving data
+    // needs a short window (§4: w = kL trades report size for the
+    // longest sleep TS can bridge).
+    params.k = 10;
     let params = params.with_s(0.5); // traders sleep half the intervals
 
     println!("Example 1 — stock ticker filters ({} tickers)", universe.n_items());

@@ -14,11 +14,21 @@ cargo test --workspace --release -q
 echo "==> cargo clippy --workspace -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> query plane leg (sw-query unit/property tests + clippy, default features)"
+cargo test --release -q -p sw-query
+cargo clippy -p sw-query --all-targets -- -D warnings
+
+echo "==> query conformance leg (sim/live lockstep incl. query verdicts + txn outcomes)"
+cargo test --release -q -p sw-live --test conformance query
+
 echo "==> cargo test --workspace (release, --features observe)"
 cargo test --workspace --release -q --features observe
 
 echo "==> cargo clippy --workspace -D warnings (--features observe)"
 cargo clippy --workspace --all-targets --features observe -- -D warnings
+
+echo "==> query plane leg (core integration with observe counters armed)"
+cargo test --release -q -p sleepers --features observe query_plane
 
 echo "==> trace_run smoke (figure 3, quick settings, observed)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- 3 >/dev/null
@@ -125,6 +135,9 @@ cargo test --release -q -p sw-ha --features faults --test failover
 echo "==> cargo test --workspace (release, --features faults)"
 cargo test --workspace --release -q --features faults
 
+echo "==> query plane leg (invalidation soundness under the fault gauntlet)"
+cargo test --release -q -p sleepers --features faults query_plane
+
 echo "==> cargo clippy --workspace -D warnings (--features faults)"
 cargo clippy --workspace --all-targets --features faults -- -D warnings
 
@@ -138,6 +151,9 @@ SW_FAST=1 cargo run --release -q -p sw-experiments --features faults --bin fig_l
 
 echo "==> mesh smoke (fig_mesh: migration-rate sweep, paper-consistent ordering asserted)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_mesh >/dev/null
+
+echo "==> query smoke (fig_query: query hit ratio / uplink bits / abort rate vs s)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_query >/dev/null
 
 echo "==> figure artifact A/B guard: mesh seed domain must not move results/fig3.json"
 cargo test --release -q -p sw-experiments --test fig3_regression -- --ignored

@@ -10,11 +10,16 @@
 //! that: auditing every cache entry of every awake interval against
 //! the server's value history finds **zero stale entries** for the
 //! never-stale strategies (TS, AT) and at most the diagnosis bound for
-//! SIG (§6's controlled false-validation risk).
+//! SIG (§6's controlled false-validation risk). Every unit also runs
+//! the query plane, so the audit covers cached *query results* row by
+//! row under the same contract, and the multi-item transactional reads
+//! must resolve — commits and detected-and-aborted non-serializable
+//! interleavings both observed across the fleet.
 
 use std::net::SocketAddr;
 use std::thread;
 
+use sleepers::query::{QueryPlaneConfig, QueryStats};
 use sleepers::{CellConfig, Strategy};
 use sw_live::{
     audit_against_history, run_mu, FlightRecorder, LiveMuReport, LiveOptions, LiveServer,
@@ -41,6 +46,7 @@ fn soak_cell(seed: u64) -> CellConfig {
         .with_hotspot_size(20)
         .with_seed(seed)
         .with_safety_checking()
+        .with_query(QueryPlaneConfig::new().with_txn_probability(0.3))
 }
 
 struct SoakOutcome {
@@ -50,6 +56,7 @@ struct SoakOutcome {
     reports_heard: u64,
     reports_missed: u64,
     queries: u64,
+    query: QueryStats,
     flights: Vec<FlightRecorder>,
 }
 
@@ -104,14 +111,18 @@ fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
     let mut reports_heard = 0;
     let mut reports_missed = 0;
     let mut queries = 0;
+    let mut query = QueryStats::default();
     let mut flights = Vec::with_capacity(reports.len());
     for report in reports {
+        // `report.audit` interleaves item-cache rows and query-result
+        // rows; the history check applies to both uniformly.
         let (checked, bad) = audit_against_history(&history, &report.audit);
         entries_checked += checked;
         violations += bad;
         reports_heard += report.reports_heard;
         reports_missed += report.reports_missed;
         queries += report.stats.queries_posed;
+        query.absorb(&report.query);
         flights.push(report.flight);
     }
     SoakOutcome {
@@ -121,6 +132,7 @@ fn run_soak(cfg: CellConfig, strategy: Strategy) -> SoakOutcome {
         reports_heard,
         reports_missed,
         queries,
+        query,
         flights,
     }
 }
@@ -142,13 +154,30 @@ fn live_soak_never_stale_under_drops_and_sleep() {
         let name = o.strategy.name();
         eprintln!(
             "{name}: {} queries, {} reports heard, {} missed, \
-             {} cache entries audited, {} stale",
-            o.queries, o.reports_heard, o.reports_missed, o.entries_checked, o.violations
+             {} cache+query entries audited, {} stale; query plane {:?}",
+            o.queries, o.reports_heard, o.reports_missed, o.entries_checked, o.violations, o.query
         );
         // The soak must have actually soaked: queries flowed, reports
         // were heard, and the drop injector really dropped some.
         assert!(o.queries > 0, "{name}: no queries posed");
         assert!(o.reports_heard > 0, "{name}: no report ever heard");
+        // The query plane must have actually cached and re-served
+        // results, and its transactional reads must resolve cleanly.
+        assert!(
+            o.query.hits > 0 && o.query.misses > 0,
+            "{name}: query plane never exercised: {:?}",
+            o.query
+        );
+        assert!(
+            o.query.txn_commits > 0,
+            "{name}: no multi-item read ever committed: {:?}",
+            o.query
+        );
+        assert!(
+            o.query.txn_commits + o.query.txn_aborts <= o.query.txns_begun,
+            "{name}: more txn resolutions than begins: {:?}",
+            o.query
+        );
         assert!(
             o.reports_missed > 0,
             "{name}: rx-drop injection never fired ({RX_DROP} over \
@@ -180,4 +209,14 @@ fn live_soak_never_stale_under_drops_and_sleep() {
             }
         }
     }
+
+    // Update-heavy cells with 30% transaction arrivals over ~14k awake
+    // intervals: at least one multi-item read across the three stacks
+    // must have witnessed a footprint change between its pinned reads
+    // and been detected-and-aborted rather than committed.
+    let aborts: u64 = outcomes.iter().map(|o| o.query.txn_aborts).sum();
+    assert!(
+        aborts > 0,
+        "no non-serializable interleaving was ever detected fleet-wide"
+    );
 }
