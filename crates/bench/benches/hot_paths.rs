@@ -5,7 +5,7 @@
 //! measures their end-to-end effect.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use sleepers::client::{MobileUnit, MuConfig, TsHandler};
+use sleepers::client::{MobileUnit, MuConfig, ReplacementPolicy, TsHandler};
 use sleepers::server::{Database, ItemTable, ReportBuilder, TsBuilder, UpdateEngine};
 use sleepers::sim::{MasterSeed, SimDuration, SimTime, StreamId};
 use std::cmp::Reverse;
@@ -48,6 +48,8 @@ fn bench_report_apply_per_mu(c: &mut Criterion) {
                             query_rate_per_item: 0.02,
                             sleep_probability: 0.0,
                             cache_capacity: None,
+                            replacement: ReplacementPolicy::Lru,
+                            replacement_window: SimDuration::ZERO,
                             piggyback_hits: false,
                             item_universe: universe,
                         },

@@ -11,11 +11,20 @@
 //! The paper assumes cache storage survives power-off ("on a disk ...
 //! or any storage system that survives power disconnections, such as
 //! flash memories", §1) — sleeping does *not* clear the cache; only the
-//! strategy algorithms do. An optional LRU capacity bound models small
-//! devices; the paper's scenarios are capacity-unbounded.
+//! strategy algorithms do. An optional capacity bound models small
+//! devices, with a pluggable [`ReplacementPolicy`] (LRU by default);
+//! the paper's scenarios are capacity-unbounded.
+//!
+//! A bounded cache also keeps a *ghost list*: the id and stamp of every
+//! evicted entry, so a later requery can be classified as a pure
+//! capacity miss (the copy was still fresh — one more slot would have
+//! made it a hit) or an unavoidable one (a report proved the copy stale
+//! anyway). Reports retire ghosts through
+//! [`Cache::ghosts_mark_stale`] / [`Cache::ghost_mark_stale_item`].
 
+use sw_capacity::{victim_key, EntryMeta, GhostFate, ReplacementPolicy};
 use sw_server::{ItemId, ItemTable};
-use sw_sim::SimTime;
+use sw_sim::{SimDuration, SimTime};
 
 /// One cached item.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,11 +34,23 @@ pub struct CacheEntry {
     /// Validity timestamp `t_x`: the latest server-clock instant at
     /// which this value is known to have been current.
     pub timestamp: SimTime,
-    /// LRU tick of the last access (insert or read).
+    /// Recency tick of the last access (insert or read).
     last_used: u64,
+    /// Hits since install (1 at install) — the LFU frequency estimate.
+    use_count: u64,
 }
 
-/// The MU cache: item → entry, with optional LRU capacity.
+/// Memory of an evicted entry (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct GhostEntry {
+    /// The evicted entry's validity stamp at eviction time.
+    stamp: SimTime,
+    /// True once a report proved the item changed after `stamp`.
+    stale: bool,
+}
+
+/// The MU cache: item → entry, with optional bounded capacity under a
+/// pluggable [`ReplacementPolicy`].
 ///
 /// Item ids are dense, so the cell driver constructs caches with
 /// [`Cache::for_universe`]: a vec-indexed table with no hashing on the
@@ -38,7 +59,14 @@ pub struct CacheEntry {
 #[derive(Debug, Clone)]
 pub struct Cache {
     entries: ItemTable<CacheEntry>,
+    /// Ghost list, allocated only for bounded caches (unbounded caches
+    /// never evict, so they never pay for the second table).
+    ghosts: Option<ItemTable<GhostEntry>>,
     capacity: Option<usize>,
+    policy: ReplacementPolicy,
+    /// TS window `w = kL` for [`ReplacementPolicy::WindowAge`]; ignored
+    /// by the other policies.
+    window: SimDuration,
     clock: u64,
     evictions: u64,
 }
@@ -49,7 +77,10 @@ impl Cache {
     pub fn unbounded() -> Self {
         Cache {
             entries: ItemTable::hashed(),
+            ghosts: None,
             capacity: None,
+            policy: ReplacementPolicy::Lru,
+            window: SimDuration::ZERO,
             clock: 0,
             evictions: 0,
         }
@@ -60,7 +91,10 @@ impl Cache {
     pub fn for_universe(universe: u64) -> Self {
         Cache {
             entries: ItemTable::dense(universe),
+            ghosts: None,
             capacity: None,
+            policy: ReplacementPolicy::Lru,
+            window: SimDuration::ZERO,
             clock: 0,
             evictions: 0,
         }
@@ -72,7 +106,10 @@ impl Cache {
         assert!(capacity > 0, "cache capacity must be positive");
         Cache {
             entries: ItemTable::hashed(),
+            ghosts: Some(ItemTable::hashed()),
             capacity: Some(capacity),
+            policy: ReplacementPolicy::Lru,
+            window: SimDuration::ZERO,
             clock: 0,
             evictions: 0,
         }
@@ -84,10 +121,27 @@ impl Cache {
         assert!(capacity > 0, "cache capacity must be positive");
         Cache {
             entries: ItemTable::dense(universe),
+            ghosts: Some(ItemTable::dense(universe)),
             capacity: Some(capacity),
+            policy: ReplacementPolicy::Lru,
+            window: SimDuration::ZERO,
             clock: 0,
             evictions: 0,
         }
+    }
+
+    /// Switches a bounded cache's replacement policy (`window` is the
+    /// TS window `w = kL`, consulted only by
+    /// [`ReplacementPolicy::WindowAge`]). No-op semantics change for
+    /// unbounded caches, which never evict.
+    pub fn set_replacement(&mut self, policy: ReplacementPolicy, window: SimDuration) {
+        self.policy = policy;
+        self.window = window;
+    }
+
+    /// The active replacement policy.
+    pub fn replacement(&self) -> ReplacementPolicy {
+        self.policy
     }
 
     /// Number of cached items.
@@ -100,7 +154,7 @@ impl Cache {
         self.entries.is_empty()
     }
 
-    /// Number of LRU evictions so far.
+    /// Number of capacity evictions so far.
     pub fn evictions(&self) -> u64 {
         self.evictions
     }
@@ -117,12 +171,13 @@ impl Cache {
         self.entries.contains(item)
     }
 
-    /// Reads `item` (bumping LRU recency).
+    /// Reads `item` (bumping recency; on a hit, also the LFU count).
     pub fn get(&mut self, item: ItemId) -> Option<CacheEntry> {
         self.clock += 1;
         let clock = self.clock;
         self.entries.get_mut(item).map(|e| {
             e.last_used = clock;
+            e.use_count += 1;
             *e
         })
     }
@@ -132,7 +187,8 @@ impl Cache {
         self.entries.get(item)
     }
 
-    /// Inserts or replaces `item`, evicting LRU if over capacity.
+    /// Inserts or replaces `item`, evicting per the replacement policy
+    /// if over capacity. A fresh install clears any ghost of the item.
     pub fn insert(&mut self, item: ItemId, value: u64, timestamp: SimTime) {
         self.clock += 1;
         self.entries.insert(
@@ -141,17 +197,54 @@ impl Cache {
                 value,
                 timestamp,
                 last_used: self.clock,
+                use_count: 1,
             },
         );
+        if let Some(ghosts) = &mut self.ghosts {
+            ghosts.remove(item);
+        }
         if let Some(cap) = self.capacity {
             while self.entries.len() > cap {
-                let lru = self
+                // The victim key ends in the item id, so the minimum is
+                // unique: eviction is independent of iteration order
+                // (dense vs hashed) and byte-identical to the columnar
+                // fleet's scan.
+                let (policy, window) = (self.policy, self.window);
+                let victim = self
                     .entries
                     .iter()
-                    .min_by_key(|(_, e)| e.last_used)
-                    .map(|(k, _)| k)
+                    .map(|(k, e)| {
+                        (
+                            victim_key(
+                                policy,
+                                EntryMeta {
+                                    last_used: e.last_used,
+                                    use_count: e.use_count,
+                                    stamp: e.timestamp,
+                                },
+                                timestamp,
+                                window,
+                                k,
+                            ),
+                            k,
+                        )
+                    })
+                    .min()
+                    .map(|(_, k)| k)
                     .expect("cache over capacity cannot be empty");
-                self.entries.remove(lru);
+                let gone = self
+                    .entries
+                    .remove(victim)
+                    .expect("victim scan returned a live entry");
+                if let Some(ghosts) = &mut self.ghosts {
+                    ghosts.insert(
+                        victim,
+                        GhostEntry {
+                            stamp: gone.timestamp,
+                            stale: false,
+                        },
+                    );
+                }
                 self.evictions += 1;
             }
         }
@@ -163,9 +256,54 @@ impl Cache {
     }
 
     /// Drops the entire cache (the `T_i − T_l > w` / `> L` path of the
-    /// §3 algorithms).
+    /// §3 algorithms). Ghosts are dropped too: after a whole-cache drop
+    /// *nothing* would have been a hit, so no later miss is
+    /// attributable to an earlier eviction.
     pub fn clear(&mut self) {
         self.entries.clear();
+        if let Some(ghosts) = &mut self.ghosts {
+            ghosts.clear();
+        }
+    }
+
+    /// Consumes the ghost of `item`, if any: what a requery learned
+    /// about the evicted copy. Called on every miss by the unit driver.
+    pub fn take_ghost(&mut self, item: ItemId) -> Option<GhostFate> {
+        self.ghosts.as_mut()?.remove(item).map(|g| {
+            if g.stale {
+                GhostFate::Stale
+            } else {
+                GhostFate::Fresh
+            }
+        })
+    }
+
+    /// Marks every still-fresh ghost for which `proven_stale(item,
+    /// eviction_stamp)` returns true as stale — the per-report retire
+    /// pass for strategies that name updated items (TS entries).
+    pub fn ghosts_mark_stale<F: FnMut(ItemId, SimTime) -> bool>(&mut self, mut proven_stale: F) {
+        if let Some(ghosts) = &mut self.ghosts {
+            ghosts.for_each_mut(|item, g| {
+                if !g.stale && proven_stale(item, g.stamp) {
+                    g.stale = true;
+                }
+            });
+        }
+    }
+
+    /// Marks the ghost of `item` stale, if one exists — the per-id
+    /// retire pass for strategies that broadcast plain id lists (AT).
+    pub fn ghost_mark_stale_item(&mut self, item: ItemId) {
+        if let Some(ghosts) = &mut self.ghosts {
+            if let Some(g) = ghosts.get_mut(item) {
+                g.stale = true;
+            }
+        }
+    }
+
+    /// Number of remembered evicted items (test hook).
+    pub fn ghost_len(&self) -> usize {
+        self.ghosts.as_ref().map_or(0, |g| g.len())
     }
 
     /// Sets the validity timestamp of `item` (report processing).
@@ -360,5 +498,112 @@ mod tests {
         c.insert(1, 20, SimTime::from_secs(2.0));
         assert_eq!(c.len(), 1);
         assert_eq!(c.peek(1).unwrap().value, 20);
+    }
+
+    #[test]
+    fn lfu_evicts_least_frequently_used() {
+        let mut c = Cache::with_capacity(2);
+        c.set_replacement(ReplacementPolicy::Lfu, SimDuration::ZERO);
+        c.insert(1, 1, SimTime::ZERO);
+        c.insert(2, 2, SimTime::ZERO);
+        // Item 2 is hit twice, item 1 never: LFU sacrifices 1 even
+        // though 1 was inserted first and 2 touched more recently.
+        let _ = c.get(2);
+        let _ = c.get(2);
+        c.insert(3, 3, SimTime::ZERO);
+        assert!(!c.contains(1), "cold item evicted under LFU");
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn window_age_evicts_dead_entries_first() {
+        let mut c = Cache::with_capacity(2);
+        c.set_replacement(ReplacementPolicy::WindowAge, SimDuration::from_secs(50.0));
+        // Item 1 stamped far outside the window but *hot* (recently
+        // used); item 2 fresh but LRU-cold. LRU would evict 2;
+        // window-age knows 1 is dead weight.
+        c.insert(1, 1, SimTime::from_secs(10.0));
+        c.insert(2, 2, SimTime::from_secs(99.0));
+        let _ = c.get(1);
+        c.insert(3, 3, SimTime::from_secs(100.0));
+        assert!(!c.contains(1), "dead entry evicted despite recency");
+        assert!(c.contains(2));
+        assert!(c.contains(3));
+    }
+
+    #[test]
+    fn ghost_classifies_requeries() {
+        let mut c = Cache::with_capacity(1);
+        c.insert(1, 1, SimTime::from_secs(1.0));
+        c.insert(2, 2, SimTime::from_secs(2.0)); // evicts 1 → fresh ghost
+        assert_eq!(c.ghost_len(), 1);
+        assert_eq!(c.take_ghost(1), Some(GhostFate::Fresh));
+        assert_eq!(c.take_ghost(1), None, "take consumes the ghost");
+
+        c.insert(3, 3, SimTime::from_secs(3.0)); // evicts 2
+        c.ghost_mark_stale_item(2);
+        assert_eq!(c.take_ghost(2), Some(GhostFate::Stale));
+    }
+
+    #[test]
+    fn ghosts_mark_stale_uses_eviction_stamp() {
+        let mut c = Cache::with_capacity(1);
+        c.insert(1, 1, SimTime::from_secs(5.0));
+        c.insert(2, 2, SimTime::from_secs(6.0)); // ghost(1) stamped 5.0
+        // An update at t = 4 predates the evicted copy: still fresh.
+        c.ghosts_mark_stale(|item, stamp| item == 1 && stamp < SimTime::from_secs(4.0));
+        assert_eq!(c.take_ghost(1), Some(GhostFate::Fresh));
+        c.insert(3, 3, SimTime::from_secs(7.0)); // ghost(2) stamped 6.0
+        // An update at t = 8 postdates it: the eviction cost nothing.
+        c.ghosts_mark_stale(|item, stamp| item == 2 && stamp < SimTime::from_secs(8.0));
+        assert_eq!(c.take_ghost(2), Some(GhostFate::Stale));
+    }
+
+    #[test]
+    fn reinstall_clears_ghost_and_clear_drops_ghosts() {
+        let mut c = Cache::with_capacity(1);
+        c.insert(1, 1, SimTime::ZERO);
+        c.insert(2, 2, SimTime::ZERO); // ghost(1)
+        c.insert(1, 10, SimTime::ZERO); // reinstall 1; ghost(1) gone, ghost(2) born
+        assert_eq!(c.take_ghost(1), None);
+        assert_eq!(c.ghost_len(), 1);
+        c.clear();
+        assert_eq!(c.ghost_len(), 0);
+        assert_eq!(c.take_ghost(2), None);
+    }
+
+    #[test]
+    fn unbounded_cache_never_ghosts() {
+        let mut c = Cache::unbounded();
+        c.insert(1, 1, SimTime::ZERO);
+        c.remove(1);
+        assert_eq!(c.take_ghost(1), None);
+        assert_eq!(c.ghost_len(), 0);
+    }
+
+    #[test]
+    fn dense_and_hashed_bounded_caches_agree_per_policy() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Lfu,
+            ReplacementPolicy::WindowAge,
+        ] {
+            let mut dense = Cache::with_capacity_for_universe(3, 64);
+            let mut hashed = Cache::with_capacity(3);
+            for c in [&mut dense, &mut hashed] {
+                c.set_replacement(policy, SimDuration::from_secs(20.0));
+                for i in 0..6u64 {
+                    c.insert(i, i, SimTime::from_secs(i as f64));
+                    let _ = c.get(i / 2);
+                }
+            }
+            assert_eq!(
+                dense.sorted_items(),
+                hashed.sorted_items(),
+                "{policy:?} diverged between table layouts"
+            );
+            assert_eq!(dense.evictions(), hashed.evictions());
+        }
     }
 }

@@ -184,6 +184,17 @@ impl ReportHandler for TsHandler {
         // Ascending already for dense caches; hashed ones visit in
         // arbitrary order, so sort for deterministic output.
         invalidated.sort_unstable();
+        // Ghost retire: a report entry [j, t_j] with t_j newer than an
+        // evicted copy's stamp proves that copy would have been dropped
+        // anyway — the eviction cost nothing. Sound because any update
+        // inside the window w appears in the report.
+        cache.ghosts_mark_stale(|item, stamp| {
+            let stamp_micros = time_to_micros(stamp);
+            reported
+                .binary_search_by_key(&item, |&(reported_item, _)| reported_item)
+                .ok()
+                .is_some_and(|ix| stamp_micros < reported[ix].1)
+        });
         let revalidated = cache.len();
         ProcessOutcome {
             report_time: t_i,
@@ -251,6 +262,9 @@ impl ReportHandler for AtHandler {
             if cache.remove(item).is_some() {
                 invalidated.push(item);
             }
+            // A reported id changed this interval, so any evicted copy
+            // of it is provably stale: the eviction cost nothing.
+            cache.ghost_mark_stale_item(item);
         }
         // Surviving entries are verified as of T_i.
         cache.restamp_all(t_i);

@@ -3,7 +3,9 @@
 //! Everything that runs on the palmtop:
 //!
 //! * [`cache`] — the MU cache: item → (value, validity timestamp `t_x`),
-//!   with optional capacity-bounded LRU eviction;
+//!   with optional capacity-bounded eviction under a pluggable
+//!   `sw-capacity` replacement policy (LRU/LFU/window-age) plus ghost
+//!   bookkeeping for the capacity-miss statistics;
 //! * [`handler`] — the per-strategy report-processing algorithms,
 //!   transcribed from §3 of the paper: [`handler::TsHandler`] (window
 //!   check, per-item timestamp comparison), [`handler::AtHandler`]
@@ -23,6 +25,7 @@ pub mod handler;
 pub mod mu;
 
 pub use cache::{Cache, CacheEntry};
+pub use sw_capacity::{GhostFate, ReplacementPolicy};
 pub use handler::{
     AtHandler, GroupHandler, HybridHandler, NoCacheHandler, ProcessOutcome, ReportHandler,
     SigHandler, TsHandler,

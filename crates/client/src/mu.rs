@@ -14,8 +14,9 @@
 //! * a unit that posed queries stays up to hear the closing report and
 //!   answer them, then may sleep again (§4's stated simplification).
 
+use sw_capacity::{GhostFate, ReplacementPolicy};
 use sw_server::{ItemId, ItemTable, PiggybackInfo, QueryAnswer};
-use sw_sim::{BernoulliIntervalProcess, PoissonProcess, RngStream, SimTime};
+use sw_sim::{BernoulliIntervalProcess, PoissonProcess, RngStream, SimDuration, SimTime};
 use sw_wireless::FramePayload;
 
 use crate::cache::Cache;
@@ -45,6 +46,11 @@ pub struct MuConfig {
     pub sleep_probability: f64,
     /// Optional cache capacity (None = unbounded, the paper's model).
     pub cache_capacity: Option<usize>,
+    /// Replacement policy for a bounded cache (ignored when unbounded).
+    pub replacement: ReplacementPolicy,
+    /// TS window `w = kL` consulted by
+    /// [`ReplacementPolicy::WindowAge`]; ignored by the other policies.
+    pub replacement_window: SimDuration,
     /// Whether to collect local-hit timestamps for uplink piggybacking
     /// (adaptive Method 1, §8.1).
     pub piggyback_hits: bool,
@@ -80,6 +86,14 @@ pub struct MuStats {
     pub latency_sum_secs: f64,
     /// Largest single query latency observed, in seconds.
     pub latency_max_secs: f64,
+    /// Entries evicted to make room (capacity enforcement only — not
+    /// invalidations or gap drops). Zero for unbounded caches.
+    pub evictions: u64,
+    /// Misses on items whose evicted copy was still fresh: the misses
+    /// the capacity bound itself caused.
+    pub capacity_misses: u64,
+    /// Misses on any previously evicted item, fresh or stale.
+    pub evicted_then_requeried: u64,
 }
 
 impl MuStats {
@@ -160,12 +174,13 @@ impl MobileUnit {
             "query rate must be non-negative"
         );
         let total_rate = config.query_rate_per_item * config.hotspot.len() as f64;
-        let cache = match (config.cache_capacity, config.item_universe) {
+        let mut cache = match (config.cache_capacity, config.item_universe) {
             (Some(cap), Some(n)) => Cache::with_capacity_for_universe(cap, n),
             (Some(cap), None) => Cache::with_capacity(cap),
             (None, Some(n)) => Cache::for_universe(n),
             (None, None) => Cache::unbounded(),
         };
+        cache.set_replacement(config.replacement, config.replacement_window);
         let local_hits = match config.item_universe {
             Some(n) if config.piggyback_hits => ItemTable::dense(n),
             _ => ItemTable::hashed(),
@@ -258,10 +273,30 @@ impl MobileUnit {
     /// this interval's query arrivals into the pending list. The sleep
     /// decision is the caller's (the cell driver's wake heap).
     pub fn begin_awake_interval(&mut self, from: SimTime, to: SimTime, query_rng: &mut RngStream) {
+        self.begin_awake_interval_skewed(from, to, query_rng, None);
+    }
+
+    /// [`Self::begin_awake_interval`] with an optional skewed item
+    /// pick: when `pick` is `Some`, each arrival's hotspot index comes
+    /// from the closure (a Zipf draw over a dedicated RNG stream)
+    /// instead of a uniform draw on `query_rng` — so the classic
+    /// uniform draw sequence is *not consumed*, and unarmed runs are
+    /// untouched. Arrival times keep coming from `query_rng` either
+    /// way.
+    pub fn begin_awake_interval_skewed(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        query_rng: &mut RngStream,
+        mut pick: Option<&mut dyn FnMut() -> usize>,
+    ) {
         self.awake = true;
         self.stats.intervals_awake += 1;
         for at in self.queries.arrivals_in(from, to, query_rng) {
-            let idx = query_rng.uniform_index(self.config.hotspot.len() as u64) as usize;
+            let idx = match pick.as_deref_mut() {
+                Some(pick) => pick(),
+                None => query_rng.uniform_index(self.config.hotspot.len() as u64) as usize,
+            };
             let item = self.config.hotspot[idx];
             self.pending.push(PendingQuery { item, posed_at: at });
             self.stats.queries_posed += 1;
@@ -333,6 +368,14 @@ impl MobileUnit {
                 }
             } else {
                 self.stats.miss_events += 1;
+                match self.cache.take_ghost(item) {
+                    Some(GhostFate::Fresh) => {
+                        self.stats.capacity_misses += 1;
+                        self.stats.evicted_then_requeried += 1;
+                    }
+                    Some(GhostFate::Stale) => self.stats.evicted_then_requeried += 1,
+                    None => {}
+                }
                 let piggyback = if self.config.piggyback_hits {
                     Some(PiggybackInfo {
                         local_hit_times: self.local_hits.remove(item).unwrap_or_default(),
@@ -388,8 +431,10 @@ impl MobileUnit {
     /// with the request's server timestamp and notifies the strategy
     /// handler (SIG starts tracking the item's subsets immediately).
     pub fn install_answer(&mut self, answer: QueryAnswer) {
+        let before = self.cache.evictions();
         self.cache
             .insert(answer.item, answer.value, answer.timestamp);
+        self.stats.evictions += self.cache.evictions() - before;
         self.handler.on_fetch(answer.item);
     }
 
@@ -436,12 +481,22 @@ mod tests {
     }
 
     fn unit(s: f64, lambda: f64) -> (MobileUnit, RngStream, RngStream) {
+        unit_with_capacity(s, lambda, None)
+    }
+
+    fn unit_with_capacity(
+        s: f64,
+        lambda: f64,
+        cache_capacity: Option<usize>,
+    ) -> (MobileUnit, RngStream, RngStream) {
         let cfg = MuConfig {
             id: 0,
             hotspot: (0..10).collect(),
             query_rate_per_item: lambda,
             sleep_probability: s,
-            cache_capacity: None,
+            cache_capacity,
+            replacement: ReplacementPolicy::Lru,
+            replacement_window: SimDuration::ZERO,
             piggyback_hits: true,
             item_universe: None,
         };
@@ -617,6 +672,62 @@ mod tests {
         assert_eq!(mu.stats().cache_drops, 1);
         assert!(mu.cache().is_empty());
         assert!(!rep3.uplink_requests.is_empty(), "deferred queries answered now");
+    }
+
+    #[test]
+    fn bounded_unit_accounts_evictions_and_capacity_misses() {
+        // Capacity 3 under a 10-item hotspot at high λ: every interval
+        // queries most of the hotspot, so insertion churn must evict
+        // and later requeries must find fresh ghosts (no invalidations
+        // arrive — the reports are empty).
+        let (mut mu, mut qrng, mut srng) = unit_with_capacity(0.0, 5.0, Some(3));
+        for i in 0..6u64 {
+            let t0 = i as f64 * 10.0;
+            mu.begin_interval(
+                SimTime::from_secs(t0),
+                SimTime::from_secs(t0 + 10.0),
+                &mut srng,
+                &mut qrng,
+            );
+            let rep = mu.hear_report_and_answer(&at_report(t0 + 10.0, vec![]));
+            for (item, _) in &rep.uplink_requests {
+                mu.install_answer(QueryAnswer {
+                    item: *item,
+                    value: 1,
+                    timestamp: SimTime::from_secs(t0 + 10.5),
+                });
+            }
+        }
+        let s = mu.stats();
+        assert!(s.evictions > 0, "capacity 3 must evict under churn");
+        assert!(
+            s.capacity_misses > 0,
+            "requeried fresh ghosts must be classified as capacity misses"
+        );
+        assert_eq!(
+            s.capacity_misses, s.evicted_then_requeried,
+            "no report invalidated anything, so every requeried ghost is fresh"
+        );
+        assert!(mu.cache().len() <= 3);
+    }
+
+    #[test]
+    fn skewed_picks_bypass_the_uniform_draw() {
+        let (mut mu, mut qrng, _) = unit(0.0, 1.0);
+        let mut always_zero = || 0usize;
+        mu.begin_awake_interval_skewed(
+            SimTime::ZERO,
+            SimTime::from_secs(10.0),
+            &mut qrng,
+            Some(&mut always_zero),
+        );
+        let rep = mu.hear_report_and_answer(&at_report(10.0, vec![]));
+        assert_eq!(
+            rep.uplink_requests.len(),
+            1,
+            "a constant pick can only ever miss one distinct item"
+        );
+        assert_eq!(rep.uplink_requests[0].0, 0);
     }
 
     #[test]

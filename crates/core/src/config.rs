@@ -6,6 +6,7 @@
 //! hotspot sizes and popularity skew, the random seed, the report
 //! delivery mode (§9), and whether expensive safety checking is on.
 
+use sw_capacity::{CoopConfig, ReplacementPolicy};
 use sw_faults::FaultPlan;
 use sw_query::QueryPlaneConfig;
 use sw_sim::MasterSeed;
@@ -79,6 +80,23 @@ pub struct CellConfig {
     pub piggyback_hits: bool,
     /// Optional per-client cache capacity (None = unbounded).
     pub cache_capacity: Option<usize>,
+    /// Replacement policy for bounded caches. Ignored (and must stay at
+    /// its default) when `cache_capacity` is `None` — an unbounded
+    /// cache never evicts, so there is nothing for a policy to decide.
+    pub replacement: ReplacementPolicy,
+    /// Zipf exponent θ for skewed intra-hotspot query popularity.
+    /// `None` — the default — keeps the paper's uniform hotspot draw
+    /// and leaves every pre-existing run byte-identical; `Some(θ)`
+    /// draws item picks from the dedicated
+    /// `StreamId::ZipfQuery { index }` streams (arrival *times* still
+    /// come from the untouched query streams). Standalone cells only.
+    pub query_zipf: Option<f64>,
+    /// Cooperative-miss configuration: a bounded client's fresh miss
+    /// may be answered by a neighbor cell holding a verifiably fresh
+    /// copy, charged at `b_coop` bits instead of an uplink exchange.
+    /// `None` — the default — arms nothing. Requires a mesh backbone
+    /// (neighbors only exist in a `CellGraph`).
+    pub coop: Option<CoopConfig>,
     /// Record full value history and verify the no-stale-reads
     /// invariant after every interval (O(updates) memory; test use).
     pub check_safety: bool,
@@ -161,6 +179,9 @@ impl CellConfig {
             },
             piggyback_hits: false,
             cache_capacity: None,
+            replacement: ReplacementPolicy::default(),
+            query_zipf: None,
+            coop: None,
             check_safety: false,
             energy_model: EnergyModel::default(),
             sleep_profile: None,
@@ -218,6 +239,28 @@ impl CellConfig {
     /// Bounds each client's cache.
     pub fn with_cache_capacity(mut self, cap: usize) -> Self {
         self.cache_capacity = Some(cap);
+        self
+    }
+
+    /// Picks the replacement policy for bounded caches (meaningful only
+    /// together with [`CellConfig::with_cache_capacity`]).
+    pub fn with_replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.replacement = policy;
+        self
+    }
+
+    /// Skews intra-hotspot query popularity with a Zipf(θ) draw over
+    /// each client's hotspot (θ = 0 is uniform-by-another-stream; the
+    /// default `None` keeps the original uniform stream untouched).
+    pub fn with_query_zipf(mut self, theta: f64) -> Self {
+        self.query_zipf = Some(theta);
+        self
+    }
+
+    /// Arms cooperative misses over the mesh backbone: fresh misses may
+    /// be served by a neighbor cell's verified copy at `b_coop` bits.
+    pub fn with_coop(mut self, coop: CoopConfig) -> Self {
+        self.coop = Some(coop);
         self
     }
 
@@ -341,6 +384,27 @@ impl CellConfig {
                 return Err("cache capacity must be positive".into());
             }
         }
+        if let Some(theta) = self.query_zipf {
+            if !theta.is_finite() || theta < 0.0 {
+                return Err(format!(
+                    "Zipf exponent must be finite and non-negative, got {theta}"
+                ));
+            }
+            if self.backbone.is_some() {
+                return Err(
+                    "Zipf-skewed queries are standalone-only (the mesh's migration \
+                     machinery replays hotspot draws it cannot re-skew)"
+                        .into(),
+                );
+            }
+        }
+        if self.coop.is_some() && self.backbone.is_none() {
+            return Err(
+                "cooperative misses need a mesh backbone: a standalone cell \
+                 has no neighbors to borrow fresh copies from"
+                    .into(),
+            );
+        }
         if let Some(plan) = &self.faults {
             plan.validate()?;
         }
@@ -433,6 +497,37 @@ mod tests {
         let bad = CellConfig::new(ScenarioParams::scenario1())
             .with_faults(FaultPlan::none().with_loss(LossModel::bernoulli(2.0)));
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn coop_requires_backbone() {
+        let standalone =
+            CellConfig::new(ScenarioParams::scenario1()).with_coop(CoopConfig::default());
+        assert!(standalone.validate().is_err());
+        let shard = standalone.with_backbone(MasterSeed(5));
+        shard.validate().unwrap();
+    }
+
+    #[test]
+    fn query_zipf_standalone_and_finite() {
+        let base = CellConfig::new(ScenarioParams::scenario1());
+        base.clone().with_query_zipf(0.8).validate().unwrap();
+        assert!(base.clone().with_query_zipf(-1.0).validate().is_err());
+        assert!(base.clone().with_query_zipf(f64::NAN).validate().is_err());
+        assert!(base
+            .with_query_zipf(0.8)
+            .with_backbone(MasterSeed(5))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn replacement_builder_applies() {
+        let c = CellConfig::new(ScenarioParams::scenario1())
+            .with_cache_capacity(8)
+            .with_replacement(ReplacementPolicy::WindowAge);
+        assert_eq!(c.replacement, ReplacementPolicy::WindowAge);
+        c.validate().unwrap();
     }
 
     #[test]

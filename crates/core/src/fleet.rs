@@ -31,13 +31,24 @@
 //! pinned by `tests/columnar_equivalence.rs` and, transitively, by the
 //! figure-3 regression artifact, which now runs on this backend.
 //!
+//! Bounded caches ride along as optional columns ([`CapColumns`]):
+//! per-slot recency/frequency ticks, a per-client access clock, and a
+//! per-slot ghost byte remembering evicted-entry stamps. They are
+//! materialized only when the cell bounds its caches, so unbounded
+//! sweeps touch nothing new; when armed, eviction at install time and
+//! ghost classification at answer time transcribe
+//! `sw_client::Cache` exactly (the victim key's item-id tiebreak makes
+//! the minimum unique, so the slot scan and the boxed table walk pick
+//! the same victim).
+//!
 //! Eligibility is decided by the simulation driver: static report
-//! builders only (TS/AT/SIG/NC/HYB/GR), unbounded caches, no piggyback
-//! histories, standalone cells (no mesh backbone). Everything else
-//! stays on the boxed-unit fleet.
+//! builders only (TS/AT/SIG/NC/HYB/GR), no piggyback histories,
+//! standalone cells (no mesh backbone). Everything else stays on the
+//! boxed-unit fleet.
 
 use std::sync::Arc;
 
+use sw_capacity::{victim_key, EntryMeta, ReplacementPolicy};
 use sw_client::handler::{time_from_micros, time_to_micros};
 use sw_client::{IntervalReport, MuStats, PendingQuery, ProcessOutcome};
 use sw_server::{GroupMap, HotSet, ItemId, QueryAnswer};
@@ -108,6 +119,47 @@ struct SigColumns {
     last_unmatched: Vec<u32>,
 }
 
+/// Capacity configuration for a bounded fleet (mirrors the boxed
+/// cache's `with_capacity` + `set_replacement`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapacitySpec {
+    /// Max cached entries per client.
+    pub cap: usize,
+    /// Victim selection policy.
+    pub policy: ReplacementPolicy,
+    /// TS window `w = kL` for [`ReplacementPolicy::WindowAge`].
+    pub window: SimDuration,
+}
+
+/// Bounded-cache state, columnar: the per-entry replacement metadata
+/// and ghost list of `sw_client::Cache`, as parallel slot columns.
+/// Allocated only for bounded fleets — unbounded sweeps never touch it.
+struct CapColumns {
+    spec: CapacitySpec,
+    /// Recency tick of the last access, stride `h` (only meaningful
+    /// where the valid bit is set; reinstall overwrites).
+    last_used: Vec<u64>,
+    /// Hits since install (1 at install), stride `h`.
+    use_count: Vec<u64>,
+    /// Ghost state per slot: 0 = none, 1 = fresh, 2 = proven stale.
+    ghost: Vec<u8>,
+    /// Evicted entry's validity stamp (meaningful where `ghost != 0`),
+    /// stride `h`.
+    ghost_stamps: Vec<SimTime>,
+    /// Per-client access clock (`Cache::clock`): bumped on every
+    /// answer-loop read — hit or miss — and on every install.
+    clock: Vec<u64>,
+}
+
+/// Bounded-cache columns of one contiguous client chunk.
+struct CapChunk<'a> {
+    last_used: &'a mut [u64],
+    use_count: &'a mut [u64],
+    ghost: &'a mut [u8],
+    ghost_stamps: &'a mut [SimTime],
+    clock: &'a mut [u64],
+}
+
 /// The AT-family gap tolerance: `L` plus the same relative epsilon the
 /// boxed handlers use.
 fn gap_limit(latency: SimDuration) -> SimDuration {
@@ -142,13 +194,18 @@ pub(crate) struct ColumnarFleet {
     sleep: Vec<BernoulliIntervalProcess>,
     spec: ColumnarSpec,
     sig: Option<SigColumns>,
+    cap: Option<CapColumns>,
 }
 
 impl ColumnarFleet {
     /// Creates an empty fleet; clients are appended by
     /// [`Self::push_client`] in the constructor's per-index loop, so
     /// the rng draw order matches the boxed-unit path exactly.
-    pub(crate) fn new(hotspot_size: usize, spec: ColumnarSpec) -> Self {
+    pub(crate) fn new(
+        hotspot_size: usize,
+        spec: ColumnarSpec,
+        capacity: Option<CapacitySpec>,
+    ) -> Self {
         assert!(hotspot_size > 0, "hotspot cannot be empty");
         let sig = spec.decoder().map(|d| {
             let m = d.plan().m as usize;
@@ -158,6 +215,17 @@ impl ColumnarFleet {
                 tracked_count: Vec::new(),
                 last_report: Vec::new(),
                 last_unmatched: Vec::new(),
+            }
+        });
+        let cap = capacity.map(|spec| {
+            assert!(spec.cap > 0, "cache capacity must be positive");
+            CapColumns {
+                spec,
+                last_used: Vec::new(),
+                use_count: Vec::new(),
+                ghost: Vec::new(),
+                ghost_stamps: Vec::new(),
+                clock: Vec::new(),
             }
         });
         ColumnarFleet {
@@ -178,6 +246,7 @@ impl ColumnarFleet {
             sleep: Vec::new(),
             spec,
             sig,
+            cap,
         }
     }
 
@@ -217,6 +286,14 @@ impl ColumnarFleet {
             sig.tracked_count.push(0);
             sig.last_report.push(Arc::new(Vec::new()));
             sig.last_unmatched.push(0);
+        }
+        if let Some(cap) = &mut self.cap {
+            cap.last_used.extend(std::iter::repeat_n(0u64, self.h));
+            cap.use_count.extend(std::iter::repeat_n(0u64, self.h));
+            cap.ghost.extend(std::iter::repeat_n(0u8, self.h));
+            cap.ghost_stamps
+                .extend(std::iter::repeat_n(SimTime::ZERO, self.h));
+            cap.clock.push(0);
         }
         self.n += 1;
     }
@@ -270,19 +347,27 @@ impl ColumnarFleet {
     /// Starts interval `(from, to]` for awake client `idx`: generates
     /// this interval's query arrivals into its pending list, consuming
     /// `query_rng` exactly like `MobileUnit::begin_awake_interval`.
-    pub(crate) fn begin_awake_interval(
+    /// When `pick` is `Some` (Zipf skew), each arrival's hotspot index
+    /// comes from the closure and the uniform draw on `query_rng` is
+    /// *not consumed* — mirroring
+    /// `MobileUnit::begin_awake_interval_skewed`.
+    pub(crate) fn begin_awake_interval_skewed(
         &mut self,
         idx: usize,
         from: SimTime,
         to: SimTime,
         query_rng: &mut RngStream,
+        mut pick: Option<&mut dyn FnMut() -> usize>,
     ) {
         self.awake[idx] = true;
         let stats = &mut self.stats[idx];
         stats.intervals_awake += 1;
         let base = idx * self.h;
         for at in self.queries[idx].arrivals_in(from, to, query_rng) {
-            let j = query_rng.uniform_index(self.h as u64) as usize;
+            let j = match pick.as_deref_mut() {
+                Some(pick) => pick(),
+                None => query_rng.uniform_index(self.h as u64) as usize,
+            };
             let item = self.hotspot_draw[base + j];
             self.pending[idx].push(PendingQuery { item, posed_at: at });
             stats.queries_posed += 1;
@@ -310,6 +395,45 @@ impl ColumnarFleet {
         }
         self.values[idx * self.h + slot] = answer.value;
         self.stamps[idx * self.h + slot] = answer.timestamp;
+        if let Some(cap) = &mut self.cap {
+            let base = idx * self.h;
+            cap.clock[idx] += 1;
+            cap.last_used[base + slot] = cap.clock[idx];
+            cap.use_count[base + slot] = 1;
+            // A fresh install clears any ghost of the item.
+            cap.ghost[base + slot] = 0;
+            while self.cached[idx] as usize > cap.spec.cap {
+                // Same victim scan as `Cache::insert`: the key ends in
+                // the item id, so the minimum is unique and the slot
+                // order cannot disagree with the boxed table walk.
+                let mut victim: Option<([u64; 4], usize)> = None;
+                for s in 0..self.h {
+                    if self.valid[idx * self.words + s / 64] & (1 << (s % 64)) == 0 {
+                        continue;
+                    }
+                    let key = victim_key(
+                        cap.spec.policy,
+                        EntryMeta {
+                            last_used: cap.last_used[base + s],
+                            use_count: cap.use_count[base + s],
+                            stamp: self.stamps[base + s],
+                        },
+                        answer.timestamp,
+                        cap.spec.window,
+                        self.slot_items[base + s],
+                    );
+                    if victim.is_none_or(|(best, _)| key < best) {
+                        victim = Some((key, s));
+                    }
+                }
+                let (_, vslot) = victim.expect("cache over capacity cannot be empty");
+                self.valid[idx * self.words + vslot / 64] &= !(1 << (vslot % 64));
+                self.cached[idx] -= 1;
+                cap.ghost[base + vslot] = 1;
+                cap.ghost_stamps[base + vslot] = self.stamps[base + vslot];
+                self.stats[idx].evictions += 1;
+            }
+        }
         match &self.spec {
             ColumnarSpec::Sig { decoder } => {
                 let sig = self.sig.as_mut().expect("SIG fleet has sig columns");
@@ -393,6 +517,15 @@ impl ColumnarFleet {
                     &mut s.last_unmatched[..],
                 )
             });
+            let mut cap_cols = self.cap.as_mut().map(|c| {
+                (
+                    &mut c.last_used[..],
+                    &mut c.use_count[..],
+                    &mut c.ghost[..],
+                    &mut c.ghost_stamps[..],
+                    &mut c.clock[..],
+                )
+            });
             let mut base = 0usize;
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
@@ -432,6 +565,29 @@ impl ColumnarFleet {
                         }
                         None => None,
                     };
+                    let cap_chunk = match &mut cap_cols {
+                        Some((last_used, use_count, ghost, ghost_stamps, clock)) => {
+                            let (lu_c, lu_r) = std::mem::take(last_used).split_at_mut(take * h);
+                            *last_used = lu_r;
+                            let (uc_c, uc_r) = std::mem::take(use_count).split_at_mut(take * h);
+                            *use_count = uc_r;
+                            let (gh_c, gh_r) = std::mem::take(ghost).split_at_mut(take * h);
+                            *ghost = gh_r;
+                            let (gs_c, gs_r) =
+                                std::mem::take(ghost_stamps).split_at_mut(take * h);
+                            *ghost_stamps = gs_r;
+                            let (ck_c, ck_r) = std::mem::take(clock).split_at_mut(take);
+                            *clock = ck_r;
+                            Some(CapChunk {
+                                last_used: lu_c,
+                                use_count: uc_c,
+                                ghost: gh_c,
+                                ghost_stamps: gs_c,
+                                clock: ck_c,
+                            })
+                        }
+                        None => None,
+                    };
                     let mut view = ChunkView {
                         base,
                         h,
@@ -445,6 +601,7 @@ impl ColumnarFleet {
                         pending: pending_c,
                         stats: stats_c,
                         sig: sig_chunk,
+                        cap: cap_chunk,
                     };
                     base = last_idx + 1;
                     let prepared = &prepared;
@@ -481,6 +638,13 @@ impl ColumnarFleet {
                     tracked_count: &mut s.tracked_count,
                     last_report: &mut s.last_report,
                     last_unmatched: &mut s.last_unmatched,
+                }),
+                cap: self.cap.as_mut().map(|c| CapChunk {
+                    last_used: &mut c.last_used,
+                    use_count: &mut c.use_count,
+                    ghost: &mut c.ghost,
+                    ghost_stamps: &mut c.ghost_stamps,
+                    clock: &mut c.clock,
                 }),
             };
             heard
@@ -701,6 +865,7 @@ struct ChunkView<'a> {
     pending: &'a mut [Vec<PendingQuery>],
     stats: &'a mut [MuStats],
     sig: Option<SigChunk<'a>>,
+    cap: Option<CapChunk<'a>>,
 }
 
 impl ChunkView<'_> {
@@ -716,6 +881,12 @@ impl ChunkView<'_> {
     fn clear_cache(&mut self, local: usize) {
         self.valid[local * self.words..(local + 1) * self.words].fill(0);
         self.cached[local] = 0;
+        // A whole-cache drop retires the ghosts too (`Cache::clear`):
+        // after it *nothing* would have been a hit, so no later miss is
+        // attributable to an earlier eviction.
+        if let Some(cap) = &mut self.cap {
+            cap.ghost[local * self.h..(local + 1) * self.h].fill(0);
+        }
     }
 
     fn item(&self, idx: usize, slot: usize) -> ItemId {
@@ -791,13 +962,36 @@ fn sweep_client(
     seen.dedup();
     let mut uplink = Vec::new();
     for item in seen {
-        let hit = view
-            .slot_of(idx, item)
-            .is_some_and(|slot| view.is_valid(local, slot));
+        let slot = view.slot_of(idx, item);
+        let hit = slot.is_some_and(|slot| view.is_valid(local, slot));
+        // Mirror `Cache::get`: the access clock ticks on every read,
+        // hit or miss; a hit also bumps recency and the LFU count.
+        if let Some(cap) = &mut view.cap {
+            cap.clock[local] += 1;
+            if hit {
+                let at = local * view.h + slot.expect("hits have a slot");
+                cap.last_used[at] = cap.clock[local];
+                cap.use_count[at] += 1;
+            }
+        }
         if hit {
             view.stats[local].hit_events += 1;
         } else {
             view.stats[local].miss_events += 1;
+            // `Cache::take_ghost`: classify the requery of an evicted
+            // copy — fresh ghost ⇒ the capacity bound caused this miss.
+            if let (Some(cap), Some(slot)) = (&mut view.cap, slot) {
+                let at = local * view.h + slot;
+                match cap.ghost[at] {
+                    1 => {
+                        view.stats[local].capacity_misses += 1;
+                        view.stats[local].evicted_then_requeried += 1;
+                    }
+                    2 => view.stats[local].evicted_then_requeried += 1,
+                    _ => {}
+                }
+                cap.ghost[at] = 0;
+            }
             // Piggyback histories are ineligible for the columnar
             // fleet, so the uplink request never carries one.
             uplink.push((item, None));
@@ -861,6 +1055,27 @@ fn process_report(
                     _ => view.stamps[local * view.h + slot] = t_i,
                 }
             }
+            // Ghost retire (`Cache::ghosts_mark_stale`): a report entry
+            // [j, t_j] newer than an evicted copy's stamp proves that
+            // copy would have been dropped anyway — the eviction cost
+            // nothing.
+            if let Some(cap) = &mut view.cap {
+                for slot in 0..view.h {
+                    let at = local * view.h + slot;
+                    if cap.ghost[at] != 1 {
+                        continue;
+                    }
+                    let item = view.slot_items[idx * view.h + slot];
+                    let stamp_micros = time_to_micros(cap.ghost_stamps[at]);
+                    if entries
+                        .binary_search_by_key(&item, |&(reported_item, _)| reported_item)
+                        .ok()
+                        .is_some_and(|ix| stamp_micros < entries[ix].1)
+                    {
+                        cap.ghost[at] = 2;
+                    }
+                }
+            }
             // Slot order is ascending item id, so `invalidated` is
             // already sorted — same output as the dense-cache walk.
             let revalidated = view.cached[local] as usize;
@@ -891,6 +1106,15 @@ fn process_report(
                     if view.is_valid(local, slot) {
                         view.clear_slot(local, slot);
                         invalidated.push(item);
+                    }
+                    // `Cache::ghost_mark_stale_item`: a reported id
+                    // changed this interval, so any evicted copy of it
+                    // is provably stale — the eviction cost nothing.
+                    if let Some(cap) = &mut view.cap {
+                        let at = local * view.h + slot;
+                        if cap.ghost[at] != 0 {
+                            cap.ghost[at] = 2;
+                        }
                     }
                 }
             }

@@ -86,3 +86,6 @@ pub use sw_observe as observe;
 /// Re-export: deterministic fault injection (report loss, frame
 /// corruption, uplink retry with backoff, clock drift).
 pub use sw_faults as faults;
+/// Re-export: bounded caches — replacement policies, eviction
+/// statistics, and the cooperative-miss building blocks.
+pub use sw_capacity as capacity;

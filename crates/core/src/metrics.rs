@@ -5,6 +5,7 @@
 //! so the validation tests and the experiment harness can put the
 //! simulator and the model side by side.
 
+use sw_capacity::{CapacityStats, CoopStats};
 use sw_faults::FaultTotals;
 use sw_observe::ObserveSnapshot;
 use sw_query::QueryStats;
@@ -75,6 +76,12 @@ pub struct SimulationReport {
     /// Fault-injection counters (all zeros unless a plan is armed and
     /// the `faults` cargo feature is on).
     pub faults: FaultTotals,
+    /// Bounded-cache eviction counters summed over the fleet (all zeros
+    /// for unbounded cells).
+    pub capacity: CapacityStats,
+    /// Cooperative-miss counters (all zeros unless
+    /// [`crate::config::CellConfig::with_coop`] armed the path).
+    pub coop: CoopStats,
     /// Interval capacity `L·W` in bits.
     pub interval_bits: f64,
     /// `b_q + b_a` in bits.
@@ -189,6 +196,8 @@ mod tests {
             query: QueryStats::default(),
             migration: MigrationStats::default(),
             faults: FaultTotals::default(),
+            capacity: CapacityStats::default(),
+            coop: CoopStats::default(),
             interval_bits: 100_000.0,
             per_query_bits: 1024.0,
             t_max_analytic: 10_000.0,

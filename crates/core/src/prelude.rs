@@ -12,6 +12,7 @@ pub use crate::simulation::{CellSimulation, SimulationError};
 pub use crate::strategy::Strategy;
 
 pub use sw_adaptive::FeedbackMethod;
+pub use sw_capacity::{CapacityStats, CoopConfig, CoopStats, ReplacementPolicy};
 pub use sw_analysis::{
     effectiveness_at, h_at, h_sig, h_ts_bounds, h_ts_estimate, mhr, throughput_at,
     throughput_max, throughput_nc, throughput_sig, throughput_ts, Sweep, Throughputs,

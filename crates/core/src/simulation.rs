@@ -26,21 +26,23 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
 
 use sw_adaptive::FeedbackMethod;
+use sw_capacity::{CapacityStats, CoopDirectory, CoopFeed, CoopStats};
+use sw_client::handler::time_to_micros;
 use sw_client::{IntervalReport, MobileUnit, MuConfig, MuStats};
 use sw_faults::{FaultLayer, ReportFate};
 use sw_query::{QueryPlane, QueryStats};
-use sw_server::{Database, ItemId, PiggybackInfo, UpdateEngine, UplinkProcessor};
+use sw_server::{Database, ItemId, PiggybackInfo, QueryAnswer, UpdateEngine, UplinkProcessor};
 use sw_observe::{Recorder, Value};
 use sw_sim::{IntervalClock, MasterSeed, RngStream, SimDuration, SimTime, StreamId};
 use sw_wireless::frame::{checksum64, flip_bit};
 use sw_wireless::{
     BroadcastChannel, ChannelError, EnergyTotals, FramePayload, ReportDelivery, WireEncode,
 };
-use sw_workload::HotspotSpec;
+use sw_workload::{HotspotSpec, ZipfPicker};
 
 use crate::config::{CellConfig, FleetBackend, WakeMode};
 use crate::driver::ServerDriver;
-use crate::fleet::ColumnarFleet;
+use crate::fleet::{CapacitySpec, ColumnarFleet};
 use crate::metrics::{MigrationStats, SimulationReport};
 use crate::safety::{SafetyExpectation, SafetyStats, ValueHistory};
 use crate::strategy::Strategy;
@@ -214,6 +216,25 @@ pub(crate) struct SweepItem {
 /// performance threshold — both paths are bit-identical.
 const SWEEP_PAR_MIN: usize = 256;
 
+/// Whether the report just heard vouches that a cooperative copy
+/// stamped at `feed_stamp_micros` is still current for `item`. TS is
+/// sound because its window `w = kL ≥ L` always covers the one-interval
+/// gap back to the neighbor's snapshot: decline iff the report lists an
+/// update strictly after the snapshot. AT's id list is exactly the
+/// updates since the last report: decline iff the item is listed. Every
+/// other family (signatures, hybrid, group, adaptive) cannot prove
+/// per-item freshness from its report, so it always declines — the
+/// never-stale safety audit stays armed downstream either way.
+fn coop_vouch(payload: &FramePayload, feed_stamp_micros: u64, item: ItemId) -> bool {
+    match payload {
+        FramePayload::TimestampReport { entries, .. } => entries
+            .iter()
+            .all(|&(id, t)| id != item || t <= feed_stamp_micros),
+        FramePayload::AmnesicReport { ids, .. } => !ids.contains(&item),
+        _ => false,
+    }
+}
+
 /// One client's share of the report sweep: apply the shared payload,
 /// answer pending queries, and record what the merge pass needs. Reads
 /// and writes only `mu` — no shared state, no randomness — which is
@@ -303,9 +324,10 @@ pub struct CellSimulation {
     /// The columnar client backend (`Some` = the fleet's state lives in
     /// struct-of-arrays columns and `clients` is empty). Chosen at
     /// construction when the configuration is eligible — static report
-    /// strategies, unbounded caches, no piggybacking, no mesh backbone
-    /// — or forced either way by `config.fleet`. Bit-identical to the
-    /// boxed-unit fleet (pinned by the columnar-equivalence suite).
+    /// strategies, no piggybacking, no mesh backbone; bounded caches
+    /// clock along as extra columns — or forced either way by
+    /// `config.fleet`. Bit-identical to the boxed-unit fleet (pinned by
+    /// the columnar-equivalence suite).
     columnar: Option<ColumnarFleet>,
     /// The next interval in which each currently-sleeping (or
     /// yet-unprocessed) unit is awake. The per-interval loop takes
@@ -327,6 +349,19 @@ pub struct CellSimulation {
     /// Each plane draws only from `StreamId::QueryPlan { index }`, so
     /// arming it never perturbs the item-plane streams.
     query_planes: Vec<Option<QueryPlane>>,
+    /// Zipf-skewed hotspot picker (`config.query_zipf`): the shared CDF
+    /// over hotspot ranks plus one dedicated RNG stream per client
+    /// (`StreamId::ZipfQuery`). Arrival *times* stay on the query
+    /// streams; only the per-arrival item pick moves here, so unarmed
+    /// runs consume exactly the classic draw sequence.
+    zipf: Option<(ZipfPicker, Vec<RngStream>)>,
+    /// Cooperative-miss state (mesh shards with `config.coop` armed):
+    /// the merged neighbor directory installed at the last barrier,
+    /// consumed by this interval's fresh misses. `None` for standalone
+    /// cells and before the first barrier.
+    coop_feed: Option<CoopFeed>,
+    /// Sidelink serve counters (all zeros unless `config.coop` armed).
+    coop_stats: CoopStats,
     update_rng: RngStream,
     update_engine: UpdateEngine,
     report_bits_total: u64,
@@ -448,16 +483,14 @@ impl CellSimulation {
             );
         let stateful = matches!(strategy, Strategy::Stateful);
         // Columnar fleet eligibility: static report builders whose
-        // per-client state is exactly (cache, T_l) — no bounded-cache
-        // LRU clocks, no piggyback histories, no mesh handoffs moving
-        // whole units between cells. Everything else keeps the boxed
-        // `MobileUnit` fleet. `config.fleet` forces the choice either
-        // way (the equivalence suite runs both on the same config).
-        let columnar_spec = if config.backbone.is_none()
-            && config.cache_capacity.is_none()
-            && !piggyback
-            && config.query.is_none()
-        {
+        // per-client state is columnar — (cache, T_l), plus the
+        // bounded-cache replacement clocks, which ride along as extra
+        // columns — but no piggyback histories and no mesh handoffs
+        // moving whole units between cells. Everything else keeps the
+        // boxed `MobileUnit` fleet. `config.fleet` forces the choice
+        // either way (the equivalence suite runs both on the same
+        // config).
+        let columnar_spec = if config.backbone.is_none() && !piggyback && config.query.is_none() {
             strategy.columnar_spec(&params, protocol_seed)
         } else {
             None
@@ -466,23 +499,52 @@ impl CellSimulation {
             Some(FleetBackend::Units) => false,
             Some(FleetBackend::Columnar) => {
                 if columnar_spec.is_none() {
+                    // Name every disqualifier, not just the tuple of
+                    // settings: the caller forced the columnar backend,
+                    // so tell them exactly what keeps this configuration
+                    // on boxed units.
+                    let mut reasons: Vec<String> = Vec::new();
+                    if config.backbone.is_some() {
+                        reasons.push(
+                            "mesh handoffs move whole boxed units between cells".into(),
+                        );
+                    }
+                    if piggyback {
+                        reasons.push(
+                            "piggybacked hit histories live on boxed units".into(),
+                        );
+                    }
+                    if config.query.is_some() {
+                        reasons.push(
+                            "the query-result plane attaches to boxed units".into(),
+                        );
+                    }
+                    if strategy.columnar_spec(&params, protocol_seed).is_none() {
+                        reasons.push(format!(
+                            "strategy {} builds its reports from per-client feedback \
+                             state that only boxed units carry",
+                            strategy.name()
+                        ));
+                    }
                     return Err(SimulationError::InvalidConfig(format!(
-                        "the columnar fleet cannot host this configuration \
-                         (strategy {}, capacity {:?}, piggyback {}, query {}, backbone {:?})",
-                        strategy.name(),
-                        config.cache_capacity,
-                        piggyback,
-                        config.query.is_some(),
-                        config.backbone,
+                        "the columnar fleet cannot host this configuration: {}",
+                        reasons.join("; ")
                     )));
                 }
                 true
             }
             None => columnar_spec.is_some(),
         };
+        // Finite capacity runs on either backend with the same policy
+        // and the same TS window `w = kL` feeding the window-age rule.
+        let cap_spec = config.cache_capacity.map(|cap| CapacitySpec {
+            cap,
+            policy: config.replacement,
+            window: latency.scaled(params.k as f64),
+        });
         let mut columnar = if use_columnar {
             let spec = columnar_spec.expect("eligibility was just checked");
-            Some(ColumnarFleet::new(config.hotspot_size, spec))
+            Some(ColumnarFleet::new(config.hotspot_size, spec, cap_spec))
         } else {
             None
         };
@@ -542,6 +604,8 @@ impl CellSimulation {
                         query_rate_per_item: params.lambda,
                         sleep_probability,
                         cache_capacity: config.cache_capacity,
+                        replacement: config.replacement,
+                        replacement_window: latency.scaled(params.k as f64),
                         piggyback_hits: piggyback,
                         item_universe: Some(params.n_items),
                     };
@@ -630,6 +694,18 @@ impl CellSimulation {
         let mut update_rng = protocol_seed.stream(StreamId::Updates);
         let update_engine = UpdateEngine::new(params.n_items, params.mu, &mut update_rng);
 
+        // The Zipf pick machinery: one shared rank CDF, one dedicated
+        // stream per client. Built even for clients that start asleep —
+        // the streams are index-parallel to the fleet and drawn from
+        // only at awake arrivals.
+        let zipf = config.query_zipf.map(|theta| {
+            let picker = ZipfPicker::new(config.hotspot_size, theta);
+            let rngs = (0..config.n_clients as u64)
+                .map(|idx| config.seed.stream(StreamId::ZipfQuery { index: idx }))
+                .collect();
+            (picker, rngs)
+        });
+
         let delivery = ReportDelivery::new(config.delivery);
         let delivery_rng = config.seed.stream(StreamId::Custom { tag: 0xDE11 });
         let faults = FaultLayer::new(config.faults.as_ref(), config.seed, config.n_clients);
@@ -650,6 +726,9 @@ impl CellSimulation {
             sleep_rngs,
             query_rngs,
             query_planes,
+            zipf,
+            coop_feed: None,
+            coop_stats: CoopStats::default(),
             update_rng,
             update_engine,
             report_bits_total: 0,
@@ -717,6 +796,58 @@ impl CellSimulation {
     /// Whether the cell runs the columnar client backend.
     pub fn is_columnar(&self) -> bool {
         self.columnar.is_some()
+    }
+
+    /// Fleet-wide eviction counters: one O(n) fold over the per-client
+    /// stats, on either backend. All zeros for unbounded cells.
+    fn capacity_totals(&self) -> CapacityStats {
+        let mut total = CapacityStats::default();
+        let mut tally = |s: &MuStats| {
+            total.evictions += s.evictions;
+            total.capacity_misses += s.capacity_misses;
+            total.evicted_then_requeried += s.evicted_then_requeried;
+        };
+        match &self.columnar {
+            Some(fleet) => fleet.stats_iter().for_each(&mut tally),
+            None => self.clients.iter().for_each(|mu| tally(&mu.stats())),
+        }
+        total
+    }
+
+    /// Snapshot of every cache entry stamped exactly at the last
+    /// broadcast report time `T_i`: the set this cell can vouch fresh
+    /// to a neighbor, because any copy stamped at the report the whole
+    /// backbone just heard is provably current as of `T_i`. The mesh
+    /// builds these at its barrier and hands each cell the merged
+    /// neighbor view via [`Self::install_coop_feed`].
+    ///
+    /// Mesh shards are always boxed, so only the boxed fleet is
+    /// scanned; clients are visited in ascending slot order and items
+    /// in sorted order, keeping the snapshot deterministic.
+    pub fn coop_directory(&self) -> CoopDirectory {
+        let t_last = self.clock.report_time(self.clock.next_index());
+        let mut dir = CoopDirectory::new(t_last);
+        for mu in &self.clients {
+            for item in mu.cache().sorted_items() {
+                let entry = mu.cache().peek(item).expect("iterating cached items");
+                if entry.timestamp == t_last {
+                    dir.insert(item, entry.value);
+                }
+            }
+        }
+        dir
+    }
+
+    /// Installs the merged neighbor directory the next interval's
+    /// misses may be served from (mesh barrier hook).
+    pub fn install_coop_feed(&mut self, feed: CoopFeed) {
+        self.coop_feed = Some(feed);
+    }
+
+    /// Cooperative-miss counters accumulated so far (all zeros unless
+    /// `config.coop` armed the path).
+    pub fn coop_stats(&self) -> CoopStats {
+        self.coop_stats
     }
 
     /// Query-plane stats for the client in slot `idx` (`None` unless
@@ -848,6 +979,13 @@ impl CellSimulation {
         let overflow_before = self.overflow_exchanges;
         let violations_before = self.safety.violations;
         let faults_before = self.faults.totals();
+        // Eviction counters live per client; an O(n) fold before/after
+        // catches every eviction this interval caused, including those
+        // from the 4a queue drain. Only paid when observing a bounded
+        // cell.
+        let capacity_before = (observing && self.config.cache_capacity.is_some())
+            .then(|| self.capacity_totals());
+        let coop_before = self.coop_stats;
         let (mut obs_hits, mut obs_misses) = (0u64, 0u64);
         let (mut obs_invalidated, mut obs_drops) = (0u64, 0u64);
         let (mut obs_false_alarms, mut obs_unmatched) = (0u64, 0u64);
@@ -869,22 +1007,46 @@ impl CellSimulation {
             let departed = &self.departed;
             awake.retain(|&idx| !departed[idx]);
         }
+        let zipf = &mut self.zipf;
         for &idx in &awake {
             // Lazily settle the sleep run that just ended.
             let slept = i - self.last_settled[idx] - 1;
             self.last_settled[idx] = i;
+            // Zipf skew (`config.query_zipf`): each arrival's hotspot
+            // rank comes from the shared CDF on the client's dedicated
+            // stream instead of the uniform draw — arrival times stay
+            // on the query stream, identically on both backends.
+            let mut zipf_pick = zipf.as_mut().map(|(picker, rngs)| {
+                let picker = &*picker;
+                let rng = &mut rngs[idx];
+                move || picker.draw(rng)
+            });
+            let pick = zipf_pick
+                .as_mut()
+                .map(|f| f as &mut dyn FnMut() -> usize);
             match &mut self.columnar {
                 Some(fleet) => {
                     if slept > 0 {
                         fleet.credit_asleep_intervals(idx, slept);
                     }
-                    fleet.begin_awake_interval(idx, from, t_i, &mut self.query_rngs[idx]);
+                    fleet.begin_awake_interval_skewed(
+                        idx,
+                        from,
+                        t_i,
+                        &mut self.query_rngs[idx],
+                        pick,
+                    );
                 }
                 None => {
                     if slept > 0 {
                         self.clients[idx].credit_asleep_intervals(slept);
                     }
-                    self.clients[idx].begin_awake_interval(from, t_i, &mut self.query_rngs[idx]);
+                    self.clients[idx].begin_awake_interval_skewed(
+                        from,
+                        t_i,
+                        &mut self.query_rngs[idx],
+                        pick,
+                    );
                 }
             }
             // The query plane draws this interval's predicate-query and
@@ -1233,6 +1395,41 @@ impl CellSimulation {
                     // interval; answering it once is enough.
                     continue;
                 }
+                // Cooperative miss path: a neighbor cell snapshotted a
+                // copy of this item stamped at the last report, and the
+                // report this client *just heard* (everything in 4d
+                // heard an intact one) can vouch nothing changed since.
+                // Served copies cost `b_coop` sidelink bits instead of
+                // an uplink exchange; hit/miss counts are untouched
+                // (the miss already counted in the sweep) and the
+                // installed entry faces the same safety audit as any
+                // uplink answer. Mesh shards are always boxed, so the
+                // direct `clients[idx]` install is safe here.
+                if let (Some(coop), Some(feed)) =
+                    (self.config.coop, self.coop_feed.as_ref())
+                {
+                    match feed.get(item) {
+                        Some(value)
+                            if coop_vouch(
+                                &payload,
+                                time_to_micros(
+                                    feed.stamp.expect("a holding feed carries its stamp"),
+                                ),
+                                item,
+                            ) =>
+                        {
+                            self.coop_stats.coop_served += 1;
+                            self.coop_stats.coop_bits += coop.b_coop;
+                            self.clients[idx].install_answer(QueryAnswer {
+                                item,
+                                value,
+                                timestamp: t_i,
+                            });
+                            continue;
+                        }
+                        _ => self.coop_stats.coop_declined += 1,
+                    }
+                }
                 match self.attempt_uplink_exchange(idx, item, piggyback, i, t_i) {
                     ExchangeOutcome::Done => uplink_counts[slot] += 1,
                     ExchangeOutcome::Saturated => {
@@ -1524,6 +1721,31 @@ impl CellSimulation {
                 // cost the fig_loss sweep plots.
                 self.obs.add("cache_drops_on_gap", obs_drops);
             }
+            if let Some(before) = capacity_before {
+                // The eviction-statistics family: absent (and traces
+                // unchanged) unless the cell bounds its caches.
+                let after = self.capacity_totals();
+                self.obs
+                    .add("capacity_evictions", after.evictions - before.evictions);
+                self.obs.add(
+                    "capacity_misses",
+                    after.capacity_misses - before.capacity_misses,
+                );
+                self.obs.add(
+                    "evicted_then_requeried",
+                    after.evicted_then_requeried - before.evicted_then_requeried,
+                );
+            }
+            if self.config.coop.is_some() {
+                self.obs
+                    .add("coop_served", self.coop_stats.coop_served - coop_before.coop_served);
+                self.obs
+                    .add("coop_bits", self.coop_stats.coop_bits - coop_before.coop_bits);
+                self.obs.add(
+                    "coop_declined",
+                    self.coop_stats.coop_declined - coop_before.coop_declined,
+                );
+            }
             self.obs.record("report_bits", report_bits);
             self.obs.record("awake_clients", awake.len() as u64);
             self.obs.record("uplinks_per_interval", uplinks);
@@ -1592,6 +1814,9 @@ impl CellSimulation {
         self.energy = EnergyTotals::default();
         self.safety = SafetyStats::default();
         self.migration = MigrationStats::default();
+        // Eviction counters live in the per-client stats and were
+        // zeroed above; the sidelink counters are cell-level.
+        self.coop_stats = CoopStats::default();
         // Counters only: the fault processes (burst state, drift) keep
         // evolving across the warm-up boundary, like every other
         // random stream.
@@ -1657,6 +1882,8 @@ impl CellSimulation {
             query,
             migration: self.migration,
             faults: self.faults.totals(),
+            capacity: self.capacity_totals(),
+            coop: self.coop_stats,
             interval_bits: params.latency_secs * params.bandwidth_bps as f64,
             per_query_bits: (params.query_bits + params.answer_bits) as f64,
             t_max_analytic: sw_analysis::throughput_max(params),
@@ -1775,6 +2002,9 @@ impl CellSimulation {
             query_rate_per_item: 0.0,
             sleep_probability: 1.0,
             cache_capacity: self.config.cache_capacity,
+            replacement: self.config.replacement,
+            replacement_window: SimDuration::from_secs(params.latency_secs)
+                .scaled(params.k as f64),
             piggyback_hits: false,
             item_universe: Some(params.n_items),
         };

@@ -30,7 +30,7 @@
 //!    asserted bit-identical to two independent single-cell runs — the
 //!    sharded environment itself must be invisible.
 
-use sleepers::client::{AtHandler, MobileUnit, MuConfig, ReportHandler, TsHandler};
+use sleepers::client::{AtHandler, MobileUnit, MuConfig, ReplacementPolicy, ReportHandler, TsHandler};
 use sleepers::server::AtBuilder;
 use sleepers::server::{Database, ReportBuilder, TsBuilder, UpdateEngine, UplinkProcessor};
 use sleepers::sim::{MasterSeed, SimDuration, SimTime, StreamId};
@@ -63,6 +63,8 @@ fn mu(seed: u64, hotspot: Vec<u64>, handler: Box<dyn ReportHandler + Send>) -> M
             query_rate_per_item: 0.05,
             sleep_probability: 0.0,
             cache_capacity: None,
+            replacement: ReplacementPolicy::Lru,
+            replacement_window: SimDuration::ZERO,
             piggyback_hits: false,
             item_universe: None,
         },

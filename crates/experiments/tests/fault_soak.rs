@@ -104,6 +104,78 @@ fn ten_thousand_interval_soak_upholds_the_safety_contracts() {
     }
 }
 
+/// The eviction safety audit: 5 000 intervals of burst loss and clock
+/// drift with a *tight* bounded cache (capacity 6 under a 20-item
+/// hotspot, so the replacement policy fires constantly) for every
+/// policy. Eviction must never launder staleness: a ghost consumed as
+/// `Fresh` re-enters through the uplink with a server timestamp, so
+/// TS and AT keep their zero-violation contract (the armed checker
+/// aborts the run otherwise — completing is the proof), and SIG stays
+/// under its documented collision bound.
+#[cfg(feature = "faults")]
+#[test]
+fn five_thousand_interval_eviction_soak_stays_never_stale() {
+    let intervals = if std::env::var("SW_FAST").is_ok() {
+        1_000
+    } else {
+        5_000
+    };
+    let plan = FaultPlan::none()
+        .with_loss(LossModel::burst(0.08, 0.35, 0.9))
+        .with_drift(ClockDrift {
+            rate_secs_per_interval: 0.02,
+            jitter_secs: 0.01,
+        });
+    for (strategy, seed) in [
+        (Strategy::BroadcastTimestamps, 0x50AC_1001u64),
+        (Strategy::AmnesicTerminals, 0x50AC_1002),
+        (Strategy::Signatures, 0x50AC_1003),
+    ] {
+        for (pi, policy) in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Lfu,
+            ReplacementPolicy::WindowAge,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = soak_config(seed ^ ((pi as u64) << 32))
+                .with_faults(plan)
+                .with_cache_capacity(6)
+                .with_replacement(policy);
+            let mut sim = CellSimulation::new(cfg, strategy).expect("valid config");
+            let report = sim.run(intervals).unwrap_or_else(|e| {
+                panic!("{strategy:?}/{policy:?} eviction soak aborted: {e}")
+            });
+            assert!(
+                report.capacity.evictions > intervals / 10,
+                "{strategy:?}/{policy:?}: capacity 6 must actually churn (got {})",
+                report.capacity.evictions
+            );
+            assert!(
+                report.faults.reports_missed_total() > 100,
+                "{strategy:?}/{policy:?}: the soak must actually miss reports"
+            );
+            assert!(report.safety.entries_checked > 0);
+            report.safety.verify(strategy.safety_expectation()).unwrap_or_else(|e| {
+                panic!("{strategy:?}/{policy:?} broke its safety contract under eviction: {e}")
+            });
+            if matches!(strategy, Strategy::Signatures) {
+                assert!(
+                    report.safety.violation_rate() < Strategy::SIG_VIOLATION_BOUND,
+                    "SIG/{policy:?} violation rate {} exceeds the documented bound",
+                    report.safety.violation_rate()
+                );
+            } else {
+                assert_eq!(
+                    report.safety.violations, 0,
+                    "{strategy:?}/{policy:?} validated a stale entry after an eviction"
+                );
+            }
+        }
+    }
+}
+
 /// One grid cell: a strategy under the hostile plan at a swept seed.
 #[derive(Clone, Copy)]
 struct Cell {

@@ -132,6 +132,8 @@ fn row_from_deltas(
         qmisses: q.misses - prev_q.misses,
         qcommits: q.txn_commits - prev_q.txn_commits,
         qaborts: q.txn_aborts - prev_q.txn_aborts,
+        evictions: s.evictions - prev.evictions,
+        capacity_misses: s.capacity_misses - prev.capacity_misses,
     }
 }
 

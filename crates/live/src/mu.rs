@@ -110,6 +110,9 @@ impl LiveMu {
             query_rate_per_item: params.lambda,
             sleep_probability,
             cache_capacity: cfg.cache_capacity,
+            replacement: cfg.replacement,
+            replacement_window: SimDuration::from_secs(params.latency_secs)
+                .scaled(params.k as f64),
             piggyback_hits: cfg.piggyback_hits,
             item_universe: Some(params.n_items),
         };
@@ -349,6 +352,8 @@ impl LiveMu {
             qmisses: q.misses - self.prev_q.misses,
             qcommits: q.txn_commits - self.prev_q.txn_commits,
             qaborts: q.txn_aborts - self.prev_q.txn_aborts,
+            evictions: s.evictions - self.prev.evictions,
+            capacity_misses: s.capacity_misses - self.prev.capacity_misses,
         };
         let k = self.mu.draw_sleep_run(&mut self.sleep_rng);
         if k > 0 {
@@ -808,6 +813,7 @@ pub fn run_mu(
     let mut storm_dumped = false;
     let mut last_heard_interval = 0u64;
     let index_label = index.to_string();
+    let bounded = cfg.cache_capacity.is_some();
     let publish_tick = |i: u64,
                         heard: u64,
                         missed: u64,
@@ -841,6 +847,11 @@ pub fn run_mu(
                 .gauge("sw_query_invalidated", q.entries_invalidated as f64)
                 .gauge("sw_query_txn_commits", q.txn_commits as f64)
                 .gauge("sw_query_txn_aborts", q.txn_aborts as f64);
+        }
+        if bounded {
+            tick = tick
+                .gauge("sw_capacity_evictions", s.evictions as f64)
+                .gauge("sw_capacity_misses", s.capacity_misses as f64);
         }
         hub.publish(tick);
     };

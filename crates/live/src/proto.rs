@@ -54,11 +54,18 @@ pub struct DecisionRow {
     pub qcommits: u64,
     /// Multi-item transactional reads aborted this interval.
     pub qaborts: u64,
+    /// Entries evicted by the replacement policy (zero unless the
+    /// session runs a bounded cache; the delta of
+    /// [`sw_client::MuStats::evictions`]).
+    pub evictions: u64,
+    /// Misses whose item had been evicted while still fresh — the
+    /// capacity-attributable share of the miss count.
+    pub capacity_misses: u64,
 }
 
 impl DecisionRow {
-    /// Serialized width: interval + flags byte + nine counters.
-    pub const WIRE_LEN: usize = 8 + 1 + 9 * 8;
+    /// Serialized width: interval + flags byte + eleven counters.
+    pub const WIRE_LEN: usize = 8 + 1 + 11 * 8;
 
     /// Fixed-width big-endian encoding; decision logs are compared as
     /// the concatenation of these.
@@ -76,6 +83,8 @@ impl DecisionRow {
             self.qmisses,
             self.qcommits,
             self.qaborts,
+            self.evictions,
+            self.capacity_misses,
         ]
         .into_iter()
         .enumerate()
@@ -107,6 +116,8 @@ impl DecisionRow {
             qmisses: word(57),
             qcommits: word(65),
             qaborts: word(73),
+            evictions: word(81),
+            capacity_misses: word(89),
         })
     }
 }
@@ -585,6 +596,8 @@ mod tests {
                     qmisses: 2,
                     qcommits: 1,
                     qaborts: 1,
+                    evictions: 2,
+                    capacity_misses: 1,
                 },
             },
             Msg::Bye,
@@ -650,6 +663,8 @@ mod tests {
             qmisses: 7,
             qcommits: 8,
             qaborts: 9,
+            evictions: 10,
+            capacity_misses: 11,
         };
         let bytes = row.to_bytes();
         assert_eq!(bytes.len(), DecisionRow::WIRE_LEN);

@@ -101,6 +101,36 @@ fn query_armed_decision_logs_are_byte_identical() {
     assert_conforms(&small_cell(0.4).with_query(qc), Strategy::Signatures, 28);
 }
 
+/// The bounded-cache gate: with finite capacity armed on both sides,
+/// the widened decision rows — eviction and capacity-miss counters
+/// included — stay byte-identical for every replacement policy. The
+/// simulator side hosts the columnar fleet here (bounded caches are
+/// columnar-eligible), so this also pins live-vs-columnar equality
+/// under eviction pressure.
+#[test]
+fn bounded_cache_decision_logs_are_byte_identical() {
+    use sleepers::capacity::ReplacementPolicy;
+
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Lfu,
+        ReplacementPolicy::WindowAge,
+    ] {
+        let cfg = small_cell(0.4)
+            .with_cache_capacity(6)
+            .with_replacement(policy);
+        let outcome = check_conformance(&cfg, Strategy::BroadcastTimestamps, 40)
+            .unwrap_or_else(|e| panic!("{policy:?} bounded conformance failed: {e}"));
+        let evicted: u64 = outcome.sim.iter().flatten().map(|r| r.evictions).sum();
+        assert!(evicted > 0, "{policy:?}: capacity 6 under a 15-item hotspot must evict");
+    }
+    assert_conforms(
+        &small_cell(0.6).with_cache_capacity(6),
+        Strategy::AmnesicTerminals,
+        40,
+    );
+}
+
 /// The `ServerDriver` extraction makes the feedback strategies
 /// live-eligible: Method-2 adaptive TS (per-item windows steered by
 /// uplink deltas the daemon already sees) and delay-condition quasi

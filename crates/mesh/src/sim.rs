@@ -31,6 +31,7 @@
 //! the figure harness's [`cell_seed`](sw_sim::cell_seed) — so meshes
 //! never replay a figure sweep's randomness.
 
+use sleepers::capacity::{CapacityStats, CoopConfig, CoopDirectory, CoopFeed, CoopStats};
 use sleepers::{
     CellConfig, CellSimulation, MigrationStats, SimulationError, SimulationReport, Strategy,
 };
@@ -72,6 +73,18 @@ impl MeshConfig {
     /// Sets the mobility model.
     pub fn with_mobility(mut self, mobility: MobilityModel) -> Self {
         self.mobility = mobility;
+        self
+    }
+
+    /// Arms cooperative misses: at every barrier each cell publishes a
+    /// directory of cache entries stamped at the last report time, and
+    /// its neighbors (in ascending cell order — ties go to the lowest
+    /// cell) may serve a fresh miss from that directory next interval
+    /// at `b_coop` bits instead of a full uplink exchange. The served
+    /// copy is vouched for against the receiver's own intact report, so
+    /// the never-stale guarantee is untouched.
+    pub fn with_coop(mut self, coop: CoopConfig) -> Self {
+        self.base.coop = Some(coop);
         self
     }
 
@@ -181,7 +194,31 @@ impl MeshSimulation {
         }
         self.intervals_done += 1;
         self.migrate_barrier(self.intervals_done);
+        if self.config.base.coop.is_some() {
+            self.exchange_coop_directories();
+        }
         Ok(())
+    }
+
+    /// The cooperative half of the barrier: snapshot every cell's
+    /// directory of report-fresh entries, then hand each cell the merge
+    /// of its neighbors' directories (ascending cell order, first entry
+    /// wins). Runs after migration so arriving travelers' caches are
+    /// already counted where they now live. Single-threaded, like the
+    /// migration pass — determinism comes from the fixed cell order.
+    fn exchange_coop_directories(&mut self) {
+        let directories: Vec<CoopDirectory> =
+            self.cells.iter().map(|c| c.coop_directory()).collect();
+        for (cell, sim) in self.cells.iter_mut().enumerate() {
+            let neighbor_dirs: Vec<&CoopDirectory> = self
+                .config
+                .graph
+                .neighbors(cell)
+                .iter()
+                .map(|&n| &directories[n])
+                .collect();
+            sim.install_coop_feed(CoopFeed::merge(&neighbor_dirs));
+        }
     }
 
     /// Runs `intervals` intervals and returns the mesh report.
@@ -340,5 +377,25 @@ impl MeshReport {
     /// Mesh-wide safety violations (stale cache entries validated).
     pub fn safety_violations(&self) -> u64 {
         self.cells.iter().map(|c| c.safety.violations).sum()
+    }
+
+    /// Summed eviction statistics across all shards (zero when the
+    /// mesh runs unbounded caches).
+    pub fn capacity(&self) -> CapacityStats {
+        let mut total = CapacityStats::default();
+        for c in &self.cells {
+            total.absorb(c.capacity);
+        }
+        total
+    }
+
+    /// Summed cooperative-miss statistics across all shards (zero when
+    /// [`MeshConfig::with_coop`] was never armed).
+    pub fn coop(&self) -> CoopStats {
+        let mut total = CoopStats::default();
+        for c in &self.cells {
+            total.absorb(c.coop);
+        }
+        total
     }
 }

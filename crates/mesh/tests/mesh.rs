@@ -200,6 +200,92 @@ fn never_stale_strategies_stay_safe_under_mobility() {
     }
 }
 
+/// Cooperative misses fire and pay for themselves: with bounded
+/// caches under the same capacity, the coop mesh serves some misses
+/// from neighbor directories and its uplink traffic drops below the
+/// non-coop twin's. A coop-served answer installs the same
+/// (value, report-stamp) pair the uplink would have returned, so the
+/// saving is pure accounting, never a behavior change.
+#[test]
+fn coop_serves_misses_and_cuts_uplink_bits() {
+    let run = |coop: bool| {
+        let base = base_config(0.3).with_cache_capacity(8);
+        let mut config = MeshConfig::new(CellGraph::ring(4), base, MasterSeed(50))
+            .with_mobility(MobilityModel::Markov { rate: 0.05 });
+        if coop {
+            config = config.with_coop(CoopConfig::default());
+        }
+        let mut mesh = MeshSimulation::new(config, Strategy::BroadcastTimestamps).unwrap();
+        mesh.run(150).unwrap()
+    };
+    let plain = run(false);
+    let coop = run(true);
+    assert_eq!(plain.coop().coop_served, 0, "unarmed mesh must not serve coop");
+    let stats = coop.coop();
+    assert!(stats.coop_served > 0, "coop path never fired");
+    assert_eq!(
+        stats.coop_bits,
+        stats.coop_served * CoopConfig::default().b_coop,
+        "each served miss is charged exactly b_coop"
+    );
+    assert!(
+        coop.uplink_bits() < plain.uplink_bits(),
+        "coop must cut uplink bits at equal capacity: {} vs {}",
+        coop.uplink_bits(),
+        plain.uplink_bits()
+    );
+}
+
+/// The never-stale guarantee survives cooperative serving: vouched
+/// copies are only installed when the receiver's own report proves
+/// them current, so TS and AT stay violation-free even with tight
+/// caches, mobility, and the coop path all armed at once.
+#[test]
+fn coop_stays_never_stale_under_pressure() {
+    for strategy in [Strategy::BroadcastTimestamps, Strategy::AmnesicTerminals] {
+        let base = base_config(0.3)
+            .with_cache_capacity(6)
+            .with_safety_checking();
+        let config = MeshConfig::new(CellGraph::ring(3), base, MasterSeed(51))
+            .with_mobility(MobilityModel::Markov { rate: 0.1 })
+            .with_coop(CoopConfig::default());
+        let mut mesh = MeshSimulation::new(config, strategy).unwrap();
+        let report = mesh
+            .run(150)
+            .unwrap_or_else(|e| panic!("{} aborted under coop: {e}", strategy.name()));
+        assert_eq!(
+            report.safety_violations(),
+            0,
+            "{} validated a stale coop-served entry",
+            strategy.name()
+        );
+    }
+}
+
+/// A coop mesh run is byte-identical at any thread count: the
+/// directory exchange is part of the single-threaded barrier.
+#[test]
+fn coop_runs_are_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        let base = base_config(0.3).with_cache_capacity(8);
+        let config = MeshConfig::new(CellGraph::grid(2, 2), base, MasterSeed(52))
+            .with_mobility(MobilityModel::Markov { rate: 0.1 })
+            .with_coop(CoopConfig::default());
+        let mut mesh = MeshSimulation::with_runner(
+            config,
+            Strategy::BroadcastTimestamps,
+            ParallelRunner::new(threads),
+        )
+        .unwrap();
+        let report = mesh.run(100).unwrap();
+        assert!(report.coop().coop_served > 0, "coop path never fired");
+        format!("{report:?}")
+    };
+    let single = run(1);
+    assert_eq!(single, run(2));
+    assert_eq!(single, run(8));
+}
+
 /// Repeated migration of the same units (every barrier on a 2-cell
 /// line) keeps the simulation well-formed: slots accumulate but the
 /// present population is constant and reports stay finite.

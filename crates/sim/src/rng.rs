@@ -64,6 +64,14 @@ pub enum StreamId {
         /// Client index within the cell.
         index: u64,
     },
+    /// Zipf-skewed item picks for mobile unit `index` when the bounded-
+    /// cache workload arms query skew. Appended for the capacity layer:
+    /// runs without a Zipf exponent never touch it, so every existing
+    /// stream — and every committed figure artifact — is unchanged.
+    ZipfQuery {
+        /// Client index within the cell.
+        index: u64,
+    },
 }
 
 impl StreamId {
@@ -79,6 +87,7 @@ impl StreamId {
             StreamId::Faults { index } => (8, index),
             StreamId::Mobility { index } => (9, index),
             StreamId::QueryPlan { index } => (10, index),
+            StreamId::ZipfQuery { index } => (11, index),
         }
     }
 }
@@ -318,6 +327,37 @@ mod tests {
             let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
             assert_eq!(same, 0, "QueryPlan stream collided with {other:?}");
         }
+    }
+
+    #[test]
+    fn zipf_query_streams_are_independent_of_existing_streams() {
+        let seed = MasterSeed(42);
+        // The Zipf item-pick stream for client i must collide with
+        // neither the client's other streams nor the tag spaces that
+        // could alias its discriminant.
+        for other in [
+            StreamId::Queries { index: 3 },
+            StreamId::Sleep { index: 3 },
+            StreamId::Hotspot { index: 3 },
+            StreamId::Faults { index: 3 },
+            StreamId::Mobility { index: 3 },
+            StreamId::QueryPlan { index: 3 },
+            StreamId::Custom { tag: 3 },
+            StreamId::Custom { tag: 11 },
+        ] {
+            let mut a = seed.stream(StreamId::ZipfQuery { index: 3 });
+            let mut b = seed.stream(other);
+            let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+            assert_eq!(same, 0, "ZipfQuery stream collided with {other:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_query_streams_differ_by_index() {
+        let seed = MasterSeed(7);
+        let mut a = seed.stream(StreamId::ZipfQuery { index: 0 });
+        let mut b = seed.stream(StreamId::ZipfQuery { index: 1 });
+        assert_ne!(a.next_u64(), b.next_u64());
     }
 
     #[test]

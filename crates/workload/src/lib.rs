@@ -22,5 +22,5 @@ pub mod scenario;
 
 pub use examples::{StockFilterWorkload, TrafficGrid, TrafficMapWorkload};
 pub use hotspot::{HotspotSpec, Popularity};
-pub use query::{QueryWorkload, QueryWorkloadSpec};
+pub use query::{QueryWorkload, QueryWorkloadSpec, ZipfPicker};
 pub use scenario::{DerivedProbabilities, ScenarioParams, SweepAxis};

@@ -102,6 +102,63 @@ impl QueryWorkload {
     }
 }
 
+/// Zipf(θ) popularity over the *ranks* of a client's hotspot for
+/// single-item query picks (the bounded-cache workload knob).
+///
+/// Rank 0 is the hottest item — the first item drawn into the hotspot,
+/// so the popularity order is itself seed-streamed. `theta = 0`
+/// degenerates to the uniform pick the paper models; draws come from a
+/// dedicated [`sw_sim::StreamId::ZipfQuery`] stream so arming the knob
+/// never perturbs the classic arrival/pick sequences.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZipfPicker {
+    cdf: Vec<f64>,
+}
+
+impl ZipfPicker {
+    /// Builds the cumulative Zipf weights over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf picker needs a non-empty domain");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {theta}"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        ZipfPicker { cdf }
+    }
+
+    /// Number of ranks in the domain.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True when the domain is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `[0, n)`: inversion over the Zipf CDF.
+    pub fn draw(&self, rng: &mut RngStream) -> usize {
+        let total = *self.cdf.last().expect("non-empty domain");
+        let u = rng.uniform() * total;
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +248,45 @@ mod tests {
     #[should_panic(expected = "at least one query template")]
     fn empty_family_rejected() {
         let _ = QueryWorkloadSpec::new(0, 3, 1.0);
+    }
+
+    #[test]
+    fn zipf_picker_prefers_low_ranks_and_is_deterministic() {
+        let picker = ZipfPicker::new(20, 1.2);
+        let mut a = MasterSeed::TEST.stream(StreamId::ZipfQuery { index: 0 });
+        let mut b = MasterSeed::TEST.stream(StreamId::ZipfQuery { index: 0 });
+        let draws: Vec<usize> = (0..5_000).map(|_| picker.draw(&mut a)).collect();
+        let again: Vec<usize> = (0..5_000).map(|_| picker.draw(&mut b)).collect();
+        assert_eq!(draws, again, "same stream must replay identically");
+        assert!(draws.iter().all(|&r| r < 20));
+        let hot = draws.iter().filter(|&&r| r < 2).count();
+        assert!(
+            hot as f64 / draws.len() as f64 > 0.3,
+            "top-2 ranks drew only {hot}/5000 under Zipf(1.2)"
+        );
+    }
+
+    #[test]
+    fn zipf_picker_theta_zero_is_uniform() {
+        let picker = ZipfPicker::new(10, 0.0);
+        let mut r = MasterSeed::TEST.stream(StreamId::ZipfQuery { index: 1 });
+        let n = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[picker.draw(&mut r)] += 1;
+        }
+        let expected = n as f64 / 10.0;
+        for (rank, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() / expected < 0.1,
+                "rank {rank} drew {c}, far from uniform {expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty domain")]
+    fn zipf_picker_rejects_empty_domain() {
+        let _ = ZipfPicker::new(0, 1.0);
     }
 }

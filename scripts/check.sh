@@ -21,6 +21,16 @@ cargo clippy -p sw-query --all-targets -- -D warnings
 echo "==> query conformance leg (sim/live lockstep incl. query verdicts + txn outcomes)"
 cargo test --release -q -p sw-live --test conformance query
 
+echo "==> capacity leg (sw-capacity unit tests + clippy, default features)"
+cargo test --release -q -p sw-capacity
+cargo clippy -p sw-capacity --all-targets -- -D warnings
+
+echo "==> capacity conformance leg (bounded caches: live vs columnar per policy)"
+cargo test --release -q -p sw-live --test conformance bounded
+
+echo "==> capacity equivalence leg (boxed vs columnar, bounded, SW_THREADS 1/2/8)"
+cargo test --release -q -p sleepers-workaholics --test columnar_equivalence bounded
+
 echo "==> cargo test --workspace (release, --features observe)"
 cargo test --workspace --release -q --features observe
 
@@ -29,6 +39,10 @@ cargo clippy --workspace --all-targets --features observe -- -D warnings
 
 echo "==> query plane leg (core integration with observe counters armed)"
 cargo test --release -q -p sleepers --features observe query_plane
+
+echo "==> capacity leg (bounded equivalence + mesh coop with observe armed)"
+cargo test --release -q -p sleepers-workaholics --features observe --test columnar_equivalence bounded
+cargo test --release -q -p sw-mesh --features observe coop
 
 echo "==> trace_run smoke (figure 3, quick settings, observed)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --features observe --bin trace_run -- 3 >/dev/null
@@ -138,6 +152,9 @@ cargo test --workspace --release -q --features faults
 echo "==> query plane leg (invalidation soundness under the fault gauntlet)"
 cargo test --release -q -p sleepers --features faults query_plane
 
+echo "==> capacity leg (eviction safety soak under the fault gauntlet)"
+cargo test --release -q -p sw-experiments --features faults --test fault_soak eviction
+
 echo "==> cargo clippy --workspace -D warnings (--features faults)"
 cargo clippy --workspace --all-targets --features faults -- -D warnings
 
@@ -154,6 +171,9 @@ SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_mesh >/dev/null
 
 echo "==> query smoke (fig_query: query hit ratio / uplink bits / abort rate vs s)"
 SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_query >/dev/null
+
+echo "==> capacity smoke (fig_capacity: capacity x replacement x strategy x s + coop mesh leg)"
+SW_FAST=1 cargo run --release -q -p sw-experiments --bin fig_capacity >/dev/null
 
 echo "==> figure artifact A/B guard: mesh seed domain must not move results/fig3.json"
 cargo test --release -q -p sw-experiments --test fig3_regression -- --ignored

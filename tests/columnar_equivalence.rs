@@ -271,20 +271,126 @@ fn ineligible_configs_stay_on_boxed_units() {
         let sim = CellSimulation::new(base_config(8, 0.3, 5), strategy).unwrap();
         assert!(!sim.is_columnar(), "{} must stay boxed", strategy.name());
     }
-    // Bounded caches carry LRU state the columns don't model.
+    // Bounded caches are columnar-eligible: the replacement clocks ride
+    // along as extra columns.
     let sim = CellSimulation::new(
         base_config(8, 0.3, 5).with_cache_capacity(10),
         Strategy::BroadcastTimestamps,
     )
     .unwrap();
-    assert!(!sim.is_columnar(), "bounded caches must stay boxed");
+    assert!(
+        sim.is_columnar(),
+        "bounded caches should auto-select the columnar fleet"
+    );
     // Forcing the columnar backend onto an ineligible config is a
-    // loud configuration error, not a silent fallback.
+    // loud configuration error that names each disqualifier, not a
+    // silent fallback or a bare settings dump.
     let err = CellSimulation::new(
         base_config(8, 0.3, 5)
-            .with_cache_capacity(10)
+            .with_piggybacking()
             .with_fleet(FleetBackend::Columnar),
         Strategy::BroadcastTimestamps,
     );
-    assert!(matches!(err, Err(SimulationError::InvalidConfig(_))));
+    match err {
+        Err(SimulationError::InvalidConfig(msg)) => assert!(
+            msg.contains("piggybacked hit histories"),
+            "the error must name the disqualifying reason, got: {msg}"
+        ),
+        Ok(_) => panic!("expected InvalidConfig, got a running simulation"),
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    let err = CellSimulation::new(
+        base_config(8, 0.3, 5).with_fleet(FleetBackend::Columnar),
+        Strategy::Stateful,
+    );
+    match err {
+        Err(SimulationError::InvalidConfig(msg)) => assert!(
+            msg.contains("per-client feedback"),
+            "the error must name the strategy's disqualifier, got: {msg}"
+        ),
+        Ok(_) => panic!("expected InvalidConfig, got a running simulation"),
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+    }
+}
+
+/// The tentpole oracle: with a finite capacity armed, the columnar
+/// capacity columns must replay the boxed cache's clock/eviction
+/// machinery byte for byte — for every replacement policy, at every
+/// sweep worker count the suite pins (`SW_THREADS ∈ {1, 2, 8}` via
+/// `with_sweep_threads`), across the static strategy family. Capacity
+/// is set well below the hotspot so replacement actually churns.
+#[test]
+fn bounded_caches_match_across_backends_per_policy() {
+    for &policy in &[
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Lfu,
+        ReplacementPolicy::WindowAge,
+    ] {
+        for &strategy in &[
+            Strategy::BroadcastTimestamps,
+            Strategy::AmnesicTerminals,
+            Strategy::Signatures,
+        ] {
+            for threads in [1usize, 2, 8] {
+                let cfg = |backend| {
+                    base_config(40, 0.4, 77)
+                        .with_cache_capacity(8)
+                        .with_replacement(policy)
+                        .with_fleet(backend)
+                        .with_sweep_threads(threads)
+                };
+                let units = fingerprint(cfg(FleetBackend::Units), strategy, 80);
+                let columnar = fingerprint(cfg(FleetBackend::Columnar), strategy, 80);
+                assert_eq!(
+                    units.0,
+                    columnar.0,
+                    "{} report diverged between fleet backends under {} replacement \
+                     at {threads} sweep threads",
+                    strategy.name(),
+                    policy.name()
+                );
+                assert_eq!(
+                    units.1,
+                    columnar.1,
+                    "{} per-client stats diverged under {} replacement at {threads} \
+                     sweep threads",
+                    strategy.name(),
+                    policy.name()
+                );
+            }
+        }
+    }
+}
+
+/// Bounded caches under the parallel sweep for real: enough listeners
+/// that the chunked path engages (≥ 256), with capacity churn on.
+#[test]
+fn bounded_caches_ignore_sweep_threads_at_scale() {
+    for backend in [FleetBackend::Units, FleetBackend::Columnar] {
+        let mut baseline: Option<(String, Vec<String>)> = None;
+        for threads in [1usize, 2, 8] {
+            let got = fingerprint(
+                base_config(500, 0.2, 31)
+                    .with_cache_capacity(8)
+                    .with_replacement(ReplacementPolicy::WindowAge)
+                    .with_fleet(backend)
+                    .with_sweep_threads(threads),
+                Strategy::BroadcastTimestamps,
+                40,
+            );
+            match &baseline {
+                None => baseline = Some(got),
+                Some(want) => {
+                    assert_eq!(
+                        want.0, got.0,
+                        "{backend:?} bounded report changed at {threads} sweep threads"
+                    );
+                    assert_eq!(
+                        want.1, got.1,
+                        "{backend:?} bounded stats changed at {threads} sweep threads"
+                    );
+                }
+            }
+        }
+    }
 }

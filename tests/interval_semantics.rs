@@ -8,7 +8,7 @@
 //!   during the interval in which the query was posed ... even if the
 //!   query predates the update during the interval."
 
-use sleepers_workaholics::client::{AtHandler, MobileUnit, MuConfig};
+use sleepers_workaholics::client::{AtHandler, MobileUnit, MuConfig, ReplacementPolicy};
 use sleepers_workaholics::server::{AtBuilder, Database, QueryAnswer, ReportBuilder, UplinkProcessor};
 use sleepers_workaholics::sim::{MasterSeed, SimDuration, SimTime, StreamId};
 
@@ -21,6 +21,8 @@ fn mu_with_hotspot(hotspot: Vec<u64>, lambda: f64) -> MobileUnit {
             query_rate_per_item: lambda,
             sleep_probability: 0.0,
             cache_capacity: None,
+            replacement: ReplacementPolicy::Lru,
+            replacement_window: SimDuration::ZERO,
             piggyback_hits: false,
             item_universe: None,
         },
